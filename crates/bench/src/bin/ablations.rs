@@ -1,0 +1,203 @@
+//! Ablations of the design choices DESIGN.md calls out (beyond the paper's
+//! own figures):
+//!
+//! 1. **Scanner count** — the paper's fix for Fig. 11c's single-scanner
+//!    bottleneck ("redundant scanners could distribute heavy scan loads").
+//! 2. **Traverse stages** — paper §4.4.1: "if hash conflict is frequent,
+//!    multiple Traverse stages could be populated"; demonstrated on a
+//!    deliberately undersized bucket array.
+//! 3. **Interconnect topology** — crossbar (paper) vs the ring suggested
+//!    for scaling (§4.6), at growing worker counts.
+//! 4. **Interleaving batch size** — conflict-window vs overlap trade-off
+//!    on the TPC-C Payment warehouse hotspot.
+//! 5. **Hazard prevention** — lock-table stalls are the price of
+//!    correctness on insert-heavy load (paper Fig. 6).
+
+use bionicdb::{BionicConfig, ExecMode, Topology};
+use bionicdb_bench::*;
+use bionicdb_workloads::tpcc::TpccBionic;
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
+use bionicdb_workloads::YcsbSpec;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let wave = if quick { 60 } else { 200 };
+
+    // 1. Scanner count vs scan throughput.
+    let mut rows = Vec::new();
+    for scanners in [1usize, 2, 3, 5, 8] {
+        let mut cfg = BionicConfig::default();
+        cfg.fpga.skiplist_scanners = scanners;
+        let mut y = YcsbBionic::build(cfg, bench_ycsb_spec(), 60);
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::Scan, wave);
+        rows.push((format!("{scanners} scanner(s)"), t.per_sec / 1e3));
+    }
+    print_series(
+        "Ablation 1: scan throughput vs scanner count",
+        "config",
+        "kTps",
+        &rows,
+    );
+
+    // 2. Traverse stages on a chain-heavy hash table (buckets = records/8).
+    let mut rows = Vec::new();
+    for stages in [1usize, 2, 4] {
+        let mut cfg = BionicConfig::default();
+        cfg.fpga.hash_traverse_stages = stages;
+        let spec = YcsbSpec {
+            hash_buckets: Some(bench_ycsb_spec().records_per_partition / 8),
+            ..bench_ycsb_spec()
+        };
+        let mut y = YcsbBionic::build(cfg, spec, 60);
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, wave);
+        rows.push((format!("{stages} traverse stage(s)"), t.per_sec / 1e3));
+    }
+    print_series(
+        "Ablation 2: YCSB-C on long chains vs Traverse stages",
+        "config",
+        "kTps",
+        &rows,
+    );
+
+    // 3. Topology at scale (multisite reads, 75% remote). The throughputs
+    // barely differ because even an 8-hop ring trip (24 cycles) is small
+    // next to an index probe; the mean message latency column shows the
+    // structural cost the paper worries about for much larger meshes.
+    let mut rows = Vec::new();
+    for workers in [4usize, 8, 16] {
+        for topo in [Topology::Crossbar, Topology::Ring] {
+            let cfg = BionicConfig {
+                workers,
+                topology: topo,
+                dram_bytes: (workers as u64 + 1) * (200 << 20),
+                ..BionicConfig::default()
+            };
+            let mut y = YcsbBionic::build(cfg, bench_ycsb_spec(), 60);
+            let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave / 2);
+            let n = y.machine.noc().stats();
+            rows.push((
+                format!(
+                    "{workers}w {topo:?} (lat {:.1}cy)",
+                    n.total_latency as f64 / n.messages as f64
+                ),
+                t.per_sec / 1e3,
+            ));
+        }
+    }
+    print_series(
+        "Ablation 3: multisite throughput vs topology",
+        "config",
+        "kTps",
+        &rows,
+    );
+
+    // 4. TPC-C mixed throughput vs interleaving batch size.
+    let mut rows = Vec::new();
+    for max_batch in [1usize, 2, 4, 8, 16] {
+        let cfg = BionicConfig {
+            workers: 4,
+            mode: ExecMode::Interleaved,
+            max_batch,
+            ..BionicConfig::default()
+        };
+        let mut sys = TpccBionic::build(cfg, bench_tpcc_spec());
+        let t = bionic_tpcc_tput(&mut sys, TpccMix::Mixed, wave / 2);
+        rows.push((format!("batch {max_batch}"), t.per_sec / 1e3));
+    }
+    print_series(
+        "Ablation 4: TPC-C mix vs interleaving batch size (hotspot conflicts)",
+        "config",
+        "kTps",
+        &rows,
+    );
+
+    // 6. Contention skew: Zipfian update transactions stress the
+    // dirty-reject CC — hot keys collide across an interleaving batch, and
+    // the retry cost grows with skew (a dimension the paper's uniform-key
+    // YCSB never touches).
+    let mut rows = Vec::new();
+    for theta in [0.0f64, 0.5, 0.9, 0.99] {
+        let mut y = build_ycsb(4, ExecMode::Interleaved);
+        let zipf = (theta > 0.0)
+            .then(|| bionicdb_workloads::Zipf::new(y.spec.records_per_partition, theta));
+        let mut rng = bionicdb_bench::rng(0x55EE);
+        let size = y.block_size(YcsbKind::UpdateLocal);
+        let per_worker = wave / 2;
+        let mut blocks = Vec::new();
+        let c0 = y.machine.now();
+        for w in 0..4 {
+            for _ in 0..per_worker {
+                let blk = y.machine.alloc_block(w, size);
+                match &zipf {
+                    Some(z) => y.submit_update_skewed(w, blk, z, &mut rng),
+                    None => y.submit_txn(w, blk, YcsbKind::UpdateLocal, &mut rng),
+                }
+                blocks.push((w, blk));
+            }
+        }
+        y.machine.run_to_quiescence();
+        for _ in 0..1000 {
+            let pending: Vec<_> = blocks
+                .iter()
+                .copied()
+                .filter(|&(_, b)| y.machine.block_status(b) == bionicdb::TxnStatus::Aborted)
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            for (w, blk) in pending {
+                y.machine.resubmit(w, blk);
+            }
+            y.machine.run_to_quiescence();
+        }
+        let cycles = y.machine.now() - c0;
+        let aborted = y.machine.stats().aborted;
+        let tput = blocks.len() as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64;
+        let label = if theta == 0.0 {
+            format!("uniform ({} aborts)", aborted)
+        } else {
+            format!("zipf {theta} ({} aborts)", aborted)
+        };
+        rows.push((label, tput / 1e3));
+    }
+    print_series(
+        "Ablation 6: update-txn throughput vs key skew (with retries)",
+        "distribution",
+        "kTps",
+        &rows,
+    );
+
+    // 5. Hazard prevention cost on bulk inserts (lock-table stalls): a
+    // small bucket array makes concurrent inserts collide, so the Hash
+    // stage must stall on the lock table (paper Fig. 6b).
+    let mut rows = Vec::new();
+    for hazard in [true, false] {
+        let cfg = BionicConfig {
+            hazard_prevention: hazard,
+            ..BionicConfig::default()
+        };
+        let spec = YcsbSpec {
+            hash_buckets: Some(512),
+            ..bench_ycsb_spec()
+        };
+        let mut y = YcsbBionic::build(cfg, spec, 60);
+        let t = bionic_kv_random_insert_tput(&mut y, wave / 4);
+        let stalls: u64 = (0..4)
+            .map(|w| y.machine.worker(w).coproc.hash_stats().lock_stalls)
+            .sum();
+        rows.push((
+            format!(
+                "locks {} ({} stall cycles)",
+                if hazard { "on" } else { "OFF (unsafe)" },
+                stalls
+            ),
+            t.per_sec / 1e6,
+        ));
+    }
+    print_series(
+        "Ablation 5: insert Mops with/without hazard prevention",
+        "config",
+        "Mops",
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig. 9 — overall performance: BionicDB vs. Silo (paper §5.4).
+//!
+//! * Fig. 9a: YCSB-C throughput; BionicDB at 1–4 workers, Silo at
+//!   4–24 modelled Xeon cores. The paper reports BionicDB up to 4.5×
+//!   faster at equal worker counts and Silo needing 24 cores to match
+//!   4 BionicDB workers.
+//! * Fig. 9b: the TPC-C NewOrder+Payment 50:50 mix, where BionicDB is
+//!   merely comparable (insufficient index parallelism + data dependency).
+
+use bionicdb::ExecMode;
+use bionicdb_bench::*;
+use bionicdb_workloads::tpcc::TpccSilo;
+use bionicdb_workloads::ycsb::{YcsbKind, YcsbSilo};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (wave, silo_txns) = if quick {
+        (120, 400)
+    } else {
+        (YCSB_WAVE, 2_000)
+    };
+
+    // ---- Fig. 9a: YCSB-C ----
+    let mut rows = Vec::new();
+    for workers in 1..=4 {
+        let mut y = build_ycsb(workers, ExecMode::Interleaved);
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, wave);
+        rows.push((format!("BionicDB/{workers}w"), t.per_sec / 1e3));
+    }
+    let silo = YcsbSilo::build(bench_ycsb_spec(), 4);
+    for cores in [1, 4, 8, 12, 16, 20, 24] {
+        let t = silo_ycsb_model_tput(&silo, silo_txns, cores);
+        rows.push((format!("Silo/{cores}c"), t / 1e3));
+    }
+    print_series("Fig 9a: YCSB-C (read-only)", "system", "kTps", &rows);
+
+    // ---- Fig. 9b: TPC-C NewOrder+Payment 50:50 ----
+    let mut rows = Vec::new();
+    for workers in 1..=4 {
+        let mut sys = build_tpcc(workers, ExecMode::Interleaved);
+        let t = bionic_tpcc_tput(&mut sys, TpccMix::Mixed, wave);
+        rows.push((format!("BionicDB/{workers}w"), t.per_sec / 1e3));
+    }
+    let tsilo = TpccSilo::build(bench_tpcc_spec(), 4);
+    for cores in [1, 4, 8, 12, 16, 20, 24] {
+        let t = silo_tpcc_model_tput(&tsilo, TpccMix::Mixed, silo_txns, cores);
+        rows.push((format!("Silo/{cores}c"), t / 1e3));
+    }
+    print_series(
+        "Fig 9b: TPC-C NewOrder+Payment (50:50)",
+        "system",
+        "kTps",
+        &rows,
+    );
+}

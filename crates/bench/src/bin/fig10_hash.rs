@@ -1,0 +1,70 @@
+//! Fig. 10 — hash-index throughput vs. index parallelism (paper §5.5).
+//!
+//! Sweeps the maximum number of in-flight DB requests over the index
+//! coprocessor (1–24) for: (a) the non-transactional KV workload (60
+//! inserts or searches in bulk per transaction), (b) YCSB-C, (c) TPC-C
+//! NewOrder, (d) TPC-C Payment. All transactions are local (paper: "To
+//! focus on the index coprocessor, all experiments in this section run
+//! local transactions only").
+//!
+//! Paper shapes: insert/search saturate between 12 and 16 in-flight
+//! requests (10a); YCSB-C and NewOrder follow the same trend (10b, 10c);
+//! Payment stops improving after 4 — it only has 4 index lookups (10d).
+
+use bionicdb::ExecMode;
+use bionicdb_bench::*;
+use bionicdb_workloads::ycsb::YcsbKind;
+
+const INFLIGHT: [usize; 7] = [1, 4, 8, 12, 16, 20, 24];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let wave = if quick { 60 } else { 200 };
+
+    // (a) KV insert / search, operation throughput.
+    let mut rows = Vec::new();
+    for &n in &INFLIGHT {
+        let mut y = build_ycsb(4, ExecMode::Interleaved);
+        y.machine.set_max_inflight(n);
+        let ins = bionic_kv_tput(&mut y, true, wave / 4);
+        let mut y = build_ycsb(4, ExecMode::Interleaved);
+        y.machine.set_max_inflight(n);
+        let se = bionic_kv_tput(&mut y, false, wave / 4);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", ins.per_sec / 1e6),
+            format!("{:.2}", se.per_sec / 1e6),
+        ]);
+    }
+    print_table(
+        "Fig 10a: KeyValue (Mops)",
+        &["in-flight", "insert", "search"],
+        &rows,
+    );
+
+    // (b) YCSB-C.
+    let mut rows = Vec::new();
+    for &n in &INFLIGHT {
+        let mut y = build_ycsb(4, ExecMode::Interleaved);
+        y.machine.set_max_inflight(n);
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, wave);
+        rows.push((n.to_string(), t.per_sec / 1e3));
+    }
+    print_series("Fig 10b: YCSB-C (read-only)", "in-flight", "kTps", &rows);
+
+    // (c) TPC-C NewOrder, (d) Payment — serial execution, isolating the
+    // coprocessor's intra-transaction parallelism exactly as §5.5 intends.
+    for (mix, title) in [
+        (TpccMix::NewOrderOnly, "Fig 10c: TPC-C NewOrder"),
+        (TpccMix::PaymentOnly, "Fig 10d: TPC-C Payment"),
+    ] {
+        let mut rows = Vec::new();
+        for &n in &INFLIGHT {
+            let mut sys = build_tpcc_local(4, ExecMode::Serial);
+            sys.machine.set_max_inflight(n);
+            let t = bionic_tpcc_tput(&mut sys, mix, wave / 2);
+            rows.push((n.to_string(), t.per_sec / 1e3));
+        }
+        print_series(title, "in-flight", "kTps", &rows);
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig. 11 — skiplist throughput vs. index parallelism, and scan
+//! comparison against software indexes (paper §5.5).
+//!
+//! Paper shapes: (a) insert saturates around 8 in-flight requests — the
+//! pipeline depth binds, because each level stage has multiple dependent
+//! memory stalls; (b) point query is similar but faster (no tower
+//! installation); (c) scans deteriorate — the single scanner module
+//! serializes them; (d) the HW skiplist loses the scan comparison to the
+//! software indexes on the Xeon (paper: 20% behind Masstree, 5× behind the
+//! SW skiplist) until more scanners are provisioned — the `--scanners N`
+//! ablation shows the fix the paper proposes.
+
+use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_bench::*;
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind, YcsbSilo};
+
+const INFLIGHT: [usize; 7] = [1, 4, 8, 12, 16, 20, 24];
+
+fn build(scanners: usize) -> YcsbBionic {
+    let mut cfg = BionicConfig {
+        workers: 4,
+        mode: ExecMode::Interleaved,
+        ..Default::default()
+    };
+    cfg.fpga.skiplist_scanners = scanners;
+    YcsbBionic::build(cfg, bench_ycsb_spec(), 60)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let wave = if quick { 40 } else { 150 };
+    let scanners: usize = std::env::args()
+        .skip_while(|a| a != "--scanners")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    // (a) sequential loading (bulk inserts), operation throughput.
+    let mut rows = Vec::new();
+    for &n in &INFLIGHT {
+        let mut y = build(scanners);
+        y.machine.set_max_inflight(n);
+        let t = bionic_kv_skip_tput(&mut y, true, wave / 4);
+        rows.push((n.to_string(), t.per_sec / 1e3));
+    }
+    print_series(
+        "Fig 11a: skiplist insert (kOps)",
+        "in-flight",
+        "kOps",
+        &rows,
+    );
+
+    // (b) point query.
+    let mut rows = Vec::new();
+    for &n in &INFLIGHT {
+        let mut y = build(scanners);
+        y.machine.set_max_inflight(n);
+        let t = bionic_kv_skip_tput(&mut y, false, wave / 4);
+        rows.push((n.to_string(), t.per_sec / 1e3));
+    }
+    print_series(
+        "Fig 11b: skiplist point query (kOps)",
+        "in-flight",
+        "kOps",
+        &rows,
+    );
+
+    // (c) scan-only YCSB-E (range 50).
+    let mut rows = Vec::new();
+    for &n in &INFLIGHT {
+        let mut y = build(scanners);
+        y.machine.set_max_inflight(n);
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::Scan, wave);
+        rows.push((n.to_string(), t.per_sec / 1e3));
+    }
+    print_series(
+        &format!("Fig 11c: YCSB-E scan-only, {scanners} scanner(s)"),
+        "in-flight",
+        "kTps",
+        &rows,
+    );
+
+    // (d) scan comparison vs software indexes (4 workers / 4 cores).
+    let mut rows = Vec::new();
+    let mut y = build(scanners);
+    let t = bionic_ycsb_tput(&mut y, YcsbKind::Scan, wave);
+    rows.push((format!("BionicDB ({scanners} scanner)"), t.per_sec / 1e3));
+    let silo = YcsbSilo::build(bench_ycsb_spec(), 4);
+    let txns = if quick { 300 } else { 1_000 };
+    rows.push((
+        "Masstree".into(),
+        silo_scan_model_tput(&silo, silo.masstree, txns, 4) / 1e3,
+    ));
+    rows.push((
+        "SW skiplist".into(),
+        silo_scan_model_tput(&silo, silo.skiplist, txns, 4) / 1e3,
+    ));
+    print_series(
+        "Fig 11d: scan comparison (kTps, 4 workers)",
+        "index",
+        "kTps",
+        &rows,
+    );
+}

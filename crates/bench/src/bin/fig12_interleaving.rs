@@ -1,0 +1,78 @@
+//! Fig. 12 — transaction interleaving vs. serial execution (paper §5.6).
+//!
+//! (a) YCSB-C with a varying transaction footprint (1–64 DB accesses):
+//! interleaving shines for small transactions (the paper reports 3× for
+//! single-access transactions) and converges toward serial as
+//! intra-transaction parallelism grows.
+//!
+//! (b) TPC-C NewOrder and Payment: no noticeable difference — heavy data
+//! dependency (NewOrder's o_id) and tiny index footprints (Payment)
+//! eliminate the interleaving opportunity.
+
+use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_bench::*;
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
+use bionicdb_workloads::YcsbSpec;
+
+fn build_with_footprint(ops: usize, mode: ExecMode) -> YcsbBionic {
+    let cfg = BionicConfig {
+        workers: 4,
+        mode,
+        ..BionicConfig::default()
+    };
+    let spec = YcsbSpec {
+        ops_per_txn: ops,
+        ..bench_ycsb_spec()
+    };
+    YcsbBionic::build(cfg, spec, 60)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let wave = if quick { 150 } else { 400 };
+
+    // (a) YCSB-C footprint sweep.
+    let mut rows = Vec::new();
+    for ops in [1usize, 16, 32, 48, 64] {
+        let w = (wave * 16 / ops).max(40);
+        let mut inter = build_with_footprint(ops, ExecMode::Interleaved);
+        let ti = bionic_ycsb_tput(&mut inter, YcsbKind::ReadLocal, w);
+        let mut serial = build_with_footprint(ops, ExecMode::Serial);
+        let ts = bionic_ycsb_tput(&mut serial, YcsbKind::ReadLocal, w);
+        rows.push(vec![
+            ops.to_string(),
+            format!("{:.1}", ti.per_sec / 1e3),
+            format!("{:.1}", ts.per_sec / 1e3),
+            format!("{:.2}x", ti.per_sec / ts.per_sec),
+        ]);
+    }
+    print_table(
+        "Fig 12a: YCSB-C, interleaving vs serial (kTps)",
+        &["DB accesses", "interleaving", "serial", "speedup"],
+        &rows,
+    );
+
+    // (b) TPC-C NewOrder / Payment (all-local, as in §5.6: "all
+    // transactions were local").
+    let mut rows = Vec::new();
+    for (mix, name) in [
+        (TpccMix::NewOrderOnly, "NewOrder"),
+        (TpccMix::PaymentOnly, "Payment"),
+    ] {
+        let mut inter = build_tpcc_local(4, ExecMode::Interleaved);
+        let ti = bionic_tpcc_tput(&mut inter, mix, wave / 2);
+        let mut serial = build_tpcc_local(4, ExecMode::Serial);
+        let ts = bionic_tpcc_tput(&mut serial, mix, wave / 2);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", ti.per_sec / 1e3),
+            format!("{:.1}", ts.per_sec / 1e3),
+            format!("{:.2}x", ti.per_sec / ts.per_sec),
+        ]);
+    }
+    print_table(
+        "Fig 12b: TPC-C, interleaving vs serial (kTps)",
+        &["transaction", "interleaving", "serial", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,63 @@
+//! Fig. 13 — single-site vs. multisite transactions (paper §5.7).
+//!
+//! Cross-partition YCSB-C with uniform random keys: 75% of the DB accesses
+//! in the multisite variant are remote. The paper's finding: on-chip
+//! message passing makes the multisite throughput almost identical to the
+//! ideal all-local case. Both variants here use the same stored procedure
+//! (per-access home read from the transaction block) so the comparison
+//! isolates communication, and the crossbar/ring ablation shows the
+//! future-work topology's cost.
+
+use bionicdb::{BionicConfig, ExecMode, Topology};
+use bionicdb_bench::*;
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
+use bionicdb_workloads::YcsbSpec;
+
+fn build(remote_fraction: f64, topology: Topology) -> YcsbBionic {
+    let cfg = BionicConfig {
+        workers: 4,
+        topology,
+        mode: ExecMode::Interleaved,
+        ..Default::default()
+    };
+    let spec = YcsbSpec {
+        remote_fraction,
+        ..bench_ycsb_spec()
+    };
+    YcsbBionic::build(cfg, spec, 60)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let wave = if quick { 150 } else { 400 };
+
+    let mut rows = Vec::new();
+    let mut single = build(0.0, Topology::Crossbar);
+    let ts = bionic_ycsb_tput(&mut single, YcsbKind::ReadHomed, wave);
+    rows.push(("Singlesite (100% local)".to_string(), ts.per_sec / 1e3));
+    let mut multi = build(0.75, Topology::Crossbar);
+    let tm = bionic_ycsb_tput(&mut multi, YcsbKind::ReadHomed, wave);
+    rows.push(("Multisite (75% remote)".to_string(), tm.per_sec / 1e3));
+    print_series(
+        "Fig 13: single-site vs multisite YCSB-C (crossbar)",
+        "variant",
+        "kTps",
+        &rows,
+    );
+    println!("multisite/singlesite = {:.3}", tm.per_sec / ts.per_sec);
+    let noc = multi.machine.noc().stats();
+    println!(
+        "NoC: {} messages, mean latency {:.1} cycles",
+        noc.messages,
+        noc.total_latency as f64 / noc.messages as f64
+    );
+
+    // Ablation: the ring topology the paper proposes for scaling (§4.6).
+    let mut ring = build(0.75, Topology::Ring);
+    let tr = bionic_ycsb_tput(&mut ring, YcsbKind::ReadHomed, wave);
+    println!(
+        "\nAblation — ring topology multisite: {:.1} kTps ({:.3} of crossbar)",
+        tr.per_sec / 1e3,
+        tr.per_sec / tm.per_sec
+    );
+}

@@ -1,0 +1,94 @@
+//! Scale-out study (paper §4.6 / §7 future work): BionicDB across multiple
+//! FPGA nodes in a shared-nothing cluster.
+//!
+//! Eight workers run either on one chip (crossbar) or as 2×4 / 4×2 chips
+//! connected by a serial link (25 hops ≈ 600 ns per message). Multisite
+//! YCSB-C with a remote-fraction sweep shows where inter-node latency
+//! starts to bite — the quantitative answer to the paper's "possible
+//! future direction" of scaling out.
+
+use bionicdb::{BionicConfig, ExecMode, Topology};
+use bionicdb_bench::*;
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
+use bionicdb_workloads::YcsbSpec;
+
+fn build(topology: Topology, remote_fraction: f64) -> YcsbBionic {
+    let cfg = BionicConfig {
+        workers: 8,
+        topology,
+        mode: ExecMode::Interleaved,
+        dram_bytes: 2 << 30,
+        ..BionicConfig::default()
+    };
+    let spec = YcsbSpec {
+        remote_fraction,
+        ..bench_ycsb_spec()
+    };
+    YcsbBionic::build(cfg, spec, 60)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let wave = if quick { 100 } else { 300 };
+
+    let topologies: [(&str, Topology); 3] = [
+        ("1 chip x 8 (crossbar)", Topology::Crossbar),
+        (
+            "2 chips x 4",
+            Topology::MultiChip {
+                workers_per_node: 4,
+                inter_node_hops: 25,
+            },
+        ),
+        (
+            "4 chips x 2",
+            Topology::MultiChip {
+                workers_per_node: 2,
+                inter_node_hops: 25,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for remote in [0.0, 0.25, 0.75] {
+        for (name, topo) in topologies {
+            let mut y = build(topo, remote);
+            let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave);
+            let n = y.machine.noc().stats();
+            rows.push(vec![
+                format!("{:.0}% remote", remote * 100.0),
+                name.to_string(),
+                format!("{:.1}", t.per_sec / 1e3),
+                format!("{:.1}", n.total_latency as f64 / n.messages.max(1) as f64),
+            ]);
+        }
+    }
+    print_table(
+        "Scale-out: 8 workers, multisite YCSB-C",
+        &["remote", "deployment", "kTps", "mean msg cycles"],
+        &rows,
+    );
+
+    // How slow can the inter-node link get before the asynchronous DB
+    // dispatch stops hiding it? (75% remote accesses, 2 chips x 4.)
+    let mut rows = Vec::new();
+    for hops in [8u64, 25, 100, 400, 1600] {
+        let mut y = build(
+            Topology::MultiChip {
+                workers_per_node: 4,
+                inter_node_hops: hops,
+            },
+            0.75,
+        );
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave);
+        let ns = 3.0 * hops as f64 * 8.0;
+        rows.push(vec![
+            format!("{hops} hops ({ns:.0} ns)"),
+            format!("{:.1}", t.per_sec / 1e3),
+        ]);
+    }
+    print_table(
+        "Scale-out: inter-node link latency tolerance (75% remote)",
+        &["link latency", "kTps"],
+        &rows,
+    );
+}

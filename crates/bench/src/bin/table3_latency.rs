@@ -1,0 +1,87 @@
+//! Table 3 — message-passing latency comparison (paper §5.7).
+//!
+//! Measures the on-chip request/response pair in the simulator and
+//! compares with software message passing through the modelled memory
+//! hierarchy (L3-resident vs DRAM-resident mailboxes).
+
+use bionicdb_bench::print_table;
+use bionicdb_cpu_model::CpuConfig;
+use bionicdb_fpga::FpgaConfig;
+use bionicdb_noc::{Noc, Packet, Payload, Topology};
+use bionicdb_softcore::catalogue::TableId;
+use bionicdb_softcore::request::{CpSlot, DbOp, DbRequest, PartitionId};
+
+fn main() {
+    let fpga = FpgaConfig::default();
+    let cpu = CpuConfig::default();
+
+    // Measure the on-chip pair latency in the interconnect itself.
+    let mut noc = Noc::new(Topology::Crossbar, 2, fpga.noc_hop_latency);
+    let req = DbRequest {
+        op: DbOp::Search,
+        table: TableId(0),
+        key_addr: 0,
+        payload_addr: 0,
+        scan_count: 0,
+        out_addr: 0,
+        ts: 1,
+        cp: CpSlot {
+            worker: PartitionId(0),
+            index: 0,
+        },
+        home: PartitionId(1),
+    };
+    noc.send(
+        0,
+        Packet {
+            src: PartitionId(0),
+            dst: PartitionId(1),
+            payload: Payload::Request(req),
+        },
+    )
+    .unwrap();
+    let t_req = (0..100)
+        .find(|&t| noc.poll(t, PartitionId(1)).is_some())
+        .unwrap();
+    noc.send(
+        t_req,
+        Packet {
+            src: PartitionId(1),
+            dst: PartitionId(0),
+            payload: Payload::Request(req),
+        },
+    )
+    .unwrap();
+    let t_pair = (0..100)
+        .find(|&t| noc.poll(t, PartitionId(0)).is_some())
+        .unwrap();
+
+    let ns = |cycles: u64| fpga.cycles_to_ns(cycles);
+    let cpu_ns = |cycles: u64| cycles as f64 * 1e9 / cpu.clock_hz as f64;
+
+    let rows = vec![
+        vec![
+            "On-chip MP".to_string(),
+            format!("{:.0}", ns(t_req)),
+            format!("{:.0}", ns(t_pair)),
+        ],
+        vec![
+            "SW MP (L3 cache)".to_string(),
+            format!("{:.0}", cpu_ns(cpu.l3_latency)),
+            format!("{:.0}", 2.0 * cpu_ns(cpu.l3_latency)),
+        ],
+        vec![
+            "SW MP (DDR3)".to_string(),
+            format!("{:.0}", cpu_ns(cpu.dram_latency)),
+            // Paper Table 3 charges two rounds of read+write per message:
+            // 4 DRAM accesses per pair.
+            format!("{:.0}", 4.0 * cpu_ns(cpu.dram_latency)),
+        ],
+    ];
+    print_table(
+        "Table 3: message-passing latencies (ns)",
+        &["primitive", "one message", "req/resp pair"],
+        &rows,
+    );
+    println!("\n(paper: on-chip 24/48, L3 20/40, DDR3 80/320)");
+}

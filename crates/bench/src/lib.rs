@@ -1,0 +1,406 @@
+//! Shared harness for the paper-figure reproduction binaries.
+//!
+//! One binary per exhibit lives in `src/bin/` (`fig09_overall`,
+//! `fig10_hash`, `fig11_skiplist`, `fig12_interleaving`, `fig13_multisite`,
+//! `table3_latency`, `table4_resources`); each prints the same rows/series
+//! the paper reports. This library holds the runners:
+//!
+//! * [`bionic_ycsb_tput`] / [`bionic_tpcc_tput`] — drive the simulated
+//!   machine with pre-populated transaction blocks (paper §5.1) and report
+//!   committed transactions over *simulated* time;
+//! * [`silo_ycsb_model_tput`] and friends — run the Silo baseline
+//!   single-threaded under the Xeon cache/timing model and scale to a core
+//!   count with a calibrated multi-socket efficiency factor.
+
+#![warn(missing_docs)]
+
+use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_cpu_model::{CoreModel, CpuConfig};
+use bionicdb_workloads::tpcc::{TpccBionic, TpccSilo};
+use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind, YcsbSilo};
+use bionicdb_workloads::{TpccSpec, YcsbSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Tput {
+    /// Committed transactions in the measured window.
+    pub committed: u64,
+    /// Aborted transactions in the measured window.
+    pub aborted: u64,
+    /// Transactions (or operations) per second.
+    pub per_sec: f64,
+}
+
+/// Print a two-column series as an aligned table.
+pub fn print_series(title: &str, xlabel: &str, ylabel: &str, rows: &[(String, f64)]) {
+    println!("\n== {title} ==");
+    println!("{xlabel:>16}  {ylabel:>16}");
+    for (x, y) in rows {
+        println!("{x:>16}  {y:>16.1}");
+    }
+}
+
+/// Print a multi-series table: header plus one row per x value.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    for h in header {
+        print!("{h:>18}");
+    }
+    println!();
+    for row in rows {
+        for cell in row {
+            print!("{cell:>18}");
+        }
+        println!();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BionicDB runners
+// ---------------------------------------------------------------------------
+
+/// Default per-worker transactions for a measured wave.
+pub const YCSB_WAVE: usize = 400;
+
+/// Run `txns_per_worker` YCSB transactions of `kind` on every worker and
+/// return the committed throughput over simulated time. A warm-up wave of a
+/// quarter size runs first.
+pub fn bionic_ycsb_tput(y: &mut YcsbBionic, kind: YcsbKind, txns_per_worker: usize) -> Tput {
+    let workers = y.machine.num_workers();
+    let size = y.block_size(kind);
+    let warm = (txns_per_worker / 4).max(8);
+    let mut pools: Vec<BlockPool> = (0..workers)
+        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker + warm, size))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(0xB105);
+
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for _ in 0..warm {
+            let blk = pool.take();
+            y.submit_txn(w, blk, kind, &mut rng);
+        }
+    }
+    y.machine.run_to_quiescence();
+    let s0 = y.machine.stats();
+    let c0 = y.machine.now();
+
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for _ in 0..txns_per_worker {
+            let blk = pool.take();
+            y.submit_txn(w, blk, kind, &mut rng);
+        }
+    }
+    y.machine.run_to_quiescence();
+    let s1 = y.machine.stats();
+    let cycles = y.machine.now() - c0;
+    let committed = s1.committed - s0.committed;
+    Tput {
+        committed,
+        aborted: s1.aborted - s0.aborted,
+        per_sec: committed as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64,
+    }
+}
+
+/// Run bulk KV transactions (Fig. 10a) and return *operation* throughput.
+pub fn bionic_kv_tput(y: &mut YcsbBionic, insert: bool, txns_per_worker: usize) -> Tput {
+    let workers = y.machine.num_workers();
+    let size = y.kv_block_size(y.kv_ops);
+    let mut pools: Vec<BlockPool> = (0..workers)
+        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(0x6B5D);
+    let c0 = y.machine.now();
+    let s0 = y.machine.stats();
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for _ in 0..txns_per_worker {
+            let blk = pool.take();
+            y.submit_kv_txn(w, blk, insert, &mut rng);
+        }
+    }
+    y.machine.run_to_quiescence();
+    let cycles = y.machine.now() - c0;
+    let committed = y.machine.stats().committed - s0.committed;
+    let ops = committed * y.kv_ops as u64;
+    Tput {
+        committed,
+        aborted: 0,
+        per_sec: ops as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64,
+    }
+}
+
+/// Like [`bionic_kv_tput`] but with random insert keys (bucket-colliding;
+/// the hazard-prevention ablation).
+pub fn bionic_kv_random_insert_tput(y: &mut YcsbBionic, txns_per_worker: usize) -> Tput {
+    let workers = y.machine.num_workers();
+    let size = y.kv_block_size(y.kv_ops);
+    let mut pools: Vec<BlockPool> = (0..workers)
+        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(0xAB1A);
+    let c0 = y.machine.now();
+    let s0 = y.machine.stats();
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for _ in 0..txns_per_worker {
+            let blk = pool.take();
+            y.submit_kv_insert_random(w, blk, &mut rng);
+        }
+    }
+    y.machine.run_to_quiescence();
+    let cycles = y.machine.now() - c0;
+    let committed = y.machine.stats().committed - s0.committed;
+    let ops = committed * y.kv_ops as u64;
+    Tput {
+        committed,
+        aborted: 0,
+        per_sec: ops as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64,
+    }
+}
+
+/// Like [`bionic_kv_tput`] but for the skiplist table (Fig. 11a/11b).
+pub fn bionic_kv_skip_tput(y: &mut YcsbBionic, insert: bool, txns_per_worker: usize) -> Tput {
+    let workers = y.machine.num_workers();
+    let size = y.kv_block_size(y.kv_ops);
+    let mut pools: Vec<BlockPool> = (0..workers)
+        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(0x5C1D);
+    let c0 = y.machine.now();
+    let s0 = y.machine.stats();
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for _ in 0..txns_per_worker {
+            let blk = pool.take();
+            y.submit_skip_txn(w, blk, insert, &mut rng);
+        }
+    }
+    y.machine.run_to_quiescence();
+    let cycles = y.machine.now() - c0;
+    let committed = y.machine.stats().committed - s0.committed;
+    let ops = committed * y.kv_ops as u64;
+    Tput {
+        committed,
+        aborted: 0,
+        per_sec: ops as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64,
+    }
+}
+
+/// Which TPC-C mix to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpccMix {
+    /// 50:50 NewOrder : Payment (the paper's overall mix).
+    Mixed,
+    /// NewOrder only.
+    NewOrderOnly,
+    /// Payment only.
+    PaymentOnly,
+}
+
+/// Run TPC-C on BionicDB; aborted transactions are retried (client-side)
+/// and throughput counts commits over the whole span of simulated time.
+pub fn bionic_tpcc_tput(sys: &mut TpccBionic, mix: TpccMix, txns_per_worker: usize) -> Tput {
+    let workers = sys.machine.num_workers();
+    let mut rng = SmallRng::seed_from_u64(0x79CC);
+    let c0 = sys.machine.now();
+    let s0 = sys.machine.stats();
+    let mut blocks = Vec::new();
+    for w in 0..workers {
+        for i in 0..txns_per_worker {
+            let neworder = match mix {
+                TpccMix::Mixed => i % 2 == 0,
+                TpccMix::NewOrderOnly => true,
+                TpccMix::PaymentOnly => false,
+            };
+            if neworder {
+                let blk = sys
+                    .machine
+                    .alloc_block(w, TpccBionic::neworder_block_size());
+                sys.submit_neworder(w, blk, &mut rng);
+                blocks.push((w, blk));
+            } else {
+                let blk = sys.machine.alloc_block(w, TpccBionic::payment_block_size());
+                sys.submit_payment(w, blk, &mut rng);
+                blocks.push((w, blk));
+            }
+        }
+    }
+    sys.machine.run_to_quiescence();
+    // Client-side retry of aborted transactions until everything commits.
+    for _ in 0..1000 {
+        let pending: Vec<(usize, bionicdb::TxnBlock)> = blocks
+            .iter()
+            .copied()
+            .filter(|&(_, b)| sys.machine.block_status(b) == bionicdb::TxnStatus::Aborted)
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        for (w, blk) in pending {
+            sys.machine.resubmit(w, blk);
+        }
+        sys.machine.run_to_quiescence();
+    }
+    let cycles = sys.machine.now() - c0;
+    let s1 = sys.machine.stats();
+    let committed = blocks.len() as u64;
+    Tput {
+        committed,
+        aborted: s1.aborted - s0.aborted,
+        per_sec: committed as f64 * sys.machine.config().fpga.clock_hz as f64 / cycles as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Silo (model-time) runners
+// ---------------------------------------------------------------------------
+
+/// Multi-socket scaling drag for the Silo baseline: per-core efficiency
+/// `1 / (1 + SCALING_ALPHA · (cores − 1))`.
+///
+/// The paper's Xeon E7-4807 setup spans four sockets; Silo's scaling there
+/// is sublinear (Fig. 9a: 6× more cores ≈ 4.5× more throughput) because of
+/// QPI-remote memory and shared-cache contention, which the single-core
+/// cache model cannot see. The factor is calibrated to that reported
+/// 4→24-core ratio and documented in EXPERIMENTS.md.
+pub const SCALING_ALPHA: f64 = 0.022;
+
+/// Aggregate throughput for `cores` modelled cores given one core's rate.
+pub fn scale_cores(per_core: f64, cores: usize) -> f64 {
+    per_core * cores as f64 / (1.0 + SCALING_ALPHA * (cores as f64 - 1.0))
+}
+
+/// Model-time throughput of YCSB-C on the Silo baseline.
+pub fn silo_ycsb_model_tput(sys: &YcsbSilo, txns: usize, cores: usize) -> f64 {
+    let mut model = CoreModel::new(CpuConfig::default());
+    let mut rng = SmallRng::seed_from_u64(0x51C0);
+    for _ in 0..txns / 4 {
+        sys.run_read_txn(&mut model, &mut rng);
+    }
+    model.reset_clock();
+    for _ in 0..txns {
+        sys.run_read_txn(&mut model, &mut rng);
+    }
+    scale_cores(txns as f64 / model.secs(), cores)
+}
+
+/// Model-time scan throughput on the given Silo index
+/// (`sys.masstree` or `sys.skiplist`).
+pub fn silo_scan_model_tput(sys: &YcsbSilo, index: usize, txns: usize, cores: usize) -> f64 {
+    let mut model = CoreModel::new(CpuConfig::default());
+    let mut rng = SmallRng::seed_from_u64(0x5CA7);
+    for _ in 0..txns / 4 {
+        sys.run_scan_txn(&mut model, &mut rng, index);
+    }
+    model.reset_clock();
+    for _ in 0..txns {
+        sys.run_scan_txn(&mut model, &mut rng, index);
+    }
+    scale_cores(txns as f64 / model.secs(), cores)
+}
+
+/// Model-time throughput of the TPC-C mix on the Silo baseline.
+pub fn silo_tpcc_model_tput(sys: &TpccSilo, mix: TpccMix, txns: usize, cores: usize) -> f64 {
+    let mut model = CoreModel::new(CpuConfig::default());
+    let mut rng = SmallRng::seed_from_u64(0x7199);
+    let run = |model: &mut CoreModel, rng: &mut SmallRng, i: usize| match mix {
+        TpccMix::Mixed => {
+            if i.is_multiple_of(2) {
+                sys.run_neworder(model, rng)
+            } else {
+                sys.run_payment(model, rng)
+            }
+        }
+        TpccMix::NewOrderOnly => sys.run_neworder(model, rng),
+        TpccMix::PaymentOnly => sys.run_payment(model, rng),
+    };
+    for i in 0..txns / 4 {
+        run(&mut model, &mut rng, i);
+    }
+    model.reset_clock();
+    let mut committed = 0usize;
+    for i in 0..txns {
+        if run(&mut model, &mut rng, i) {
+            committed += 1;
+        }
+    }
+    scale_cores(committed as f64 / model.secs(), cores)
+}
+
+// ---------------------------------------------------------------------------
+// System constructors with bench-scale defaults
+// ---------------------------------------------------------------------------
+
+/// Bench-scale YCSB spec: the paper's 1 KB payloads (a first-order cost
+/// for Silo, which copies every read payload, while BionicDB's SEARCH
+/// returns tuple addresses); record count scaled 300 K → 50 K per
+/// partition (see EXPERIMENTS.md — the working set stays far beyond every
+/// modelled cache).
+pub fn bench_ycsb_spec() -> YcsbSpec {
+    YcsbSpec {
+        records_per_partition: 50_000,
+        payload_len: 1024,
+        ..YcsbSpec::default()
+    }
+}
+
+/// Bench-scale TPC-C spec.
+pub fn bench_tpcc_spec() -> TpccSpec {
+    TpccSpec {
+        customers_per_district: 500,
+        items: 5_000,
+        ..TpccSpec::default()
+    }
+}
+
+/// Build a YCSB machine with `workers` workers.
+pub fn build_ycsb(workers: usize, mode: ExecMode) -> YcsbBionic {
+    let cfg = BionicConfig {
+        workers,
+        mode,
+        ..BionicConfig::default()
+    };
+    YcsbBionic::build(cfg, bench_ycsb_spec(), 60)
+}
+
+/// Build a TPC-C machine with `workers` workers (= warehouses).
+///
+/// TPC-C batches are capped at 4 transactions: every Payment updates the
+/// partition's single warehouse row, so wide interleaving batches mostly
+/// dirty-reject each other (paper §5.4/§5.6 observe TPC-C "executed almost
+/// in serial"); a narrow batch keeps the conflict window small.
+pub fn build_tpcc(workers: usize, mode: ExecMode) -> TpccBionic {
+    let cfg = BionicConfig {
+        workers,
+        mode,
+        max_batch: 2,
+        ..BionicConfig::default()
+    };
+    TpccBionic::build(cfg, bench_tpcc_spec())
+}
+
+/// Build a TPC-C machine whose transactions are all local (the paper's
+/// §5.5 coprocessor-focused form: no home loads in the dispatch path).
+pub fn build_tpcc_local(workers: usize, mode: ExecMode) -> TpccBionic {
+    let cfg = BionicConfig {
+        workers,
+        mode,
+        max_batch: 2,
+        ..BionicConfig::default()
+    };
+    let spec = TpccSpec {
+        neworder_remote_fraction: 0.0,
+        payment_remote_fraction: 0.0,
+        ..bench_tpcc_spec()
+    };
+    TpccBionic::build(cfg, spec)
+}
+
+/// A convenience RNG.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Draw a uniform value below `n` (helper for ad-hoc harness code).
+pub fn uniform(rng: &mut SmallRng, n: u64) -> u64 {
+    rng.gen_range(0..n)
+}

@@ -1,0 +1,228 @@
+//! Timestamp-ordering visibility checks (paper §4.7).
+//!
+//! BionicDB uses a variant of basic single-version timestamp concurrency
+//! control. The checks run inside the index pipelines, right after a stage
+//! has fetched the matching record's header:
+//!
+//! * read permission is granted on a tuple with a lower write time;
+//! * write permission is granted on a tuple with lower read *and* write
+//!   times;
+//! * any access to an uncommitted (dirty) tuple is blindly rejected and
+//!   makes the transaction abort;
+//! * a granted read immediately advances the tuple's read timestamp;
+//! * UPDATE only marks the dirty bit — the softcore performs the in-place
+//!   write later, after backing up the UNDO image;
+//! * REMOVE marks dirty + tombstone.
+
+use bionicdb_fpga::Dram;
+use bionicdb_softcore::request::DbOp;
+use bionicdb_softcore::{DbResult, DbStatus};
+
+use crate::layout::{read_header, RecordHeader, FLAG_DIRTY, FLAG_TOMBSTONE};
+
+/// Outcome of a visibility check: the result to report and the new flag /
+/// timestamp state to write back to the record header (posted writes issued
+/// by the pipeline stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Visibility {
+    /// Result for the CP register.
+    pub result: DbResult,
+    /// New read timestamp, if it must be advanced.
+    pub new_read_ts: Option<u64>,
+    /// New flags word, if it must be updated.
+    pub new_flags: Option<u64>,
+}
+
+impl Visibility {
+    fn reject(status: DbStatus) -> Visibility {
+        Visibility {
+            result: DbResult::Err(status),
+            new_read_ts: None,
+            new_flags: None,
+        }
+    }
+}
+
+/// Check read permission for a SEARCH (or a scan step) at `ts` against the
+/// record at `addr` with header `hdr`.
+pub fn check_read(hdr: &RecordHeader, ts: u64, addr: u64) -> Visibility {
+    if hdr.is_dirty() {
+        return Visibility::reject(DbStatus::Dirty);
+    }
+    if hdr.is_tombstone() {
+        return Visibility::reject(DbStatus::NotFound);
+    }
+    if hdr.write_ts > ts {
+        // A future writer already committed this version: reading it would
+        // violate timestamp order.
+        return Visibility::reject(DbStatus::CcConflict);
+    }
+    Visibility {
+        result: DbResult::Ok(addr),
+        new_read_ts: (hdr.read_ts < ts).then_some(ts),
+        new_flags: None,
+    }
+}
+
+/// Check write permission for an UPDATE at `ts`; on success the dirty bit is
+/// set (the in-place write happens later on the softcore).
+pub fn check_update(hdr: &RecordHeader, ts: u64, addr: u64) -> Visibility {
+    check_write(hdr, ts, addr, FLAG_DIRTY)
+}
+
+/// Check write permission for a REMOVE at `ts`; on success dirty and
+/// tombstone bits are both set.
+pub fn check_remove(hdr: &RecordHeader, ts: u64, addr: u64) -> Visibility {
+    check_write(hdr, ts, addr, FLAG_DIRTY | FLAG_TOMBSTONE)
+}
+
+fn check_write(hdr: &RecordHeader, ts: u64, addr: u64, set_flags: u64) -> Visibility {
+    if hdr.is_dirty() {
+        return Visibility::reject(DbStatus::Dirty);
+    }
+    if hdr.is_tombstone() {
+        return Visibility::reject(DbStatus::NotFound);
+    }
+    if hdr.write_ts > ts || hdr.read_ts > ts {
+        return Visibility::reject(DbStatus::CcConflict);
+    }
+    Visibility {
+        result: DbResult::Ok(addr),
+        new_read_ts: None,
+        new_flags: Some(hdr.flags | set_flags),
+    }
+}
+
+/// Atomically run the visibility check for `op` against the record header
+/// at `hdr_addr` and apply the resulting metadata updates (read-timestamp
+/// advance, dirty/tombstone marks).
+///
+/// The terminal pipeline stage performs this as a single header
+/// read-modify-write transaction on the hardware; the simulator mirrors
+/// that by reading the *current* functional header and applying the update
+/// in the same cycle. (A delayed, posted flag update would open a window
+/// in which two writers both pass the check — a lost update the real
+/// datapath cannot exhibit.) `result_addr` is the record address returned
+/// on success.
+pub fn check_and_apply(
+    dram: &mut Dram,
+    hdr_addr: u64,
+    op: DbOp,
+    ts: u64,
+    result_addr: u64,
+) -> DbResult {
+    let hdr = read_header(dram, hdr_addr);
+    let vis = match op {
+        DbOp::Search => check_read(&hdr, ts, result_addr),
+        DbOp::Update => check_update(&hdr, ts, result_addr),
+        DbOp::Remove => check_remove(&hdr, ts, result_addr),
+        DbOp::Insert | DbOp::Scan => unreachable!("{op:?} has no point visibility check"),
+    };
+    if let Some(new_ts) = vis.new_read_ts {
+        dram.host_write_u64(hdr_addr + 8, new_ts);
+    }
+    if let Some(flags) = vis.new_flags {
+        dram.host_write_u64(hdr_addr + 16, flags);
+    }
+    vis.result
+}
+
+/// Atomically advance a record's read timestamp for a scan step.
+pub fn apply_scan_read(dram: &mut Dram, hdr_addr: u64, ts: u64) {
+    let hdr = read_header(dram, hdr_addr);
+    if hdr.read_ts < ts {
+        dram.host_write_u64(hdr_addr + 8, ts);
+    }
+}
+
+/// Visibility of a committed record to a *scan* at `ts`: dirty records and
+/// records written after the scan began are skipped without aborting
+/// (paper §4.4.2: towers inserted after the scan started "are ignored by
+/// timestamp-based visibility check").
+pub fn scan_visible(hdr: &RecordHeader, ts: u64) -> bool {
+    !hdr.is_dirty() && !hdr.is_tombstone() && hdr.write_ts <= ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionicdb_softcore::IndexKey;
+
+    fn hdr(write_ts: u64, read_ts: u64, flags: u64) -> RecordHeader {
+        RecordHeader {
+            write_ts,
+            read_ts,
+            flags,
+            key: IndexKey::from_u64(1),
+        }
+    }
+
+    #[test]
+    fn read_of_older_version_ok_and_advances_read_ts() {
+        let v = check_read(&hdr(5, 3, 0), 10, 0xAA);
+        assert_eq!(v.result, DbResult::Ok(0xAA));
+        assert_eq!(v.new_read_ts, Some(10));
+    }
+
+    #[test]
+    fn read_does_not_regress_read_ts() {
+        let v = check_read(&hdr(5, 20, 0), 10, 0);
+        assert_eq!(v.new_read_ts, None);
+        assert!(v.result.is_ok());
+    }
+
+    #[test]
+    fn read_of_future_write_rejected() {
+        let v = check_read(&hdr(99, 0, 0), 10, 0);
+        assert_eq!(v.result, DbResult::Err(DbStatus::CcConflict));
+    }
+
+    #[test]
+    fn dirty_access_blindly_rejected() {
+        assert_eq!(
+            check_read(&hdr(1, 1, FLAG_DIRTY), 10, 0).result,
+            DbResult::Err(DbStatus::Dirty)
+        );
+        assert_eq!(
+            check_update(&hdr(1, 1, FLAG_DIRTY), 10, 0).result,
+            DbResult::Err(DbStatus::Dirty)
+        );
+    }
+
+    #[test]
+    fn tombstone_reads_as_not_found() {
+        let v = check_read(&hdr(1, 1, FLAG_TOMBSTONE), 10, 0);
+        assert_eq!(v.result, DbResult::Err(DbStatus::NotFound));
+    }
+
+    #[test]
+    fn update_rejected_by_later_reader() {
+        let v = check_update(&hdr(1, 50, 0), 10, 0);
+        assert_eq!(v.result, DbResult::Err(DbStatus::CcConflict));
+    }
+
+    #[test]
+    fn update_marks_dirty_only() {
+        let v = check_update(&hdr(1, 1, 0), 10, 0xBB);
+        assert_eq!(v.result, DbResult::Ok(0xBB));
+        assert_eq!(v.new_flags, Some(FLAG_DIRTY));
+        assert_eq!(v.new_read_ts, None);
+    }
+
+    #[test]
+    fn remove_marks_dirty_and_tombstone() {
+        let v = check_remove(&hdr(1, 1, 0), 10, 0);
+        assert_eq!(v.new_flags, Some(FLAG_DIRTY | FLAG_TOMBSTONE));
+    }
+
+    #[test]
+    fn scan_visibility_skips_dirty_and_future() {
+        assert!(scan_visible(&hdr(5, 0, 0), 10));
+        assert!(!scan_visible(&hdr(5, 0, FLAG_DIRTY), 10));
+        assert!(!scan_visible(&hdr(5, 0, FLAG_TOMBSTONE), 10));
+        assert!(
+            !scan_visible(&hdr(50, 0, 0), 10),
+            "inserted after scan began"
+        );
+    }
+}

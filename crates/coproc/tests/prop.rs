@@ -1,0 +1,223 @@
+//! Property tests: the pipelined indexes agree with a reference model
+//! (`BTreeMap`) for arbitrary operation sequences.
+
+use bionicdb_coproc::layout::TableState;
+use bionicdb_coproc::{CoprocConfig, IndexCoproc};
+use bionicdb_fpga::{Dram, FpgaConfig, Region};
+use bionicdb_softcore::catalogue::{TableId, TableMeta};
+use bionicdb_softcore::request::{CpSlot, DbOp, DbRequest, PartitionId};
+use bionicdb_softcore::{DbResult, DbStatus, IndexKey};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const PAYLOAD: u32 = 32;
+
+struct Rig {
+    dram: Dram,
+    coproc: IndexCoproc,
+    tables: Vec<TableState>,
+    now: u64,
+    next_block: u64,
+    next_cp: u16,
+    ts: u64,
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let fcfg = FpgaConfig::default();
+        let mut dram = Dram::new(&fcfg, 48 << 20);
+        let coproc = IndexCoproc::new(&CoprocConfig::from_fpga(&fcfg), &mut dram);
+        let mut region = Region::new(8 << 20, 36 << 20);
+        let hash_dir = region.alloc(8 * 64, 64);
+        let skip_dir = region.alloc(8 * 20, 64);
+        let tables = vec![
+            TableState {
+                meta: TableMeta::hash("h", 8, PAYLOAD, 64),
+                dir_addr: hash_dir,
+                heap: region.carve(12 << 20, 64),
+                max_level: 20,
+            },
+            TableState {
+                meta: TableMeta::skiplist("s", 8, PAYLOAD),
+                dir_addr: skip_dir,
+                heap: region.carve(12 << 20, 64),
+                max_level: 20,
+            },
+        ];
+        Rig {
+            dram,
+            coproc,
+            tables,
+            now: 0,
+            next_block: 4096,
+            next_cp: 0,
+            ts: 100,
+        }
+    }
+
+    /// Run one op synchronously and return its decoded result. Committed
+    /// semantics: inserts have their dirty bit cleared immediately after,
+    /// updates/removes are "committed" by the caller.
+    fn run(&mut self, op: DbOp, table: u8, key: u64, payload_tag: u8) -> DbResult {
+        let key_addr = self.next_block;
+        let payload_addr = key_addr + 64;
+        let out_addr = key_addr + 128;
+        self.next_block += 4096;
+        assert!(self.next_block < (8 << 20));
+        let key_bytes = if table == 1 {
+            key.to_be_bytes()
+        } else {
+            key.to_le_bytes()
+        };
+        self.dram
+            .host_write(key_addr, IndexKey::from_bytes(&key_bytes).as_bytes());
+        let mut p = vec![payload_tag; PAYLOAD as usize];
+        p[..8].copy_from_slice(&key.to_le_bytes());
+        self.dram.host_write(payload_addr, &p);
+        self.ts += 10;
+        let cp = self.next_cp;
+        self.next_cp = self.next_cp.wrapping_add(1);
+        let req = DbRequest {
+            op,
+            table: TableId(table),
+            key_addr,
+            payload_addr,
+            scan_count: 16,
+            out_addr,
+            ts: self.ts,
+            cp: CpSlot {
+                worker: PartitionId(0),
+                index: cp,
+            },
+            home: PartitionId(0),
+        };
+        self.coproc.input.push(req).expect("space");
+        let mut result = None;
+        let mut budget = 2_000_000;
+        while result.is_none() {
+            self.now += 1;
+            budget -= 1;
+            assert!(budget > 0, "op did not complete");
+            self.dram.tick(self.now);
+            self.coproc.tick(self.now, &mut self.dram, &mut self.tables);
+            while let Some(r) = self.coproc.out.pop() {
+                assert_eq!(r.cp.index, cp);
+                result = Some(DbResult::decode(r.value));
+            }
+        }
+        let r = result.unwrap();
+        // Commit effects immediately (serial reference semantics).
+        if let DbResult::Ok(addr) = r {
+            match op {
+                DbOp::Insert => {
+                    let hdr_off = if table == 0 { 8 } else { 0 };
+                    self.dram.host_write_u64(addr + hdr_off + 16, 0);
+                }
+                DbOp::Update => {
+                    let hdr_off = if table == 0 { 8 } else { 0 };
+                    // Apply the payload write then clear dirty + stamp ts.
+                    let pay_off = if table == 0 {
+                        bionicdb_coproc::layout::TUPLE_PAYLOAD
+                    } else {
+                        let h = self.dram.host_read_u64(addr + 64) as usize;
+                        TableState::tower_payload_off(h)
+                    };
+                    self.dram
+                        .host_write(addr + pay_off, &vec![payload_tag; PAYLOAD as usize]);
+                    self.dram.host_write_u64(addr + hdr_off, self.ts);
+                    self.dram.host_write_u64(addr + hdr_off + 16, 0);
+                }
+                DbOp::Remove => {
+                    let hdr_off = if table == 0 { 8 } else { 0 };
+                    self.dram.host_write_u64(addr + hdr_off, self.ts);
+                    self.dram.host_write_u64(
+                        addr + hdr_off + 16,
+                        bionicdb_coproc::layout::FLAG_TOMBSTONE,
+                    );
+                }
+                _ => {}
+            }
+        }
+        r
+    }
+}
+
+/// Model operation.
+#[derive(Debug, Clone, Copy)]
+enum ModelOp {
+    Insert(u64, u8),
+    Search(u64),
+    Update(u64, u8),
+    Remove(u64),
+    Scan(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = ModelOp> {
+    let key = 0u64..48;
+    prop_oneof![
+        (key.clone(), any::<u8>()).prop_map(|(k, t)| ModelOp::Insert(k, t)),
+        key.clone().prop_map(ModelOp::Search),
+        (key.clone(), any::<u8>()).prop_map(|(k, t)| ModelOp::Update(k, t)),
+        key.clone().prop_map(ModelOp::Remove),
+        key.prop_map(ModelOp::Scan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A serial stream of committed operations through either pipeline
+    /// agrees exactly with a BTreeMap reference model.
+    #[test]
+    fn pipeline_agrees_with_model(
+        table in 0u8..2,
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let mut rig = Rig::new();
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for op in ops {
+            match op {
+                ModelOp::Insert(k, tag) => {
+                    // Blind insert (the pipelines allow duplicates); keep the
+                    // model faithful by skipping duplicate inserts entirely.
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                        let r = rig.run(DbOp::Insert, table, k, tag);
+                        prop_assert!(r.is_ok());
+                        e.insert(tag);
+                    }
+                }
+                ModelOp::Search(k) => {
+                    let r = rig.run(DbOp::Search, table, k, 0);
+                    match model.get(&k) {
+                        Some(_) => prop_assert!(r.is_ok(), "key {k} should be found: {r:?}"),
+                        None => prop_assert_eq!(r, DbResult::Err(DbStatus::NotFound)),
+                    }
+                }
+                ModelOp::Update(k, tag) => {
+                    let r = rig.run(DbOp::Update, table, k, tag);
+                    match model.get_mut(&k) {
+                        Some(v) => {
+                            prop_assert!(r.is_ok(), "update of {k}: {r:?}");
+                            *v = tag;
+                        }
+                        None => prop_assert_eq!(r, DbResult::Err(DbStatus::NotFound)),
+                    }
+                }
+                ModelOp::Remove(k) => {
+                    let r = rig.run(DbOp::Remove, table, k, 0);
+                    match model.remove(&k) {
+                        Some(_) => prop_assert!(r.is_ok()),
+                        None => prop_assert_eq!(r, DbResult::Err(DbStatus::NotFound)),
+                    }
+                }
+                ModelOp::Scan(k) => {
+                    if table == 1 {
+                        let r = rig.run(DbOp::Scan, table, k, 0);
+                        let expect = model.range(k..).take(16).count() as u64;
+                        prop_assert_eq!(r, DbResult::Ok(expect), "scan from {}", k);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Whole-machine configuration.
+
+use bionicdb_coproc::CoprocConfig;
+use bionicdb_fpga::FpgaConfig;
+use bionicdb_noc::Topology;
+use bionicdb_softcore::ExecMode;
+
+/// Configuration of a BionicDB machine.
+///
+/// The default models the paper's hardware: four partition workers on one
+/// Virtex-5 chip (paper §5.2: the chip's 200 K logic cells fit only four
+/// workers), a crossbar interconnect, and interleaved execution.
+#[derive(Debug, Clone)]
+pub struct BionicConfig {
+    /// Fabric timing parameters.
+    pub fpga: FpgaConfig,
+    /// Number of partition workers (= partitions).
+    pub workers: usize,
+    /// Interconnect topology for the on-chip channels.
+    pub topology: Topology,
+    /// Transaction interleaving (paper §4.5) or serial execution.
+    pub mode: ExecMode,
+    /// Total simulated FPGA-side DRAM in bytes (the HC-2 card carries
+    /// 64 GB; simulations size this to the workload).
+    pub dram_bytes: u64,
+    /// Bytes reserved per worker for transaction blocks.
+    pub block_arena_bytes: u64,
+    /// Bytes of table heap per partition.
+    pub partition_bytes: u64,
+    /// Enable the pipelines' hazard-prevention lock tables.
+    pub hazard_prevention: bool,
+    /// Maximum transactions per interleaving batch (bounded by the BRAM
+    /// context table). Small batches shrink the conflict window of
+    /// hot-record workloads like TPC-C Payment.
+    pub max_batch: usize,
+}
+
+impl Default for BionicConfig {
+    fn default() -> Self {
+        BionicConfig {
+            fpga: FpgaConfig::default(),
+            workers: 4,
+            topology: Topology::Crossbar,
+            mode: ExecMode::Interleaved,
+            dram_bytes: 1 << 30,
+            block_arena_bytes: 32 << 20,
+            partition_bytes: 160 << 20,
+            hazard_prevention: true,
+            max_batch: 64,
+        }
+    }
+}
+
+impl BionicConfig {
+    /// A small configuration for tests and examples: `workers` workers,
+    /// modest memory.
+    pub fn small(workers: usize) -> Self {
+        BionicConfig {
+            workers,
+            dram_bytes: 256 << 20,
+            block_arena_bytes: 8 << 20,
+            partition_bytes: 32 << 20,
+            ..BionicConfig::default()
+        }
+    }
+
+    /// Derive the per-worker coprocessor configuration.
+    pub fn coproc(&self) -> CoprocConfig {
+        let mut c = CoprocConfig::from_fpga(&self.fpga);
+        c.hazard_prevention = self.hazard_prevention;
+        c
+    }
+
+    /// Validate structural constraints; called by the builder.
+    pub fn validate(&self) {
+        assert!(
+            self.workers >= 1 && self.workers <= 1024,
+            "1..=1024 workers"
+        );
+        let needed = self.workers as u64 * (self.block_arena_bytes + self.partition_bytes);
+        assert!(
+            needed <= self.dram_bytes,
+            "DRAM too small: need {needed} bytes for {} workers, have {}",
+            self.workers,
+            self.dram_bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_models_paper_hardware() {
+        let c = BionicConfig::default();
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.topology, Topology::Crossbar);
+        assert_eq!(c.mode, ExecMode::Interleaved);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "DRAM too small")]
+    fn oversubscribed_dram_rejected() {
+        let mut c = BionicConfig::small(2);
+        c.dram_bytes = 1 << 20;
+        c.validate();
+    }
+}

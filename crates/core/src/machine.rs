@@ -1,0 +1,469 @@
+//! The whole BionicDB machine and its host-side client API.
+//!
+//! [`SystemBuilder`] registers tables and stored procedures (the catalogue
+//! upload of paper §4.2), then [`SystemBuilder::build`] lays the partitions
+//! out in simulated FPGA-side DRAM and instantiates the partition workers
+//! and the on-chip interconnect. [`Machine`] then plays both roles the
+//! paper describes:
+//!
+//! * the **host CPU** — allocating and populating transaction blocks,
+//!   submitting them to worker input queues, and reading results back
+//!   (the paper pre-populates input blocks from the host, §5.1);
+//! * the **FPGA clock** — [`Machine::tick`] advances every component by one
+//!   cycle, deterministically.
+
+use bionicdb_fpga::{Dram, Region};
+use bionicdb_noc::Noc;
+use bionicdb_softcore::catalogue::{Catalogue, ProcId, TableId, TableMeta};
+use bionicdb_softcore::core::SoftcoreParams;
+use bionicdb_softcore::isa::Procedure;
+use bionicdb_softcore::txnblock::TxnStatus;
+use bionicdb_softcore::{PartitionId, SoftcoreStats, TxnBlock};
+
+use crate::config::BionicConfig;
+use crate::storage::{Loader, Partition};
+use crate::worker::PartitionWorker;
+
+/// Builder for a [`Machine`]: registers the schema and the stored
+/// procedures before the memory layout is fixed.
+#[derive(Debug)]
+pub struct SystemBuilder {
+    cfg: BionicConfig,
+    cat: Catalogue,
+}
+
+impl SystemBuilder {
+    /// Start building a machine with the given configuration.
+    pub fn new(cfg: BionicConfig) -> Self {
+        cfg.validate();
+        SystemBuilder {
+            cfg,
+            cat: Catalogue::new(),
+        }
+    }
+
+    /// Register a table on every partition.
+    pub fn table(&mut self, meta: TableMeta) -> TableId {
+        self.cat
+            .register_table(meta)
+            .expect("catalogue table capacity")
+    }
+
+    /// Register (upload) a stored procedure.
+    pub fn proc(&mut self, proc: Procedure) -> ProcId {
+        self.cat
+            .register_proc(proc)
+            .expect("invalid stored procedure")
+    }
+
+    /// Register a stored procedure from its upload wire format — the exact
+    /// byte stream a client ships over PCIe (paper §4.2).
+    pub fn proc_bytes(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<ProcId, bionicdb_softcore::catalogue::CatalogueError> {
+        self.cat.register_proc_bytes(bytes)
+    }
+
+    /// Instantiate the machine: carve DRAM into per-worker block arenas and
+    /// partitions, and construct the workers and interconnect.
+    pub fn build(self) -> Machine {
+        let SystemBuilder { cfg, cat } = self;
+        let mut dram = Dram::new(&cfg.fpga, cfg.dram_bytes);
+        let coproc_cfg = cfg.coproc();
+        let mut sc_params = SoftcoreParams::from_fpga(&cfg.fpga, cfg.mode);
+        sc_params.max_batch = cfg.max_batch;
+        let noc = Noc::new(cfg.topology, cfg.workers, cfg.fpga.noc_hop_latency);
+
+        // DRAM map: [0, 64 KiB) reserved; then per-worker block arena +
+        // partition, in worker order.
+        let mut map = Region::new(64 * 1024, cfg.dram_bytes - 64 * 1024);
+        let mut partitions = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let id = PartitionId(w as u16);
+            let arena = map.carve(cfg.block_arena_bytes, 64);
+            let pregion = map.carve(cfg.partition_bytes, 64);
+            partitions.push(Partition::build(
+                id,
+                &cat,
+                pregion,
+                arena,
+                cfg.fpga.skiplist_max_level,
+            ));
+            workers.push(PartitionWorker::new(id, sc_params, &coproc_cfg, &mut dram));
+        }
+        Machine {
+            cfg,
+            dram,
+            noc,
+            cat,
+            workers,
+            partitions,
+            now: 0,
+        }
+    }
+}
+
+/// Aggregated machine statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MachineStats {
+    /// Transactions committed across all workers.
+    pub committed: u64,
+    /// Transactions aborted across all workers.
+    pub aborted: u64,
+    /// Batches completed across all workers.
+    pub batches: u64,
+    /// DB instructions dispatched.
+    pub db_insts: u64,
+    /// CPU instructions executed.
+    pub cpu_insts: u64,
+    /// Current simulation time in cycles.
+    pub now: u64,
+}
+
+impl MachineStats {
+    /// Transactions per second of simulated time over a window.
+    pub fn throughput(committed_delta: u64, cycles_delta: u64, clock_hz: u64) -> f64 {
+        if cycles_delta == 0 {
+            return 0.0;
+        }
+        committed_delta as f64 * clock_hz as f64 / cycles_delta as f64
+    }
+}
+
+/// A fully assembled BionicDB machine.
+pub struct Machine {
+    cfg: BionicConfig,
+    dram: Dram,
+    noc: Noc,
+    cat: Catalogue,
+    workers: Vec<PartitionWorker>,
+    partitions: Vec<Partition>,
+    now: u64,
+}
+
+impl Machine {
+    // ----- host-side client API -----
+
+    /// Allocate a transaction block of `size` bytes in `worker`'s arena.
+    pub fn alloc_block(&mut self, worker: usize, size: u64) -> TxnBlock {
+        let addr = self.partitions[worker].block_arena.alloc(size, 64);
+        TxnBlock::new(addr, size)
+    }
+
+    /// Initialize a block's header for an invocation of `proc`.
+    pub fn init_block(&mut self, blk: TxnBlock, proc: ProcId) {
+        blk.init(&mut self.dram, proc);
+    }
+
+    /// Write bytes into a block's user area.
+    pub fn write_block(&mut self, blk: TxnBlock, user_off: u64, data: &[u8]) {
+        blk.write_user(&mut self.dram, user_off, data);
+    }
+
+    /// Write a u64 into a block's user area.
+    pub fn write_block_u64(&mut self, blk: TxnBlock, user_off: u64, v: u64) {
+        blk.write_user_u64(&mut self.dram, user_off, v);
+    }
+
+    /// Read bytes from a block's user area.
+    pub fn read_block(&self, blk: TxnBlock, user_off: u64, len: u64) -> Vec<u8> {
+        blk.read_user(&self.dram, user_off, len)
+    }
+
+    /// Read a u64 from a block's user area.
+    pub fn read_block_u64(&self, blk: TxnBlock, user_off: u64) -> u64 {
+        blk.read_user_u64(&self.dram, user_off)
+    }
+
+    /// The execution status the softcore wrote back into the block.
+    pub fn block_status(&self, blk: TxnBlock) -> TxnStatus {
+        blk.status(&self.dram)
+    }
+
+    /// The commit timestamp the softcore wrote back into the block.
+    pub fn block_commit_ts(&self, blk: TxnBlock) -> u64 {
+        blk.commit_ts(&self.dram)
+    }
+
+    /// Submit a populated block to `worker`'s input queue.
+    pub fn submit(&mut self, worker: usize, blk: TxnBlock) {
+        self.workers[worker].softcore.submit(blk.addr());
+    }
+
+    /// Re-submit an aborted block unchanged (client-side retry): the block
+    /// preserves its inputs through execution (§4.8), so resetting the
+    /// status word is all a retry needs.
+    pub fn resubmit(&mut self, worker: usize, blk: TxnBlock) {
+        assert_eq!(
+            self.block_status(blk),
+            TxnStatus::Aborted,
+            "only aborted blocks are retried"
+        );
+        self.dram
+            .host_write_u64(blk.addr() + bionicdb_softcore::txnblock::STATUS_OFFSET, 0);
+        self.submit(worker, blk);
+    }
+
+    /// Upload a new stored procedure at runtime (wire format). The paper's
+    /// headline flexibility claim (§4.3): registering or changing a
+    /// transaction updates only the catalogue — no FPGA reconfiguration.
+    pub fn register_proc_bytes(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<ProcId, bionicdb_softcore::catalogue::CatalogueError> {
+        self.cat.register_proc_bytes(bytes)
+    }
+
+    /// Host-side bulk loader for `worker`'s partition.
+    pub fn loader(&mut self, worker: usize) -> Loader<'_> {
+        Loader::new(&mut self.dram, &mut self.partitions[worker])
+    }
+
+    // ----- simulation control -----
+
+    /// Advance the whole machine by one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.dram.tick(self.now);
+        for w in 0..self.workers.len() {
+            let worker = &mut self.workers[w];
+            let tables = &mut self.partitions[w].tables;
+            worker.tick(self.now, &mut self.dram, &self.cat, &mut self.noc, tables);
+        }
+    }
+
+    /// Advance by `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Run until every worker is quiescent and the interconnect is empty.
+    /// Panics after 2^33 cycles (a configuration that cannot finish).
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_to_quiescence_limit(1 << 33)
+    }
+
+    /// Run until quiescent, panicking after `limit` additional cycles.
+    pub fn run_to_quiescence_limit(&mut self, limit: u64) -> u64 {
+        let start = self.now;
+        while !self.is_quiescent() {
+            assert!(
+                self.now - start < limit,
+                "machine did not quiesce within {limit} cycles; workers: {:?}",
+                self.workers
+            );
+            self.tick();
+        }
+        self.now - start
+    }
+
+    /// True when no work remains anywhere in the machine.
+    pub fn is_quiescent(&self) -> bool {
+        self.noc.is_idle() && self.workers.iter().all(PartitionWorker::is_quiescent)
+    }
+
+    // ----- introspection -----
+
+    /// Current cycle count.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.cfg.fpga.cycles_to_secs(self.now)
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &BionicConfig {
+        &self.cfg
+    }
+
+    /// The catalogue (schema + procedures).
+    pub fn catalogue(&self) -> &Catalogue {
+        &self.cat
+    }
+
+    /// The simulated DRAM (host view).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Mutable host access to DRAM.
+    pub fn dram_mut(&mut self) -> &mut Dram {
+        &mut self.dram
+    }
+
+    /// The interconnect.
+    pub fn noc(&self) -> &Noc {
+        &self.noc
+    }
+
+    /// Per-worker softcore statistics.
+    pub fn softcore_stats(&self, worker: usize) -> SoftcoreStats {
+        self.workers[worker].softcore.stats()
+    }
+
+    /// Access to a worker (read-only), for stats.
+    pub fn worker(&self, worker: usize) -> &PartitionWorker {
+        &self.workers[worker]
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Partition metadata (read-only).
+    pub fn partition(&self, worker: usize) -> &Partition {
+        &self.partitions[worker]
+    }
+
+    /// Set the in-flight DB instruction bound on every coprocessor
+    /// (the Fig. 10/11 sweep knob).
+    pub fn set_max_inflight(&mut self, n: usize) {
+        for w in &mut self.workers {
+            w.coproc.set_max_inflight(n);
+        }
+    }
+
+    /// A human-readable utilization report: per-worker softcore activity
+    /// and index-pipeline statistics (used by the benches and examples to
+    /// explain where cycles went).
+    pub fn utilization_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (w, worker) in self.workers.iter().enumerate() {
+            let sc = worker.softcore.stats();
+            let cs = worker.coproc.stats();
+            let hs = worker.coproc.hash_stats();
+            let ss = worker.coproc.skip_stats();
+            let _ = writeln!(
+                out,
+                "worker {w}: {} committed / {} aborted in {} batches;                  {} DB insts ({:.1} mean in-flight);                  softcore stalls: {} cp / {} mem cycles",
+                sc.committed,
+                sc.aborted,
+                sc.batches,
+                sc.db_insts,
+                cs.mean_inflight(),
+                sc.cp_stall_cycles,
+                sc.mem_stall_cycles,
+            );
+            let _ = writeln!(
+                out,
+                "  hash: {} completed, {} chain walks, {} lock stalls |                  skiplist: {} completed, {} scanned tuples, {} scanner waits",
+                hs.completed,
+                hs.traversed,
+                hs.lock_stalls,
+                ss.completed,
+                ss.scanned_tuples,
+                ss.scanner_waits,
+            );
+        }
+        out
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MachineStats {
+        let mut s = MachineStats {
+            now: self.now,
+            ..MachineStats::default()
+        };
+        for w in &self.workers {
+            let sc = w.softcore.stats();
+            s.committed += sc.committed;
+            s.aborted += sc.aborted;
+            s.batches += sc.batches;
+            s.db_insts += sc.db_insts;
+            s.cpu_insts += sc.cpu_insts;
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionicdb_softcore::asm::assemble;
+
+    #[test]
+    fn build_allocates_disjoint_partitions() {
+        let mut b = SystemBuilder::new(BionicConfig::small(3));
+        b.table(TableMeta::hash("t", 8, 8, 1 << 8));
+        let mut m = b.build();
+        let bases: Vec<u64> = (0..3).map(|w| m.partition(w).tables[0].dir_addr).collect();
+        assert!(bases.windows(2).all(|w| w[0] != w[1]));
+        let blk_a = m.alloc_block(0, 256);
+        let blk_b = m.alloc_block(1, 256);
+        assert_ne!(blk_a.addr(), blk_b.addr());
+    }
+
+    #[test]
+    fn end_to_end_single_search() {
+        let mut b = SystemBuilder::new(BionicConfig::small(1));
+        let t = b.table(TableMeta::hash("kv", 8, 16, 1 << 8));
+        let p = b.proc(
+            assemble(
+                "proc read1\nlogic:\n    search 0, 0, c0\ncommit:\n    ret g0, c0\n    cmp g0, 0\n    blt abort\n    store g0, [blk+8]\n    commit\nabort:\n    abort\n",
+            )
+            .unwrap(),
+        );
+        let mut m = b.build();
+        let addr = m.loader(0).insert(t, &7u64.to_be_bytes(), &[9u8; 16]);
+
+        let blk = m.alloc_block(0, 128);
+        m.init_block(blk, p);
+        m.write_block(blk, 0, &7u64.to_be_bytes());
+        m.submit(0, blk);
+        m.run_to_quiescence_limit(1 << 22);
+        assert_eq!(m.block_status(blk), TxnStatus::Committed);
+        assert_eq!(
+            m.read_block_u64(blk, 8),
+            addr,
+            "tuple address stored by sproc"
+        );
+        assert_eq!(m.stats().committed, 1);
+    }
+
+    #[test]
+    fn remote_search_crosses_the_noc() {
+        let mut b = SystemBuilder::new(BionicConfig::small(2));
+        let t = b.table(TableMeta::hash("kv", 8, 16, 1 << 8));
+        // Search on partition 1, submitted to worker 0.
+        let p = b.proc(
+            assemble(
+                "proc remote_read\nlogic:\n    search 0, 0, c0, home=1\ncommit:\n    ret g0, c0\n    cmp g0, 0\n    blt abort\n    commit\nabort:\n    abort\n",
+            )
+            .unwrap(),
+        );
+        let mut m = b.build();
+        m.loader(1).insert(t, &7u64.to_be_bytes(), &[1u8; 16]);
+
+        let blk = m.alloc_block(0, 128);
+        m.init_block(blk, p);
+        m.write_block(blk, 0, &7u64.to_be_bytes());
+        m.submit(0, blk);
+        m.run_to_quiescence_limit(1 << 22);
+        assert_eq!(m.block_status(blk), TxnStatus::Committed);
+        assert_eq!(m.worker(0).stats().remote_requests, 1);
+        assert_eq!(m.worker(1).stats().background_requests, 1);
+        assert!(
+            m.noc().stats().messages >= 2,
+            "request + response crossed the NoC"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The partition worker: softcore + index coprocessor + channel glue.
+//!
+//! A partition worker (paper Fig. 2) couples one softcore with one index
+//! coprocessor and the worker's communication link. Each cycle the glue:
+//!
+//! 1. runs the **background unit** — catches inbound packets from the
+//!    on-chip channels: requests go into the coprocessor as background
+//!    requests (overlapping freely with local foreground requests in the
+//!    pipelines), responses are written back into the local CP registers;
+//! 2. ticks the softcore;
+//! 3. routes the softcore's dispatched DB instructions — local home
+//!    partition to the local coprocessor, remote home onto the request
+//!    channel;
+//! 4. ticks the coprocessor;
+//! 5. routes completed results — local initiators to the CP register file,
+//!    remote initiators onto the response channel.
+
+use bionicdb_coproc::layout::TableState;
+use bionicdb_coproc::{CoprocConfig, IndexCoproc};
+use bionicdb_fpga::{Dram, Fifo};
+use bionicdb_noc::{Noc, Packet, Payload};
+use bionicdb_softcore::catalogue::Catalogue;
+use bionicdb_softcore::core::SoftcoreParams;
+use bionicdb_softcore::request::DbRequest;
+use bionicdb_softcore::{PartitionId, Softcore};
+
+/// Statistics of one worker's channel glue.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkerStats {
+    /// Requests dispatched to the local coprocessor.
+    pub local_requests: u64,
+    /// Requests sent to remote workers.
+    pub remote_requests: u64,
+    /// Background requests received from remote workers.
+    pub background_requests: u64,
+}
+
+/// One partition worker.
+pub struct PartitionWorker {
+    /// Worker / partition id.
+    pub id: PartitionId,
+    /// The stored-procedure execution engine.
+    pub softcore: Softcore,
+    /// The index coprocessor.
+    pub coproc: IndexCoproc,
+    /// DB instructions dispatched by the softcore, awaiting routing.
+    db_chan: Fifo<DbRequest>,
+    stats: WorkerStats,
+}
+
+impl PartitionWorker {
+    /// Build a worker, registering its ports on `dram`.
+    pub fn new(
+        id: PartitionId,
+        sc_params: SoftcoreParams,
+        coproc_cfg: &CoprocConfig,
+        dram: &mut Dram,
+    ) -> Self {
+        PartitionWorker {
+            id,
+            softcore: Softcore::new(id, sc_params, dram),
+            coproc: IndexCoproc::new(coproc_cfg, dram),
+            db_chan: Fifo::new(16),
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Glue statistics.
+    pub fn stats(&self) -> WorkerStats {
+        self.stats
+    }
+
+    /// True when the worker has no pending work of any kind.
+    pub fn is_quiescent(&self) -> bool {
+        self.softcore.is_quiescent() && self.coproc.is_idle() && self.db_chan.is_empty()
+    }
+
+    /// One cycle of the whole worker.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        dram: &mut Dram,
+        cat: &Catalogue,
+        noc: &mut Noc,
+        tables: &mut [TableState],
+    ) {
+        // 1. Background unit: drain deliverable inbound packets.
+        while let Some(pkt) = noc.peek(now, self.id) {
+            match pkt.payload {
+                Payload::Response(resp) => {
+                    debug_assert_eq!(resp.cp.worker, self.id, "response misrouted");
+                    self.softcore.deliver_cp(resp.cp.index, resp.value);
+                    noc.poll(now, self.id);
+                }
+                Payload::Request(_) => {
+                    if !self.coproc.input.has_space() {
+                        break; // back-pressure into the channel
+                    }
+                    let Payload::Request(req) = noc.poll(now, self.id).expect("peeked").payload
+                    else {
+                        unreachable!("peeked a request")
+                    };
+                    debug_assert_eq!(req.home, self.id, "request misrouted");
+                    self.coproc.input.push(req).expect("space checked");
+                    self.stats.background_requests += 1;
+                }
+            }
+        }
+
+        // 2. Softcore.
+        self.softcore.tick(now, dram, cat, &mut self.db_chan);
+
+        // 3. Route dispatched DB instructions.
+        while let Some(req) = self.db_chan.peek().copied() {
+            if req.home == self.id {
+                if !self.coproc.input.has_space() {
+                    break;
+                }
+                self.coproc.input.push(req).expect("space checked");
+                self.stats.local_requests += 1;
+            } else {
+                let pkt = Packet {
+                    src: self.id,
+                    dst: req.home,
+                    payload: Payload::Request(req),
+                };
+                if noc.send(now, pkt).is_err() {
+                    break;
+                }
+                self.stats.remote_requests += 1;
+            }
+            self.db_chan.pop();
+        }
+
+        // 4. Coprocessor.
+        self.coproc.tick(now, dram, tables);
+
+        // 5. Route completed results.
+        while let Some(resp) = self.coproc.out.peek().copied() {
+            if resp.cp.worker == self.id {
+                self.softcore.deliver_cp(resp.cp.index, resp.value);
+            } else {
+                let pkt = Packet {
+                    src: self.id,
+                    dst: resp.cp.worker,
+                    payload: Payload::Response(resp),
+                };
+                if noc.send(now, pkt).is_err() {
+                    break;
+                }
+            }
+            self.coproc.out.pop();
+        }
+    }
+}
+
+impl std::fmt::Debug for PartitionWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionWorker")
+            .field("id", &self.id)
+            .field("softcore", &self.softcore)
+            .field("db_chan", &self.db_chan.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

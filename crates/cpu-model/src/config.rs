@@ -1,0 +1,92 @@
+//! Xeon E7-4807 model constants.
+
+/// Configuration of the modelled CPU core and its cache hierarchy.
+///
+/// Defaults model one core of the paper's Intel Xeon E7-4807 (§5.2): six
+/// cores per chip at 1.87 GHz, 32 KB private L1D, 256 KB private L2, 18 MB
+/// L3 shared by the six cores of a chip. Latencies follow paper Table 3
+/// (L3 20 ns, DDR3 80 ns) with conventional L1/L2 values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Core clock in Hz (1.87 GHz).
+    pub clock_hz: u64,
+    /// Cache line size in bytes.
+    pub line: u64,
+    /// L1 data cache size in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 size in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// L3 capacity *available to this core* in bytes. The 18 MB L3 is
+    /// shared by six cores; under a symmetric workload each core's working
+    /// set effectively competes for a 1/6 share.
+    pub l3_bytes: u64,
+    /// L3 associativity.
+    pub l3_assoc: usize,
+    /// L3 hit latency in cycles (paper Table 3: 20 ns ≈ 37 cycles).
+    pub l3_latency: u64,
+    /// DRAM latency in cycles (paper Table 3: 80 ns ≈ 150 cycles).
+    pub dram_latency: u64,
+    /// Maximum independent miss chains the out-of-order window can overlap.
+    /// Small, per the paper's argument that the limited instruction window
+    /// binds group/dynamic prefetching (§3.1); calibrated against the
+    /// paper's measured Silo rates (EXPERIMENTS.md).
+    pub mlp: f64,
+    /// Fixed instruction-execution cost charged per chain (index-probe
+    /// bookkeeping: hashing, comparisons, branches, read-set handling).
+    pub chain_compute: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        let ghz = 1.87;
+        let ns = |t: f64| (t * ghz).round() as u64;
+        CpuConfig {
+            clock_hz: 1_870_000_000,
+            line: 64,
+            l1_bytes: 32 << 10,
+            l1_assoc: 8,
+            l1_latency: 4,
+            l2_bytes: 256 << 10,
+            l2_assoc: 8,
+            l2_latency: 11,
+            l3_bytes: (18 << 20) / 6,
+            l3_assoc: 16,
+            l3_latency: ns(20.0),
+            dram_latency: ns(80.0),
+            mlp: 1.0,
+            chain_compute: 290,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// Convert cycles to seconds.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Nanoseconds for a cycle count.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e9 / self.clock_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_paper_table3() {
+        let c = CpuConfig::default();
+        assert!((c.cycles_to_ns(c.l3_latency) - 20.0).abs() < 0.5);
+        assert!((c.cycles_to_ns(c.dram_latency) - 80.0).abs() < 0.5);
+    }
+}

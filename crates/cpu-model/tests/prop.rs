@@ -1,0 +1,107 @@
+//! Property tests for the cache simulator and timing model.
+
+use bionicdb_cpu_model::{Cache, CoreModel, CpuConfig, Tracer};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A straightforward reference LRU model for one cache set.
+#[derive(Default)]
+struct RefSet {
+    lines: VecDeque<u64>,
+}
+
+impl RefSet {
+    fn access(&mut self, tag: u64, assoc: usize) -> bool {
+        if let Some(pos) = self.lines.iter().position(|&t| t == tag) {
+            let t = self.lines.remove(pos).unwrap();
+            self.lines.push_front(t);
+            true
+        } else {
+            if self.lines.len() >= assoc {
+                self.lines.pop_back();
+            }
+            self.lines.push_front(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The set-associative cache agrees with a reference LRU model on any
+    /// access sequence confined to one set.
+    #[test]
+    fn cache_matches_reference_lru(tags in proptest::collection::vec(0u64..32, 1..300)) {
+        // 8 KiB, 4-way, 64 B lines -> 32 sets; confine to set 0 by striding
+        // by (sets * line).
+        let assoc = 4;
+        let mut cache = Cache::new(8 << 10, assoc, 64);
+        let mut reference = RefSet::default();
+        for &tag in &tags {
+            let addr = tag * 32 * 64; // same set, distinct tags
+            let hit = cache.access(addr);
+            let ref_hit = reference.access(tag, assoc);
+            prop_assert_eq!(hit, ref_hit, "tag {}", tag);
+        }
+    }
+
+    /// Timing is monotone: modelled cycles never decrease, and every access
+    /// costs at least the L1 latency and at most the DRAM latency (plus
+    /// streaming lines).
+    #[test]
+    fn model_time_is_monotone_and_bounded(addrs in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let cfg = CpuConfig::default();
+        let mut m = CoreModel::new(cfg.clone());
+        let mut last = 0;
+        for &a in &addrs {
+            m.read(a as u64, 8);
+            let now = m.cycles();
+            prop_assert!(now >= last + cfg.l1_latency);
+            // An 8-byte read can straddle two lines: the second line is a
+            // streaming access charged at a quarter latency.
+            prop_assert!(now <= last + cfg.dram_latency + cfg.dram_latency / 4);
+            last = now;
+        }
+    }
+
+    /// A chain always costs at least as much as its parts would at MLP=∞
+    /// and exactly the sum of its access latencies plus the chain compute
+    /// at overlap 1.
+    #[test]
+    fn chain_cost_is_sum_of_dependent_accesses(n in 1usize..16) {
+        let cfg = CpuConfig::default();
+        // Two identical models; one measures individual accesses, the
+        // other the chain. Cold caches, distinct lines.
+        let mut single = CoreModel::new(cfg.clone());
+        let mut chained = CoreModel::new(cfg.clone());
+        let mut sum = 0;
+        for i in 0..n {
+            let before = single.cycles();
+            single.read(i as u64 * (1 << 20), 8);
+            sum += single.cycles() - before;
+        }
+        chained.begin_group(1);
+        chained.begin_chain();
+        for i in 0..n {
+            chained.read(i as u64 * (1 << 20), 8);
+        }
+        chained.end_chain();
+        chained.end_group();
+        prop_assert_eq!(chained.cycles(), sum + cfg.chain_compute);
+    }
+
+    /// Overlap never exceeds the configured MLP, never goes below 1.
+    #[test]
+    fn group_overlap_is_clamped(independent in 0usize..64) {
+        let cfg = CpuConfig::default();
+        let mut m = CoreModel::new(cfg.clone());
+        m.begin_group(independent);
+        m.begin_chain();
+        m.read(1 << 22, 8);
+        m.end_chain();
+        m.end_group();
+        let t = m.cycles() as f64;
+        let full = (cfg.dram_latency + cfg.chain_compute) as f64;
+        prop_assert!(t >= full / cfg.mlp - 1.0, "t={t} full={full}");
+        prop_assert!(t <= full + 1.0);
+    }
+}

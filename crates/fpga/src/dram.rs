@@ -1,0 +1,552 @@
+//! The simulated FPGA-side DRAM.
+//!
+//! Models the Convey HC-2's on-board DDR2 memory subsystem (paper §4.1):
+//! a byte-addressable memory behind a set of memory controllers, each with a
+//! bounded request queue. Components (softcore, index-pipeline stages,
+//! scanners) own [`PortId`]s; they issue [`MemRequest`]s and later drain
+//! [`MemResponse`]s from their port.
+//!
+//! # Functional vs. timing model
+//!
+//! The *functional* state (the bytes) is updated at issue time; the *timing*
+//! is modelled by delaying the response by the configured DRAM latency.
+//! Because the whole machine ticks components in a fixed order, simulations
+//! are deterministic. Pipeline hazards (e.g. the insert-after-insert hazard
+//! of paper Fig. 6) are still faithfully expressible: a stage that reads a
+//! hash-bucket head while another stage's install is in flight observes the
+//! stale value, exactly as on the real fabric — the BRAM lock tables exist
+//! to prevent that, and the tests in `bionicdb-coproc` demonstrate the
+//! anomaly when the lock table is disabled.
+//!
+//! # Host access
+//!
+//! [`Dram::host_read`] / [`Dram::host_write`] bypass the timing model. They
+//! model the host CPU populating transaction blocks and the database image
+//! over PCIe before the run starts (§5.1 of the paper does exactly this).
+
+use std::collections::VecDeque;
+
+use crate::timing::{Cycle, FpgaConfig};
+
+/// Size of one lazily-allocated memory page.
+const PAGE_SIZE: usize = 1 << 16;
+
+/// Identifies a requester port on the memory interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(pub(crate) u32);
+
+/// An opaque routing tag chosen by the issuer; returned verbatim in the
+/// response so the issuer can route it to the right pipeline stage / slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u64);
+
+/// The operation carried by a memory request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemKind {
+    /// Read `len` bytes.
+    Read {
+        /// Number of bytes to read.
+        len: u32,
+    },
+    /// Write the given bytes.
+    Write {
+        /// Bytes to store at the request address.
+        data: Vec<u8>,
+    },
+}
+
+/// A memory request issued by a component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemRequest {
+    /// Byte address in FPGA-side DRAM.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: MemKind,
+    /// Opaque routing tag, echoed in the response.
+    pub tag: Tag,
+}
+
+/// A memory response delivered to the issuing port after the DRAM latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemResponse {
+    /// Address of the completed request.
+    pub addr: u64,
+    /// Data for reads; empty for writes.
+    pub data: Vec<u8>,
+    /// The tag from the matching request.
+    pub tag: Tag,
+}
+
+/// Error returned when a controller cannot accept a request this cycle.
+///
+/// The issuer is expected to retry on a later cycle; this is how memory
+/// back-pressure propagates into pipeline stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemBusy;
+
+#[derive(Debug, Default)]
+struct Controller {
+    /// Requests in flight: `(ready_cycle, port, response)`. Completion
+    /// times are monotone per controller (issue order + uniform latency +
+    /// serialized bursts), so this stays sorted by construction.
+    inflight: VecDeque<(Cycle, PortId, MemResponse)>,
+    /// The controller's data bus is occupied until this cycle (bursts).
+    busy_until: Cycle,
+}
+
+/// Aggregate DRAM statistics, used by the benchmark harness.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DramStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Bytes moved (read + written).
+    pub bytes: u64,
+    /// Requests rejected because a controller was saturated.
+    pub rejections: u64,
+}
+
+/// The simulated FPGA-side DRAM: functional byte store plus timing model.
+pub struct Dram {
+    pages: Vec<Option<Box<[u8]>>>,
+    controllers: Vec<Controller>,
+    responses: Vec<VecDeque<MemResponse>>,
+    latency: Cycle,
+    max_outstanding: usize,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Create a DRAM of `size_bytes` capacity (rounded up to whole pages)
+    /// with the timing parameters from `cfg`.
+    pub fn new(cfg: &FpgaConfig, size_bytes: u64) -> Self {
+        let npages = (size_bytes as usize).div_ceil(PAGE_SIZE);
+        Dram {
+            pages: (0..npages).map(|_| None).collect(),
+            controllers: (0..cfg.dram_controllers)
+                .map(|_| Controller::default())
+                .collect(),
+            responses: Vec::new(),
+            latency: cfg.dram_latency,
+            max_outstanding: cfg.dram_max_outstanding,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        (self.pages.len() * PAGE_SIZE) as u64
+    }
+
+    /// Register a new requester port and return its id.
+    pub fn register_port(&mut self) -> PortId {
+        let id = PortId(self.responses.len() as u32);
+        self.responses.push(VecDeque::new());
+        id
+    }
+
+    /// Number of registered ports.
+    pub fn num_ports(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Reset statistics (used between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    fn controller_for(&self, addr: u64) -> usize {
+        // Interleave controllers on 64-byte granules, like the HC-2's
+        // scatter-gather DIMM interleaving.
+        ((addr >> 6) as usize) % self.controllers.len()
+    }
+
+    /// Issue a request at cycle `now` from `port`. On success the functional
+    /// effect is applied immediately and a response will be delivered to the
+    /// port after the access latency plus the burst-transfer time (one bus
+    /// cycle per 64-byte line — large transfers occupy the controller, which
+    /// is how payload copies consume bandwidth). Returns [`MemBusy`] if the
+    /// responsible controller is saturated; the caller retries next cycle.
+    pub fn issue(&mut self, now: Cycle, port: PortId, req: MemRequest) -> Result<(), MemBusy> {
+        let cidx = self.controller_for(req.addr);
+        let latency = self.latency;
+        let max_outstanding = self.max_outstanding;
+        let len = match &req.kind {
+            MemKind::Read { len } => *len as u64,
+            MemKind::Write { data } => data.len() as u64,
+        };
+        let lines = len.div_ceil(64).max(1);
+        // A multi-line transfer stripes over a group of consecutive
+        // controllers (scatter-gather interleaving across a DIMM group),
+        // occupying each touched controller for its share of the burst.
+        let n = (self.controllers.len() as u64).min(4);
+        let occupy = lines.div_ceil(n).max(1);
+        let touched = lines.min(n) as usize;
+        {
+            for k in 0..touched {
+                let ctl = &self.controllers[(cidx + k) % self.controllers.len()];
+                if ctl.busy_until > now {
+                    self.stats.rejections += 1;
+                    return Err(MemBusy);
+                }
+            }
+            if self.controllers[cidx].inflight.len() >= max_outstanding {
+                self.stats.rejections += 1;
+                return Err(MemBusy);
+            }
+        }
+        let resp = match req.kind {
+            MemKind::Read { len } => {
+                let data = self.host_read(req.addr, len as usize);
+                self.stats.reads += 1;
+                self.stats.bytes += u64::from(len);
+                MemResponse {
+                    addr: req.addr,
+                    data,
+                    tag: req.tag,
+                }
+            }
+            MemKind::Write { data } => {
+                self.host_write(req.addr, &data);
+                self.stats.writes += 1;
+                self.stats.bytes += data.len() as u64;
+                MemResponse {
+                    addr: req.addr,
+                    data: Vec::new(),
+                    tag: req.tag,
+                }
+            }
+        };
+        for k in 0..touched {
+            let i = (cidx + k) % self.controllers.len();
+            self.controllers[i].busy_until = now + occupy;
+        }
+        self.controllers[cidx]
+            .inflight
+            .push_back((now + latency + occupy - 1, port, resp));
+        Ok(())
+    }
+
+    /// Advance the DRAM to cycle `now`, delivering any responses whose
+    /// latency has elapsed into their issuing port's response queue.
+    pub fn tick(&mut self, now: Cycle) {
+        for ctl in &mut self.controllers {
+            while let Some((ready, _, _)) = ctl.inflight.front() {
+                if *ready > now {
+                    break;
+                }
+                let (_, port, resp) = ctl.inflight.pop_front().expect("front checked");
+                self.responses[port.0 as usize].push_back(resp);
+            }
+        }
+    }
+
+    /// Pop the next delivered response for `port`, if any.
+    pub fn pop_response(&mut self, port: PortId) -> Option<MemResponse> {
+        self.responses[port.0 as usize].pop_front()
+    }
+
+    /// Number of delivered-but-unconsumed responses on `port`.
+    pub fn pending_responses(&self, port: PortId) -> usize {
+        self.responses[port.0 as usize].len()
+    }
+
+    /// Total requests currently in flight across all controllers.
+    pub fn inflight(&self) -> usize {
+        self.controllers.iter().map(|c| c.inflight.len()).sum()
+    }
+
+    fn page_mut(&mut self, idx: usize) -> &mut [u8] {
+        assert!(
+            idx < self.pages.len(),
+            "DRAM address out of range (page {idx})"
+        );
+        self.pages[idx].get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice())
+    }
+
+    /// Untimed write, modelling host/PCIe population of memory.
+    pub fn host_write(&mut self, addr: u64, data: &[u8]) {
+        let mut addr = addr as usize;
+        let mut data = data;
+        while !data.is_empty() {
+            let page = addr / PAGE_SIZE;
+            let off = addr % PAGE_SIZE;
+            let n = (PAGE_SIZE - off).min(data.len());
+            self.page_mut(page)[off..off + n].copy_from_slice(&data[..n]);
+            addr += n;
+            data = &data[n..];
+        }
+    }
+
+    /// Untimed read, modelling host/PCIe inspection of memory. Unwritten
+    /// memory reads as zero.
+    pub fn host_read(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        let mut addr = addr as usize;
+        let mut filled = 0;
+        while filled < len {
+            let page = addr / PAGE_SIZE;
+            let off = addr % PAGE_SIZE;
+            let n = (PAGE_SIZE - off).min(len - filled);
+            assert!(
+                page < self.pages.len(),
+                "DRAM address out of range (page {page})"
+            );
+            if let Some(p) = &self.pages[page] {
+                out[filled..filled + n].copy_from_slice(&p[off..off + n]);
+            }
+            addr += n;
+            filled += n;
+        }
+        out
+    }
+
+    /// Untimed 8-byte little-endian read.
+    pub fn host_read_u64(&self, addr: u64) -> u64 {
+        let b = self.host_read(addr, 8);
+        u64::from_le_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    /// Untimed 8-byte little-endian write.
+    pub fn host_write_u64(&mut self, addr: u64, value: u64) {
+        self.host_write(addr, &value.to_le_bytes());
+    }
+}
+
+impl std::fmt::Debug for Dram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dram")
+            .field("capacity", &self.capacity())
+            .field("controllers", &self.controllers.len())
+            .field("ports", &self.responses.len())
+            .field("inflight", &self.inflight())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dram() -> Dram {
+        Dram::new(&FpgaConfig::default(), 1 << 20)
+    }
+
+    #[test]
+    fn host_rw_roundtrip() {
+        let mut d = small_dram();
+        d.host_write(100, &[1, 2, 3, 4]);
+        assert_eq!(d.host_read(100, 4), vec![1, 2, 3, 4]);
+        // Unwritten memory reads as zero.
+        assert_eq!(d.host_read(104, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn host_rw_spans_pages() {
+        let mut d = small_dram();
+        let addr = (PAGE_SIZE - 3) as u64;
+        let data: Vec<u8> = (0..10).collect();
+        d.host_write(addr, &data);
+        assert_eq!(d.host_read(addr, 10), data);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut d = small_dram();
+        d.host_write_u64(64, 0xdead_beef_cafe_f00d);
+        assert_eq!(d.host_read_u64(64), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn read_response_arrives_after_latency() {
+        let cfg = FpgaConfig::default();
+        let mut d = Dram::new(&cfg, 1 << 20);
+        let p = d.register_port();
+        d.host_write_u64(8, 42);
+        d.issue(
+            0,
+            p,
+            MemRequest {
+                addr: 8,
+                kind: MemKind::Read { len: 8 },
+                tag: Tag(7),
+            },
+        )
+        .unwrap();
+        // Not ready one cycle before the latency elapses.
+        d.tick(cfg.dram_latency - 1);
+        assert!(d.pop_response(p).is_none());
+        d.tick(cfg.dram_latency);
+        let r = d.pop_response(p).expect("response due");
+        assert_eq!(r.tag, Tag(7));
+        assert_eq!(u64::from_le_bytes(r.data.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn write_applies_functionally_at_issue() {
+        let mut d = small_dram();
+        let p = d.register_port();
+        d.issue(
+            0,
+            p,
+            MemRequest {
+                addr: 0,
+                kind: MemKind::Write { data: vec![9; 8] },
+                tag: Tag(0),
+            },
+        )
+        .unwrap();
+        // Visible immediately to a functional read even though the response
+        // has not been delivered yet.
+        assert_eq!(d.host_read(0, 8), vec![9; 8]);
+    }
+
+    #[test]
+    fn controller_issue_width_limits_per_cycle() {
+        let cfg = FpgaConfig::default(); // issue width 1
+        let mut d = Dram::new(&cfg, 1 << 20);
+        let p = d.register_port();
+        // Two requests to the same 64-byte granule hit the same controller.
+        let req = |tag| MemRequest {
+            addr: 16,
+            kind: MemKind::Read { len: 8 },
+            tag: Tag(tag),
+        };
+        assert!(d.issue(5, p, req(1)).is_ok());
+        assert_eq!(d.issue(5, p, req(2)), Err(MemBusy));
+        // Next cycle the controller accepts again.
+        assert!(d.issue(6, p, req(3)).is_ok());
+        assert_eq!(d.stats().rejections, 1);
+    }
+
+    #[test]
+    fn controller_outstanding_limit() {
+        let cfg = FpgaConfig {
+            dram_max_outstanding: 2,
+            ..FpgaConfig::default()
+        };
+        let mut d = Dram::new(&cfg, 1 << 20);
+        let p = d.register_port();
+        let req = |tag| MemRequest {
+            addr: 0,
+            kind: MemKind::Read { len: 8 },
+            tag: Tag(tag),
+        };
+        assert!(d.issue(0, p, req(1)).is_ok());
+        assert!(d.issue(1, p, req(2)).is_ok());
+        assert_eq!(d.issue(2, p, req(3)), Err(MemBusy), "outstanding limit");
+        // Draining in-flight requests frees capacity.
+        d.tick(cfg.dram_latency + 1);
+        assert!(d.issue(cfg.dram_latency + 2, p, req(4)).is_ok());
+    }
+
+    #[test]
+    fn bursts_occupy_the_controller() {
+        let cfg = FpgaConfig::default();
+        let mut d = Dram::new(&cfg, 1 << 20);
+        let p = d.register_port();
+        // A 1 KiB read occupies its controller for 16 bus cycles.
+        d.issue(
+            0,
+            p,
+            MemRequest {
+                addr: 0,
+                kind: MemKind::Read { len: 1024 },
+                tag: Tag(1),
+            },
+        )
+        .unwrap();
+        // 16 lines stripe over a 4-controller group: each busy 4 cycles.
+        let small = MemRequest {
+            addr: 0,
+            kind: MemKind::Read { len: 8 },
+            tag: Tag(2),
+        };
+        assert_eq!(d.issue(1, p, small.clone()), Err(MemBusy), "bus still busy");
+        assert_eq!(d.issue(3, p, small.clone()), Err(MemBusy), "bus still busy");
+        assert!(d.issue(4, p, small).is_ok());
+        // The burst's response lands later than a single-line access.
+        d.tick(cfg.dram_latency + 2);
+        assert!(
+            d.pop_response(p).is_none(),
+            "burst not complete at base latency"
+        );
+        d.tick(cfg.dram_latency + 3);
+        assert_eq!(d.pop_response(p).unwrap().tag, Tag(1));
+    }
+
+    #[test]
+    fn responses_route_to_correct_port() {
+        let cfg = FpgaConfig::default();
+        let mut d = Dram::new(&cfg, 1 << 20);
+        let p1 = d.register_port();
+        let p2 = d.register_port();
+        // Different granules so both are accepted in the same cycle.
+        d.issue(
+            0,
+            p1,
+            MemRequest {
+                addr: 0,
+                kind: MemKind::Read { len: 1 },
+                tag: Tag(1),
+            },
+        )
+        .unwrap();
+        d.issue(
+            0,
+            p2,
+            MemRequest {
+                addr: 128,
+                kind: MemKind::Read { len: 1 },
+                tag: Tag(2),
+            },
+        )
+        .unwrap();
+        d.tick(cfg.dram_latency);
+        assert_eq!(d.pop_response(p1).unwrap().tag, Tag(1));
+        assert_eq!(d.pop_response(p2).unwrap().tag, Tag(2));
+        assert!(d.pop_response(p1).is_none());
+    }
+
+    #[test]
+    fn stats_count_reads_writes_bytes() {
+        let mut d = small_dram();
+        let p = d.register_port();
+        d.issue(
+            0,
+            p,
+            MemRequest {
+                addr: 0,
+                kind: MemKind::Read { len: 8 },
+                tag: Tag(0),
+            },
+        )
+        .unwrap();
+        d.issue(
+            1,
+            p,
+            MemRequest {
+                addr: 64,
+                kind: MemKind::Write { data: vec![0; 16] },
+                tag: Tag(1),
+            },
+        )
+        .unwrap();
+        let s = d.stats();
+        assert_eq!((s.reads, s.writes, s.bytes), (1, 1, 24));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_access_panics() {
+        let mut d = small_dram();
+        d.host_write(2 << 20, &[1]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Bounded FIFOs connecting pipeline stages.
+//!
+//! On the FPGA these are small BRAM/LUT-RAM queues between the finite-state
+//! machines that implement pipeline stages (paper §4.4). Their bounded depth
+//! is load-bearing: a full downstream FIFO back-pressures the upstream stage,
+//! which is exactly the stall behaviour the paper relies on for hazard
+//! prevention and the cause of the "unbalanced dataflow" effects visible in
+//! Fig. 11.
+
+use std::collections::VecDeque;
+
+/// A bounded single-producer single-consumer queue with single-cycle
+/// semantics: pushes fail (back-pressure) when full.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// High-water mark, for occupancy reporting.
+    peak: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Create a FIFO holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Attempt to enqueue; returns the item back if the FIFO is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// True if a push would currently succeed.
+    pub fn has_space(&self) -> bool {
+        self.items.len() < self.capacity
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy observed since creation.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn full_fifo_backpressures() {
+        let mut f = Fifo::new(2);
+        f.push('a').unwrap();
+        f.push('b').unwrap();
+        assert!(!f.has_space());
+        assert_eq!(f.push('c'), Err('c'));
+        f.pop();
+        assert!(f.has_space());
+        f.push('c').unwrap();
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! BRAM lock tables for pipeline hazard prevention.
+//!
+//! Paper §4.4.1/§4.4.2: in-flight index operations that could conflict
+//! (inserts to the same hash bucket, skiplist inserts sharing a traversal
+//! entry point) are tracked in a small on-chip table; a stage encountering a
+//! locked entry stalls until the terminal stage of the conflicting operation
+//! removes the lock. The table lives in BRAM, so lookup/insert/remove are
+//! single-cycle.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded single-cycle lock table keyed by `K`.
+///
+/// Each entry carries a hold count so that, if desired, several cooperating
+/// operations may hold the same entry (the index pipelines only ever use a
+/// count of one, but the re-entrant form keeps the table general).
+#[derive(Debug, Clone)]
+pub struct LockTable<K: Eq + Hash + Clone> {
+    entries: HashMap<K, u32>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl<K: Eq + Hash + Clone> LockTable<K> {
+    /// Create a lock table with room for `capacity` distinct keys. The
+    /// capacity bound models the fixed BRAM budget; callers must size it at
+    /// least as large as the maximum number of in-flight operations.
+    pub fn new(capacity: usize) -> Self {
+        LockTable {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Attempt to acquire `key`. Fails if the key is already held by another
+    /// operation or the table is full.
+    pub fn try_lock(&mut self, key: K) -> bool {
+        if self.entries.contains_key(&key) || self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.insert(key, 1);
+        self.peak = self.peak.max(self.entries.len());
+        true
+    }
+
+    /// True if `key` is currently locked.
+    pub fn is_locked(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Release `key`. Panics if the key is not held — the terminal pipeline
+    /// stage releasing a lock it never took is a simulator bug.
+    pub fn unlock(&mut self, key: &K) {
+        let n = self
+            .entries
+            .get_mut(key)
+            .expect("unlock of key that is not locked");
+        *n -= 1;
+        if *n == 0 {
+            self.entries.remove(key);
+        }
+    }
+
+    /// Number of currently held keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_blocks_duplicate() {
+        let mut t = LockTable::new(4);
+        assert!(t.try_lock(42u64));
+        assert!(!t.try_lock(42u64));
+        assert!(t.is_locked(&42));
+        t.unlock(&42);
+        assert!(!t.is_locked(&42));
+        assert!(t.try_lock(42u64));
+    }
+
+    #[test]
+    fn capacity_bound_enforced() {
+        let mut t = LockTable::new(2);
+        assert!(t.try_lock(1u32));
+        assert!(t.try_lock(2u32));
+        assert!(!t.try_lock(3u32));
+        t.unlock(&1);
+        assert!(t.try_lock(3u32));
+        assert_eq!(t.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not locked")]
+    fn unlock_unheld_panics() {
+        let mut t = LockTable::new(2);
+        t.unlock(&9u64);
+    }
+}

@@ -1,0 +1,88 @@
+//! Simulation statistics shared by the higher-level crates.
+
+use crate::timing::Cycle;
+
+/// Cycle-accurate utilization counter for a pipeline stage or functional
+/// unit: tracks how many of the elapsed cycles the unit did useful work,
+/// stalled on memory, or stalled on back-pressure.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Cycles in which the unit completed useful work.
+    pub busy: Cycle,
+    /// Cycles stalled waiting for a memory response or lock.
+    pub stalled: Cycle,
+    /// Items processed (stage-specific meaning).
+    pub items: u64,
+}
+
+impl StageStats {
+    /// Record one busy cycle and `items` processed items.
+    pub fn work(&mut self, items: u64) {
+        self.busy += 1;
+        self.items += items;
+    }
+
+    /// Record one stalled cycle.
+    pub fn stall(&mut self) {
+        self.stalled += 1;
+    }
+
+    /// Fraction of observed cycles that were busy.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy + self.stalled;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / total as f64
+        }
+    }
+}
+
+/// A simple throughput accumulator: operations completed over a cycle span.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Operations (or transactions) completed.
+    pub ops: u64,
+    /// Simulated cycles elapsed.
+    pub cycles: Cycle,
+}
+
+impl Throughput {
+    /// Operations per second at the given clock frequency.
+    pub fn per_sec(&self, clock_hz: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.ops as f64 * clock_hz as f64 / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_ratio() {
+        let mut s = StageStats::default();
+        s.work(1);
+        s.work(1);
+        s.stall();
+        assert!((s.utilization() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.items, 2);
+    }
+
+    #[test]
+    fn throughput_per_sec() {
+        let t = Throughput {
+            ops: 250,
+            cycles: 125_000_000,
+        };
+        assert!((t.per_sec(125_000_000) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_counters_are_zero() {
+        assert_eq!(StageStats::default().utilization(), 0.0);
+        assert_eq!(Throughput::default().per_sec(125_000_000), 0.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! On-chip message-passing channels (paper §4.6).
+//!
+//! Partitioned databases (H-Store, DORA) make partitions core-private: a
+//! worker can never touch a remote partition directly, it must send a
+//! request message to the remote site, where a delegate processes it and
+//! returns a response. On CPUs that communication is forced through the
+//! shared-memory hierarchy — cache-line ping-pong at best, DRAM round trips
+//! plus queue synchronization at worst (paper Table 3). BionicDB instead
+//! wires **dedicated on-chip channels** between workers: a request/response
+//! pair costs 6 cycles (48 ns at 125 MHz), no memory round trips, no
+//! synchronization.
+//!
+//! Each worker owns a communication *link* (request channel + response
+//! channel). A request packet is piggybacked with the transaction timestamp
+//! (for CC at the remote coprocessor) and source/destination worker IDs for
+//! routing. A background unit at the destination (implemented in the worker
+//! glue of the `bionicdb` crate) catches inbound requests and dispatches
+//! them to its index coprocessor as *background* requests that overlap
+//! freely with the local foreground requests.
+//!
+//! Two topologies are provided:
+//!
+//! * [`Topology::Crossbar`] — the paper's implementation: every pair of
+//!   workers directly connected; uniform single-hop latency. The paper
+//!   notes this does not scale to many workers.
+//! * [`Topology::Ring`] — the scalable alternative the paper suggests as
+//!   future work: latency grows with ring distance. The bench suite uses it
+//!   for the interconnect ablation.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::collections::VecDeque;
+
+use bionicdb_softcore::request::{DbRequest, DbResponse, PartitionId};
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Full crossbar: one hop between any pair (the paper's design).
+    Crossbar,
+    /// Bidirectional ring: latency scales with ring distance (future-work
+    /// topology suggested in paper §4.6).
+    Ring,
+    /// Multiple chips/nodes in a shared-nothing cluster (paper §4.6:
+    /// "it is vital to scale BionicDB across multiple FPGA nodes ... the
+    /// message-passing channels should be diversified with additional
+    /// connectivities for inter-node communication"). Workers are grouped
+    /// `workers_per_node` to a chip; intra-node messages ride the crossbar
+    /// (one hop), inter-node messages pay `inter_node_hops` hops of the
+    /// base latency (modelling a serial link / NIC between boards).
+    MultiChip {
+        /// Workers per chip/node.
+        workers_per_node: usize,
+        /// Inter-node cost in units of the one-hop latency (e.g. with
+        /// 3-cycle hops, 25 hops ≈ 600 ns — an aggressive serial link).
+        inter_node_hops: u64,
+    },
+}
+
+/// What travels over a channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payload {
+    /// A DB instruction heading to its home partition's coprocessor.
+    Request(DbRequest),
+    /// A completed result heading back to the initiator's CP register.
+    Response(DbResponse),
+}
+
+/// A routed message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Sending worker.
+    pub src: PartitionId,
+    /// Receiving worker.
+    pub dst: PartitionId,
+    /// Request or response.
+    pub payload: Payload,
+}
+
+/// Interconnect statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NocStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Sum of per-message latencies in cycles (mean = total / messages).
+    pub total_latency: u64,
+    /// Sends rejected because the per-source issue limit was reached.
+    pub busy_rejects: u64,
+}
+
+/// Error: the sender's channel cannot accept another message this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocBusy;
+
+/// The on-chip interconnect between partition workers.
+#[derive(Debug)]
+pub struct Noc {
+    topology: Topology,
+    hop_latency: u64,
+    n: usize,
+    /// Per-destination in-flight messages `(deliver_at, packet)`, kept
+    /// sorted by construction (uniform per-pair latency, FIFO channels).
+    inbound: Vec<VecDeque<(u64, Packet)>>,
+    /// Per-source issue tracking: a link accepts one message per cycle.
+    last_send: Vec<(u64, u32)>,
+    /// Messages a single link may inject per cycle.
+    issue_width: u32,
+    stats: NocStats,
+}
+
+impl Noc {
+    /// Build an interconnect for `n` workers with the given one-hop latency
+    /// (paper Table 3: 3 cycles = 24 ns at 125 MHz).
+    pub fn new(topology: Topology, n: usize, hop_latency: u64) -> Self {
+        assert!(n >= 1);
+        Noc {
+            topology,
+            hop_latency: hop_latency.max(1),
+            n,
+            inbound: (0..n).map(|_| VecDeque::new()).collect(),
+            last_send: vec![(u64::MAX, 0); n],
+            issue_width: 1,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// Number of hops between two workers under the current topology.
+    pub fn hops(&self, a: PartitionId, b: PartitionId) -> u64 {
+        match self.topology {
+            Topology::Crossbar => 1,
+            Topology::Ring => {
+                let (a, b) = (a.0 as usize % self.n, b.0 as usize % self.n);
+                let d = a.abs_diff(b);
+                d.min(self.n - d).max(1) as u64
+            }
+            Topology::MultiChip {
+                workers_per_node,
+                inter_node_hops,
+            } => {
+                let (na, nb) = (
+                    a.0 as usize / workers_per_node,
+                    b.0 as usize / workers_per_node,
+                );
+                if na == nb {
+                    1
+                } else {
+                    inter_node_hops.max(1)
+                }
+            }
+        }
+    }
+
+    /// Latency in cycles for a message from `a` to `b`.
+    pub fn latency(&self, a: PartitionId, b: PartitionId) -> u64 {
+        self.hops(a, b) * self.hop_latency
+    }
+
+    /// Inject a packet at cycle `now`. A link accepts [`issue_width`]
+    /// messages per cycle; beyond that the sender must retry (back-pressure
+    /// into the dispatch stage).
+    ///
+    /// [`issue_width`]: Noc::new
+    pub fn send(&mut self, now: u64, pkt: Packet) -> Result<(), NocBusy> {
+        let src = pkt.src.0 as usize;
+        assert!(
+            src < self.n && (pkt.dst.0 as usize) < self.n,
+            "packet for unknown worker"
+        );
+        let (cycle, count) = &mut self.last_send[src];
+        if *cycle == now && *count >= self.issue_width {
+            self.stats.busy_rejects += 1;
+            return Err(NocBusy);
+        }
+        if *cycle != now {
+            *cycle = now;
+            *count = 0;
+        }
+        *count += 1;
+        let lat = self.latency(pkt.src, pkt.dst);
+        self.inbound[pkt.dst.0 as usize].push_back((now + lat, pkt));
+        self.stats.messages += 1;
+        self.stats.total_latency += lat;
+        Ok(())
+    }
+
+    /// Peek the next packet delivered to `dst` by cycle `now` without
+    /// consuming it (the background unit uses this to leave a request in
+    /// the channel while its coprocessor input queue is full).
+    pub fn peek(&self, now: u64, dst: PartitionId) -> Option<&Packet> {
+        match self.inbound[dst.0 as usize].front() {
+            Some((ready, pkt)) if *ready <= now => Some(pkt),
+            _ => None,
+        }
+    }
+
+    /// Pop the next packet delivered to `dst` by cycle `now`, if any.
+    pub fn poll(&mut self, now: u64, dst: PartitionId) -> Option<Packet> {
+        let q = &mut self.inbound[dst.0 as usize];
+        match q.front() {
+            Some((ready, _)) if *ready <= now => Some(q.pop_front().expect("front checked").1),
+            _ => None,
+        }
+    }
+
+    /// True when no messages are in flight anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.inbound.iter().all(VecDeque::is_empty)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// The configured topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionicdb_softcore::catalogue::TableId;
+    use bionicdb_softcore::request::{CpSlot, DbOp};
+
+    fn req_pkt(src: u16, dst: u16) -> Packet {
+        Packet {
+            src: PartitionId(src),
+            dst: PartitionId(dst),
+            payload: Payload::Request(DbRequest {
+                op: DbOp::Search,
+                table: TableId(0),
+                key_addr: 0,
+                payload_addr: 0,
+                scan_count: 0,
+                out_addr: 0,
+                ts: 1,
+                cp: CpSlot {
+                    worker: PartitionId(src),
+                    index: 0,
+                },
+                home: PartitionId(dst),
+            }),
+        }
+    }
+
+    #[test]
+    fn crossbar_delivers_after_hop_latency() {
+        let mut noc = Noc::new(Topology::Crossbar, 4, 3);
+        noc.send(10, req_pkt(0, 2)).unwrap();
+        assert!(
+            noc.poll(12, PartitionId(2)).is_none(),
+            "not before 3 cycles"
+        );
+        let pkt = noc.poll(13, PartitionId(2)).expect("delivered at 13");
+        assert_eq!(pkt.src, PartitionId(0));
+        assert!(noc.is_idle());
+    }
+
+    #[test]
+    fn request_response_pair_is_six_cycles() {
+        // Paper Table 3: 48 ns = 6 cycles for a request/response pair.
+        let mut noc = Noc::new(Topology::Crossbar, 2, 3);
+        noc.send(0, req_pkt(0, 1)).unwrap();
+        let t_req = (0..100)
+            .find(|&t| noc.poll(t, PartitionId(1)).is_some())
+            .unwrap();
+        noc.send(t_req, req_pkt(1, 0)).unwrap();
+        let t_resp = (0..100)
+            .find(|&t| noc.poll(t, PartitionId(0)).is_some())
+            .unwrap();
+        assert_eq!(t_resp, 6);
+    }
+
+    #[test]
+    fn link_issue_width_backpressures() {
+        let mut noc = Noc::new(Topology::Crossbar, 4, 3);
+        noc.send(5, req_pkt(0, 1)).unwrap();
+        assert_eq!(noc.send(5, req_pkt(0, 2)), Err(NocBusy));
+        assert!(noc.send(6, req_pkt(0, 2)).is_ok());
+        assert_eq!(noc.stats().busy_rejects, 1);
+    }
+
+    #[test]
+    fn per_pair_fifo_ordering() {
+        let mut noc = Noc::new(Topology::Crossbar, 2, 3);
+        let mut a = req_pkt(0, 1);
+        let mut b = req_pkt(0, 1);
+        if let Payload::Request(r) = &mut a.payload {
+            r.ts = 111;
+        }
+        if let Payload::Request(r) = &mut b.payload {
+            r.ts = 222;
+        }
+        noc.send(0, a).unwrap();
+        noc.send(1, b).unwrap();
+        let p1 = noc.poll(10, PartitionId(1)).unwrap();
+        let p2 = noc.poll(10, PartitionId(1)).unwrap();
+        match (p1.payload, p2.payload) {
+            (Payload::Request(r1), Payload::Request(r2)) => {
+                assert_eq!((r1.ts, r2.ts), (111, 222));
+            }
+            other => panic!("unexpected payloads {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_distance_scales_latency() {
+        let noc = Noc::new(Topology::Ring, 8, 3);
+        assert_eq!(noc.hops(PartitionId(0), PartitionId(1)), 1);
+        assert_eq!(noc.hops(PartitionId(0), PartitionId(4)), 4);
+        assert_eq!(noc.hops(PartitionId(0), PartitionId(7)), 1, "wraps around");
+        assert_eq!(noc.latency(PartitionId(1), PartitionId(5)), 12);
+        let xbar = Noc::new(Topology::Crossbar, 8, 3);
+        assert_eq!(xbar.latency(PartitionId(1), PartitionId(5)), 3);
+    }
+
+    #[test]
+    fn multichip_groups_pay_internode_latency() {
+        let noc = Noc::new(
+            Topology::MultiChip {
+                workers_per_node: 4,
+                inter_node_hops: 25,
+            },
+            8,
+            3,
+        );
+        // Same node: one hop.
+        assert_eq!(noc.latency(PartitionId(0), PartitionId(3)), 3);
+        assert_eq!(noc.latency(PartitionId(5), PartitionId(7)), 3);
+        // Cross node: the serial-link cost.
+        assert_eq!(noc.latency(PartitionId(0), PartitionId(4)), 75);
+        assert_eq!(noc.latency(PartitionId(7), PartitionId(1)), 75);
+    }
+
+    #[test]
+    fn mean_latency_statistic() {
+        let mut noc = Noc::new(Topology::Crossbar, 4, 3);
+        noc.send(0, req_pkt(0, 1)).unwrap();
+        noc.send(1, req_pkt(1, 2)).unwrap();
+        let s = noc.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.total_latency, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown worker")]
+    fn out_of_range_destination_panics() {
+        let mut noc = Noc::new(Topology::Crossbar, 2, 3);
+        let _ = noc.send(0, req_pkt(0, 5));
+    }
+}

@@ -1,0 +1,196 @@
+//! The Silo database: tables + epoch management.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bionicdb_cpu_model::Tracer;
+
+use crate::index::{HashIndex, Masstree, SwSkipList};
+use crate::record::Record;
+use crate::txn::Txn;
+
+/// Which software index backs a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwIndexKind {
+    /// Chained hash table with the given bucket count.
+    Hash {
+        /// Number of buckets.
+        buckets: usize,
+    },
+    /// Software skiplist.
+    Skiplist,
+    /// Masstree-like B+ tree.
+    Masstree,
+}
+
+/// Table definition.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Human-readable name.
+    pub name: String,
+    /// Index structure.
+    pub kind: SwIndexKind,
+    /// Fixed payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl TableDef {
+    /// Convenience constructor.
+    pub fn new(name: &str, kind: SwIndexKind, payload_len: usize) -> Self {
+        TableDef {
+            name: name.into(),
+            kind,
+            payload_len,
+        }
+    }
+}
+
+/// One table's index.
+#[derive(Debug)]
+pub enum TableSw {
+    /// Hash-indexed.
+    Hash(HashIndex),
+    /// Skiplist-indexed.
+    Skip(SwSkipList),
+    /// B+ tree indexed.
+    Mass(Masstree),
+}
+
+impl TableSw {
+    /// Point lookup.
+    pub fn get<T: Tracer>(&self, tr: &mut T, key: u64) -> Option<Arc<Record>> {
+        match self {
+            TableSw::Hash(i) => i.get(tr, key),
+            TableSw::Skip(i) => i.get(tr, key),
+            TableSw::Mass(i) => i.get(tr, key),
+        }
+    }
+
+    /// Insert; false on duplicate.
+    pub fn insert<T: Tracer>(&self, tr: &mut T, key: u64, rec: Arc<Record>) -> bool {
+        match self {
+            TableSw::Hash(i) => i.insert(tr, key, rec),
+            TableSw::Skip(i) => i.insert(tr, key, rec),
+            TableSw::Mass(i) => i.insert(tr, key, rec),
+        }
+    }
+
+    /// Ordered scan (panics on hash tables, mirroring BionicDB's
+    /// BadRequest for SCAN on a hash index).
+    pub fn scan<T: Tracer>(&self, tr: &mut T, start: u64, n: usize, out: &mut Vec<Arc<Record>>) {
+        match self {
+            TableSw::Hash(_) => panic!("range scan on a hash-indexed table"),
+            TableSw::Skip(i) => i.scan(tr, start, n, out),
+            TableSw::Mass(i) => i.scan(tr, start, n, out),
+        }
+    }
+}
+
+/// The Silo-style database.
+#[derive(Debug)]
+pub struct SiloDb {
+    defs: Vec<TableDef>,
+    tables: Vec<TableSw>,
+    epoch: AtomicU64,
+    /// Greatest commit TID handed out so far. Full Silo keeps this
+    /// per-worker; a global fetch-max keeps the invariant (commit TIDs are
+    /// monotone) with one atomic per commit, which is fine for a baseline.
+    last_tid: AtomicU64,
+}
+
+impl SiloDb {
+    /// Build a database with the given tables.
+    pub fn new(defs: Vec<TableDef>) -> Self {
+        let tables = defs
+            .iter()
+            .map(|d| match d.kind {
+                SwIndexKind::Hash { buckets } => TableSw::Hash(HashIndex::new(buckets)),
+                SwIndexKind::Skiplist => TableSw::Skip(SwSkipList::new()),
+                SwIndexKind::Masstree => TableSw::Mass(Masstree::new()),
+            })
+            .collect();
+        SiloDb {
+            defs,
+            tables,
+            epoch: AtomicU64::new(1),
+            last_tid: AtomicU64::new(0),
+        }
+    }
+
+    /// Current global epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the global epoch (the runner does this periodically, playing
+    /// Silo's epoch thread).
+    pub fn advance_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Table definitions.
+    pub fn defs(&self) -> &[TableDef] {
+        &self.defs
+    }
+
+    /// Access a table's index.
+    pub fn table(&self, idx: usize) -> &TableSw {
+        &self.tables[idx]
+    }
+
+    /// Bulk-load a committed record (pre-benchmark population).
+    pub fn load(&self, table: usize, key: u64, data: Vec<u8>) {
+        assert_eq!(data.len(), self.defs[table].payload_len, "payload length");
+        let rec = Record::new(self.epoch(), data);
+        let ok = self.tables[table].insert(&mut bionicdb_cpu_model::NullTracer, key, rec);
+        assert!(ok, "duplicate key {key} during load of table {table}");
+    }
+
+    /// Claim a commit TID at least as large as `floor`, globally monotone.
+    pub(crate) fn claim_commit_tid(&self, floor: u64, epoch: u64) -> u64 {
+        let last = self.last_tid.load(Ordering::Acquire);
+        let tid = crate::tid::next_commit_tid(floor.max(last), last, epoch);
+        self.last_tid.fetch_max(tid, Ordering::AcqRel);
+        tid
+    }
+
+    /// Start a transaction.
+    pub fn txn(&self) -> Txn<'_> {
+        Txn::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_epoch() {
+        let db = SiloDb::new(vec![
+            TableDef::new("h", SwIndexKind::Hash { buckets: 64 }, 8),
+            TableDef::new("s", SwIndexKind::Skiplist, 8),
+        ]);
+        db.load(0, 1, vec![0; 8]);
+        db.load(1, 1, vec![0; 8]);
+        assert!(db
+            .table(0)
+            .get(&mut bionicdb_cpu_model::NullTracer, 1)
+            .is_some());
+        let e = db.epoch();
+        db.advance_epoch();
+        assert_eq!(db.epoch(), e + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "range scan on a hash")]
+    fn scan_on_hash_panics() {
+        let db = SiloDb::new(vec![TableDef::new(
+            "h",
+            SwIndexKind::Hash { buckets: 64 },
+            8,
+        )]);
+        let mut out = Vec::new();
+        db.table(0)
+            .scan(&mut bionicdb_cpu_model::NullTracer, 0, 1, &mut out);
+    }
+}

@@ -1,0 +1,794 @@
+//! A small text assembler for BionicDB stored procedures.
+//!
+//! The paper's clients upload *pre-compiled* stored procedures; this
+//! assembler is the human-writable front end for them (the typed
+//! [`crate::builder::ProcBuilder`] is the programmatic one). Example:
+//!
+//! ```text
+//! proc ycsb_read
+//! logic:
+//!     search 0, 0, c0          ; table 0, key at user offset 0 -> c0
+//!     search 0, 8, c1
+//! commit:
+//!     ret g0, c0
+//!     cmp g0, 0
+//!     blt abort
+//!     ret g1, c1
+//!     cmp g1, 0
+//!     blt abort
+//!     commit
+//! abort:
+//!     abort
+//! ```
+//!
+//! Syntax summary:
+//! * `; comment` to end of line; blank lines ignored.
+//! * `proc NAME` — first directive.
+//! * section labels `logic:`, `commit:`, `abort:`; other `name:` lines are
+//!   ordinary jump labels.
+//! * registers `gN` / `cN`; immediates are decimal (or `0x...`) literals.
+//! * memory operands `[blk+OFF]` or `[gN+OFF]`.
+//! * DB instructions: `search T, KEY, cN [, home=OP]`,
+//!   `insert T, KEY, PAYLOAD, cN [, home=OP]`,
+//!   `scan T, KEY, COUNT, OUT, cN [, home=OP]`,
+//!   `update T, KEY, cN [, home=OP]`, `remove T, KEY, cN [, home=OP]`.
+//! * CPU instructions: `mov/add/sub/mul/div gN, OP`, `cmp gN, OP`,
+//!   `load gN, [..]`, `store gN, [..]`, `jmp L`, `be/bne/ble/blt/bgt/bge L`,
+//!   `ret gN, cN`, `commit`, `abort`, `yield`.
+
+use std::collections::HashMap;
+
+use crate::catalogue::TableId;
+use crate::isa::{AluOp, Cond, Cp, Gp, Inst, MemBase, Operand, Procedure};
+
+/// An assembly error with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+fn parse_int(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("expected integer, found `{s}`")),
+    }
+}
+
+fn parse_gp(s: &str, line: usize) -> Result<Gp, AsmError> {
+    let s = s.trim();
+    if let Some(n) = s.strip_prefix('g') {
+        if let Ok(i) = n.parse::<u8>() {
+            return Ok(Gp(i));
+        }
+    }
+    err(line, format!("expected GP register (gN), found `{s}`"))
+}
+
+fn parse_cp(s: &str, line: usize) -> Result<Cp, AsmError> {
+    let s = s.trim();
+    if let Some(n) = s.strip_prefix('c') {
+        if let Ok(i) = n.parse::<u8>() {
+            return Ok(Cp(i));
+        }
+    }
+    err(line, format!("expected CP register (cN), found `{s}`"))
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
+    let s = s.trim();
+    if s.starts_with('g') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 {
+        return Ok(Operand::Reg(parse_gp(s, line)?));
+    }
+    Ok(Operand::Imm(parse_int(s, line)?))
+}
+
+fn parse_mem(s: &str, line: usize) -> Result<(MemBase, Operand), AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected [base+off], found `{s}`"),
+        })?;
+    let (base_s, off_s) = match inner.split_once('+') {
+        Some((b, o)) => (b.trim(), o.trim()),
+        None => (inner.trim(), "0"),
+    };
+    let base = if base_s == "blk" {
+        MemBase::Block
+    } else {
+        MemBase::Reg(parse_gp(base_s, line)?)
+    };
+    Ok((base, parse_operand(off_s, line)?))
+}
+
+/// Split an operand list on commas (no nesting in this grammar).
+fn split_args(rest: &str) -> Vec<&str> {
+    if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    }
+}
+
+/// Extract a trailing `home=OP` argument, returning (args, home).
+fn take_home(mut args: Vec<&str>, line: usize) -> Result<(Vec<&str>, Operand), AsmError> {
+    let mut home = Operand::Imm(-1); // -1 = "local partition" sentinel
+    if let Some(last) = args.last() {
+        if let Some(v) = last.strip_prefix("home=") {
+            home = parse_operand(v, line)?;
+            args.pop();
+        }
+    }
+    Ok((args, home))
+}
+
+enum PendingTarget {
+    Label(String, usize),
+}
+
+/// Assemble `source` into a [`Procedure`].
+pub fn assemble(source: &str) -> Result<Procedure, AsmError> {
+    let mut name: Option<String> = None;
+    let mut code: Vec<Inst> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut fixups: Vec<(usize, PendingTarget)> = Vec::new();
+    let mut commit_entry: Option<u32> = None;
+    let mut abort_entry: Option<u32> = None;
+    let mut gp_max: i32 = -1;
+    let mut cp_max: i32 = -1;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = text.strip_prefix("proc ") {
+            if name.is_some() {
+                return err(line, "duplicate proc directive");
+            }
+            name = Some(rest.trim().to_string());
+            continue;
+        }
+
+        if let Some(label) = text.strip_suffix(':') {
+            let label = label.trim();
+            let at = code.len() as u32;
+            match label {
+                "logic" => {
+                    if at != 0 {
+                        return err(line, "logic: must come first");
+                    }
+                }
+                "commit" => {
+                    if commit_entry.is_some() {
+                        return err(line, "duplicate commit: section");
+                    }
+                    // Auto-insert the phase delimiter like the builder does.
+                    if !matches!(code.last(), Some(Inst::Yield)) {
+                        code.push(Inst::Yield);
+                    }
+                    commit_entry = Some(code.len() as u32);
+                    labels.insert("commit".into(), code.len() as u32);
+                }
+                "abort" => {
+                    if abort_entry.is_some() {
+                        return err(line, "duplicate abort: section");
+                    }
+                    abort_entry = Some(at);
+                    labels.insert("abort".into(), at);
+                }
+                other => {
+                    if labels.insert(other.to_string(), at).is_some() {
+                        return err(line, format!("duplicate label `{other}`"));
+                    }
+                }
+            }
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let args = split_args(rest);
+
+        let mut track_gp = |g: &Gp| gp_max = gp_max.max(g.0 as i32);
+        let mut track_cp = |c: &Cp| cp_max = cp_max.max(c.0 as i32);
+
+        let inst = match mnemonic {
+            "mov" | "add" | "sub" | "mul" | "div" => {
+                if args.len() != 2 {
+                    return err(line, format!("{mnemonic} needs 2 operands"));
+                }
+                let rd = parse_gp(args[0], line)?;
+                track_gp(&rd);
+                let rs = parse_operand(args[1], line)?;
+                if let Operand::Reg(g) = rs {
+                    track_gp(&g);
+                }
+                let op = match mnemonic {
+                    "mov" => AluOp::Mov,
+                    "add" => AluOp::Add,
+                    "sub" => AluOp::Sub,
+                    "mul" => AluOp::Mul,
+                    _ => AluOp::Div,
+                };
+                Inst::Alu { op, rd, rs }
+            }
+            "cmp" => {
+                if args.len() != 2 {
+                    return err(line, "cmp needs 2 operands");
+                }
+                let ra = parse_gp(args[0], line)?;
+                track_gp(&ra);
+                let rb = parse_operand(args[1], line)?;
+                if let Operand::Reg(g) = rb {
+                    track_gp(&g);
+                }
+                Inst::Cmp { ra, rb }
+            }
+            "load" | "store" => {
+                if args.len() != 2 {
+                    return err(line, format!("{mnemonic} needs 2 operands"));
+                }
+                let r = parse_gp(args[0], line)?;
+                track_gp(&r);
+                let (base, off) = parse_mem(args[1], line)?;
+                if let MemBase::Reg(g) = base {
+                    track_gp(&g);
+                }
+                if let Operand::Reg(g) = off {
+                    track_gp(&g);
+                }
+                if mnemonic == "load" {
+                    Inst::Load { rd: r, base, off }
+                } else {
+                    Inst::Store { rs: r, base, off }
+                }
+            }
+            "jmp" | "be" | "bne" | "ble" | "blt" | "bgt" | "bge" => {
+                if args.len() != 1 {
+                    return err(line, format!("{mnemonic} needs a target label"));
+                }
+                fixups.push((code.len(), PendingTarget::Label(args[0].to_string(), line)));
+                if mnemonic == "jmp" {
+                    Inst::Jmp { target: u32::MAX }
+                } else {
+                    let cond = match mnemonic {
+                        "be" => Cond::Eq,
+                        "bne" => Cond::Ne,
+                        "ble" => Cond::Le,
+                        "blt" => Cond::Lt,
+                        "bgt" => Cond::Gt,
+                        _ => Cond::Ge,
+                    };
+                    Inst::Br {
+                        cond,
+                        target: u32::MAX,
+                    }
+                }
+            }
+            "ret" => {
+                if args.len() != 2 {
+                    return err(line, "ret needs gN, cN");
+                }
+                let rd = parse_gp(args[0], line)?;
+                track_gp(&rd);
+                let cp = parse_cp(args[1], line)?;
+                track_cp(&cp);
+                Inst::Ret { rd, cp }
+            }
+            "getts" => {
+                if args.len() != 1 {
+                    return err(line, "getts needs gN");
+                }
+                let rd = parse_gp(args[0], line)?;
+                track_gp(&rd);
+                Inst::GetTs { rd }
+            }
+            "commit" => Inst::Commit,
+            "abort" => Inst::Abort,
+            "yield" => Inst::Yield,
+            "search" | "update" | "remove" => {
+                let (args, home) = take_home(args, line)?;
+                if args.len() != 3 {
+                    return err(line, format!("{mnemonic} needs table, keyoff, cN"));
+                }
+                let table = TableId(parse_int(args[0], line)? as u8);
+                let key_off = parse_operand(args[1], line)?;
+                if let Operand::Reg(g) = key_off {
+                    track_gp(&g);
+                }
+                if let Operand::Reg(g) = home {
+                    track_gp(&g);
+                }
+                let cp = parse_cp(args[2], line)?;
+                track_cp(&cp);
+                match mnemonic {
+                    "search" => Inst::Search {
+                        table,
+                        key_off,
+                        home,
+                        cp,
+                    },
+                    "update" => Inst::Update {
+                        table,
+                        key_off,
+                        home,
+                        cp,
+                    },
+                    _ => Inst::Remove {
+                        table,
+                        key_off,
+                        home,
+                        cp,
+                    },
+                }
+            }
+            "insert" => {
+                let (args, home) = take_home(args, line)?;
+                if args.len() != 4 {
+                    return err(line, "insert needs table, keyoff, payloadoff, cN");
+                }
+                let table = TableId(parse_int(args[0], line)? as u8);
+                let key_off = parse_operand(args[1], line)?;
+                let payload_off = parse_operand(args[2], line)?;
+                for o in [&key_off, &payload_off, &home] {
+                    if let Operand::Reg(g) = o {
+                        track_gp(g);
+                    }
+                }
+                let cp = parse_cp(args[3], line)?;
+                track_cp(&cp);
+                Inst::Insert {
+                    table,
+                    key_off,
+                    payload_off,
+                    home,
+                    cp,
+                }
+            }
+            "scan" => {
+                let (args, home) = take_home(args, line)?;
+                if args.len() != 5 {
+                    return err(line, "scan needs table, keyoff, count, outoff, cN");
+                }
+                let table = TableId(parse_int(args[0], line)? as u8);
+                let key_off = parse_operand(args[1], line)?;
+                let count = parse_operand(args[2], line)?;
+                let out_off = parse_operand(args[3], line)?;
+                for o in [&key_off, &count, &out_off, &home] {
+                    if let Operand::Reg(g) = o {
+                        track_gp(g);
+                    }
+                }
+                let cp = parse_cp(args[4], line)?;
+                track_cp(&cp);
+                Inst::Scan {
+                    table,
+                    key_off,
+                    count,
+                    out_off,
+                    home,
+                    cp,
+                }
+            }
+            other => return err(line, format!("unknown mnemonic `{other}`")),
+        };
+        code.push(inst);
+    }
+
+    let name = name.ok_or_else(|| AsmError {
+        line: 1,
+        msg: "missing `proc NAME`".into(),
+    })?;
+
+    // Synthesize missing sections like the builder does.
+    if commit_entry.is_none() {
+        if !matches!(code.last(), Some(Inst::Yield)) {
+            code.push(Inst::Yield);
+        }
+        commit_entry = Some(code.len() as u32);
+        code.push(Inst::Commit);
+    }
+    if abort_entry.is_none() {
+        match code.last() {
+            Some(Inst::Commit | Inst::Abort | Inst::Jmp { .. }) => {}
+            _ => code.push(Inst::Commit),
+        }
+        abort_entry = Some(code.len() as u32);
+        labels.insert("abort".into(), code.len() as u32);
+        code.push(Inst::Abort);
+    }
+
+    for (at, PendingTarget::Label(label, line)) in fixups {
+        let target = *labels.get(&label).ok_or_else(|| AsmError {
+            line,
+            msg: format!("undefined label `{label}`"),
+        })?;
+        match &mut code[at] {
+            Inst::Jmp { target: t } | Inst::Br { target: t, .. } => *t = target,
+            other => unreachable!("fixup on non-branch {other:?}"),
+        }
+    }
+
+    let proc = Procedure {
+        name,
+        code,
+        commit_entry: commit_entry.expect("set above"),
+        abort_entry: abort_entry.expect("set above"),
+        gp_count: (gp_max + 1) as u16,
+        cp_count: (cp_max + 1) as u16,
+    };
+    proc.validate().map_err(|e| AsmError {
+        line: 0,
+        msg: e.to_string(),
+    })?;
+    Ok(proc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_full_example() {
+        let src = r#"
+proc ycsb_read
+logic:
+    search 0, 0, c0     ; first key
+    search 0, 8, c1, home=g2
+commit:
+    ret g0, c0
+    cmp g0, 0
+    blt abort
+    ret g1, c1
+    cmp g1, 0
+    blt abort
+    commit
+abort:
+    abort
+"#;
+        let p = assemble(src).unwrap();
+        assert_eq!(p.name, "ycsb_read");
+        assert_eq!(p.cp_count, 2);
+        assert_eq!(p.gp_count, 3); // g0, g1, g2(home)
+        assert_eq!(p.code[p.abort_entry as usize], Inst::Abort);
+        // Yield auto-inserted before the commit section.
+        assert_eq!(p.code[(p.commit_entry - 1) as usize], Inst::Yield);
+    }
+
+    #[test]
+    fn missing_sections_synthesized() {
+        let p = assemble("proc empty\nlogic:\n    mov g0, 5\n").unwrap();
+        assert_eq!(p.code[p.commit_entry as usize], Inst::Commit);
+        assert_eq!(p.code[p.abort_entry as usize], Inst::Abort);
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let p = assemble("proc m\nlogic:\n    load g1, [blk+16]\n    store g1, [g2+8]\n").unwrap();
+        assert_eq!(
+            p.code[0],
+            Inst::Load {
+                rd: Gp(1),
+                base: MemBase::Block,
+                off: Operand::Imm(16)
+            }
+        );
+        assert_eq!(
+            p.code[1],
+            Inst::Store {
+                rs: Gp(1),
+                base: MemBase::Reg(Gp(2)),
+                off: Operand::Imm(8)
+            }
+        );
+    }
+
+    #[test]
+    fn branch_to_undefined_label_is_error() {
+        let e = assemble("proc b\nlogic:\n    jmp nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let e = assemble("proc b\nlogic:\n    frobnicate g0\n").unwrap_err();
+        assert!(e.msg.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("proc h\nlogic:\n    mov g0, 0x10\n    add g0, -3\n").unwrap();
+        assert_eq!(
+            p.code[0],
+            Inst::Alu {
+                op: AluOp::Mov,
+                rd: Gp(0),
+                rs: Operand::Imm(16)
+            }
+        );
+        assert_eq!(
+            p.code[1],
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Gp(0),
+                rs: Operand::Imm(-3)
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; header\nproc c\n\nlogic:\n    mov g0, 1 ; set\n").unwrap();
+        assert_eq!(p.name, "c");
+        assert_eq!(p.code.len(), 4); // mov + yield + commit + abort
+    }
+
+    #[test]
+    fn scan_parses_all_fields() {
+        let p = assemble("proc s\nlogic:\n    scan 2, 0, 50, 64, c0, home=1\n").unwrap();
+        assert_eq!(
+            p.code[0],
+            Inst::Scan {
+                table: TableId(2),
+                key_off: Operand::Imm(0),
+                count: Operand::Imm(50),
+                out_off: Operand::Imm(64),
+                home: Operand::Imm(1),
+                cp: Cp(0),
+            }
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+/// Render a procedure back to assembler text. The output re-assembles to an
+/// identical procedure (same code, entries and register footprint), which
+/// the property tests verify — useful for inspecting generated stored
+/// procedures (e.g. the TPC-C builders) and for catalogue debugging.
+pub fn disassemble(proc: &Procedure) -> String {
+    use std::fmt::Write as _;
+
+    // Collect branch targets needing labels (section entries get theirs).
+    let mut targets: Vec<u32> = proc
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            Inst::Jmp { target } | Inst::Br { target, .. } => Some(*target),
+            _ => None,
+        })
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of = |pc: u32| -> Option<String> {
+        if pc == proc.commit_entry {
+            Some("commit".into())
+        } else if pc == proc.abort_entry {
+            Some("abort".into())
+        } else if targets.binary_search(&pc).is_ok() {
+            Some(format!("l{pc}"))
+        } else {
+            None
+        }
+    };
+
+    let operand = |o: &Operand| match o {
+        Operand::Reg(Gp(r)) => format!("g{r}"),
+        Operand::Imm(v) => format!("{v}"),
+    };
+    let mem = |base: &MemBase, off: &Operand| match base {
+        MemBase::Block => format!("[blk+{}]", operand(off)),
+        MemBase::Reg(Gp(r)) => format!("[g{r}+{}]", operand(off)),
+    };
+    let home_suffix = |home: &Operand| match home {
+        Operand::Imm(-1) => String::new(),
+        other => format!(", home={}", operand(other)),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "proc {}", proc.name);
+    let _ = writeln!(out, "logic:");
+    for (pc, inst) in proc.code.iter().enumerate() {
+        let pc = pc as u32;
+        if let Some(lbl) = label_of(pc) {
+            let _ = writeln!(out, "{lbl}:");
+        }
+        let line = match inst {
+            Inst::Insert {
+                table,
+                key_off,
+                payload_off,
+                home,
+                cp,
+            } => format!(
+                "insert {}, {}, {}, c{}{}",
+                table.0,
+                operand(key_off),
+                operand(payload_off),
+                cp.0,
+                home_suffix(home)
+            ),
+            Inst::Search {
+                table,
+                key_off,
+                home,
+                cp,
+            } => format!(
+                "search {}, {}, c{}{}",
+                table.0,
+                operand(key_off),
+                cp.0,
+                home_suffix(home)
+            ),
+            Inst::Scan {
+                table,
+                key_off,
+                count,
+                out_off,
+                home,
+                cp,
+            } => format!(
+                "scan {}, {}, {}, {}, c{}{}",
+                table.0,
+                operand(key_off),
+                operand(count),
+                operand(out_off),
+                cp.0,
+                home_suffix(home)
+            ),
+            Inst::Update {
+                table,
+                key_off,
+                home,
+                cp,
+            } => format!(
+                "update {}, {}, c{}{}",
+                table.0,
+                operand(key_off),
+                cp.0,
+                home_suffix(home)
+            ),
+            Inst::Remove {
+                table,
+                key_off,
+                home,
+                cp,
+            } => format!(
+                "remove {}, {}, c{}{}",
+                table.0,
+                operand(key_off),
+                cp.0,
+                home_suffix(home)
+            ),
+            Inst::Alu { op, rd, rs } => {
+                let m = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Mul => "mul",
+                    AluOp::Div => "div",
+                    AluOp::Mov => "mov",
+                };
+                format!("{m} g{}, {}", rd.0, operand(rs))
+            }
+            Inst::Cmp { ra, rb } => format!("cmp g{}, {}", ra.0, operand(rb)),
+            Inst::Load { rd, base, off } => format!("load g{}, {}", rd.0, mem(base, off)),
+            Inst::Store { rs, base, off } => format!("store g{}, {}", rs.0, mem(base, off)),
+            Inst::Jmp { target } => format!("jmp {}", label_of(*target).expect("target labelled")),
+            Inst::Br { cond, target } => {
+                let m = match cond {
+                    Cond::Eq => "be",
+                    Cond::Ne => "bne",
+                    Cond::Le => "ble",
+                    Cond::Lt => "blt",
+                    Cond::Gt => "bgt",
+                    Cond::Ge => "bge",
+                };
+                format!("{m} {}", label_of(*target).expect("target labelled"))
+            }
+            Inst::Ret { rd, cp } => format!("ret g{}, c{}", rd.0, cp.0),
+            Inst::GetTs { rd } => format!("getts g{}", rd.0),
+            Inst::Commit => "commit".into(),
+            Inst::Abort => "abort".into(),
+            Inst::Yield => "yield".into(),
+        };
+        let _ = writeln!(out, "    {line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod disasm_tests {
+    use super::*;
+
+    #[test]
+    fn disassembly_reassembles_identically() {
+        let src = r#"
+proc roundtrip
+logic:
+    getts g9
+    mov g0, 7
+top:
+    add g0, -1
+    cmp g0, 0
+    bgt top
+    load g1, [blk+16]
+    store g1, [g2+8]
+    search 0, 0, c0
+    insert 1, 8, 16, c1, home=g3
+    scan 2, 0, 50, 64, c2, home=1
+    update 0, g1, c3
+    remove 0, 24, c4
+commit:
+    ret g4, c0
+    cmp g4, 0
+    blt abort
+    commit
+abort:
+    abort
+"#;
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap_or_else(|e| panic!("reassemble failed: {e}\n{text}"));
+        assert_eq!(p1.code, p2.code);
+        assert_eq!(p1.commit_entry, p2.commit_entry);
+        assert_eq!(p1.abort_entry, p2.abort_entry);
+        assert_eq!((p1.gp_count, p1.cp_count), (p2.gp_count, p2.cp_count));
+    }
+
+    #[test]
+    fn builder_output_disassembles_and_reassembles() {
+        use crate::builder::ProcBuilder;
+        use crate::catalogue::TableId;
+        let mut b = ProcBuilder::new("built");
+        let c0 = b.cp();
+        let c1 = b.cp();
+        b.search(TableId(0), Operand::Imm(0), Operand::Imm(-1), c0);
+        b.update(TableId(1), Operand::Imm(8), Operand::Imm(2), c1);
+        b.begin_commit();
+        b.ret_checked(c0);
+        b.ret_checked(c1);
+        b.commit();
+        b.begin_abort();
+        b.abort();
+        let p1 = b.build().unwrap();
+        let p2 = assemble(&disassemble(&p1)).unwrap();
+        assert_eq!(p1.code, p2.code);
+    }
+}

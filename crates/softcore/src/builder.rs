@@ -1,0 +1,397 @@
+//! A typed builder for stored procedures.
+//!
+//! The paper uses manually written stored procedures (the SQL-to-machine-code
+//! compiler is explicitly out of scope, §4.3); this builder is the
+//! programmatic way to write them. It allocates registers, tracks labels,
+//! generates the three-section layout (transaction logic / commit handler /
+//! abort handler of paper Fig. 3) and validates the result.
+
+use crate::catalogue::TableId;
+use crate::isa::{AluOp, Cond, Cp, Gp, Inst, MemBase, Operand, ProcError, Procedure};
+
+/// A forward-referenceable jump label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Which of the three stored-procedure sections is being emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Logic,
+    Commit,
+    Abort,
+}
+
+/// Builder for a [`Procedure`]. Emit the transaction logic first, then call
+/// [`ProcBuilder::begin_commit`] and [`ProcBuilder::begin_abort`] to emit
+/// the handlers, and finally [`ProcBuilder::build`].
+#[derive(Debug)]
+pub struct ProcBuilder {
+    name: String,
+    code: Vec<Inst>,
+    labels: Vec<Option<u32>>,
+    /// Instruction slots whose branch target is an unresolved label.
+    fixups: Vec<(usize, Label)>,
+    section: Section,
+    commit_entry: Option<u32>,
+    abort_entry: Option<u32>,
+    abort_label: Label,
+    gp_next: u16,
+    cp_next: u16,
+}
+
+impl ProcBuilder {
+    /// Start a new procedure.
+    pub fn new(name: &str) -> Self {
+        let mut b = ProcBuilder {
+            name: name.into(),
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            section: Section::Logic,
+            commit_entry: None,
+            abort_entry: None,
+            abort_label: Label(0),
+            gp_next: 0,
+            cp_next: 0,
+        };
+        b.abort_label = b.label();
+        b
+    }
+
+    /// Allocate a fresh GP register.
+    pub fn gp(&mut self) -> Gp {
+        assert!(self.gp_next < 256, "procedure exceeds 256 GP registers");
+        let r = Gp(self.gp_next as u8);
+        self.gp_next += 1;
+        r
+    }
+
+    /// Allocate a fresh CP register.
+    pub fn cp(&mut self) -> Cp {
+        assert!(self.cp_next < 256, "procedure exceeds 256 CP registers");
+        let r = Cp(self.cp_next as u8);
+        self.cp_next += 1;
+        r
+    }
+
+    /// Create an unbound label for forward references.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the next emitted instruction.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.code.len() as u32);
+    }
+
+    /// The label of the abort handler entry (usable from any section).
+    pub fn abort_label(&self) -> Label {
+        self.abort_label
+    }
+
+    fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.code.push(inst);
+        self
+    }
+
+    // ----- CPU instructions -----
+
+    /// Emit an ALU instruction (`rd = rd op rs`; MOV: `rd = rs`).
+    pub fn alu(&mut self, op: AluOp, rd: Gp, rs: Operand) -> &mut Self {
+        self.emit(Inst::Alu { op, rd, rs })
+    }
+
+    /// `rd = rs`.
+    pub fn mov(&mut self, rd: Gp, rs: Operand) -> &mut Self {
+        self.alu(AluOp::Mov, rd, rs)
+    }
+
+    /// `rd += rs`.
+    pub fn add(&mut self, rd: Gp, rs: Operand) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs)
+    }
+
+    /// Compare and set flags.
+    pub fn cmp(&mut self, ra: Gp, rb: Operand) -> &mut Self {
+        self.emit(Inst::Cmp { ra, rb })
+    }
+
+    /// `rd = mem64[base + off]`.
+    pub fn load(&mut self, rd: Gp, base: MemBase, off: Operand) -> &mut Self {
+        self.emit(Inst::Load { rd, base, off })
+    }
+
+    /// `mem64[base + off] = rs`.
+    pub fn store(&mut self, rs: Gp, base: MemBase, off: Operand) -> &mut Self {
+        self.emit(Inst::Store { rs, base, off })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.emit(Inst::Jmp { target: u32::MAX })
+    }
+
+    /// Conditional branch to `label`.
+    pub fn br(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.emit(Inst::Br {
+            cond,
+            target: u32::MAX,
+        })
+    }
+
+    /// Collect the result of a DB instruction from `cp` into `rd`.
+    pub fn ret(&mut self, rd: Gp, cp: Cp) -> &mut Self {
+        self.emit(Inst::Ret { rd, cp })
+    }
+
+    /// Read the transaction's begin timestamp into `rd`.
+    pub fn getts(&mut self, rd: Gp) -> &mut Self {
+        self.emit(Inst::GetTs { rd })
+    }
+
+    /// End the transaction-logic phase.
+    pub fn yield_(&mut self) -> &mut Self {
+        self.emit(Inst::Yield)
+    }
+
+    /// Finalize as committed.
+    pub fn commit(&mut self) -> &mut Self {
+        self.emit(Inst::Commit)
+    }
+
+    /// Finalize as aborted (or, in the logic section, request an abort).
+    pub fn abort(&mut self) -> &mut Self {
+        self.emit(Inst::Abort)
+    }
+
+    // ----- DB instructions -----
+
+    /// Emit SEARCH. `key_off` is a user-area-relative offset.
+    pub fn search(&mut self, table: TableId, key_off: Operand, home: Operand, cp: Cp) -> &mut Self {
+        self.emit(Inst::Search {
+            table,
+            key_off,
+            home,
+            cp,
+        })
+    }
+
+    /// Emit INSERT.
+    pub fn insert(
+        &mut self,
+        table: TableId,
+        key_off: Operand,
+        payload_off: Operand,
+        home: Operand,
+        cp: Cp,
+    ) -> &mut Self {
+        self.emit(Inst::Insert {
+            table,
+            key_off,
+            payload_off,
+            home,
+            cp,
+        })
+    }
+
+    /// Emit SCAN.
+    pub fn scan(
+        &mut self,
+        table: TableId,
+        key_off: Operand,
+        count: Operand,
+        out_off: Operand,
+        home: Operand,
+        cp: Cp,
+    ) -> &mut Self {
+        self.emit(Inst::Scan {
+            table,
+            key_off,
+            count,
+            out_off,
+            home,
+            cp,
+        })
+    }
+
+    /// Emit UPDATE.
+    pub fn update(&mut self, table: TableId, key_off: Operand, home: Operand, cp: Cp) -> &mut Self {
+        self.emit(Inst::Update {
+            table,
+            key_off,
+            home,
+            cp,
+        })
+    }
+
+    /// Emit REMOVE.
+    pub fn remove(&mut self, table: TableId, key_off: Operand, home: Operand, cp: Cp) -> &mut Self {
+        self.emit(Inst::Remove {
+            table,
+            key_off,
+            home,
+            cp,
+        })
+    }
+
+    // ----- sections -----
+
+    /// Begin the commit handler. Implicitly appends the `YIELD` phase
+    /// delimiter if the logic section did not end with one.
+    pub fn begin_commit(&mut self) -> &mut Self {
+        assert_eq!(
+            self.section,
+            Section::Logic,
+            "commit section already started"
+        );
+        if !matches!(self.code.last(), Some(Inst::Yield)) {
+            self.yield_();
+        }
+        self.section = Section::Commit;
+        self.commit_entry = Some(self.code.len() as u32);
+        self
+    }
+
+    /// Begin the abort handler (must follow the commit section).
+    pub fn begin_abort(&mut self) -> &mut Self {
+        assert_eq!(
+            self.section,
+            Section::Commit,
+            "abort section must follow commit"
+        );
+        self.section = Section::Abort;
+        self.abort_entry = Some(self.code.len() as u32);
+        let lbl = self.abort_label;
+        self.bind(lbl);
+        self
+    }
+
+    /// Convenience: `RET rd, cp; CMP rd, 0; BLT abort` — collect a DB result
+    /// and jump to the abort handler on any error. Returns the GP register
+    /// holding the (known non-negative) result.
+    pub fn ret_checked(&mut self, cp: Cp) -> Gp {
+        let rd = self.gp();
+        let abort = self.abort_label;
+        self.ret(rd, cp)
+            .cmp(rd, Operand::Imm(0))
+            .br(Cond::Lt, abort);
+        rd
+    }
+
+    /// Finish the procedure: default handlers are synthesized when absent
+    /// (commit handler = `COMMIT`, abort handler = `ABORT`), labels are
+    /// resolved, and the result validated.
+    pub fn build(mut self) -> Result<Procedure, ProcError> {
+        if self.commit_entry.is_none() {
+            self.begin_commit();
+            self.commit();
+        }
+        if self.abort_entry.is_none() {
+            // The commit section must not fall through into the abort
+            // handler; validated procedures always end each section with a
+            // terminator, but guard anyway.
+            match self.code.last() {
+                Some(Inst::Commit | Inst::Abort | Inst::Jmp { .. }) => {}
+                _ => {
+                    self.commit();
+                }
+            }
+            self.begin_abort();
+            self.abort();
+        }
+        for (at, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {} used but never bound", label.0));
+            match &mut self.code[at] {
+                Inst::Jmp { target: t } | Inst::Br { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        let proc = Procedure {
+            name: self.name,
+            code: self.code,
+            commit_entry: self.commit_entry.expect("commit entry set above"),
+            abort_entry: self.abort_entry.expect("abort entry set above"),
+            gp_count: self.gp_next,
+            cp_count: self.cp_next,
+        };
+        proc.validate()?;
+        Ok(proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_minimal_read_proc() {
+        let mut b = ProcBuilder::new("read1");
+        let c0 = b.cp();
+        b.search(TableId(0), Operand::Imm(0), Operand::Imm(0), c0);
+        b.begin_commit();
+        b.ret_checked(c0);
+        b.commit();
+        b.begin_abort();
+        b.abort();
+        let p = b.build().unwrap();
+        assert_eq!(p.cp_count, 1);
+        assert!(p.gp_count >= 1);
+        assert!(p.commit_entry > 0);
+        assert!(p.abort_entry > p.commit_entry);
+        // The yield delimiter was auto-inserted.
+        assert_eq!(p.code[(p.commit_entry - 1) as usize], Inst::Yield);
+    }
+
+    #[test]
+    fn default_handlers_synthesized() {
+        let p = ProcBuilder::new("noop").build().unwrap();
+        assert_eq!(p.code[p.commit_entry as usize], Inst::Commit);
+        assert_eq!(p.code[p.abort_entry as usize], Inst::Abort);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ProcBuilder::new("loop");
+        let g = b.gp();
+        let top = b.label();
+        let out = b.label();
+        b.bind(top);
+        b.add(g, Operand::Imm(1));
+        b.cmp(g, Operand::Imm(3));
+        b.br(Cond::Lt, top);
+        b.jmp(out);
+        b.bind(out);
+        let p = b.build().unwrap();
+        match p.code[2] {
+            Inst::Br { target, .. } => assert_eq!(target, 0),
+            ref other => panic!("expected Br, got {other:?}"),
+        }
+        match p.code[3] {
+            Inst::Jmp { target } => assert_eq!(target, 4),
+            ref other => panic!("expected Jmp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics_at_build() {
+        let mut b = ProcBuilder::new("bad");
+        let l = b.label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProcBuilder::new("bad");
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+}

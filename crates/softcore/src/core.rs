@@ -1,0 +1,1022 @@
+//! The softcore execution engine (paper §4.3 and §4.5).
+//!
+//! The softcore executes stored procedures. CPU instructions run in five
+//! non-pipelined steps (a fixed cycle cost per instruction); LOAD/STORE
+//! additionally touch FPGA-side DRAM through the softcore's memory port; DB
+//! instructions are *dispatched asynchronously* after a short
+//! Prepare+Dispatch sequence and their results arrive later in CP registers.
+//!
+//! # Two-phase batch execution with transaction interleaving (paper §4.5)
+//!
+//! Whenever a transaction block arrives, the softcore checks the catalogue
+//! for the procedure's register footprint and, if enough GP/CP registers
+//! remain, the transaction **joins the current batch** with an exclusive,
+//! renamed register range and starts executing immediately. At the end of
+//! its transaction logic (the `YIELD` delimiter) the softcore saves the
+//! context in the BRAM context table (10 cycles) and moves on — *without*
+//! waiting for outstanding DB instructions, which is what overlaps index
+//! operations across transactions.
+//!
+//! When register allocation fails (or input runs dry), the batch closes:
+//! the softcore returns to the first transaction, restores its context with
+//! the program counter at the commit handler, and executes the
+//! commit/abort handlers of every transaction in serial order.
+//!
+//! In [`ExecMode::Serial`] every batch holds exactly one transaction —
+//! the baseline the paper compares against in Fig. 12.
+
+use bionicdb_fpga::{Dram, Fifo, MemKind, MemRequest, Tag};
+
+use crate::catalogue::{Catalogue, ProcId};
+use crate::isa::{AluOp, Cond, Inst, MemBase, Operand};
+use crate::request::{CpSlot, DbOp, DbRequest, PartitionId};
+use crate::txnblock::{BLOCK_HEADER_SIZE, COMMIT_TS_OFFSET, STATUS_OFFSET};
+
+/// Cycle timestamp alias.
+type Cycle = u64;
+
+/// Memory-request tag for LOAD instructions.
+const TAG_LOAD: Tag = Tag(0);
+/// Memory-request tag for posted STOREs.
+const TAG_STORE: Tag = Tag(1);
+/// Memory-request tag for transaction-block header fetches.
+const TAG_HEADER: Tag = Tag(2);
+
+/// Whether the softcore interleaves transactions within a batch
+/// (paper §4.5) or executes them one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Two-phase batch execution with transaction interleaving.
+    Interleaved,
+    /// Serial execution: logic + commit of each transaction before the next
+    /// one starts (the baseline of paper Fig. 12).
+    Serial,
+}
+
+/// Tunable parameters of one softcore instance, extracted from
+/// [`bionicdb_fpga::FpgaConfig`] by the caller.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftcoreParams {
+    /// Cycles per CPU instruction (5-step execution).
+    pub cpu_inst_cycles: Cycle,
+    /// Cycles for Prepare+Dispatch of a DB instruction.
+    pub db_dispatch_cycles: Cycle,
+    /// Cycles per context save/restore pair.
+    pub context_switch: Cycle,
+    /// Total GP (= CP) registers available for batch allocation.
+    pub num_registers: usize,
+    /// Maximum contexts in the BRAM context table (bounds batch size).
+    pub max_batch: usize,
+    /// Interleaved or serial execution.
+    pub mode: ExecMode,
+}
+
+impl SoftcoreParams {
+    /// Derive softcore parameters from the fabric configuration.
+    pub fn from_fpga(cfg: &bionicdb_fpga::FpgaConfig, mode: ExecMode) -> Self {
+        SoftcoreParams {
+            cpu_inst_cycles: cfg.cpu_inst_cycles,
+            db_dispatch_cycles: cfg.db_dispatch_cycles,
+            context_switch: cfg.context_switch,
+            num_registers: cfg.num_registers,
+            max_batch: 64,
+            mode,
+        }
+    }
+}
+
+/// Why a transaction context finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxOutcome {
+    Committed,
+    Aborted,
+}
+
+/// Saved state of one in-batch transaction (the BRAM context table entry:
+/// program counter, transaction-block base address and register ranges —
+/// paper §4.5).
+#[derive(Debug)]
+struct Context {
+    proc: ProcId,
+    block_addr: u64,
+    pc: u32,
+    gp_base: u16,
+    cp_base: u16,
+    ts: u64,
+    /// Set when the logic phase requested an abort (exception or voluntary).
+    failed: bool,
+    outcome: Option<CtxOutcome>,
+}
+
+/// What the core is doing this cycle.
+#[derive(Debug)]
+enum CoreState {
+    /// Nothing runnable.
+    Idle,
+    /// Waiting for the transaction-block header read to come back.
+    FetchHeader { addr: u64, issued: bool },
+    /// Charging the fixed cost of the current instruction.
+    Exec { remaining: Cycle },
+    /// LOAD issued; waiting for the DRAM response.
+    WaitLoad {
+        rd_global: usize,
+        issued: bool,
+        addr: u64,
+    },
+    /// STORE not yet accepted by DRAM (controller busy).
+    WaitStore { addr: u64, value: u64 },
+    /// RET waiting for a CP register to become valid.
+    WaitCp,
+    /// DB dispatch stalled on a full request channel.
+    DispatchStall,
+    /// Context switch in progress.
+    Switching { remaining: Cycle, then: AfterSwitch },
+    /// Batch finished commit phase; waiting for stray outstanding results
+    /// before the register file is recycled.
+    BatchDrain,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AfterSwitch {
+    /// Go look for new input (logic phase, after a yield).
+    Ingest,
+    /// Start executing the current context at its saved PC.
+    Resume,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Logic,
+    Commit,
+}
+
+/// Execution statistics for one softcore.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SoftcoreStats {
+    /// CPU instructions executed.
+    pub cpu_insts: u64,
+    /// DB instructions dispatched.
+    pub db_insts: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Batches completed.
+    pub batches: u64,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Cycles stalled waiting for CP results.
+    pub cp_stall_cycles: u64,
+    /// Cycles stalled on memory (loads, stores, header fetches).
+    pub mem_stall_cycles: u64,
+}
+
+/// The softcore of one partition worker.
+pub struct Softcore {
+    worker: PartitionId,
+    params: SoftcoreParams,
+    port: bionicdb_fpga::PortId,
+
+    gp: Vec<u64>,
+    cp: Vec<Option<i64>>,
+    flags: std::cmp::Ordering,
+
+    input: std::collections::VecDeque<u64>,
+    pending_block: Option<u64>,
+    /// Input-queue prefetch unit: header read in flight for the block at
+    /// the front of the input queue.
+    prefetch_inflight: Option<u64>,
+    /// A prefetched `(block_addr, proc_id)` ready for ingest.
+    prefetched: Option<(u64, u64)>,
+
+    contexts: Vec<Context>,
+    cur: usize,
+    phase: Phase,
+    gp_next: u16,
+    cp_next: u16,
+    state: CoreState,
+    outstanding: u32,
+
+    stats: SoftcoreStats,
+}
+
+impl Softcore {
+    /// Create a softcore for `worker`, registering its memory port on `dram`.
+    pub fn new(worker: PartitionId, params: SoftcoreParams, dram: &mut Dram) -> Self {
+        let n = params.num_registers;
+        Softcore {
+            worker,
+            params,
+            port: dram.register_port(),
+            gp: vec![0; n],
+            cp: vec![None; n],
+            flags: std::cmp::Ordering::Equal,
+            input: std::collections::VecDeque::new(),
+            pending_block: None,
+            prefetch_inflight: None,
+            prefetched: None,
+            contexts: Vec::new(),
+            cur: 0,
+            phase: Phase::Logic,
+            gp_next: 0,
+            cp_next: 0,
+            state: CoreState::Idle,
+            outstanding: 0,
+            stats: SoftcoreStats::default(),
+        }
+    }
+
+    /// Submit a transaction block (by DRAM address) to the input queue.
+    /// Models the host filling the worker's input queue (paper §5.1).
+    pub fn submit(&mut self, block_addr: u64) {
+        self.input.push_back(block_addr);
+    }
+
+    /// Number of blocks waiting in the input queue.
+    pub fn input_len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// True when all submitted work has fully completed.
+    pub fn is_quiescent(&self) -> bool {
+        self.input.is_empty()
+            && self.pending_block.is_none()
+            && self.contexts.is_empty()
+            && self.outstanding == 0
+            && matches!(self.state, CoreState::Idle)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SoftcoreStats {
+        self.stats
+    }
+
+    /// Deliver a DB result into (batch-global) CP register `index`.
+    /// Called by the worker glue when the index coprocessor or the on-chip
+    /// response channel writes back.
+    pub fn deliver_cp(&mut self, index: u16, value: i64) {
+        let slot = &mut self.cp[index as usize];
+        assert!(
+            slot.is_none(),
+            "CP register {index} written twice in one batch"
+        );
+        *slot = Some(value);
+        assert!(
+            self.outstanding > 0,
+            "CP writeback without outstanding request"
+        );
+        self.outstanding -= 1;
+    }
+
+    /// The worker this softcore belongs to.
+    pub fn worker(&self) -> PartitionId {
+        self.worker
+    }
+
+    fn gp_read(&self, ctx: &Context, r: crate::isa::Gp) -> u64 {
+        self.gp[ctx.gp_base as usize + r.0 as usize]
+    }
+
+    fn gp_write(&mut self, gp_base: u16, r: crate::isa::Gp, v: u64) {
+        self.gp[gp_base as usize + r.0 as usize] = v;
+    }
+
+    fn operand(&self, ctx: &Context, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.gp_read(ctx, r),
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn mem_addr(&self, ctx: &Context, base: MemBase, off: Operand) -> u64 {
+        let base_addr = match base {
+            MemBase::Block => ctx.block_addr + BLOCK_HEADER_SIZE,
+            MemBase::Reg(r) => self.gp_read(ctx, r),
+        };
+        base_addr.wrapping_add(self.operand(ctx, off))
+    }
+
+    fn resolve_home(&self, ctx: &Context, home: Operand) -> PartitionId {
+        let v = self.operand(ctx, home) as i64;
+        if v < 0 {
+            self.worker
+        } else {
+            PartitionId(v as u16)
+        }
+    }
+
+    /// The input-queue prefetch unit: a small FSM beside the softcore that
+    /// reads the next transaction block's header (its procedure id) while
+    /// the core is busy, hiding the DRAM round trip that would otherwise
+    /// serialize every ingest. It never races the core's own reads — the
+    /// distinct request tag routes its response.
+    fn try_prefetch(&mut self, now: Cycle, dram: &mut Dram) {
+        if self.prefetch_inflight.is_some() || self.prefetched.is_some() {
+            return;
+        }
+        if self.phase != Phase::Logic || self.pending_block.is_some() {
+            return;
+        }
+        let Some(&addr) = self.input.front() else {
+            return;
+        };
+        let req = MemRequest {
+            addr,
+            kind: MemKind::Read { len: 8 },
+            tag: TAG_HEADER,
+        };
+        if dram.issue(now, self.port, req).is_ok() {
+            self.prefetch_inflight = Some(addr);
+        }
+    }
+
+    /// One FPGA cycle. `db_out` is the worker's DB request channel; the
+    /// glue routes each request to the local coprocessor or the NoC.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        dram: &mut Dram,
+        cat: &Catalogue,
+        db_out: &mut Fifo<DbRequest>,
+    ) {
+        self.try_prefetch(now, dram);
+        match std::mem::replace(&mut self.state, CoreState::Idle) {
+            CoreState::Idle => self.do_idle(now, dram),
+            CoreState::FetchHeader { addr, issued } => {
+                self.do_fetch_header(now, dram, cat, addr, issued)
+            }
+            CoreState::Exec { remaining } => {
+                if remaining > 1 {
+                    self.state = CoreState::Exec {
+                        remaining: remaining - 1,
+                    };
+                } else {
+                    self.execute_current(now, dram, cat, db_out);
+                }
+            }
+            CoreState::WaitLoad {
+                rd_global,
+                issued,
+                addr,
+            } => {
+                self.stats.mem_stall_cycles += 1;
+                if !issued {
+                    let ok = dram
+                        .issue(
+                            now,
+                            self.port,
+                            MemRequest {
+                                addr,
+                                kind: MemKind::Read { len: 8 },
+                                tag: TAG_LOAD,
+                            },
+                        )
+                        .is_ok();
+                    self.state = CoreState::WaitLoad {
+                        rd_global,
+                        issued: ok,
+                        addr,
+                    };
+                } else if let Some(data) = self.take_read(dram, TAG_LOAD, None) {
+                    let v = u64::from_le_bytes(data.try_into().expect("8-byte load"));
+                    self.gp[rd_global] = v;
+                    self.advance_pc(cat);
+                } else {
+                    self.state = CoreState::WaitLoad {
+                        rd_global,
+                        issued,
+                        addr,
+                    };
+                }
+            }
+            CoreState::WaitStore { addr, value } => {
+                self.stats.mem_stall_cycles += 1;
+                let req = MemRequest {
+                    addr,
+                    kind: MemKind::Write {
+                        data: value.to_le_bytes().to_vec(),
+                    },
+                    tag: TAG_STORE,
+                };
+                if dram.issue(now, self.port, req).is_ok() {
+                    self.advance_pc(cat);
+                } else {
+                    self.state = CoreState::WaitStore { addr, value };
+                }
+            }
+            CoreState::WaitCp => {
+                self.stats.cp_stall_cycles += 1;
+                // Re-execute the RET; it completes if the CP arrived.
+                self.execute_current(now, dram, cat, db_out);
+            }
+            CoreState::DispatchStall => {
+                // Retry the DB dispatch.
+                self.execute_current(now, dram, cat, db_out);
+            }
+            CoreState::Switching { remaining, then } => {
+                if remaining > 1 {
+                    self.state = CoreState::Switching {
+                        remaining: remaining - 1,
+                        then,
+                    };
+                } else {
+                    match then {
+                        AfterSwitch::Ingest => self.do_idle(now, dram),
+                        AfterSwitch::Resume => self.begin_inst(cat),
+                    }
+                }
+            }
+            CoreState::BatchDrain => {
+                if self.outstanding == 0 {
+                    self.finish_batch();
+                    self.do_idle(now, dram);
+                } else {
+                    self.stats.cp_stall_cycles += 1;
+                    self.state = CoreState::BatchDrain;
+                }
+            }
+        }
+        self.drain_store_acks(dram);
+    }
+
+    /// Pop delivered responses: discard posted-write acknowledgements,
+    /// stash prefetched headers, and return the data of the read the core
+    /// is waiting on (`expect` tag, at `want_addr` for header reads — the
+    /// prefetch unit may have a header for a *different* block in flight
+    /// at the same time).
+    fn take_read(
+        &mut self,
+        dram: &mut Dram,
+        expect: Tag,
+        want_addr: Option<u64>,
+    ) -> Option<Vec<u8>> {
+        while let Some(resp) = dram.pop_response(self.port) {
+            if resp.tag == TAG_STORE {
+                continue; // posted-write acknowledgement
+            }
+            if resp.tag == TAG_HEADER {
+                let awaited = expect == TAG_HEADER && want_addr == Some(resp.addr);
+                if !awaited {
+                    self.stash_prefetch(&resp);
+                    continue;
+                }
+                if Some(resp.addr) == self.prefetch_inflight {
+                    // The awaited header was the prefetch itself.
+                    self.prefetch_inflight = None;
+                }
+                return Some(resp.data);
+            }
+            assert_eq!(
+                resp.tag, expect,
+                "unexpected read response on softcore port"
+            );
+            return Some(resp.data);
+        }
+        None
+    }
+
+    fn stash_prefetch(&mut self, resp: &bionicdb_fpga::MemResponse) {
+        assert_eq!(
+            Some(resp.addr),
+            self.prefetch_inflight,
+            "orphan header response"
+        );
+        let proc = u64::from_le_bytes(resp.data.as_slice().try_into().expect("8 bytes"));
+        self.prefetched = Some((resp.addr, proc));
+        self.prefetch_inflight = None;
+    }
+
+    /// Discard any delivered posted-write acknowledgements and stash
+    /// prefetched headers delivered while the core was not waiting on a
+    /// read.
+    fn drain_store_acks(&mut self, dram: &mut Dram) {
+        let waiting_on_read = matches!(
+            self.state,
+            CoreState::WaitLoad { .. } | CoreState::FetchHeader { .. }
+        );
+        if waiting_on_read {
+            return; // do not consume the pending read response
+        }
+        while let Some(resp) = dram.pop_response(self.port) {
+            if resp.tag == TAG_HEADER {
+                self.stash_prefetch(&resp);
+                continue;
+            }
+            assert_eq!(resp.tag, TAG_STORE, "orphan read response on softcore port");
+        }
+    }
+
+    fn do_idle(&mut self, now: Cycle, dram: &mut Dram) {
+        debug_assert_eq!(self.phase, Phase::Logic);
+        // A prefetched header for the front of the input queue lets ingest
+        // skip the DRAM round trip entirely.
+        if self.pending_block.is_none() {
+            if let Some((addr, proc)) = self.prefetched {
+                if self.input.front() == Some(&addr) {
+                    self.input.pop_front();
+                    self.prefetched = None;
+                    self.ingest(now, addr, proc);
+                    return;
+                }
+                // Stale (input changed); drop it.
+                self.prefetched = None;
+            }
+        }
+        let next_block = self.pending_block.take().or_else(|| self.input.pop_front());
+        match next_block {
+            Some(addr) => {
+                // If the prefetch unit already has this header in flight,
+                // just wait for it instead of issuing a duplicate read.
+                let issued = if self.prefetch_inflight == Some(addr) {
+                    true
+                } else {
+                    dram.issue(
+                        now,
+                        self.port,
+                        MemRequest {
+                            addr,
+                            kind: MemKind::Read { len: 8 },
+                            tag: TAG_HEADER,
+                        },
+                    )
+                    .is_ok()
+                };
+                self.state = CoreState::FetchHeader { addr, issued };
+            }
+            None if !self.contexts.is_empty() => self.close_batch(),
+            None => self.state = CoreState::Idle,
+        }
+    }
+
+    fn do_fetch_header(
+        &mut self,
+        now: Cycle,
+        dram: &mut Dram,
+        cat: &Catalogue,
+        addr: u64,
+        issued: bool,
+    ) {
+        self.stats.mem_stall_cycles += 1;
+        if !issued {
+            let ok = dram
+                .issue(
+                    now,
+                    self.port,
+                    MemRequest {
+                        addr,
+                        kind: MemKind::Read { len: 8 },
+                        tag: TAG_HEADER,
+                    },
+                )
+                .is_ok();
+            self.state = CoreState::FetchHeader { addr, issued: ok };
+            return;
+        }
+        if self.prefetched.map(|(a, _)| a) == Some(addr) {
+            // The prefetch completed while we were entering this state.
+            let (_, proc) = self.prefetched.take().expect("checked");
+            self.ingest_with_catalogue(now, addr, proc, cat);
+            return;
+        }
+        let Some(data) = self.take_read(dram, TAG_HEADER, Some(addr)) else {
+            self.state = CoreState::FetchHeader { addr, issued };
+            return;
+        };
+        let proc = u64::from_le_bytes(data.try_into().expect("8 bytes"));
+        self.ingest_with_catalogue(now, addr, proc, cat);
+    }
+
+    /// Ingest a block whose header is known, without catalogue access (the
+    /// prefetch fast path defers to the next tick, where the catalogue is
+    /// available again).
+    fn ingest(&mut self, _now: Cycle, addr: u64, proc: u64) {
+        // The catalogue reference is not available here (do_idle is called
+        // without it); park in FetchHeader with the header already decoded
+        // so the next tick completes ingest with zero extra latency.
+        self.prefetched = Some((addr, proc));
+        self.state = CoreState::FetchHeader { addr, issued: true };
+    }
+
+    fn ingest_with_catalogue(&mut self, now: Cycle, addr: u64, proc_word: u64, cat: &Catalogue) {
+        let proc_id = ProcId(proc_word as u32);
+        let proc = cat
+            .proc(proc_id)
+            .unwrap_or_else(|| panic!("transaction block names unknown procedure {proc_id:?}"));
+        let fits = (self.gp_next as usize + proc.gp_count as usize) <= self.params.num_registers
+            && (self.cp_next as usize + proc.cp_count as usize) <= self.params.num_registers
+            && self.contexts.len() < self.params.max_batch;
+        if !fits {
+            // Batch closure: the new transaction is scheduled after the
+            // current batch commits (paper §4.5).
+            self.pending_block = Some(addr);
+            self.close_batch();
+            return;
+        }
+        let gp_base = self.gp_next;
+        let cp_base = self.cp_next;
+        self.gp_next += proc.gp_count;
+        self.cp_next += proc.cp_count;
+        for i in 0..proc.cp_count {
+            self.cp[(cp_base + i) as usize] = None;
+        }
+        for i in 0..proc.gp_count {
+            self.gp[(gp_base + i) as usize] = 0;
+        }
+        // Hardware timestamp: globally unique, monotonic (cycle, worker).
+        let ts = (now << 10) | (self.worker.0 as u64 & 0x3ff);
+        self.contexts.push(Context {
+            proc: proc_id,
+            block_addr: addr,
+            pc: 0,
+            gp_base,
+            cp_base,
+            ts,
+            failed: false,
+            outcome: None,
+        });
+        self.cur = self.contexts.len() - 1;
+        self.begin_inst(cat);
+    }
+
+    fn close_batch(&mut self) {
+        debug_assert!(!self.contexts.is_empty());
+        self.phase = Phase::Commit;
+        self.begin_commit_for(0);
+    }
+
+    fn begin_commit_for(&mut self, idx: usize) {
+        self.cur = idx;
+        self.stats.switches += 1;
+        self.state = CoreState::Switching {
+            remaining: self.params.context_switch.max(1),
+            then: AfterSwitch::Resume,
+        };
+        // PC is set lazily in begin_inst via phase; store sentinel now.
+        self.contexts[idx].pc = u32::MAX; // patched in begin_inst
+    }
+
+    /// Start executing the instruction at the current context's PC.
+    fn begin_inst(&mut self, cat: &Catalogue) {
+        let ctx = &mut self.contexts[self.cur];
+        let proc = cat.proc(ctx.proc).expect("validated at ingest");
+        if ctx.pc == u32::MAX {
+            ctx.pc = if ctx.failed {
+                proc.abort_entry
+            } else {
+                proc.commit_entry
+            };
+        }
+        let inst = proc.code[ctx.pc as usize];
+        let cost = if inst.is_db() {
+            self.params.db_dispatch_cycles
+        } else {
+            self.params.cpu_inst_cycles
+        };
+        self.state = CoreState::Exec {
+            remaining: cost.max(1),
+        };
+    }
+
+    /// Move to the next instruction after the current one completed.
+    fn advance_pc(&mut self, cat: &Catalogue) {
+        self.contexts[self.cur].pc += 1;
+        self.begin_inst(cat);
+    }
+
+    fn jump_to(&mut self, cat: &Catalogue, target: u32) {
+        self.contexts[self.cur].pc = target;
+        self.begin_inst(cat);
+    }
+
+    /// Apply the effect of the current instruction (its fixed cost already
+    /// charged) and set up the next state.
+    fn execute_current(
+        &mut self,
+        now: Cycle,
+        dram: &mut Dram,
+        cat: &Catalogue,
+        db_out: &mut Fifo<DbRequest>,
+    ) {
+        let ctx_idx = self.cur;
+        let (proc_id, pc) = {
+            let ctx = &self.contexts[ctx_idx];
+            (ctx.proc, ctx.pc)
+        };
+        let proc = cat.proc(proc_id).expect("validated at ingest");
+        let inst = proc.code[pc as usize];
+
+        if inst.is_db() {
+            self.dispatch_db(cat, inst, db_out);
+            return;
+        }
+        self.stats.cpu_insts += 1;
+
+        match inst {
+            Inst::Alu { op, rd, rs } => {
+                let ctx = &self.contexts[ctx_idx];
+                let a = self.gp_read(ctx, rd);
+                let b = self.operand(ctx, rs);
+                let gp_base = ctx.gp_base;
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::Div => {
+                        if b == 0 {
+                            // Exception: triggers the abort handler
+                            // (paper §4.5 "any exception caught will
+                            // trigger the abort handler").
+                            self.raise_exception(cat);
+                            return;
+                        }
+                        ((a as i64).wrapping_div(b as i64)) as u64
+                    }
+                    AluOp::Mov => b,
+                };
+                self.gp_write(gp_base, rd, v);
+                self.advance_pc(cat);
+            }
+            Inst::Cmp { ra, rb } => {
+                let ctx = &self.contexts[ctx_idx];
+                let a = self.gp_read(ctx, ra) as i64;
+                let b = self.operand(ctx, rb) as i64;
+                self.flags = a.cmp(&b);
+                self.advance_pc(cat);
+            }
+            Inst::Load { rd, base, off } => {
+                let ctx = &self.contexts[ctx_idx];
+                let addr = self.mem_addr(ctx, base, off);
+                let rd_global = ctx.gp_base as usize + rd.0 as usize;
+                let issued = dram
+                    .issue(
+                        now,
+                        self.port,
+                        MemRequest {
+                            addr,
+                            kind: MemKind::Read { len: 8 },
+                            tag: TAG_LOAD,
+                        },
+                    )
+                    .is_ok();
+                self.state = CoreState::WaitLoad {
+                    rd_global,
+                    issued,
+                    addr,
+                };
+            }
+            Inst::Store { rs, base, off } => {
+                let ctx = &self.contexts[ctx_idx];
+                let addr = self.mem_addr(ctx, base, off);
+                let value = self.gp_read(ctx, rs);
+                let req = MemRequest {
+                    addr,
+                    kind: MemKind::Write {
+                        data: value.to_le_bytes().to_vec(),
+                    },
+                    tag: TAG_STORE,
+                };
+                if dram.issue(now, self.port, req).is_ok() {
+                    self.advance_pc(cat);
+                } else {
+                    self.state = CoreState::WaitStore { addr, value };
+                }
+            }
+            Inst::Jmp { target } => self.jump_to(cat, target),
+            Inst::Br { cond, target } => {
+                let taken = match cond {
+                    Cond::Eq => self.flags == std::cmp::Ordering::Equal,
+                    Cond::Ne => self.flags != std::cmp::Ordering::Equal,
+                    Cond::Le => self.flags != std::cmp::Ordering::Greater,
+                    Cond::Lt => self.flags == std::cmp::Ordering::Less,
+                    Cond::Gt => self.flags == std::cmp::Ordering::Greater,
+                    Cond::Ge => self.flags != std::cmp::Ordering::Less,
+                };
+                if taken {
+                    self.jump_to(cat, target);
+                } else {
+                    self.advance_pc(cat);
+                }
+            }
+            Inst::GetTs { rd } => {
+                let ctx = &self.contexts[ctx_idx];
+                let (ts, gp_base) = (ctx.ts, ctx.gp_base);
+                self.gp_write(gp_base, rd, ts);
+                self.advance_pc(cat);
+            }
+            Inst::Ret { rd, cp } => {
+                let ctx = &self.contexts[ctx_idx];
+                let idx = ctx.cp_base as usize + cp.0 as usize;
+                match self.cp[idx] {
+                    Some(v) => {
+                        let gp_base = ctx.gp_base;
+                        self.gp_write(gp_base, rd, v as u64);
+                        self.advance_pc(cat);
+                    }
+                    None => {
+                        // Not a completed instruction; undo the count and
+                        // retry until the CP result arrives.
+                        self.stats.cpu_insts -= 1;
+                        self.state = CoreState::WaitCp;
+                    }
+                }
+            }
+            Inst::Yield => {
+                match self.phase {
+                    Phase::Logic => {
+                        // Save context, switch to the next transaction.
+                        self.contexts[ctx_idx].pc = pc; // saved as-is; commit entry set later
+                        match self.params.mode {
+                            ExecMode::Interleaved => {
+                                self.stats.switches += 1;
+                                self.state = CoreState::Switching {
+                                    remaining: self.params.context_switch.max(1),
+                                    then: AfterSwitch::Ingest,
+                                };
+                            }
+                            ExecMode::Serial => self.close_batch(),
+                        }
+                    }
+                    Phase::Commit => panic!("YIELD executed inside a commit/abort handler"),
+                }
+            }
+            Inst::Commit => self.finish_context(now, dram, cat, CtxOutcome::Committed),
+            Inst::Abort => match self.phase {
+                Phase::Logic => self.raise_exception(cat),
+                Phase::Commit => self.finish_context(now, dram, cat, CtxOutcome::Aborted),
+            },
+            Inst::Insert { .. }
+            | Inst::Search { .. }
+            | Inst::Scan { .. }
+            | Inst::Update { .. }
+            | Inst::Remove { .. } => unreachable!("DB instructions handled above"),
+        }
+    }
+
+    /// A logic-phase exception (CC failure observed early, voluntary abort,
+    /// divide-by-zero): mark the context failed and yield; the abort handler
+    /// will run in the commit phase.
+    fn raise_exception(&mut self, _cat: &Catalogue) {
+        let ctx = &mut self.contexts[self.cur];
+        ctx.failed = true;
+        match self.phase {
+            Phase::Logic => match self.params.mode {
+                ExecMode::Interleaved => {
+                    self.stats.switches += 1;
+                    self.state = CoreState::Switching {
+                        remaining: self.params.context_switch.max(1),
+                        then: AfterSwitch::Ingest,
+                    };
+                }
+                ExecMode::Serial => self.close_batch(),
+            },
+            Phase::Commit => unreachable!("exceptions in commit phase finish the context"),
+        }
+    }
+
+    fn dispatch_db(&mut self, cat: &Catalogue, inst: Inst, db_out: &mut Fifo<DbRequest>) {
+        let ctx = &self.contexts[self.cur];
+        let user_base = ctx.block_addr + BLOCK_HEADER_SIZE;
+        let (op, table, key_off, payload_off, count, out_off, home, cp) = match inst {
+            Inst::Insert {
+                table,
+                key_off,
+                payload_off,
+                home,
+                cp,
+            } => (
+                DbOp::Insert,
+                table,
+                key_off,
+                Some(payload_off),
+                None,
+                None,
+                home,
+                cp,
+            ),
+            Inst::Search {
+                table,
+                key_off,
+                home,
+                cp,
+            } => (DbOp::Search, table, key_off, None, None, None, home, cp),
+            Inst::Scan {
+                table,
+                key_off,
+                count,
+                out_off,
+                home,
+                cp,
+            } => (
+                DbOp::Scan,
+                table,
+                key_off,
+                None,
+                Some(count),
+                Some(out_off),
+                home,
+                cp,
+            ),
+            Inst::Update {
+                table,
+                key_off,
+                home,
+                cp,
+            } => (DbOp::Update, table, key_off, None, None, None, home, cp),
+            Inst::Remove {
+                table,
+                key_off,
+                home,
+                cp,
+            } => (DbOp::Remove, table, key_off, None, None, None, home, cp),
+            other => unreachable!("not a DB instruction: {other:?}"),
+        };
+        let req_cp_index = (ctx.cp_base + cp.0 as u16) as usize;
+        let req = DbRequest {
+            op,
+            table,
+            key_addr: user_base + self.operand(ctx, key_off),
+            payload_addr: payload_off
+                .map(|o| user_base + self.operand(ctx, o))
+                .unwrap_or(0),
+            scan_count: count.map(|c| self.operand(ctx, c) as u32).unwrap_or(0),
+            out_addr: out_off
+                .map(|o| user_base + self.operand(ctx, o))
+                .unwrap_or(0),
+            ts: ctx.ts,
+            cp: CpSlot {
+                worker: self.worker,
+                index: ctx.cp_base + cp.0 as u16,
+            },
+            home: self.resolve_home(ctx, home),
+        };
+        match db_out.push(req) {
+            Ok(()) => {
+                // Invalidate the destination CP register so a stale value
+                // from an earlier (RET-collected) use cannot be observed.
+                self.cp[req_cp_index] = None;
+                self.outstanding += 1;
+                self.stats.db_insts += 1;
+                self.advance_pc(cat);
+            }
+            Err(_) => self.state = CoreState::DispatchStall,
+        }
+    }
+
+    fn finish_context(
+        &mut self,
+        now: Cycle,
+        dram: &mut Dram,
+        cat: &Catalogue,
+        outcome: CtxOutcome,
+    ) {
+        debug_assert_eq!(
+            self.phase,
+            Phase::Commit,
+            "COMMIT/ABORT outside commit phase"
+        );
+        let ctx = &mut self.contexts[self.cur];
+        ctx.outcome = Some(outcome);
+        let (status, ts) = match outcome {
+            CtxOutcome::Committed => (1u64, ctx.ts),
+            CtxOutcome::Aborted => (2u64, 0),
+        };
+        // Write the commit state and timestamp back into the transaction
+        // block (posted writes; host-side visibility is what matters and
+        // functional state applies immediately).
+        let block = ctx.block_addr;
+        let _ = now;
+        dram.host_write_u64(block + STATUS_OFFSET, status);
+        dram.host_write_u64(block + COMMIT_TS_OFFSET, ts);
+        match outcome {
+            CtxOutcome::Committed => self.stats.committed += 1,
+            CtxOutcome::Aborted => self.stats.aborted += 1,
+        }
+        let _ = cat;
+        if self.cur + 1 < self.contexts.len() {
+            self.begin_commit_for(self.cur + 1);
+        } else {
+            self.state = CoreState::BatchDrain;
+        }
+    }
+
+    fn finish_batch(&mut self) {
+        debug_assert!(self.contexts.iter().all(|c| c.outcome.is_some()));
+        self.contexts.clear();
+        self.gp_next = 0;
+        self.cp_next = 0;
+        self.phase = Phase::Logic;
+        self.stats.batches += 1;
+    }
+}
+
+impl std::fmt::Debug for Softcore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Softcore")
+            .field("worker", &self.worker)
+            .field("phase", &self.phase)
+            .field("contexts", &self.contexts.len())
+            .field("outstanding", &self.outstanding)
+            .field("state", &self.state)
+            .finish()
+    }
+}

@@ -1,0 +1,927 @@
+//! The BionicDB instruction set (paper Table 2).
+//!
+//! Two instruction classes exist:
+//!
+//! * **CPU instructions** — executed directly by the softcore in five steps
+//!   (IFetch, Decode, Execute, Memory, Writeback) like a simple RISC CPU.
+//!   The paper deliberately rules out instruction pipelining and
+//!   out-of-order execution (prior work shows they do not pay off for OLTP).
+//! * **DB instructions** — encapsulate index operations. The softcore
+//!   collects metadata in a Prepare step and Dispatches the instruction
+//!   asynchronously to the local index coprocessor or, via the on-chip
+//!   communication channels, to a remote worker.
+//!
+//! The paper's table lists: INSERT, SEARCH, SCAN, UPDATE, REMOVE (DB) and
+//! ADD/SUB/MUL/DIV/MOV, CMP, LOAD/STORE, JMP/BE/BLE/BLT/BGT/BGE, RET,
+//! COMMIT/ABORT (CPU). We add two implementation instructions the paper
+//! implies but does not name: `YIELD` (marks the end of the
+//! transaction-logic phase, where the softcore saves the context and
+//! switches to the next transaction) and `BNE` (branch not-equal, for
+//! convenience in generated commit handlers).
+
+use crate::catalogue::TableId;
+
+/// A general-purpose register index (paper §4.3: 256 GP registers on BRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gp(pub u8);
+
+/// A coprocessor register index (paper §4.3: results of DB instructions are
+/// returned asynchronously into CP registers; 256 per softcore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cp(pub u8);
+
+/// A source operand: either a GP register or an immediate inlined into the
+/// instruction (paper §4.3, addressing-mode discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Contents of a GP register.
+    Reg(Gp),
+    /// An immediate value.
+    Imm(i64),
+}
+
+/// Base register selection for LOAD/STORE. The paper's base-offset
+/// addressing sets a base register to the start of the transaction block;
+/// `Block` names that implicit base, `Reg` uses an arbitrary GP register
+/// (e.g. a tuple address returned by SEARCH).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemBase {
+    /// The start address of the current transaction block.
+    Block,
+    /// An arbitrary base address held in a GP register.
+    Reg(Gp),
+}
+
+/// Arithmetic/move operations (two-operand form: `rd = rd op rs`; MOV is
+/// `rd = rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division. Division by zero raises a softcore exception, which
+    /// aborts the transaction.
+    Div,
+    /// Move.
+    Mov,
+}
+
+/// Branch conditions, evaluated against the flags set by the last CMP
+/// (signed comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal (BE).
+    Eq,
+    /// Not equal (BNE; implementation addition).
+    Ne,
+    /// Less or equal (BLE).
+    Le,
+    /// Less than (BLT).
+    Lt,
+    /// Greater than (BGT).
+    Gt,
+    /// Greater or equal (BGE).
+    Ge,
+}
+
+/// One BionicDB instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    // ----- DB instructions (paper Table 2, type DB) -----
+    /// Insert a tuple: key bytes at block offset `key_off`, payload bytes at
+    /// block offset `payload_off`. Result (tuple address or error) to `cp`.
+    Insert {
+        /// Target table.
+        table: TableId,
+        /// Block-relative offset of the key bytes.
+        key_off: Operand,
+        /// Block-relative offset of the payload bytes.
+        payload_off: Operand,
+        /// Destination partition (worker id); immediate or register.
+        home: Operand,
+        /// CP register receiving the result.
+        cp: Cp,
+    },
+    /// Point lookup; returns the tuple address or an error code.
+    Search {
+        /// Target table.
+        table: TableId,
+        /// Block-relative offset of the key bytes.
+        key_off: Operand,
+        /// Destination partition.
+        home: Operand,
+        /// CP register receiving the result.
+        cp: Cp,
+    },
+    /// Range scan from the key at `key_off`, collecting up to `count`
+    /// visible tuples into the block-relative buffer at `out_off`; the
+    /// number of tuples collected is returned in `cp`.
+    Scan {
+        /// Target table (must be skiplist-indexed).
+        table: TableId,
+        /// Block-relative offset of the start key bytes.
+        key_off: Operand,
+        /// Maximum tuples to collect.
+        count: Operand,
+        /// Block-relative offset of the result buffer.
+        out_off: Operand,
+        /// Destination partition.
+        home: Operand,
+        /// CP register receiving the result count.
+        cp: Cp,
+    },
+    /// Locate a tuple for update: performs the write-permission visibility
+    /// check, marks the tuple dirty and returns its address; the softcore
+    /// performs the in-place write later (paper §4.7).
+    Update {
+        /// Target table.
+        table: TableId,
+        /// Block-relative offset of the key bytes.
+        key_off: Operand,
+        /// Destination partition.
+        home: Operand,
+        /// CP register receiving the result.
+        cp: Cp,
+    },
+    /// Mark a tuple removed (dirty + tombstone bits; paper §4.7).
+    Remove {
+        /// Target table.
+        table: TableId,
+        /// Block-relative offset of the key bytes.
+        key_off: Operand,
+        /// Destination partition.
+        home: Operand,
+        /// CP register receiving the result.
+        cp: Cp,
+    },
+
+    // ----- CPU instructions (paper Table 2, type CPU) -----
+    /// ADD/SUB/MUL/DIV/MOV.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and first source) register.
+        rd: Gp,
+        /// Second source operand.
+        rs: Operand,
+    },
+    /// Compare `ra` with `rb` and set the status flags.
+    Cmp {
+        /// Left-hand register.
+        ra: Gp,
+        /// Right-hand operand.
+        rb: Operand,
+    },
+    /// `rd = mem64[base + off]`.
+    Load {
+        /// Destination register.
+        rd: Gp,
+        /// Base address selection.
+        base: MemBase,
+        /// Byte offset from the base.
+        off: Operand,
+    },
+    /// `mem64[base + off] = rs`.
+    Store {
+        /// Source register.
+        rs: Gp,
+        /// Base address selection.
+        base: MemBase,
+        /// Byte offset from the base.
+        off: Operand,
+    },
+    /// Unconditional jump to an absolute instruction index.
+    Jmp {
+        /// Target instruction index in the procedure's flat code array.
+        target: u32,
+    },
+    /// Conditional branch (BE/BNE/BLE/BLT/BGT/BGE).
+    Br {
+        /// Condition against the current flags.
+        cond: Cond,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Read the current transaction's begin timestamp (the hardware-clock
+    /// value assigned at transaction start) into `rd`. The paper's commit
+    /// handlers overwrite tuple write-times with the begin timestamp
+    /// (§4.7), which requires exactly this special-register read.
+    GetTs {
+        /// Destination register.
+        rd: Gp,
+    },
+    /// Collect the result of a DB instruction: blocks until CP register
+    /// `cp` holds a value, then copies it into `rd`. Every DB instruction
+    /// must be paired with a RET on the same CP register (paper §4.3).
+    Ret {
+        /// GP register receiving the value.
+        rd: Gp,
+        /// CP register to read.
+        cp: Cp,
+    },
+    /// Commit the transaction: writes the committed status and commit
+    /// timestamp into the transaction block and finishes the context.
+    Commit,
+    /// Abort the transaction: writes the aborted status into the
+    /// transaction block and finishes the context.
+    Abort,
+    /// End of the transaction-logic phase: the softcore saves the context
+    /// and switches to the next transaction without waiting for outstanding
+    /// DB instructions (paper §4.5).
+    Yield,
+}
+
+impl Inst {
+    /// True for DB instructions (dispatched to the index coprocessor).
+    pub fn is_db(&self) -> bool {
+        matches!(
+            self,
+            Inst::Insert { .. }
+                | Inst::Search { .. }
+                | Inst::Scan { .. }
+                | Inst::Update { .. }
+                | Inst::Remove { .. }
+        )
+    }
+}
+
+/// A compiled stored procedure: a flat code array with three entry points
+/// (transaction logic at index 0, commit handler, abort handler — paper
+/// §4.3/Fig. 3) plus the register footprint used for batch grouping
+/// (paper §4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Flat instruction array. Branch targets are absolute indices.
+    pub code: Vec<Inst>,
+    /// Entry index of the commit handler.
+    pub commit_entry: u32,
+    /// Entry index of the abort handler.
+    pub abort_entry: u32,
+    /// Number of GP registers the procedure uses (for batch allocation).
+    pub gp_count: u16,
+    /// Number of CP registers the procedure uses.
+    pub cp_count: u16,
+}
+
+/// Errors produced by [`Procedure::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcError {
+    /// A branch target lies outside the code array.
+    BadTarget {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// An entry point lies outside the code array.
+    BadEntry(&'static str),
+    /// A register index is outside the declared footprint.
+    BadRegister {
+        /// Index of the offending instruction.
+        at: usize,
+    },
+    /// The logic section can fall through past the end of the code array.
+    MissingTerminator,
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::BadTarget { at, target } => {
+                write!(f, "instruction {at}: branch target {target} out of range")
+            }
+            ProcError::BadEntry(which) => write!(f, "{which} entry point out of range"),
+            ProcError::BadRegister { at } => {
+                write!(f, "instruction {at}: register outside declared footprint")
+            }
+            ProcError::MissingTerminator => write!(f, "code does not end with a terminator"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+impl Procedure {
+    /// Check structural invariants: entries and branch targets in range,
+    /// register indices within the declared footprint, code terminated.
+    pub fn validate(&self) -> Result<(), ProcError> {
+        let n = self.code.len() as u32;
+        if self.commit_entry >= n {
+            return Err(ProcError::BadEntry("commit"));
+        }
+        if self.abort_entry >= n {
+            return Err(ProcError::BadEntry("abort"));
+        }
+        match self.code.last() {
+            Some(Inst::Commit | Inst::Abort | Inst::Jmp { .. }) => {}
+            _ => return Err(ProcError::MissingTerminator),
+        }
+        for (at, inst) in self.code.iter().enumerate() {
+            if let Inst::Jmp { target } | Inst::Br { target, .. } = inst {
+                if *target >= n {
+                    return Err(ProcError::BadTarget {
+                        at,
+                        target: *target,
+                    });
+                }
+            }
+            let gp_ok = |g: &Gp| (g.0 as u16) < self.gp_count;
+            let cp_ok = |c: &Cp| (c.0 as u16) < self.cp_count;
+            let op_ok = |o: &Operand| match o {
+                Operand::Reg(g) => gp_ok(g),
+                Operand::Imm(_) => true,
+            };
+            let base_ok = |b: &MemBase| match b {
+                MemBase::Block => true,
+                MemBase::Reg(g) => gp_ok(g),
+            };
+            let ok = match inst {
+                Inst::Insert {
+                    key_off,
+                    payload_off,
+                    home,
+                    cp,
+                    ..
+                } => op_ok(key_off) && op_ok(payload_off) && op_ok(home) && cp_ok(cp),
+                Inst::Search {
+                    key_off, home, cp, ..
+                }
+                | Inst::Update {
+                    key_off, home, cp, ..
+                }
+                | Inst::Remove {
+                    key_off, home, cp, ..
+                } => op_ok(key_off) && op_ok(home) && cp_ok(cp),
+                Inst::Scan {
+                    key_off,
+                    count,
+                    out_off,
+                    home,
+                    cp,
+                    ..
+                } => op_ok(key_off) && op_ok(count) && op_ok(out_off) && op_ok(home) && cp_ok(cp),
+                Inst::Alu { rd, rs, .. } => gp_ok(rd) && op_ok(rs),
+                Inst::Cmp { ra, rb } => gp_ok(ra) && op_ok(rb),
+                Inst::Load { rd, base, off } => gp_ok(rd) && base_ok(base) && op_ok(off),
+                Inst::Store { rs, base, off } => gp_ok(rs) && base_ok(base) && op_ok(off),
+                Inst::Ret { rd, cp } => gp_ok(rd) && cp_ok(cp),
+                Inst::GetTs { rd } => gp_ok(rd),
+                Inst::Jmp { .. } | Inst::Br { .. } | Inst::Commit | Inst::Abort | Inst::Yield => {
+                    true
+                }
+            };
+            if !ok {
+                return Err(ProcError::BadRegister { at });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: the client uploads pre-compiled stored procedures to the
+// catalogue (paper §4.2 step "upload a pre-compiled stored procedure").
+// This is a compact, self-describing byte encoding with full round-tripping.
+// ---------------------------------------------------------------------------
+
+mod wire {
+    use super::*;
+
+    pub const OP_INSERT: u8 = 0x01;
+    pub const OP_SEARCH: u8 = 0x02;
+    pub const OP_SCAN: u8 = 0x03;
+    pub const OP_UPDATE: u8 = 0x04;
+    pub const OP_REMOVE: u8 = 0x05;
+    pub const OP_ALU: u8 = 0x10;
+    pub const OP_CMP: u8 = 0x11;
+    pub const OP_LOAD: u8 = 0x12;
+    pub const OP_STORE: u8 = 0x13;
+    pub const OP_JMP: u8 = 0x14;
+    pub const OP_BR: u8 = 0x15;
+    pub const OP_RET: u8 = 0x16;
+    pub const OP_COMMIT: u8 = 0x17;
+    pub const OP_ABORT: u8 = 0x18;
+    pub const OP_YIELD: u8 = 0x19;
+    pub const OP_GETTS: u8 = 0x1a;
+
+    pub fn put_operand(buf: &mut Vec<u8>, op: &Operand) {
+        match op {
+            Operand::Reg(Gp(r)) => {
+                buf.push(0);
+                buf.push(*r);
+            }
+            Operand::Imm(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    pub fn get_operand(buf: &[u8], pos: &mut usize) -> Result<Operand, DecodeError> {
+        let kind = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        match kind {
+            0 => {
+                let r = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+                *pos += 1;
+                Ok(Operand::Reg(Gp(r)))
+            }
+            1 => {
+                let end = *pos + 8;
+                let bytes = buf.get(*pos..end).ok_or(DecodeError::Truncated)?;
+                *pos = end;
+                Ok(Operand::Imm(i64::from_le_bytes(
+                    bytes.try_into().expect("8 bytes"),
+                )))
+            }
+            k => Err(DecodeError::BadOperandKind(k)),
+        }
+    }
+
+    pub fn put_base(buf: &mut Vec<u8>, b: &MemBase) {
+        match b {
+            MemBase::Block => buf.push(0xff),
+            MemBase::Reg(Gp(r)) => buf.push(*r),
+        }
+    }
+
+    pub fn get_base(buf: &[u8], pos: &mut usize) -> Result<MemBase, DecodeError> {
+        let b = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        Ok(if b == 0xff {
+            MemBase::Block
+        } else {
+            MemBase::Reg(Gp(b))
+        })
+    }
+
+    pub fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8, DecodeError> {
+        let b = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        Ok(b)
+    }
+
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+        let end = *pos + 4;
+        let bytes = buf.get(*pos..end).ok_or(DecodeError::Truncated)?;
+        *pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+}
+
+/// Errors when decoding the instruction wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended mid-instruction.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown operand tag.
+    BadOperandKind(u8),
+    /// Unknown ALU sub-opcode.
+    BadAluOp(u8),
+    /// Unknown branch condition.
+    BadCond(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction stream truncated"),
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode {b:#x}"),
+            DecodeError::BadOperandKind(b) => write!(f, "unknown operand tag {b:#x}"),
+            DecodeError::BadAluOp(b) => write!(f, "unknown ALU op {b:#x}"),
+            DecodeError::BadCond(b) => write!(f, "unknown branch condition {b:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append the wire encoding of `inst` to `buf`.
+pub fn encode(inst: &Inst, buf: &mut Vec<u8>) {
+    use wire::*;
+    match inst {
+        Inst::Insert {
+            table,
+            key_off,
+            payload_off,
+            home,
+            cp,
+        } => {
+            buf.push(OP_INSERT);
+            buf.push(table.0);
+            put_operand(buf, key_off);
+            put_operand(buf, payload_off);
+            put_operand(buf, home);
+            buf.push(cp.0);
+        }
+        Inst::Search {
+            table,
+            key_off,
+            home,
+            cp,
+        } => {
+            buf.push(OP_SEARCH);
+            buf.push(table.0);
+            put_operand(buf, key_off);
+            put_operand(buf, home);
+            buf.push(cp.0);
+        }
+        Inst::Scan {
+            table,
+            key_off,
+            count,
+            out_off,
+            home,
+            cp,
+        } => {
+            buf.push(OP_SCAN);
+            buf.push(table.0);
+            put_operand(buf, key_off);
+            put_operand(buf, count);
+            put_operand(buf, out_off);
+            put_operand(buf, home);
+            buf.push(cp.0);
+        }
+        Inst::Update {
+            table,
+            key_off,
+            home,
+            cp,
+        } => {
+            buf.push(OP_UPDATE);
+            buf.push(table.0);
+            put_operand(buf, key_off);
+            put_operand(buf, home);
+            buf.push(cp.0);
+        }
+        Inst::Remove {
+            table,
+            key_off,
+            home,
+            cp,
+        } => {
+            buf.push(OP_REMOVE);
+            buf.push(table.0);
+            put_operand(buf, key_off);
+            put_operand(buf, home);
+            buf.push(cp.0);
+        }
+        Inst::Alu { op, rd, rs } => {
+            buf.push(OP_ALU);
+            buf.push(match op {
+                AluOp::Add => 0,
+                AluOp::Sub => 1,
+                AluOp::Mul => 2,
+                AluOp::Div => 3,
+                AluOp::Mov => 4,
+            });
+            buf.push(rd.0);
+            put_operand(buf, rs);
+        }
+        Inst::Cmp { ra, rb } => {
+            buf.push(OP_CMP);
+            buf.push(ra.0);
+            put_operand(buf, rb);
+        }
+        Inst::Load { rd, base, off } => {
+            buf.push(OP_LOAD);
+            buf.push(rd.0);
+            put_base(buf, base);
+            put_operand(buf, off);
+        }
+        Inst::Store { rs, base, off } => {
+            buf.push(OP_STORE);
+            buf.push(rs.0);
+            put_base(buf, base);
+            put_operand(buf, off);
+        }
+        Inst::Jmp { target } => {
+            buf.push(OP_JMP);
+            put_u32(buf, *target);
+        }
+        Inst::Br { cond, target } => {
+            buf.push(OP_BR);
+            buf.push(match cond {
+                Cond::Eq => 0,
+                Cond::Ne => 1,
+                Cond::Le => 2,
+                Cond::Lt => 3,
+                Cond::Gt => 4,
+                Cond::Ge => 5,
+            });
+            put_u32(buf, *target);
+        }
+        Inst::Ret { rd, cp } => {
+            buf.push(OP_RET);
+            buf.push(rd.0);
+            buf.push(cp.0);
+        }
+        Inst::GetTs { rd } => {
+            buf.push(OP_GETTS);
+            buf.push(rd.0);
+        }
+        Inst::Commit => buf.push(OP_COMMIT),
+        Inst::Abort => buf.push(OP_ABORT),
+        Inst::Yield => buf.push(OP_YIELD),
+    }
+}
+
+/// Decode one instruction starting at `*pos`, advancing `*pos` past it.
+pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Inst, DecodeError> {
+    use wire::*;
+    let op = get_u8(buf, pos)?;
+    let inst = match op {
+        OP_INSERT => Inst::Insert {
+            table: TableId(get_u8(buf, pos)?),
+            key_off: get_operand(buf, pos)?,
+            payload_off: get_operand(buf, pos)?,
+            home: get_operand(buf, pos)?,
+            cp: Cp(get_u8(buf, pos)?),
+        },
+        OP_SEARCH => Inst::Search {
+            table: TableId(get_u8(buf, pos)?),
+            key_off: get_operand(buf, pos)?,
+            home: get_operand(buf, pos)?,
+            cp: Cp(get_u8(buf, pos)?),
+        },
+        OP_SCAN => Inst::Scan {
+            table: TableId(get_u8(buf, pos)?),
+            key_off: get_operand(buf, pos)?,
+            count: get_operand(buf, pos)?,
+            out_off: get_operand(buf, pos)?,
+            home: get_operand(buf, pos)?,
+            cp: Cp(get_u8(buf, pos)?),
+        },
+        OP_UPDATE => Inst::Update {
+            table: TableId(get_u8(buf, pos)?),
+            key_off: get_operand(buf, pos)?,
+            home: get_operand(buf, pos)?,
+            cp: Cp(get_u8(buf, pos)?),
+        },
+        OP_REMOVE => Inst::Remove {
+            table: TableId(get_u8(buf, pos)?),
+            key_off: get_operand(buf, pos)?,
+            home: get_operand(buf, pos)?,
+            cp: Cp(get_u8(buf, pos)?),
+        },
+        OP_ALU => {
+            let sub = get_u8(buf, pos)?;
+            let op = match sub {
+                0 => AluOp::Add,
+                1 => AluOp::Sub,
+                2 => AluOp::Mul,
+                3 => AluOp::Div,
+                4 => AluOp::Mov,
+                b => return Err(DecodeError::BadAluOp(b)),
+            };
+            Inst::Alu {
+                op,
+                rd: Gp(get_u8(buf, pos)?),
+                rs: get_operand(buf, pos)?,
+            }
+        }
+        OP_CMP => Inst::Cmp {
+            ra: Gp(get_u8(buf, pos)?),
+            rb: get_operand(buf, pos)?,
+        },
+        OP_LOAD => Inst::Load {
+            rd: Gp(get_u8(buf, pos)?),
+            base: get_base(buf, pos)?,
+            off: get_operand(buf, pos)?,
+        },
+        OP_STORE => Inst::Store {
+            rs: Gp(get_u8(buf, pos)?),
+            base: get_base(buf, pos)?,
+            off: get_operand(buf, pos)?,
+        },
+        OP_JMP => Inst::Jmp {
+            target: get_u32(buf, pos)?,
+        },
+        OP_BR => {
+            let sub = get_u8(buf, pos)?;
+            let cond = match sub {
+                0 => Cond::Eq,
+                1 => Cond::Ne,
+                2 => Cond::Le,
+                3 => Cond::Lt,
+                4 => Cond::Gt,
+                5 => Cond::Ge,
+                b => return Err(DecodeError::BadCond(b)),
+            };
+            Inst::Br {
+                cond,
+                target: get_u32(buf, pos)?,
+            }
+        }
+        OP_RET => Inst::Ret {
+            rd: Gp(get_u8(buf, pos)?),
+            cp: Cp(get_u8(buf, pos)?),
+        },
+        OP_GETTS => Inst::GetTs {
+            rd: Gp(get_u8(buf, pos)?),
+        },
+        OP_COMMIT => Inst::Commit,
+        OP_ABORT => Inst::Abort,
+        OP_YIELD => Inst::Yield,
+        b => return Err(DecodeError::BadOpcode(b)),
+    };
+    Ok(inst)
+}
+
+/// Encode a whole procedure body (code section only).
+pub fn encode_program(code: &[Inst]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(code.len() * 8);
+    for inst in code {
+        encode(inst, &mut buf);
+    }
+    buf
+}
+
+/// Decode a whole procedure body.
+pub fn decode_program(buf: &[u8]) -> Result<Vec<Inst>, DecodeError> {
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < buf.len() {
+        out.push(decode(buf, &mut pos)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_insts() -> Vec<Inst> {
+        vec![
+            Inst::Search {
+                table: TableId(0),
+                key_off: Operand::Imm(0),
+                home: Operand::Imm(0),
+                cp: Cp(0),
+            },
+            Inst::Insert {
+                table: TableId(1),
+                key_off: Operand::Imm(8),
+                payload_off: Operand::Reg(Gp(3)),
+                home: Operand::Reg(Gp(4)),
+                cp: Cp(1),
+            },
+            Inst::Scan {
+                table: TableId(2),
+                key_off: Operand::Imm(0),
+                count: Operand::Imm(50),
+                out_off: Operand::Imm(64),
+                home: Operand::Imm(2),
+                cp: Cp(2),
+            },
+            Inst::Update {
+                table: TableId(0),
+                key_off: Operand::Reg(Gp(1)),
+                home: Operand::Imm(0),
+                cp: Cp(3),
+            },
+            Inst::Remove {
+                table: TableId(0),
+                key_off: Operand::Imm(16),
+                home: Operand::Imm(1),
+                cp: Cp(4),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Gp(0),
+                rs: Operand::Imm(-7),
+            },
+            Inst::Alu {
+                op: AluOp::Mov,
+                rd: Gp(1),
+                rs: Operand::Reg(Gp(2)),
+            },
+            Inst::Cmp {
+                ra: Gp(0),
+                rb: Operand::Imm(0),
+            },
+            Inst::Load {
+                rd: Gp(5),
+                base: MemBase::Block,
+                off: Operand::Imm(24),
+            },
+            Inst::Store {
+                rs: Gp(5),
+                base: MemBase::Reg(Gp(6)),
+                off: Operand::Imm(8),
+            },
+            Inst::Jmp { target: 3 },
+            Inst::Br {
+                cond: Cond::Lt,
+                target: 12,
+            },
+            Inst::Ret {
+                rd: Gp(7),
+                cp: Cp(0),
+            },
+            Inst::GetTs { rd: Gp(6) },
+            Inst::Yield,
+            Inst::Commit,
+            Inst::Abort,
+        ]
+    }
+
+    #[test]
+    fn wire_roundtrip_all_variants() {
+        let insts = sample_insts();
+        let buf = encode_program(&insts);
+        assert_eq!(decode_program(&buf).unwrap(), insts);
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        assert_eq!(decode_program(&[0xEE]), Err(DecodeError::BadOpcode(0xEE)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        encode(
+            &Inst::Search {
+                table: TableId(0),
+                key_off: Operand::Imm(0),
+                home: Operand::Imm(0),
+                cp: Cp(0),
+            },
+            &mut buf,
+        );
+        buf.truncate(buf.len() - 1);
+        assert_eq!(decode_program(&buf), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_proc() {
+        let p = Procedure {
+            name: "t".into(),
+            code: vec![Inst::Yield, Inst::Commit, Inst::Abort],
+            commit_entry: 1,
+            abort_entry: 2,
+            gp_count: 1,
+            cp_count: 1,
+        };
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let p = Procedure {
+            name: "t".into(),
+            code: vec![Inst::Jmp { target: 9 }, Inst::Commit, Inst::Abort],
+            commit_entry: 1,
+            abort_entry: 2,
+            gp_count: 1,
+            cp_count: 1,
+        };
+        assert_eq!(p.validate(), Err(ProcError::BadTarget { at: 0, target: 9 }));
+    }
+
+    #[test]
+    fn validate_rejects_register_outside_footprint() {
+        let p = Procedure {
+            name: "t".into(),
+            code: vec![
+                Inst::Alu {
+                    op: AluOp::Mov,
+                    rd: Gp(4),
+                    rs: Operand::Imm(1),
+                },
+                Inst::Commit,
+                Inst::Abort,
+            ],
+            commit_entry: 1,
+            abort_entry: 2,
+            gp_count: 4, // g4 is out of range
+            cp_count: 1,
+        };
+        assert_eq!(p.validate(), Err(ProcError::BadRegister { at: 0 }));
+    }
+
+    #[test]
+    fn validate_requires_terminator() {
+        let p = Procedure {
+            name: "t".into(),
+            code: vec![Inst::Yield],
+            commit_entry: 0,
+            abort_entry: 0,
+            gp_count: 1,
+            cp_count: 1,
+        };
+        assert_eq!(p.validate(), Err(ProcError::MissingTerminator));
+    }
+}

@@ -1,0 +1,120 @@
+//! Index keys.
+//!
+//! Both BionicDB indexes support variable-length keys (paper §4.4). The
+//! hardware bounds key length by the width of the key datapath; we model a
+//! 32-byte datapath. Keys compare as byte strings, so integer keys are
+//! stored big-endian to make lexicographic order equal numeric order (this
+//! is what the skiplist's range scans rely on).
+
+/// Maximum key length supported by the index datapath, in bytes.
+pub const MAX_KEY_LEN: usize = 32;
+
+/// A variable-length index key (≤ [`MAX_KEY_LEN`] bytes), stored inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexKey {
+    len: u8,
+    bytes: [u8; MAX_KEY_LEN],
+}
+
+impl IndexKey {
+    /// Build a key from raw bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is empty or longer than [`MAX_KEY_LEN`].
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(
+            !bytes.is_empty() && bytes.len() <= MAX_KEY_LEN,
+            "key length must be 1..={MAX_KEY_LEN}"
+        );
+        let mut buf = [0u8; MAX_KEY_LEN];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        IndexKey {
+            len: bytes.len() as u8,
+            bytes: buf,
+        }
+    }
+
+    /// Build an 8-byte big-endian key from an integer (numeric order ==
+    /// lexicographic order).
+    pub fn from_u64(v: u64) -> Self {
+        IndexKey::from_bytes(&v.to_be_bytes())
+    }
+
+    /// Build a 16-byte composite key from two integers (e.g. TPC-C
+    /// (warehouse, district) prefixes), ordered lexicographically.
+    pub fn from_u64_pair(hi: u64, lo: u64) -> Self {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&hi.to_be_bytes());
+        b[8..].copy_from_slice(&lo.to_be_bytes());
+        IndexKey::from_bytes(&b)
+    }
+
+    /// The key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Key length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false: keys are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Decode an 8-byte big-endian key back to the integer.
+    pub fn to_u64(&self) -> u64 {
+        assert_eq!(self.len, 8, "key is not an 8-byte integer key");
+        u64::from_be_bytes(self.bytes[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_bytes().cmp(other.as_bytes())
+    }
+}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_and_order() {
+        let a = IndexKey::from_u64(5);
+        let b = IndexKey::from_u64(1000);
+        assert!(a < b, "big-endian keys preserve numeric order");
+        assert_eq!(b.to_u64(), 1000);
+    }
+
+    #[test]
+    fn pair_keys_order_by_hi_then_lo() {
+        let a = IndexKey::from_u64_pair(1, 999);
+        let b = IndexKey::from_u64_pair(2, 0);
+        let c = IndexKey::from_u64_pair(2, 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn variable_length_keys_compare_lexicographically() {
+        let short = IndexKey::from_bytes(b"abc");
+        let long = IndexKey::from_bytes(b"abcd");
+        assert!(short < long);
+        assert_eq!(short.as_bytes(), b"abc");
+        assert_eq!(short.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "key length")]
+    fn oversized_key_panics() {
+        let _ = IndexKey::from_bytes(&[0u8; 33]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Encoding of DB instruction results.
+//!
+//! Paper §4.7: "If a DB instruction passes the visibility check, the address
+//! of the matching tuple with a 'success' return code is written back to the
+//! CP register specified in the DB instruction. Otherwise, an error code is
+//! written."
+//!
+//! We encode results as a signed 64-bit value so that generated commit
+//! handlers can branch on errors with a single `CMP rd, 0; BLT abort`:
+//! successes are non-negative (a tuple address, or a scan count), failures
+//! are small negative error codes.
+
+/// Status of a completed DB instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbStatus {
+    /// Operation succeeded; the payload is an address or a count.
+    Ok,
+    /// No tuple with the search key exists (paper §4.4.1 "NotFound").
+    NotFound,
+    /// Visibility check rejected the access (timestamp order violation).
+    CcConflict,
+    /// The tuple is uncommitted (dirty); accesses are blindly rejected
+    /// (paper §4.7).
+    Dirty,
+    /// The request was malformed (bad table, wrong index kind for the op).
+    BadRequest,
+}
+
+/// A decoded DB result: either a successful value or an error status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbResult {
+    /// Success carrying a tuple address or scan count.
+    Ok(u64),
+    /// Failure with the reason.
+    Err(DbStatus),
+}
+
+impl DbResult {
+    /// Encode into the signed CP-register representation.
+    pub fn encode(self) -> i64 {
+        match self {
+            DbResult::Ok(v) => {
+                assert!(v <= i64::MAX as u64, "result value exceeds encodable range");
+                v as i64
+            }
+            DbResult::Err(s) => match s {
+                DbStatus::Ok => unreachable!("Ok is not an error status"),
+                DbStatus::NotFound => -1,
+                DbStatus::CcConflict => -2,
+                DbStatus::Dirty => -3,
+                DbStatus::BadRequest => -4,
+            },
+        }
+    }
+
+    /// Decode from the signed CP-register representation.
+    pub fn decode(v: i64) -> Self {
+        match v {
+            v if v >= 0 => DbResult::Ok(v as u64),
+            -1 => DbResult::Err(DbStatus::NotFound),
+            -2 => DbResult::Err(DbStatus::CcConflict),
+            -3 => DbResult::Err(DbStatus::Dirty),
+            _ => DbResult::Err(DbStatus::BadRequest),
+        }
+    }
+
+    /// True when the result is a success.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, DbResult::Ok(_))
+    }
+
+    /// The success value, if any.
+    pub fn value(&self) -> Option<u64> {
+        match self {
+            DbResult::Ok(v) => Some(*v),
+            DbResult::Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_success_and_errors() {
+        for r in [
+            DbResult::Ok(0),
+            DbResult::Ok(0x0000_7fff_ffff_ffff),
+            DbResult::Err(DbStatus::NotFound),
+            DbResult::Err(DbStatus::CcConflict),
+            DbResult::Err(DbStatus::Dirty),
+            DbResult::Err(DbStatus::BadRequest),
+        ] {
+            assert_eq!(DbResult::decode(r.encode()), r);
+        }
+    }
+
+    #[test]
+    fn errors_are_negative_for_single_branch_dispatch() {
+        assert!(DbResult::Err(DbStatus::NotFound).encode() < 0);
+        assert!(DbResult::Err(DbStatus::Dirty).encode() < 0);
+        assert!(DbResult::Ok(12345).encode() >= 0);
+    }
+}

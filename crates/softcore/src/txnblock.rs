@@ -1,0 +1,188 @@
+//! Transaction blocks (paper §4.3, Fig. 3).
+//!
+//! A client invokes a registered transaction by submitting a *transaction
+//! block*: a chunk of FPGA-side DRAM containing the transaction ID, the
+//! input data, and buffers for result sets, intermediate data and UNDO logs.
+//! After execution, BionicDB writes the commit state and the commit
+//! timestamp back into the block — which is also what makes command-logging
+//! recovery possible (paper §4.8).
+//!
+//! Layout (all fields 8-byte little-endian):
+//!
+//! ```text
+//! offset  0: proc id (the "transaction ID" selecting the stored procedure)
+//! offset  8: status   (0 = pending, 1 = committed, 2 = aborted)
+//! offset 16: commit timestamp
+//! offset 24: user area (inputs, outputs, scratch, UNDO buffer — the layout
+//!            within the user area is a contract between the client and the
+//!            stored procedure, exactly as in paper Fig. 3)
+//! ```
+
+use bionicdb_fpga::Dram;
+
+use crate::catalogue::ProcId;
+
+/// Size of the fixed block header that precedes the user area.
+pub const BLOCK_HEADER_SIZE: u64 = 24;
+
+/// Block-relative offset of the status word.
+pub const STATUS_OFFSET: u64 = 8;
+/// Block-relative offset of the commit-timestamp word.
+pub const COMMIT_TS_OFFSET: u64 = 16;
+
+/// Transaction status values stored in the block header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Not yet executed.
+    Pending,
+    /// Committed; the commit timestamp field is valid.
+    Committed,
+    /// Aborted.
+    Aborted,
+}
+
+impl TxnStatus {
+    /// Decode from the header word.
+    pub fn from_u64(v: u64) -> Option<TxnStatus> {
+        match v {
+            0 => Some(TxnStatus::Pending),
+            1 => Some(TxnStatus::Committed),
+            2 => Some(TxnStatus::Aborted),
+            _ => None,
+        }
+    }
+
+    /// Encode to the header word.
+    pub fn to_u64(self) -> u64 {
+        match self {
+            TxnStatus::Pending => 0,
+            TxnStatus::Committed => 1,
+            TxnStatus::Aborted => 2,
+        }
+    }
+}
+
+/// A host-side handle to one transaction block in DRAM. Used by clients to
+/// populate inputs before submission and to read results after completion
+/// (the paper's experiments pre-populate blocks from the host, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnBlock {
+    addr: u64,
+    size: u64,
+}
+
+impl TxnBlock {
+    /// View the block at `addr` spanning `size` bytes.
+    pub fn new(addr: u64, size: u64) -> Self {
+        assert!(size >= BLOCK_HEADER_SIZE, "block smaller than its header");
+        TxnBlock { addr, size }
+    }
+
+    /// DRAM address of the block.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Size of the block in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Initialize the header for a fresh invocation of `proc`.
+    pub fn init(&self, dram: &mut Dram, proc: ProcId) {
+        dram.host_write_u64(self.addr, proc.0 as u64);
+        dram.host_write_u64(self.addr + STATUS_OFFSET, TxnStatus::Pending.to_u64());
+        dram.host_write_u64(self.addr + COMMIT_TS_OFFSET, 0);
+    }
+
+    /// Write `data` into the user area at `user_off`.
+    pub fn write_user(&self, dram: &mut Dram, user_off: u64, data: &[u8]) {
+        let addr = self.user_addr(user_off, data.len() as u64);
+        dram.host_write(addr, data);
+    }
+
+    /// Write a u64 into the user area at `user_off`.
+    pub fn write_user_u64(&self, dram: &mut Dram, user_off: u64, v: u64) {
+        self.write_user(dram, user_off, &v.to_le_bytes());
+    }
+
+    /// Read `len` bytes from the user area at `user_off`.
+    pub fn read_user(&self, dram: &Dram, user_off: u64, len: u64) -> Vec<u8> {
+        let addr = self.user_addr(user_off, len);
+        dram.host_read(addr, len as usize)
+    }
+
+    /// Read a u64 from the user area at `user_off`.
+    pub fn read_user_u64(&self, dram: &Dram, user_off: u64) -> u64 {
+        let b = self.read_user(dram, user_off, 8);
+        u64::from_le_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    /// The procedure this block invokes.
+    pub fn proc_id(&self, dram: &Dram) -> ProcId {
+        ProcId(dram.host_read_u64(self.addr) as u32)
+    }
+
+    /// The execution status written back by the softcore.
+    pub fn status(&self, dram: &Dram) -> TxnStatus {
+        TxnStatus::from_u64(dram.host_read_u64(self.addr + STATUS_OFFSET))
+            .expect("corrupt status word")
+    }
+
+    /// The commit timestamp (valid when committed).
+    pub fn commit_ts(&self, dram: &Dram) -> u64 {
+        dram.host_read_u64(self.addr + COMMIT_TS_OFFSET)
+    }
+
+    fn user_addr(&self, user_off: u64, len: u64) -> u64 {
+        let addr = self.addr + BLOCK_HEADER_SIZE + user_off;
+        assert!(
+            addr + len <= self.addr + self.size,
+            "user access at offset {user_off} (+{len}) exceeds block size {}",
+            self.size
+        );
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionicdb_fpga::FpgaConfig;
+
+    #[test]
+    fn header_init_and_readback() {
+        let mut dram = Dram::new(&FpgaConfig::default(), 1 << 20);
+        let blk = TxnBlock::new(4096, 256);
+        blk.init(&mut dram, ProcId(7));
+        assert_eq!(blk.proc_id(&dram), ProcId(7));
+        assert_eq!(blk.status(&dram), TxnStatus::Pending);
+        assert_eq!(blk.commit_ts(&dram), 0);
+    }
+
+    #[test]
+    fn user_area_rw() {
+        let mut dram = Dram::new(&FpgaConfig::default(), 1 << 20);
+        let blk = TxnBlock::new(0, 128);
+        blk.write_user_u64(&mut dram, 0, 99);
+        blk.write_user(&mut dram, 8, b"hello");
+        assert_eq!(blk.read_user_u64(&dram, 0), 99);
+        assert_eq!(blk.read_user(&dram, 8, 5), b"hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds block size")]
+    fn user_overflow_panics() {
+        let mut dram = Dram::new(&FpgaConfig::default(), 1 << 20);
+        let blk = TxnBlock::new(0, 32);
+        blk.write_user_u64(&mut dram, 8, 1); // header 24 + 8 + 8 > 32
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for s in [TxnStatus::Pending, TxnStatus::Committed, TxnStatus::Aborted] {
+            assert_eq!(TxnStatus::from_u64(s.to_u64()), Some(s));
+        }
+        assert_eq!(TxnStatus::from_u64(9), None);
+    }
+}

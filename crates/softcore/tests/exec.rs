@@ -1,0 +1,467 @@
+//! Execution tests for the softcore, using a mock index coprocessor that
+//! answers every DB request with a canned result after a fixed delay.
+
+use bionicdb_fpga::{Dram, Fifo, FpgaConfig};
+use bionicdb_softcore::core::SoftcoreParams;
+use bionicdb_softcore::txnblock::TxnStatus;
+use bionicdb_softcore::{
+    asm::assemble, Catalogue, Cond, DbRequest, DbResult, ExecMode, Gp, Operand, PartitionId,
+    ProcBuilder, ProcId, Softcore, TableId, TxnBlock,
+};
+
+/// A mock coprocessor: requests complete after `delay` cycles with a
+/// caller-supplied function of the request.
+struct MockCoproc {
+    delay: u64,
+    inflight: Vec<(u64, u16, i64)>, // (ready, cp index, value)
+    respond: Box<dyn Fn(&DbRequest) -> DbResult>,
+    seen: Vec<DbRequest>,
+}
+
+impl MockCoproc {
+    fn new(delay: u64, respond: impl Fn(&DbRequest) -> DbResult + 'static) -> Self {
+        MockCoproc {
+            delay,
+            inflight: Vec::new(),
+            respond: Box::new(respond),
+            seen: Vec::new(),
+        }
+    }
+
+    fn tick(&mut self, now: u64, chan: &mut Fifo<DbRequest>, core: &mut Softcore) {
+        while let Some(req) = chan.pop() {
+            let value = (self.respond)(&req).encode();
+            self.inflight.push((now + self.delay, req.cp.index, value));
+            self.seen.push(req);
+        }
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].0 <= now {
+                let (_, idx, v) = self.inflight.swap_remove(i);
+                core.deliver_cp(idx, v);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+struct Harness {
+    dram: Dram,
+    core: Softcore,
+    cat: Catalogue,
+    chan: Fifo<DbRequest>,
+    coproc: MockCoproc,
+    now: u64,
+}
+
+impl Harness {
+    fn new(mode: ExecMode, cat: Catalogue, coproc: MockCoproc) -> Self {
+        let cfg = FpgaConfig::default();
+        let mut dram = Dram::new(&cfg, 1 << 22);
+        let core = Softcore::new(
+            PartitionId(0),
+            SoftcoreParams::from_fpga(&cfg, mode),
+            &mut dram,
+        );
+        Harness {
+            dram,
+            core,
+            cat,
+            chan: Fifo::new(16),
+            coproc,
+            now: 0,
+        }
+    }
+
+    fn run_until_quiescent(&mut self, max_cycles: u64) {
+        let start = self.now;
+        while !self.core.is_quiescent() {
+            self.now += 1;
+            assert!(
+                self.now - start < max_cycles,
+                "softcore did not quiesce in {max_cycles} cycles"
+            );
+            self.dram.tick(self.now);
+            self.core
+                .tick(self.now, &mut self.dram, &self.cat, &mut self.chan);
+            self.coproc.tick(self.now, &mut self.chan, &mut self.core);
+        }
+    }
+
+    fn block(&mut self, addr: u64, size: u64, proc: ProcId) -> TxnBlock {
+        let b = TxnBlock::new(addr, size);
+        b.init(&mut self.dram, proc);
+        b
+    }
+}
+
+#[test]
+fn alu_branches_and_stores_produce_expected_block_state() {
+    // Computes ((7 + 5) * 2) into user offset 0, loops g1 down from 3 to 0,
+    // stores the loop counter sum at offset 8.
+    let src = r#"
+proc arith
+logic:
+    mov g0, 7
+    add g0, 5
+    mul g0, 2
+    store g0, [blk+0]
+    mov g1, 3
+    mov g2, 0
+top:
+    add g2, g1
+    sub g1, 1
+    cmp g1, 0
+    bgt top
+    store g2, [blk+8]
+commit:
+    commit
+abort:
+    abort
+"#;
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(assemble(src).unwrap()).unwrap();
+    let coproc = MockCoproc::new(10, |_| DbResult::Ok(0));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let blk = h.block(4096, 128, pid);
+    h.core.submit(blk.addr());
+    h.run_until_quiescent(100_000);
+    assert_eq!(blk.status(&h.dram), TxnStatus::Committed);
+    assert_eq!(blk.read_user_u64(&h.dram, 0), 24);
+    assert_eq!(blk.read_user_u64(&h.dram, 8), 6); // 3+2+1
+    assert_eq!(h.core.stats().committed, 1);
+}
+
+#[test]
+fn db_results_flow_back_through_ret() {
+    let mut b = ProcBuilder::new("reader");
+    let c0 = b.cp();
+    b.search(TableId(0), Operand::Imm(0), Operand::Imm(-1), c0);
+    b.begin_commit();
+    let rd = b.ret_checked(c0);
+    // Store the returned address into user offset 16 for inspection.
+    b.store(rd, bionicdb_softcore::MemBase::Block, Operand::Imm(16));
+    b.commit();
+    b.begin_abort();
+    b.abort();
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(b.build().unwrap()).unwrap();
+
+    let coproc = MockCoproc::new(40, |_| DbResult::Ok(0xABCD));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let blk = h.block(4096, 128, pid);
+    h.core.submit(blk.addr());
+    h.run_until_quiescent(100_000);
+    assert_eq!(blk.status(&h.dram), TxnStatus::Committed);
+    assert_eq!(blk.read_user_u64(&h.dram, 16), 0xABCD);
+    assert!(blk.commit_ts(&h.dram) > 0);
+}
+
+#[test]
+fn db_error_routes_to_abort_handler() {
+    let mut b = ProcBuilder::new("failing");
+    let c0 = b.cp();
+    b.search(TableId(0), Operand::Imm(0), Operand::Imm(-1), c0);
+    b.begin_commit();
+    b.ret_checked(c0);
+    b.commit();
+    b.begin_abort();
+    let g = b.gp();
+    b.mov(g, Operand::Imm(77));
+    b.store(g, bionicdb_softcore::MemBase::Block, Operand::Imm(0));
+    b.abort();
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(b.build().unwrap()).unwrap();
+
+    let coproc = MockCoproc::new(5, |_| DbResult::Err(bionicdb_softcore::DbStatus::NotFound));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let blk = h.block(4096, 128, pid);
+    h.core.submit(blk.addr());
+    h.run_until_quiescent(100_000);
+    assert_eq!(blk.status(&h.dram), TxnStatus::Aborted);
+    assert_eq!(blk.read_user_u64(&h.dram, 0), 77, "abort handler ran");
+    assert_eq!(h.core.stats().aborted, 1);
+}
+
+#[test]
+fn voluntary_abort_in_logic_runs_abort_handler() {
+    let src = r#"
+proc voluntary
+logic:
+    load g0, [blk+0]
+    cmp g0, 10
+    bgt ok
+    abort
+ok:
+    yield
+commit:
+    commit
+abort:
+    abort
+"#;
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(assemble(src).unwrap()).unwrap();
+    let coproc = MockCoproc::new(5, |_| DbResult::Ok(0));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+
+    let blk1 = h.block(4096, 128, pid);
+    blk1.write_user_u64(&mut h.dram, 0, 5); // <= 10 -> abort
+    let blk2 = h.block(8192, 128, pid);
+    blk2.write_user_u64(&mut h.dram, 0, 50); // > 10 -> commit
+    h.core.submit(blk1.addr());
+    h.core.submit(blk2.addr());
+    h.run_until_quiescent(200_000);
+    assert_eq!(blk1.status(&h.dram), TxnStatus::Aborted);
+    assert_eq!(blk2.status(&h.dram), TxnStatus::Committed);
+}
+
+#[test]
+fn division_by_zero_aborts_transaction() {
+    let src = r#"
+proc divz
+logic:
+    load g0, [blk+0]
+    mov g1, 100
+    div g1, g0
+commit:
+    commit
+abort:
+    abort
+"#;
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(assemble(src).unwrap()).unwrap();
+    let coproc = MockCoproc::new(5, |_| DbResult::Ok(0));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let blk = h.block(4096, 128, pid);
+    // user[0] is zero -> divide by zero -> exception -> abort handler.
+    h.core.submit(blk.addr());
+    h.run_until_quiescent(100_000);
+    assert_eq!(blk.status(&h.dram), TxnStatus::Aborted);
+}
+
+/// Build a procedure with `n` independent searches, like a YCSB-C txn.
+fn multi_search_proc(n: usize) -> bionicdb_softcore::Procedure {
+    let mut b = ProcBuilder::new("multisearch");
+    let cps: Vec<_> = (0..n).map(|_| b.cp()).collect();
+    for (i, &cp) in cps.iter().enumerate() {
+        b.search(
+            TableId(0),
+            Operand::Imm((i * 8) as i64),
+            Operand::Imm(-1),
+            cp,
+        );
+    }
+    b.begin_commit();
+    for &cp in &cps {
+        b.ret_checked(cp);
+    }
+    b.commit();
+    b.begin_abort();
+    b.abort();
+    b.build().unwrap()
+}
+
+#[test]
+fn interleaving_overlaps_db_requests_across_transactions() {
+    // Single-op transactions with a long coprocessor delay: interleaved
+    // execution should be much faster than serial because requests overlap.
+    let run = |mode| {
+        let mut cat = Catalogue::new();
+        let pid = cat.register_proc(multi_search_proc(1)).unwrap();
+        let coproc = MockCoproc::new(400, |_| DbResult::Ok(1));
+        let mut h = Harness::new(mode, cat, coproc);
+        for i in 0..16u64 {
+            let blk = h.block(4096 + i * 256, 256, pid);
+            h.core.submit(blk.addr());
+        }
+        h.run_until_quiescent(1_000_000);
+        assert_eq!(h.core.stats().committed, 16);
+        h.now
+    };
+    let serial = run(ExecMode::Serial);
+    let interleaved = run(ExecMode::Interleaved);
+    assert!(
+        interleaved * 2 < serial,
+        "interleaving should overlap the 400-cycle index latency: serial={serial} interleaved={interleaved}"
+    );
+}
+
+#[test]
+fn batch_closes_when_registers_run_out() {
+    // Each txn uses 64 CP registers; 256 available -> batches of 4.
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(multi_search_proc(64)).unwrap();
+    let coproc = MockCoproc::new(20, |_| DbResult::Ok(1));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    for i in 0..8u64 {
+        let blk = h.block(4096 + i * 2048, 2048, pid);
+        h.core.submit(blk.addr());
+    }
+    h.run_until_quiescent(3_000_000);
+    let st = h.core.stats();
+    assert_eq!(st.committed, 8);
+    assert!(
+        st.batches >= 2,
+        "register pressure must split batches, got {}",
+        st.batches
+    );
+}
+
+#[test]
+fn remote_home_is_carried_in_requests() {
+    let src = "proc remote\nlogic:\n    search 0, 0, c0, home=3\ncommit:\n    ret g0, c0\n    commit\nabort:\n    abort\n";
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(assemble(src).unwrap()).unwrap();
+    let coproc = MockCoproc::new(5, |_| DbResult::Ok(0));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let blk = h.block(4096, 128, pid);
+    h.core.submit(blk.addr());
+    h.run_until_quiescent(100_000);
+    let req = &h.coproc.seen[0];
+    assert_eq!(req.home, PartitionId(3));
+    assert!(req.is_remote());
+}
+
+#[test]
+fn timestamps_are_unique_and_monotonic_within_worker() {
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(multi_search_proc(1)).unwrap();
+    let coproc = MockCoproc::new(5, |_| DbResult::Ok(0));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    for i in 0..4u64 {
+        let blk = h.block(4096 + i * 256, 256, pid);
+        h.core.submit(blk.addr());
+    }
+    h.run_until_quiescent(200_000);
+    let ts: Vec<u64> = h.coproc.seen.iter().map(|r| r.ts).collect();
+    let mut sorted = ts.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ts.len(), "timestamps must be unique");
+    assert!(
+        ts.windows(2).all(|w| w[0] < w[1]),
+        "per-worker timestamps monotonic"
+    );
+}
+
+#[test]
+fn loop_with_backward_branch_terminates() {
+    // Regression guard for flag handling in Br.
+    let mut b = ProcBuilder::new("count");
+    let g = b.gp();
+    b.mov(g, Operand::Imm(0));
+    let top = b.label();
+    b.bind(top);
+    b.add(g, Operand::Imm(1));
+    b.cmp(g, Operand::Imm(100));
+    b.br(Cond::Lt, top);
+    b.store(Gp(g.0), bionicdb_softcore::MemBase::Block, Operand::Imm(0));
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(b.build().unwrap()).unwrap();
+    let coproc = MockCoproc::new(5, |_| DbResult::Ok(0));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let blk = h.block(4096, 128, pid);
+    h.core.submit(blk.addr());
+    h.run_until_quiescent(500_000);
+    assert_eq!(blk.read_user_u64(&h.dram, 0), 100);
+}
+
+#[test]
+fn mixed_procedures_share_a_batch_without_register_corruption() {
+    // Two procedures with different GP/CP footprints interleave in one
+    // batch; register renaming must keep their state disjoint.
+    let mut cat = Catalogue::new();
+    let small = cat.register_proc(multi_search_proc(2)).unwrap();
+    let big = cat.register_proc(multi_search_proc(40)).unwrap();
+    let coproc = MockCoproc::new(100, |r| DbResult::Ok(r.key_addr));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let mut blocks = Vec::new();
+    for i in 0..6u64 {
+        let proc = if i % 2 == 0 { small } else { big };
+        let blk = h.block(4096 + i * 1024, 1024, proc);
+        h.core.submit(blk.addr());
+        blocks.push(blk);
+    }
+    h.run_until_quiescent(1_000_000);
+    assert_eq!(h.core.stats().committed, 6);
+    // Every request's key address was inside its own block's user area.
+    for req in &h.coproc.seen {
+        let blk = blocks
+            .iter()
+            .find(|b| req.key_addr >= b.addr() && req.key_addr < b.addr() + b.size())
+            .expect("request points into a submitted block");
+        let _ = blk;
+    }
+}
+
+#[test]
+fn store_to_absolute_address_via_register_base() {
+    // STOREs through a register base (tuple writes) reach arbitrary DRAM.
+    let src = r#"
+proc poke
+logic:
+    load g0, [blk+0]        ; absolute target address
+    mov g1, 4242
+    store g1, [g0+16]
+commit:
+    commit
+abort:
+    abort
+"#;
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(assemble(src).unwrap()).unwrap();
+    let coproc = MockCoproc::new(5, |_| DbResult::Ok(0));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let blk = h.block(4096, 128, pid);
+    let target = 3 << 20;
+    blk.write_user_u64(&mut h.dram, 0, target);
+    h.core.submit(blk.addr());
+    h.run_until_quiescent(100_000);
+    assert_eq!(h.dram.host_read_u64(target + 16), 4242);
+}
+
+#[test]
+fn serial_mode_commits_in_submission_order() {
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(multi_search_proc(1)).unwrap();
+    let coproc = MockCoproc::new(30, |_| DbResult::Ok(1));
+    let mut h = Harness::new(ExecMode::Serial, cat, coproc);
+    let mut blocks = Vec::new();
+    for i in 0..5u64 {
+        let blk = h.block(4096 + i * 256, 256, pid);
+        h.core.submit(blk.addr());
+        blocks.push(blk);
+    }
+    h.run_until_quiescent(1_000_000);
+    // Serial commit timestamps must strictly increase in submission order.
+    let ts: Vec<u64> = blocks.iter().map(|b| b.commit_ts(&h.dram)).collect();
+    assert!(ts.windows(2).all(|w| w[0] < w[1]), "commit order {ts:?}");
+}
+
+#[test]
+fn getts_returns_the_same_value_in_logic_and_commit() {
+    let src = r#"
+proc tscheck
+logic:
+    getts g0
+    store g0, [blk+0]
+commit:
+    getts g1
+    store g1, [blk+8]
+    commit
+abort:
+    abort
+"#;
+    let mut cat = Catalogue::new();
+    let pid = cat.register_proc(assemble(src).unwrap()).unwrap();
+    let coproc = MockCoproc::new(5, |_| DbResult::Ok(0));
+    let mut h = Harness::new(ExecMode::Interleaved, cat, coproc);
+    let blk = h.block(4096, 128, pid);
+    h.core.submit(blk.addr());
+    h.run_until_quiescent(100_000);
+    let a = blk.read_user_u64(&h.dram, 0);
+    let b = blk.read_user_u64(&h.dram, 8);
+    assert_eq!(a, b, "begin timestamp is stable across phases");
+    assert!(a > 0);
+}

@@ -1,0 +1,175 @@
+//! Property tests for the softcore's data formats.
+
+use bionicdb_softcore::catalogue::TableId;
+use bionicdb_softcore::isa::{
+    decode_program, encode_program, AluOp, Cond, Cp, Gp, Inst, MemBase, Operand,
+};
+use bionicdb_softcore::IndexKey;
+use proptest::prelude::*;
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        any::<u8>().prop_map(|r| Operand::Reg(Gp(r))),
+        any::<i64>().prop_map(Operand::Imm)
+    ]
+}
+
+fn arb_base() -> impl Strategy<Value = MemBase> {
+    prop_oneof![
+        Just(MemBase::Block),
+        (0u8..=0xfe).prop_map(|r| MemBase::Reg(Gp(r))), // 0xff encodes Block
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Mov)
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Le),
+        Just(Cond::Lt),
+        Just(Cond::Gt),
+        Just(Cond::Ge)
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (
+            any::<u8>(),
+            arb_operand(),
+            arb_operand(),
+            arb_operand(),
+            any::<u8>()
+        )
+            .prop_map(|(t, k, p, h, c)| Inst::Insert {
+                table: TableId(t),
+                key_off: k,
+                payload_off: p,
+                home: h,
+                cp: Cp(c)
+            }),
+        (any::<u8>(), arb_operand(), arb_operand(), any::<u8>()).prop_map(|(t, k, h, c)| {
+            Inst::Search {
+                table: TableId(t),
+                key_off: k,
+                home: h,
+                cp: Cp(c),
+            }
+        }),
+        (
+            any::<u8>(),
+            arb_operand(),
+            arb_operand(),
+            arb_operand(),
+            arb_operand(),
+            any::<u8>()
+        )
+            .prop_map(|(t, k, n, o, h, c)| Inst::Scan {
+                table: TableId(t),
+                key_off: k,
+                count: n,
+                out_off: o,
+                home: h,
+                cp: Cp(c)
+            }),
+        (any::<u8>(), arb_operand(), arb_operand(), any::<u8>()).prop_map(|(t, k, h, c)| {
+            Inst::Update {
+                table: TableId(t),
+                key_off: k,
+                home: h,
+                cp: Cp(c),
+            }
+        }),
+        (any::<u8>(), arb_operand(), arb_operand(), any::<u8>()).prop_map(|(t, k, h, c)| {
+            Inst::Remove {
+                table: TableId(t),
+                key_off: k,
+                home: h,
+                cp: Cp(c),
+            }
+        }),
+        (arb_alu(), any::<u8>(), arb_operand()).prop_map(|(op, rd, rs)| Inst::Alu {
+            op,
+            rd: Gp(rd),
+            rs
+        }),
+        (any::<u8>(), arb_operand()).prop_map(|(ra, rb)| Inst::Cmp { ra: Gp(ra), rb }),
+        (any::<u8>(), arb_base(), arb_operand()).prop_map(|(rd, base, off)| Inst::Load {
+            rd: Gp(rd),
+            base,
+            off
+        }),
+        (any::<u8>(), arb_base(), arb_operand()).prop_map(|(rs, base, off)| Inst::Store {
+            rs: Gp(rs),
+            base,
+            off
+        }),
+        any::<u32>().prop_map(|target| Inst::Jmp { target }),
+        (arb_cond(), any::<u32>()).prop_map(|(cond, target)| Inst::Br { cond, target }),
+        (any::<u8>(), any::<u8>()).prop_map(|(rd, cp)| Inst::Ret {
+            rd: Gp(rd),
+            cp: Cp(cp)
+        }),
+        any::<u8>().prop_map(|rd| Inst::GetTs { rd: Gp(rd) }),
+        Just(Inst::Commit),
+        Just(Inst::Abort),
+        Just(Inst::Yield),
+    ]
+}
+
+proptest! {
+    /// Any instruction sequence survives the catalogue wire format.
+    #[test]
+    fn wire_roundtrip(insts in proptest::collection::vec(arb_inst(), 0..64)) {
+        let buf = encode_program(&insts);
+        prop_assert_eq!(decode_program(&buf).unwrap(), insts);
+    }
+
+    /// Truncating an encoded stream never panics — it errors.
+    #[test]
+    fn truncated_streams_error_cleanly(
+        insts in proptest::collection::vec(arb_inst(), 1..16),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let buf = encode_program(&insts);
+        let cut = cut.index(buf.len());
+        if cut < buf.len() {
+            // Either decodes a prefix or reports an error; never panics.
+            let _ = decode_program(&buf[..cut]);
+        }
+    }
+
+    /// Big-endian integer keys order exactly like the integers.
+    #[test]
+    fn index_key_order_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+        let (ka, kb) = (IndexKey::from_u64(a), IndexKey::from_u64(b));
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+        prop_assert_eq!(ka.to_u64(), a);
+    }
+
+    /// Pair keys order lexicographically by (hi, lo).
+    #[test]
+    fn pair_key_order(a in any::<(u64, u64)>(), b in any::<(u64, u64)>()) {
+        let ka = IndexKey::from_u64_pair(a.0, a.1);
+        let kb = IndexKey::from_u64_pair(b.0, b.1);
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+
+    /// DbResult encoding round-trips for all representable values.
+    #[test]
+    fn db_result_roundtrip(v in 0i64..=i64::MAX) {
+        use bionicdb_softcore::DbResult;
+        let r = DbResult::Ok(v as u64);
+        prop_assert_eq!(DbResult::decode(r.encode()), r);
+    }
+}

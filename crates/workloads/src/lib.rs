@@ -1,0 +1,40 @@
+//! Workloads for the BionicDB evaluation: YCSB, TPC-C and the raw
+//! key-value microbenchmark (paper §5.3), with drivers for both engines.
+//!
+//! * [`spec`] — workload parameters and key-encoding conventions;
+//! * [`ycsb`] — YCSB-C (read-only, 16 independent accesses per
+//!   transaction), the modified scan-only YCSB-E (range 50), and the
+//!   non-transactional KV insert/search microbenchmark of Fig. 10a;
+//! * [`tpcc`] — TPC-C NewOrder + Payment (50:50 mix; paper §5.3: database
+//!   partitioned by warehouse, Item replicated, Payment modified to select
+//!   customers by id; 1% of NewOrder and 15% of Payment cross-partition);
+//!
+//! Each workload module contains a `bionic` driver (stored-procedure
+//! builders and transaction-block populators for BionicDB) and a `silo`
+//! driver (the equivalent transaction bodies for the Silo baseline).
+//!
+//! ## Key encoding conventions
+//!
+//! Hash-table keys need only equality: they are stored little-endian.
+//! Skiplist keys are range-scanned: they are stored **big-endian** so that
+//! byte order equals numeric order. Composite TPC-C keys pack their fields
+//! into 64 bits (see [`spec`]).
+//!
+//! ## Scale
+//!
+//! Defaults are scaled down from the paper (100 K × 100 B records per
+//! partition instead of 300 K × 1 KB) so the full figure suite simulates in
+//! CI-class time; every structure stays far larger than any modelled cache,
+//! which is what the shapes depend on. `EXPERIMENTS.md` records the scaling
+//! per experiment.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod spec;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use spec::{KvSpec, TpccSpec, YcsbSpec};
+pub use zipf::Zipf;

@@ -1,0 +1,174 @@
+//! Workload parameters and key-encoding helpers.
+
+/// YCSB parameters (paper §5.3).
+#[derive(Debug, Clone)]
+pub struct YcsbSpec {
+    /// Records per partition (paper: 300 K; default scaled to 100 K).
+    pub records_per_partition: u64,
+    /// Payload bytes per record (paper: 1 KB; default scaled to 100 B).
+    pub payload_len: u32,
+    /// Independent DB accesses per transaction (paper: 16, no data
+    /// dependencies).
+    pub ops_per_txn: usize,
+    /// Scan range for the modified scan-only YCSB-E (paper: 50).
+    pub scan_len: u32,
+    /// Fraction of accesses that target a remote partition in the
+    /// multisite experiment (paper Fig. 13: 75%).
+    pub remote_fraction: f64,
+    /// Override the hash-table bucket count (default: 2x records, which
+    /// keeps chains short; the Traverse-stage ablation shrinks it to force
+    /// long conflict chains).
+    pub hash_buckets: Option<u64>,
+}
+
+impl Default for YcsbSpec {
+    fn default() -> Self {
+        YcsbSpec {
+            records_per_partition: 100_000,
+            payload_len: 100,
+            ops_per_txn: 16,
+            scan_len: 50,
+            remote_fraction: 0.75,
+            hash_buckets: None,
+        }
+    }
+}
+
+impl YcsbSpec {
+    /// A miniature spec for unit tests.
+    pub fn tiny() -> Self {
+        YcsbSpec {
+            records_per_partition: 2_000,
+            payload_len: 32,
+            ..YcsbSpec::default()
+        }
+    }
+}
+
+/// Key-value microbenchmark parameters (paper Fig. 10a: bulk txns of 60
+/// inserts or searches).
+#[derive(Debug, Clone)]
+pub struct KvSpec {
+    /// Pre-loaded records per partition (search targets).
+    pub records_per_partition: u64,
+    /// Payload bytes.
+    pub payload_len: u32,
+    /// Index operations issued in bulk per transaction (paper: 60).
+    pub ops_per_txn: usize,
+}
+
+impl Default for KvSpec {
+    fn default() -> Self {
+        KvSpec {
+            records_per_partition: 100_000,
+            payload_len: 64,
+            ops_per_txn: 60,
+        }
+    }
+}
+
+/// TPC-C parameters (paper §5.3).
+#[derive(Debug, Clone)]
+pub struct TpccSpec {
+    /// Districts per warehouse (TPC-C: 10).
+    pub districts_per_warehouse: u64,
+    /// Customers per district (TPC-C: 3000).
+    pub customers_per_district: u64,
+    /// Items / stock entries per warehouse (TPC-C: 100 000; default scaled
+    /// to 20 000).
+    pub items: u64,
+    /// Fraction of NewOrder transactions that touch a remote warehouse
+    /// (paper: 1%).
+    pub neworder_remote_fraction: f64,
+    /// Fraction of Payment transactions for a remote customer (paper: 15%).
+    pub payment_remote_fraction: f64,
+}
+
+impl Default for TpccSpec {
+    fn default() -> Self {
+        TpccSpec {
+            districts_per_warehouse: 10,
+            customers_per_district: 3000,
+            items: 20_000,
+            neworder_remote_fraction: 0.01,
+            payment_remote_fraction: 0.15,
+        }
+    }
+}
+
+impl TpccSpec {
+    /// A miniature spec for unit tests.
+    pub fn tiny() -> Self {
+        TpccSpec {
+            customers_per_district: 100,
+            items: 500,
+            ..TpccSpec::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite key packing (TPC-C). One warehouse per partition, so the
+// warehouse id also selects the home partition.
+// ---------------------------------------------------------------------------
+
+/// `(w_id, d_id)` → district key.
+pub fn district_key(w: u64, d: u64) -> u64 {
+    w << 32 | d
+}
+
+/// `(w_id, d_id, c_id)` → customer key.
+pub fn customer_key(w: u64, d: u64, c: u64) -> u64 {
+    w << 40 | d << 32 | c
+}
+
+/// `(w_id, i_id)` → stock key.
+pub fn stock_key(w: u64, i: u64) -> u64 {
+    w << 32 | i
+}
+
+/// `(w_id, d_id, o_id)` → order key.
+pub fn order_key(w: u64, d: u64, o: u64) -> u64 {
+    w << 40 | d << 32 | o
+}
+
+/// `(w_id, d_id, o_id, ol_number)` → order-line key.
+pub fn orderline_key(w: u64, d: u64, o: u64, ol: u64) -> u64 {
+    w << 44 | d << 36 | o << 8 | ol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_keys_are_injective_for_tpcc_ranges() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..4u64 {
+            for d in 0..10u64 {
+                for o in [0u64, 1, 2999, 100_000] {
+                    for ol in 0..15u64 {
+                        assert!(seen.insert(orderline_key(w, d, o, ol)));
+                    }
+                }
+            }
+        }
+        assert!(district_key(1, 2) != district_key(2, 1));
+        assert!(customer_key(1, 2, 3) != customer_key(3, 2, 1));
+        assert!(stock_key(1, 2) != stock_key(2, 1));
+        assert!(order_key(0, 1, 5) != order_key(1, 0, 5));
+    }
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let y = YcsbSpec::default();
+        assert_eq!(y.ops_per_txn, 16);
+        assert_eq!(y.scan_len, 50);
+        assert!((y.remote_fraction - 0.75).abs() < 1e-9);
+        let t = TpccSpec::default();
+        assert!((t.neworder_remote_fraction - 0.01).abs() < 1e-9);
+        assert!((t.payment_remote_fraction - 0.15).abs() < 1e-9);
+        let k = KvSpec::default();
+        assert_eq!(k.ops_per_txn, 60);
+    }
+}

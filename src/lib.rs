@@ -1,0 +1,26 @@
+//! Umbrella crate for the BionicDB reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; the implementation lives in the workspace crates:
+//!
+//! * [`bionicdb`] — the assembled machine and client API;
+//! * [`bionicdb_fpga`] — the cycle-level FPGA fabric substrate;
+//! * [`bionicdb_softcore`] — ISA, assembler, catalogue, execution engine;
+//! * [`bionicdb_coproc`] — the pipelined hash and skiplist index
+//!   coprocessor;
+//! * [`bionicdb_noc`] — on-chip message-passing channels;
+//! * [`bionicdb_cpu_model`] — the Xeon cache-hierarchy timing model used to
+//!   time the software baseline;
+//! * [`bionicdb_silo`] — the Silo-style software OLTP baseline;
+//! * [`bionicdb_workloads`] — YCSB / TPC-C / KV generators and drivers;
+//! * [`bionicdb_power`] — resource-utilization and power models.
+
+pub use bionicdb;
+pub use bionicdb_coproc;
+pub use bionicdb_cpu_model;
+pub use bionicdb_fpga;
+pub use bionicdb_noc;
+pub use bionicdb_power;
+pub use bionicdb_silo;
+pub use bionicdb_softcore;
+pub use bionicdb_workloads;

@@ -1,0 +1,100 @@
+//! System-level tests of transaction interleaving (paper §4.5):
+//! equivalence with serial execution on conflict-free inputs, and the
+//! speedup it exists to provide.
+
+use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
+use bionicdb_workloads::YcsbSpec;
+
+fn build(mode: ExecMode, ops: usize) -> YcsbBionic {
+    let cfg = BionicConfig {
+        workers: 2,
+        mode,
+        ..BionicConfig::small(2)
+    };
+    let spec = YcsbSpec {
+        records_per_partition: 4_000,
+        payload_len: 64,
+        ops_per_txn: ops,
+        ..YcsbSpec::default()
+    };
+    YcsbBionic::build(cfg, spec, 12)
+}
+
+/// Run `n` read transactions per worker; returns (cycles, committed).
+fn run(y: &mut YcsbBionic, n: usize, seed: u64) -> (u64, u64) {
+    let size = y.block_size(YcsbKind::ReadLocal);
+    let mut rng = YcsbBionic::rng(seed);
+    let start = y.machine.now();
+    let s0 = y.machine.stats().committed;
+    for w in 0..y.machine.num_workers() {
+        for _ in 0..n {
+            let blk = y.machine.alloc_block(w, size);
+            y.submit_txn(w, blk, YcsbKind::ReadLocal, &mut rng);
+        }
+    }
+    y.machine.run_to_quiescence_limit(1 << 28);
+    (y.machine.now() - start, y.machine.stats().committed - s0)
+}
+
+#[test]
+fn interleaved_and_serial_commit_identical_read_workloads() {
+    let mut inter = build(ExecMode::Interleaved, 4);
+    let mut serial = build(ExecMode::Serial, 4);
+    let (_, ci) = run(&mut inter, 50, 7);
+    let (_, cs) = run(&mut serial, 50, 7);
+    assert_eq!(ci, 100);
+    assert_eq!(cs, 100);
+}
+
+#[test]
+fn interleaving_speeds_up_single_access_transactions() {
+    // Paper Fig. 12a: the win is largest for single-access transactions
+    // (serial execution leaves the coprocessor idle during each round
+    // trip; interleaving overlaps them).
+    let mut inter = build(ExecMode::Interleaved, 1);
+    let mut serial = build(ExecMode::Serial, 1);
+    let (ti, _) = run(&mut inter, 300, 9);
+    let (ts, _) = run(&mut serial, 300, 9);
+    let speedup = ts as f64 / ti as f64;
+    assert!(
+        speedup > 1.4,
+        "interleaving speedup for 1-op txns: {speedup:.2}x"
+    );
+}
+
+#[test]
+fn interleaving_benefit_shrinks_with_intra_txn_parallelism() {
+    // With 32 independent accesses per transaction, index pipelining
+    // already fills the coprocessor; interleaving adds little
+    // (paper Fig. 12a converges).
+    let mut inter = build(ExecMode::Interleaved, 32);
+    let mut serial = build(ExecMode::Serial, 32);
+    let (ti, _) = run(&mut inter, 60, 11);
+    let (ts, _) = run(&mut serial, 60, 11);
+    let speedup = ts as f64 / ti as f64;
+    assert!(
+        (0.75..1.35).contains(&speedup),
+        "large-footprint speedup should be near 1x, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn context_switches_happen_only_when_interleaving() {
+    let mut inter = build(ExecMode::Interleaved, 1);
+    run(&mut inter, 40, 13);
+    let switches_inter: u64 = (0..2)
+        .map(|w| inter.machine.softcore_stats(w).switches)
+        .sum();
+    let mut serial = build(ExecMode::Serial, 1);
+    run(&mut serial, 40, 13);
+    let switches_serial: u64 = (0..2)
+        .map(|w| serial.machine.softcore_stats(w).switches)
+        .sum();
+    // Serial mode still "switches" into the commit phase once per txn;
+    // interleaving adds the logic-phase yields on top.
+    assert!(
+        switches_inter > switches_serial,
+        "interleaving must context-switch more: {switches_inter} vs {switches_serial}"
+    );
+}

@@ -1,0 +1,123 @@
+//! Property test: host-side bulk loading builds *logically identical*
+//! index structures to inserting through the hardware pipelines.
+//!
+//! Same sdbm bucket placement, same deterministic tower heights — so for
+//! any key set, lookups agree, every key is found, and the skiplist's
+//! bottom chain enumerates the keys in identical sorted order.
+
+use bionicdb::{BionicConfig, SystemBuilder, TableMeta};
+use bionicdb_coproc::layout::{read_header, TOWER_NEXTS, TUPLE_HEADER};
+use bionicdb_softcore::builder::ProcBuilder;
+use bionicdb_softcore::isa::{MemBase, Operand};
+use proptest::prelude::*;
+
+/// Build a machine with one hash + one skiplist table and per-kind insert
+/// procedures (single insert per transaction, key at offset 0, payload at
+/// offset 8).
+fn build() -> (
+    bionicdb::Machine,
+    bionicdb::TableId,
+    bionicdb::TableId,
+    bionicdb::ProcId,
+    bionicdb::ProcId,
+) {
+    let mut b = SystemBuilder::new(BionicConfig::small(1));
+    let hash = b.table(TableMeta::hash("h", 8, 16, 1 << 8));
+    let skip = b.table(TableMeta::skiplist("s", 8, 16));
+    let mk = |table, flags_off: i64| {
+        let mut pb = ProcBuilder::new("ins1");
+        let c0 = pb.cp();
+        pb.insert(
+            table,
+            Operand::Imm(0),
+            Operand::Imm(8),
+            Operand::Imm(-1),
+            c0,
+        );
+        pb.begin_commit();
+        let zero = pb.gp();
+        pb.mov(zero, Operand::Imm(0));
+        let addr = pb.ret_checked(c0);
+        pb.store(zero, MemBase::Reg(addr), Operand::Imm(flags_off));
+        pb.commit();
+        pb.begin_abort();
+        pb.abort();
+        pb.build().unwrap()
+    };
+    let hash_ins = b.proc(mk(hash, (TUPLE_HEADER + 16) as i64));
+    let skip_ins = b.proc(mk(skip, 16));
+    (b.build(), hash, skip, hash_ins, skip_ins)
+}
+
+fn insert_via_pipeline(
+    db: &mut bionicdb::Machine,
+    proc: bionicdb::ProcId,
+    key: &[u8],
+    payload: &[u8],
+) {
+    let blk = db.alloc_block(0, 128);
+    db.init_block(blk, proc);
+    db.write_block(blk, 0, key);
+    db.write_block(blk, 8, payload);
+    db.submit(0, blk);
+    db.run_to_quiescence_limit(1 << 24);
+    assert_eq!(db.block_status(blk), bionicdb::TxnStatus::Committed);
+}
+
+/// Walk the skiplist bottom chain, returning keys in list order.
+fn bottom_chain(db: &bionicdb::Machine, table: bionicdb::TableId) -> Vec<u64> {
+    let state = &db.partition(0).tables[table.0 as usize];
+    let mut out = Vec::new();
+    let mut cur = db.dram().host_read_u64(state.head_next_addr(0));
+    while cur != 0 {
+        out.push(read_header(db.dram(), cur).key.to_u64());
+        cur = db.dram().host_read_u64(cur + TOWER_NEXTS);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn loaded_and_pipelined_indexes_agree(keys in proptest::collection::btree_set(0u64..5_000, 1..40)) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+
+        // Machine A: host-side bulk load.
+        let (mut a, hash_a, skip_a, _, _) = build();
+        for &k in &keys {
+            let payload = [k as u8; 16];
+            a.loader(0).insert(hash_a, &k.to_le_bytes(), &payload);
+            a.loader(0).insert(skip_a, &k.to_be_bytes(), &payload);
+        }
+
+        // Machine B: inserts through the index pipelines.
+        let (mut b, hash_b, skip_b, hash_ins, skip_ins) = build();
+        for &k in &keys {
+            let payload = [k as u8; 16];
+            insert_via_pipeline(&mut b, hash_ins, &k.to_le_bytes(), &payload);
+            insert_via_pipeline(&mut b, skip_ins, &k.to_be_bytes(), &payload);
+        }
+
+        // Every key findable in both, with identical payloads.
+        for &k in &keys {
+            for (m, hash, skip) in [(&mut a, hash_a, skip_a), (&mut b, hash_b, skip_b)] {
+                let ha = m.loader(0).lookup(hash, &k.to_le_bytes());
+                prop_assert!(ha.is_some(), "hash key {k}");
+                prop_assert_eq!(m.loader(0).payload(hash, ha.unwrap()), vec![k as u8; 16]);
+                let sa = m.loader(0).lookup(skip, &k.to_be_bytes());
+                prop_assert!(sa.is_some(), "skiplist key {k}");
+            }
+        }
+        // Absent keys are absent in both.
+        for probe in [5_001u64, 9_999] {
+            prop_assert!(a.loader(0).lookup(hash_a, &probe.to_le_bytes()).is_none());
+            prop_assert!(b.loader(0).lookup(hash_b, &probe.to_le_bytes()).is_none());
+        }
+        // The bottom chains enumerate the same sorted key sequence.
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(bottom_chain(&a, skip_a), sorted.clone());
+        prop_assert_eq!(bottom_chain(&b, skip_b), sorted);
+    }
+}

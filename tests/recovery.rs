@@ -1,0 +1,147 @@
+//! Integration tests for command-logging recovery (paper §4.8).
+
+use bionicdb::recovery::Checkpoint;
+use bionicdb::{asm::assemble, BionicConfig, CommandLog, SystemBuilder, TableMeta, TxnStatus};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ADD: &str = r#"
+proc add
+logic:
+    update 0, 0, c0
+commit:
+    ret g0, c0
+    cmp g0, 0
+    blt abort
+    load g1, [blk+8]
+    load g2, [g0+72]
+    add g2, g1
+    store g2, [g0+72]
+    getts g3
+    store g3, [g0+8]
+    mov g4, 0
+    store g4, [g0+24]
+    commit
+abort:
+    abort
+"#;
+
+fn build(workers: usize) -> (bionicdb::Machine, bionicdb::TableId, bionicdb::ProcId) {
+    let mut b = SystemBuilder::new(BionicConfig::small(workers));
+    let t = b.table(TableMeta::hash("counters", 8, 8, 1 << 8));
+    let p = b.proc(assemble(ADD).unwrap());
+    (b.build(), t, p)
+}
+
+#[test]
+fn replay_reproduces_exact_state_across_partitions() {
+    let workers = 3;
+    let (mut db, t, p) = build(workers);
+    for w in 0..workers {
+        for k in 0..8u64 {
+            db.loader(w)
+                .insert(t, &k.to_le_bytes(), &0u64.to_le_bytes());
+        }
+    }
+    let checkpoint = Checkpoint::dump(&db);
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut log = CommandLog::new();
+    for _ in 0..30 {
+        let w = rng.gen_range(0..workers);
+        let blk = db.alloc_block(w, 128);
+        db.init_block(blk, p);
+        db.write_block_u64(blk, 0, rng.gen_range(0..8));
+        db.write_block_u64(blk, 8, rng.gen_range(1..100));
+        db.submit(w, blk);
+        db.run_to_quiescence_limit(1 << 24);
+        log.capture(&db, w, blk);
+    }
+    let state = Checkpoint::dump(&db);
+    assert_eq!(log.len(), 30);
+
+    // Recover on a fresh machine from the durable bytes.
+    let bytes = log.to_bytes();
+    let recovered = CommandLog::from_bytes(&bytes).unwrap();
+    let (mut db2, _, _) = build(workers);
+    checkpoint.load_into(&mut db2);
+    assert_eq!(recovered.replay(&mut db2), 30);
+    assert_eq!(Checkpoint::dump(&db2), state);
+}
+
+#[test]
+fn aborted_transactions_are_not_logged_or_replayed() {
+    let (mut db, t, p) = build(1);
+    db.loader(0)
+        .insert(t, &1u64.to_le_bytes(), &0u64.to_le_bytes());
+    let checkpoint = Checkpoint::dump(&db);
+
+    let mut log = CommandLog::new();
+    // One committed add, one aborted (missing key).
+    let ok = db.alloc_block(0, 128);
+    db.init_block(ok, p);
+    db.write_block_u64(ok, 0, 1);
+    db.write_block_u64(ok, 8, 7);
+    db.submit(0, ok);
+    let bad = db.alloc_block(0, 128);
+    db.init_block(bad, p);
+    db.write_block_u64(bad, 0, 42); // absent key -> abort
+    db.write_block_u64(bad, 8, 7);
+    db.submit(0, bad);
+    db.run_to_quiescence_limit(1 << 24);
+    assert_eq!(db.block_status(bad), TxnStatus::Aborted);
+    log.capture(&db, 0, ok);
+    log.capture(&db, 0, bad);
+    assert_eq!(log.len(), 1, "only the committed block is persisted");
+
+    let (mut db2, t2, _) = build(1);
+    checkpoint.load_into(&mut db2);
+    assert_eq!(log.replay(&mut db2), 1);
+    let addr = db2.loader(0).lookup(t2, &1u64.to_le_bytes()).unwrap();
+    let v = u64::from_le_bytes(db2.loader(0).payload(t2, addr)[..8].try_into().unwrap());
+    assert_eq!(v, 7);
+}
+
+#[test]
+fn replay_orders_by_commit_timestamp_across_workers() {
+    // Interleave commits on two workers; the log is captured out of order,
+    // and replay must still converge to the same state (increments commute
+    // here, so instead check replay *count* and determinism of the final
+    // image against the original).
+    let (mut db, _t, p) = build(2);
+    for w in 0..2 {
+        db.loader(w)
+            .insert(_t, &0u64.to_le_bytes(), &0u64.to_le_bytes());
+    }
+    let checkpoint = Checkpoint::dump(&db);
+    let mut log = CommandLog::new();
+    let mut captured = Vec::new();
+    for i in 0..10u64 {
+        let w = (i % 2) as usize;
+        let blk = db.alloc_block(w, 128);
+        db.init_block(blk, p);
+        db.write_block_u64(blk, 0, 0);
+        db.write_block_u64(blk, 8, 1 << i);
+        db.submit(w, blk);
+        captured.push((w, blk));
+    }
+    db.run_to_quiescence_limit(1 << 26);
+    // Capture in scrambled order.
+    for &(w, blk) in captured.iter().rev() {
+        log.capture(&db, w, blk);
+    }
+    let state = Checkpoint::dump(&db);
+
+    let (mut db2, _, _) = build(2);
+    checkpoint.load_into(&mut db2);
+    log.replay(&mut db2);
+    assert_eq!(Checkpoint::dump(&db2), state);
+}
+
+#[test]
+fn corrupt_log_is_rejected() {
+    let log = CommandLog::new();
+    let mut bytes = log.to_bytes();
+    bytes[0] = b'X';
+    assert!(CommandLog::from_bytes(&bytes).is_err());
+}
