@@ -23,15 +23,15 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let wave = if quick { 60 } else { 200 };
 
-    // 1. Scanner count vs scan throughput.
-    let mut rows = Vec::new();
-    for scanners in [1usize, 2, 3, 5, 8] {
+    // 1. Scanner count vs scan throughput. Every ablation point builds its
+    // own machine, so each sweep fans out over par_map.
+    let rows = par_map(vec![1usize, 2, 3, 5, 8], |scanners| {
         let mut cfg = BionicConfig::default();
         cfg.fpga.skiplist_scanners = scanners;
         let mut y = YcsbBionic::build(cfg, bench_ycsb_spec(), 60);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::Scan, wave);
-        rows.push((format!("{scanners} scanner(s)"), t.per_sec / 1e3));
-    }
+        (format!("{scanners} scanner(s)"), t.per_sec / 1e3)
+    });
     print_series(
         "Ablation 1: scan throughput vs scanner count",
         "config",
@@ -40,8 +40,7 @@ fn main() {
     );
 
     // 2. Traverse stages on a chain-heavy hash table (buckets = records/8).
-    let mut rows = Vec::new();
-    for stages in [1usize, 2, 4] {
+    let rows = par_map(vec![1usize, 2, 4], |stages| {
         let mut cfg = BionicConfig::default();
         cfg.fpga.hash_traverse_stages = stages;
         let spec = YcsbSpec {
@@ -50,8 +49,8 @@ fn main() {
         };
         let mut y = YcsbBionic::build(cfg, spec, 60);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, wave);
-        rows.push((format!("{stages} traverse stage(s)"), t.per_sec / 1e3));
-    }
+        (format!("{stages} traverse stage(s)"), t.per_sec / 1e3)
+    });
     print_series(
         "Ablation 2: YCSB-C on long chains vs Traverse stages",
         "config",
@@ -63,27 +62,28 @@ fn main() {
     // barely differ because even an 8-hop ring trip (24 cycles) is small
     // next to an index probe; the mean message latency column shows the
     // structural cost the paper worries about for much larger meshes.
-    let mut rows = Vec::new();
-    for workers in [4usize, 8, 16] {
-        for topo in [Topology::Crossbar, Topology::Ring] {
-            let cfg = BionicConfig {
-                workers,
-                topology: topo,
-                dram_bytes: (workers as u64 + 1) * (200 << 20),
-                ..BionicConfig::default()
-            };
-            let mut y = YcsbBionic::build(cfg, bench_ycsb_spec(), 60);
-            let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave / 2);
-            let n = y.machine.noc().stats();
-            rows.push((
-                format!(
-                    "{workers}w {topo:?} (lat {:.1}cy)",
-                    n.total_latency as f64 / n.messages as f64
-                ),
-                t.per_sec / 1e3,
-            ));
-        }
-    }
+    let points: Vec<(usize, Topology)> = [4usize, 8, 16]
+        .iter()
+        .flat_map(|&w| [(w, Topology::Crossbar), (w, Topology::Ring)])
+        .collect();
+    let rows = par_map(points, |(workers, topo)| {
+        let cfg = BionicConfig {
+            workers,
+            topology: topo,
+            dram_bytes: (workers as u64 + 1) * (200 << 20),
+            ..BionicConfig::default()
+        };
+        let mut y = YcsbBionic::build(cfg, bench_ycsb_spec(), 60);
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave / 2);
+        let n = y.machine.noc().stats();
+        (
+            format!(
+                "{workers}w {topo:?} (lat {:.1}cy)",
+                n.total_latency as f64 / n.messages as f64
+            ),
+            t.per_sec / 1e3,
+        )
+    });
     print_series(
         "Ablation 3: multisite throughput vs topology",
         "config",
@@ -92,8 +92,7 @@ fn main() {
     );
 
     // 4. TPC-C mixed throughput vs interleaving batch size.
-    let mut rows = Vec::new();
-    for max_batch in [1usize, 2, 4, 8, 16] {
+    let rows = par_map(vec![1usize, 2, 4, 8, 16], |max_batch| {
         let cfg = BionicConfig {
             workers: 4,
             mode: ExecMode::Interleaved,
@@ -102,8 +101,8 @@ fn main() {
         };
         let mut sys = TpccBionic::build(cfg, bench_tpcc_spec());
         let t = bionic_tpcc_tput(&mut sys, TpccMix::Mixed, wave / 2);
-        rows.push((format!("batch {max_batch}"), t.per_sec / 1e3));
-    }
+        (format!("batch {max_batch}"), t.per_sec / 1e3)
+    });
     print_series(
         "Ablation 4: TPC-C mix vs interleaving batch size (hotspot conflicts)",
         "config",
@@ -115,8 +114,7 @@ fn main() {
     // dirty-reject CC — hot keys collide across an interleaving batch, and
     // the retry cost grows with skew (a dimension the paper's uniform-key
     // YCSB never touches).
-    let mut rows = Vec::new();
-    for theta in [0.0f64, 0.5, 0.9, 0.99] {
+    let rows = par_map(vec![0.0f64, 0.5, 0.9, 0.99], |theta| {
         let mut y = build_ycsb(4, ExecMode::Interleaved);
         let zipf = (theta > 0.0)
             .then(|| bionicdb_workloads::Zipf::new(y.spec.records_per_partition, theta));
@@ -158,8 +156,8 @@ fn main() {
         } else {
             format!("zipf {theta} ({} aborts)", aborted)
         };
-        rows.push((label, tput / 1e3));
-    }
+        (label, tput / 1e3)
+    });
     print_series(
         "Ablation 6: update-txn throughput vs key skew (with retries)",
         "distribution",
@@ -170,8 +168,7 @@ fn main() {
     // 5. Hazard prevention cost on bulk inserts (lock-table stalls): a
     // small bucket array makes concurrent inserts collide, so the Hash
     // stage must stall on the lock table (paper Fig. 6b).
-    let mut rows = Vec::new();
-    for hazard in [true, false] {
+    let rows = par_map(vec![true, false], |hazard| {
         let cfg = BionicConfig {
             hazard_prevention: hazard,
             ..BionicConfig::default()
@@ -185,15 +182,15 @@ fn main() {
         let stalls: u64 = (0..4)
             .map(|w| y.machine.worker(w).coproc.hash_stats().lock_stalls)
             .sum();
-        rows.push((
+        (
             format!(
                 "locks {} ({} stall cycles)",
                 if hazard { "on" } else { "OFF (unsafe)" },
                 stalls
             ),
             t.per_sec / 1e6,
-        ));
-    }
+        )
+    });
     print_series(
         "Ablation 5: insert Mops with/without hazard prevention",
         "config",

@@ -21,21 +21,21 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let wave = if quick { 60 } else { 200 };
 
-    // (a) KV insert / search, operation throughput.
-    let mut rows = Vec::new();
-    for &n in &INFLIGHT {
+    // (a) KV insert / search, operation throughput. Each sweep point is an
+    // independent machine, so the whole figure fans out over par_map.
+    let rows = par_map(INFLIGHT.to_vec(), |n| {
         let mut y = build_ycsb(4, ExecMode::Interleaved);
         y.machine.set_max_inflight(n);
         let ins = bionic_kv_tput(&mut y, true, wave / 4);
         let mut y = build_ycsb(4, ExecMode::Interleaved);
         y.machine.set_max_inflight(n);
         let se = bionic_kv_tput(&mut y, false, wave / 4);
-        rows.push(vec![
+        vec![
             n.to_string(),
             format!("{:.2}", ins.per_sec / 1e6),
             format!("{:.2}", se.per_sec / 1e6),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Fig 10a: KeyValue (Mops)",
         &["in-flight", "insert", "search"],
@@ -43,13 +43,12 @@ fn main() {
     );
 
     // (b) YCSB-C.
-    let mut rows = Vec::new();
-    for &n in &INFLIGHT {
+    let rows = par_map(INFLIGHT.to_vec(), |n| {
         let mut y = build_ycsb(4, ExecMode::Interleaved);
         y.machine.set_max_inflight(n);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, wave);
-        rows.push((n.to_string(), t.per_sec / 1e3));
-    }
+        (n.to_string(), t.per_sec / 1e3)
+    });
     print_series("Fig 10b: YCSB-C (read-only)", "in-flight", "kTps", &rows);
 
     // (c) TPC-C NewOrder, (d) Payment — serial execution, isolating the
@@ -58,13 +57,12 @@ fn main() {
         (TpccMix::NewOrderOnly, "Fig 10c: TPC-C NewOrder"),
         (TpccMix::PaymentOnly, "Fig 10d: TPC-C Payment"),
     ] {
-        let mut rows = Vec::new();
-        for &n in &INFLIGHT {
+        let rows = par_map(INFLIGHT.to_vec(), |n| {
             let mut sys = build_tpcc_local(4, ExecMode::Serial);
             sys.machine.set_max_inflight(n);
             let t = bionic_tpcc_tput(&mut sys, mix, wave / 2);
-            rows.push((n.to_string(), t.per_sec / 1e3));
-        }
+            (n.to_string(), t.per_sec / 1e3)
+        });
         print_series(title, "in-flight", "kTps", &rows);
     }
 }

@@ -35,14 +35,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
 
-    // (a) sequential loading (bulk inserts), operation throughput.
-    let mut rows = Vec::new();
-    for &n in &INFLIGHT {
+    // (a) sequential loading (bulk inserts), operation throughput. Points
+    // are independent machines — fan the sweep out over par_map.
+    let rows = par_map(INFLIGHT.to_vec(), |n| {
         let mut y = build(scanners);
         y.machine.set_max_inflight(n);
         let t = bionic_kv_skip_tput(&mut y, true, wave / 4);
-        rows.push((n.to_string(), t.per_sec / 1e3));
-    }
+        (n.to_string(), t.per_sec / 1e3)
+    });
     print_series(
         "Fig 11a: skiplist insert (kOps)",
         "in-flight",
@@ -51,13 +51,12 @@ fn main() {
     );
 
     // (b) point query.
-    let mut rows = Vec::new();
-    for &n in &INFLIGHT {
+    let rows = par_map(INFLIGHT.to_vec(), |n| {
         let mut y = build(scanners);
         y.machine.set_max_inflight(n);
         let t = bionic_kv_skip_tput(&mut y, false, wave / 4);
-        rows.push((n.to_string(), t.per_sec / 1e3));
-    }
+        (n.to_string(), t.per_sec / 1e3)
+    });
     print_series(
         "Fig 11b: skiplist point query (kOps)",
         "in-flight",
@@ -66,13 +65,12 @@ fn main() {
     );
 
     // (c) scan-only YCSB-E (range 50).
-    let mut rows = Vec::new();
-    for &n in &INFLIGHT {
+    let rows = par_map(INFLIGHT.to_vec(), |n| {
         let mut y = build(scanners);
         y.machine.set_max_inflight(n);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::Scan, wave);
-        rows.push((n.to_string(), t.per_sec / 1e3));
-    }
+        (n.to_string(), t.per_sec / 1e3)
+    });
     print_series(
         &format!("Fig 11c: YCSB-E scan-only, {scanners} scanner(s)"),
         "in-flight",

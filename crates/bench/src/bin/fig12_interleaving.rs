@@ -31,21 +31,21 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let wave = if quick { 150 } else { 400 };
 
-    // (a) YCSB-C footprint sweep.
-    let mut rows = Vec::new();
-    for ops in [1usize, 16, 32, 48, 64] {
+    // (a) YCSB-C footprint sweep (each point two independent machines;
+    // the sweep fans out over par_map).
+    let rows = par_map(vec![1usize, 16, 32, 48, 64], |ops| {
         let w = (wave * 16 / ops).max(40);
         let mut inter = build_with_footprint(ops, ExecMode::Interleaved);
         let ti = bionic_ycsb_tput(&mut inter, YcsbKind::ReadLocal, w);
         let mut serial = build_with_footprint(ops, ExecMode::Serial);
         let ts = bionic_ycsb_tput(&mut serial, YcsbKind::ReadLocal, w);
-        rows.push(vec![
+        vec![
             ops.to_string(),
             format!("{:.1}", ti.per_sec / 1e3),
             format!("{:.1}", ts.per_sec / 1e3),
             format!("{:.2}x", ti.per_sec / ts.per_sec),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Fig 12a: YCSB-C, interleaving vs serial (kTps)",
         &["DB accesses", "interleaving", "serial", "speedup"],

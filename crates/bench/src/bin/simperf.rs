@@ -1,0 +1,130 @@
+//! Simulator performance: simulated cycles per wall-clock second, strict
+//! single-cycle stepping vs the fast-forward scheduler.
+//!
+//! The workload is deliberately stall-heavy — single-worker YCSB-C point reads under
+//! *serial* execution with the coprocessor's in-flight bound at 1, so the
+//! softcore idles through every DB round trip instead of interleaving over
+//! it — which is exactly the span the fast-forward scheduler elides.
+//! Results (and the speedup) are written to `BENCH_simperf.json` for the
+//! repo record.
+//!
+//! Usage: `simperf [--quick] [--out PATH]`
+
+use std::time::Instant;
+
+use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_bench::rng;
+use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
+use bionicdb_workloads::YcsbSpec;
+
+struct Measurement {
+    cycles: u64,
+    ticks: u64,
+    wall_secs: f64,
+    committed: u64,
+}
+
+impl Measurement {
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_secs
+    }
+}
+
+/// Run one strict or fast YCSB-C wave and time it.
+fn measure(fast: bool, txns_per_worker: usize) -> Measurement {
+    let cfg = BionicConfig {
+        workers: 1,
+        mode: ExecMode::Serial,
+        ..BionicConfig::default()
+    };
+    let spec = YcsbSpec {
+        records_per_partition: 20_000,
+        ..YcsbSpec::default()
+    };
+    let mut y = YcsbBionic::build(cfg, spec, 4);
+    y.machine.set_fast_forward(fast);
+    y.machine.set_max_inflight(1);
+    let workers = y.machine.num_workers();
+    let size = y.block_size(YcsbKind::ReadLocal);
+    let mut pools: Vec<BlockPool> = (0..workers)
+        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
+        .collect();
+    let mut r = rng(0x51F0);
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for _ in 0..txns_per_worker {
+            let blk = pool.take();
+            y.submit_txn(w, blk, YcsbKind::ReadLocal, &mut r);
+        }
+    }
+    let c0 = y.machine.now();
+    let t0 = Instant::now();
+    y.machine.run_to_quiescence();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    Measurement {
+        cycles: y.machine.now() - c0,
+        ticks: y.machine.ticks_executed(),
+        wall_secs,
+        committed: y.machine.stats().committed,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out_path = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_simperf.json".into());
+    let txns = if quick { 400 } else { 2_000 };
+
+    let strict = measure(false, txns);
+    let fast = measure(true, txns);
+
+    assert_eq!(
+        strict.cycles, fast.cycles,
+        "fast-forward must be cycle-exact"
+    );
+    assert_eq!(
+        strict.committed, fast.committed,
+        "fast-forward must commit identically"
+    );
+
+    let speedup = fast.cycles_per_sec() / strict.cycles_per_sec();
+    println!(
+        "strict: {:>12.0} cycles/s  ({} cycles, {} ticks, {:.3}s)",
+        strict.cycles_per_sec(),
+        strict.cycles,
+        strict.ticks,
+        strict.wall_secs
+    );
+    println!(
+        "fast:   {:>12.0} cycles/s  ({} cycles, {} ticks, {:.3}s)",
+        fast.cycles_per_sec(),
+        fast.cycles,
+        fast.ticks,
+        fast.wall_secs
+    );
+    println!("speedup: {speedup:.2}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"ycsb-c read-local, serial exec, 1 worker, max_inflight=1, {} txns/worker\",\n",
+            "  \"simulated_cycles\": {},\n",
+            "  \"committed\": {},\n",
+            "  \"strict\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
+            "  \"fast\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
+            "  \"speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        txns,
+        strict.cycles,
+        strict.committed,
+        strict.wall_secs,
+        strict.cycles_per_sec(),
+        fast.wall_secs,
+        fast.cycles_per_sec(),
+        speedup
+    );
+    std::fs::write(&out_path, json).expect("write results file");
+    println!("wrote {out_path}");
+}

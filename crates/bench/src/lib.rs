@@ -395,6 +395,66 @@ pub fn build_tpcc_local(workers: usize, mode: ExecMode) -> TpccBionic {
     TpccBionic::build(cfg, spec)
 }
 
+// ---------------------------------------------------------------------------
+// Parallel sweep harness
+// ---------------------------------------------------------------------------
+
+/// Worker-thread count for [`par_map`]: `BIONICDB_THREADS` if set, else the
+/// machine's available parallelism.
+pub fn sweep_threads() -> usize {
+    std::env::var("BIONICDB_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Map `f` over `items` on a pool of scoped OS threads, preserving input
+/// order in the result. Each sweep point of the figure binaries builds its
+/// own [`bionicdb::Machine`], so points are fully independent and the
+/// figures parallelize trivially; determinism is untouched because every
+/// point seeds its own RNGs. No work is spawned for a single-item (or
+/// single-thread) sweep.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let threads = sweep_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().expect("work slot").take().expect("claimed once");
+                let r = f(item);
+                *results[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result lock").expect("every item ran"))
+        .collect()
+}
+
 /// A convenience RNG.
 pub fn rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)

@@ -59,7 +59,7 @@ impl CoprocConfig {
 }
 
 /// Aggregate statistics of one coprocessor.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CoprocStats {
     /// Requests admitted into a pipeline.
     pub admitted: u64,
@@ -158,6 +158,34 @@ impl IndexCoproc {
             && self.hash.is_idle()
             && self.skip.is_idle()
             && self.out.is_empty()
+    }
+
+    /// Fast-forward support: the earliest future cycle at which admission,
+    /// collection, or either pipeline could make progress or mutate a
+    /// statistic. `None` when everything in flight is purely waiting on
+    /// DRAM. The per-cycle `cycles`/`inflight_integral` accounting is *not*
+    /// an event — [`Self::skip`] replays it in bulk for skipped spans.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.hash.out.is_empty()
+            || !self.skip.out.is_empty()
+            || (!self.input.is_empty() && self.inflight < self.max_inflight)
+        {
+            return Some(now + 1);
+        }
+        match (self.hash.next_event(now), self.skip.next_event(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fast-forward support: account for `k` skipped cycles. The coproc
+    /// accrues `cycles` and `inflight_integral` on *every* tick (idle or
+    /// not), so the machine must call this for every skipped span.
+    pub fn skip(&mut self, k: u64) {
+        self.stats.cycles += k;
+        self.stats.inflight_integral += self.inflight as u64 * k;
+        self.hash.skip(k);
+        self.skip.skip(k);
     }
 
     /// Advance the coprocessor by one cycle.

@@ -30,7 +30,7 @@
 //! the lock table; the crate tests use that to *demonstrate* the anomaly.
 
 use bionicdb_fpga::stats::StageStats;
-use bionicdb_fpga::{Dram, Fifo, LockTable};
+use bionicdb_fpga::{Dram, Fifo, LockTable, MemData};
 use bionicdb_softcore::request::{DbOp, DbRequest, DbResponse};
 use bionicdb_softcore::{DbResult, DbStatus, IndexKey};
 
@@ -83,13 +83,13 @@ struct Traverse {
     pending: Option<Probe>,
     /// A decoded response that could not finish (full output queue); the
     /// visibility decision is replayed next cycle.
-    parked: Option<(Probe, Vec<u8>)>,
+    parked: Option<(Probe, MemData)>,
     busy: bool,
     stats: StageStats,
 }
 
 /// Per-pipeline statistics.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct HashStats {
     /// Per-stage utilization: keyfetch, hash, install, headfetch, compare.
     pub keyfetch: StageStats,
@@ -128,7 +128,7 @@ pub struct HashPipeline {
     install_fin: Option<InstallFinish>,
     headfetch_in: Fifo<(Bucketed, u64)>,
     headfetch_rd: AsyncReader<Probe>,
-    compare_in: Fifo<(Probe, Vec<u8>)>,
+    compare_in: Fifo<(Probe, MemData)>,
     traverse: Vec<Traverse>,
     lock: LockTable<(u8, u64)>,
     hazard_prevention: bool,
@@ -196,6 +196,48 @@ impl HashPipeline {
             && self.compare_in.is_empty()
             && self.traverse.iter().all(|t| !t.busy)
             && self.out.is_empty()
+    }
+
+    /// Fast-forward support: `Some(now + 1)` when any stage could make
+    /// progress, attempt a DRAM issue, or mutate a statistic on the next
+    /// tick; `None` when every occupied stage is purely waiting on a DRAM
+    /// response (bounded by the DRAM's own `next_event` at machine level).
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let busy = self.keyfetch.has_ready()
+            || (self.keyfetch.can_issue() && !self.input.is_empty())
+            || self.hash_rd.has_ready()
+            || self.hash_stalled.is_some()
+            || !self.hash_in.is_empty()
+            || self.install_fin.is_some()
+            || self.install_rd.has_ready()
+            || (self.install_rd.can_issue() && !self.install_in.is_empty())
+            || self.headfetch_rd.has_ready()
+            || self
+                .headfetch_in
+                .peek()
+                .is_some_and(|&(_, head)| head == 0 || self.headfetch_rd.can_issue())
+            || !self.compare_in.is_empty()
+            || self.traverse.iter().any(|t| {
+                t.pending.is_some() || t.parked.is_some() || t.reader.has_ready()
+            });
+        if busy {
+            Some(now + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Fast-forward support: account for `k` skipped pure-wait cycles. The
+    /// only per-cycle bookkeeping a pure-wait tick performs here is the
+    /// stall counter of a busy Traverse stage whose chain read is still in
+    /// flight (every other stalled configuration reports `now + 1` from
+    /// [`Self::next_event`] and is never skipped).
+    pub fn skip(&mut self, k: u64) {
+        for t in &mut self.traverse {
+            if t.busy && t.pending.is_none() && t.parked.is_none() && !t.reader.has_ready() {
+                t.stats.stalled += k;
+            }
+        }
     }
 
     /// Advance every stage by one cycle. Stages tick downstream-first so a
@@ -268,7 +310,7 @@ impl HashPipeline {
             };
             if dest_has_space {
                 let (b, data) = self.hash_rd.pop_ready().expect("peeked");
-                let head = u64::from_le_bytes(data.try_into().expect("8 bytes"));
+                let head = u64::from_le_bytes(data.as_slice().try_into().expect("8 bytes"));
                 if is_insert {
                     self.install_in.push((b, head)).expect("space checked");
                 } else {
@@ -451,6 +493,7 @@ impl HashPipeline {
             return;
         };
         let p = *p;
+        let data = data.as_slice();
         let next = u64::from_le_bytes(data[0..8].try_into().expect("next ptr"));
         let hdr = RecordHeader::decode(&data[TUPLE_HEADER as usize..]);
         if hdr.key == p.key {
@@ -525,8 +568,8 @@ impl HashPipeline {
                 self.traverse[ti].stats.stall();
                 continue;
             };
-            let next = u64::from_le_bytes(data[0..8].try_into().expect("next ptr"));
-            let hdr = RecordHeader::decode(&data[TUPLE_HEADER as usize..]);
+            let next = u64::from_le_bytes(data.as_slice()[0..8].try_into().expect("next ptr"));
+            let hdr = RecordHeader::decode(&data.as_slice()[TUPLE_HEADER as usize..]);
             if hdr.key == p.key {
                 if !self.out.has_space() {
                     self.traverse[ti].parked = Some((p, data));

@@ -7,7 +7,7 @@
 //! response returns. Posted writes share the port but carry a sentinel tag
 //! and their acknowledgements are discarded.
 
-use bionicdb_fpga::{Dram, MemKind, MemRequest, PortId, Tag};
+use bionicdb_fpga::{Dram, MemData, MemKind, MemRequest, PortId, Tag};
 
 /// Tag marking posted writes, whose acknowledgements are dropped.
 const WRITE_TAG: Tag = Tag(u64::MAX);
@@ -18,7 +18,7 @@ const WRITE_TAG: Tag = Tag(u64::MAX);
 pub struct AsyncReader<T> {
     port: PortId,
     slots: Vec<Option<T>>,
-    ready: std::collections::VecDeque<(T, Vec<u8>)>,
+    ready: std::collections::VecDeque<(T, MemData)>,
 }
 
 impl<T> AsyncReader<T> {
@@ -100,13 +100,19 @@ impl<T> AsyncReader<T> {
     }
 
     /// Pop the oldest completed read.
-    pub fn pop_ready(&mut self) -> Option<(T, Vec<u8>)> {
+    pub fn pop_ready(&mut self) -> Option<(T, MemData)> {
         self.ready.pop_front()
     }
 
     /// Peek the oldest completed read without consuming it.
-    pub fn peek_ready(&self) -> Option<&(T, Vec<u8>)> {
+    pub fn peek_ready(&self) -> Option<&(T, MemData)> {
         self.ready.front()
+    }
+
+    /// True when a completed read is waiting to be popped (fast-forward
+    /// support: a stage with a ready response can make progress next cycle).
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
     }
 
     /// True when no reads are in flight and nothing is waiting to be popped.
@@ -132,7 +138,7 @@ mod tests {
         r.poll(&mut dram);
         let (ctx, data) = r.pop_ready().unwrap();
         assert_eq!(ctx, "ctx-a");
-        assert_eq!(u64::from_le_bytes(data.try_into().unwrap()), 0x55);
+        assert_eq!(u64::from_le_bytes(data.as_slice().try_into().unwrap()), 0x55);
         assert!(r.is_idle());
     }
 

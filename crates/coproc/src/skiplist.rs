@@ -138,7 +138,7 @@ struct LevelStage {
 }
 
 /// Statistics for the skiplist pipeline.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SkipStats {
     /// Operations completed (all kinds).
     pub completed: u64,
@@ -368,6 +368,76 @@ impl SkipPipeline {
             && self.out.is_empty()
     }
 
+    /// Fast-forward support: `Some(now + 1)` when any stage could make
+    /// progress, attempt a DRAM issue/write, or mutate a statistic on the
+    /// next tick; `None` when every occupied stage is purely waiting on a
+    /// DRAM response (bounded by the DRAM `next_event` at machine level).
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let stage_busy = |s: &LevelStage| {
+            s.forwarding.is_some()
+                || match &s.op {
+                    // Wait states make progress only when the read is back;
+                    // everything else attempts an issue or a lock re-check
+                    // (mutating `lock_stalls`) every single cycle.
+                    Some((_, StepState::WaitNextPtr | StepState::WaitKey { .. })) => {
+                        s.reader.has_ready()
+                    }
+                    Some(_) => true,
+                    None => !s.input.is_empty(),
+                }
+        };
+        let bottom_busy = match &self.bottom.op {
+            Some(op) => match op.state {
+                BotState::WaitNextPtr
+                | BotState::WaitKey { .. }
+                | BotState::WaitPayload
+                | BotState::WaitResolvePtr { .. }
+                | BotState::WaitResolveKey { .. } => self.bottom.reader.has_ready(),
+                _ => true,
+            },
+            None => !self.bottom.input.is_empty(),
+        };
+        let scanner_busy = |sc: &Scanner| match &sc.op {
+            Some(op) => match op.state {
+                ScanState::WaitHdr | ScanState::WaitPayload { .. } => sc.reader.has_ready(),
+                ScanState::NeedHdr | ScanState::Writeback => true,
+            },
+            None => false,
+        };
+        let busy = self.keyfetch.has_ready()
+            || (self.keyfetch.can_issue() && !self.input.is_empty())
+            || self.stages.iter().any(stage_busy)
+            || bottom_busy
+            || self.scanners.iter().any(scanner_busy);
+        if busy {
+            Some(now + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Fast-forward support: account for `k` skipped pure-wait cycles. The
+    /// per-cycle bookkeeping replicated here is the stall counter of every
+    /// empty-and-idle stage (a tick with no op and no input records a
+    /// stall); stages waiting on an in-flight read record nothing per
+    /// cycle, and every other configuration reports `now + 1` from
+    /// [`Self::next_event`] and is never skipped over.
+    pub fn skip(&mut self, k: u64) {
+        for s in &mut self.stages {
+            if s.op.is_none() && s.forwarding.is_none() && s.input.is_empty() {
+                s.stats.stalled += k;
+            }
+        }
+        if self.bottom.op.is_none() && self.bottom.input.is_empty() {
+            self.bottom.stats.stalled += k;
+        }
+        for sc in &mut self.scanners {
+            if sc.op.is_none() {
+                sc.stats.stalled += k;
+            }
+        }
+    }
+
     /// Advance the pipeline by one cycle.
     pub fn tick(&mut self, now: u64, dram: &mut Dram, tables: &mut [TableState]) {
         self.tick_scanners(now, dram, tables);
@@ -499,7 +569,7 @@ impl SkipPipeline {
             }
             StepState::WaitNextPtr => match self.stages[idx].reader.pop_ready() {
                 Some((_, data)) => {
-                    let next = u64::from_le_bytes(data.try_into().expect("8 bytes"));
+                    let next = u64::from_le_bytes(data.as_slice().try_into().expect("8 bytes"));
                     if next == 0 {
                         // +inf: out of range, drop a level.
                         return self.stage_descend(idx, item, 0);
@@ -675,7 +745,7 @@ impl SkipPipeline {
             }
             BotState::WaitNextPtr => match self.bottom.reader.pop_ready() {
                 Some((_, data)) => {
-                    let next = u64::from_le_bytes(data.try_into().expect("8 bytes"));
+                    let next = u64::from_le_bytes(data.as_slice().try_into().expect("8 bytes"));
                     if next == 0 {
                         self.bottom_at_position(dram, &mut op, 0, None)
                     } else {
@@ -725,7 +795,7 @@ impl SkipPipeline {
             }
             BotState::WaitPayload => match self.bottom.reader.pop_ready() {
                 Some((_, data)) => {
-                    op.payload = data;
+                    op.payload = data.to_vec();
                     BotState::ResolveLevel { level: 0 }
                 }
                 None => BotState::WaitPayload,
@@ -743,7 +813,7 @@ impl SkipPipeline {
             }
             BotState::WaitResolvePtr { level } => match self.bottom.reader.pop_ready() {
                 Some((_, data)) => {
-                    let cand = u64::from_le_bytes(data.try_into().expect("8 bytes"));
+                    let cand = u64::from_le_bytes(data.as_slice().try_into().expect("8 bytes"));
                     if cand == 0 || cand == op.item.path_next[level] {
                         // Path still valid (or end of list).
                         op.resolved_next[level] = cand;
@@ -939,7 +1009,8 @@ impl SkipPipeline {
                 }
                 ScanState::WaitHdr => match sc.reader.pop_ready() {
                     Some((_, data)) => {
-                        let hdr = RecordHeader::decode(&data);
+                        let data = data.as_slice();
+                        let hdr = RecordHeader::decode(data);
                         let height =
                             u64::from_le_bytes(data[64..72].try_into().expect("height")) as usize;
                         let next0 = u64::from_le_bytes(data[72..80].try_into().expect("next0"));
@@ -969,7 +1040,7 @@ impl SkipPipeline {
                     Some((_, data)) => {
                         let dst =
                             op.req.out_addr + op.collected as u64 * table.meta.payload_len as u64;
-                        sc.reader.write(now, dram, dst, data);
+                        sc.reader.write(now, dram, dst, data.to_vec());
                         op.collected += 1;
                         self.stats.scanned_tuples += 1;
                         op.tower = next;

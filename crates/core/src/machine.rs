@@ -101,12 +101,14 @@ impl SystemBuilder {
             workers,
             partitions,
             now: 0,
+            fast_forward: true,
+            ticks_executed: 0,
         }
     }
 }
 
 /// Aggregated machine statistics.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MachineStats {
     /// Transactions committed across all workers.
     pub committed: u64,
@@ -141,6 +143,12 @@ pub struct Machine {
     workers: Vec<PartitionWorker>,
     partitions: Vec<Partition>,
     now: u64,
+    fast_forward: bool,
+    /// Host-side instrumentation: number of `tick()` calls actually
+    /// executed (simulated cycles minus skipped ones). Not part of
+    /// [`MachineStats`] — it measures the simulator, not the machine, and
+    /// deliberately differs between strict and fast-forward runs.
+    ticks_executed: u64,
 }
 
 impl Machine {
@@ -225,6 +233,7 @@ impl Machine {
 
     /// Advance the whole machine by one cycle.
     pub fn tick(&mut self) {
+        self.ticks_executed += 1;
         self.now += 1;
         self.dram.tick(self.now);
         for w in 0..self.workers.len() {
@@ -241,10 +250,29 @@ impl Machine {
         }
     }
 
+    /// Enable or disable the fast-forward scheduler used by
+    /// [`Machine::run_to_quiescence`] (on by default). Fast-forwarding is
+    /// bit-for-bit equivalent to strict cycle stepping — same final cycle
+    /// count, same statistics, same DRAM image — it only skips spans of
+    /// cycles in which provably no component could act.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
     /// Run until every worker is quiescent and the interconnect is empty.
     /// Panics after 2^33 cycles (a configuration that cannot finish).
     pub fn run_to_quiescence(&mut self) -> u64 {
         self.run_to_quiescence_limit(1 << 33)
+    }
+
+    /// Run to quiescence with the fast-forward scheduler force-enabled for
+    /// the duration of the call, restoring the previous setting after.
+    pub fn run_fast(&mut self) -> u64 {
+        let prev = self.fast_forward;
+        self.fast_forward = true;
+        let elapsed = self.run_to_quiescence();
+        self.fast_forward = prev;
+        elapsed
     }
 
     /// Run until quiescent, panicking after `limit` additional cycles.
@@ -256,9 +284,56 @@ impl Machine {
                 "machine did not quiesce within {limit} cycles; workers: {:?}",
                 self.workers
             );
+            // Fast-forward: when every component agrees nothing can happen
+            // before cycle `t`, jump the clock to `t - 1` (charging the
+            // skipped span's bulk accounting) and tick normally onto `t`.
+            // A delivered-but-unconsumed DRAM response could be consumed on
+            // the very next tick, so no skip is attempted while one exists.
+            if self.fast_forward && !self.dram.has_buffered_responses() {
+                if let Some(t) = self.next_event() {
+                    debug_assert!(t > self.now, "next_event returned a past cycle");
+                    let k = t - self.now - 1;
+                    if k > 0 {
+                        self.now += k;
+                        for w in &mut self.workers {
+                            w.skip(k);
+                        }
+                    }
+                }
+                // `None` while not quiescent means no component volunteered
+                // a bound; fall through to a strict tick (costs speed only).
+            }
             self.tick();
         }
         self.now - start
+    }
+
+    /// The minimum over every component's next-event estimate: the earliest
+    /// future cycle at which anything in the machine could make progress,
+    /// attempt an issue, or mutate a statistic. Early-exits at `now + 1`
+    /// (nothing to skip) to keep the scan cheap on busy cycles.
+    fn next_event(&self) -> Option<u64> {
+        let now = self.now;
+        let mut best = self.noc.next_event(now);
+        if best == Some(now + 1) {
+            return best;
+        }
+        if let Some(t) = self.dram.next_event() {
+            let t = t.max(now + 1);
+            best = Some(best.map_or(t, |b| b.min(t)));
+            if best == Some(now + 1) {
+                return best;
+            }
+        }
+        for w in &self.workers {
+            if let Some(t) = w.next_event(now) {
+                best = Some(best.map_or(t, |b| b.min(t)));
+                if best == Some(now + 1) {
+                    return best;
+                }
+            }
+        }
+        best
     }
 
     /// True when no work remains anywhere in the machine.
@@ -271,6 +346,13 @@ impl Machine {
     /// Current cycle count.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Number of `tick()` calls actually executed — simulated cycles minus
+    /// the spans the fast-forward scheduler skipped. Simulator
+    /// instrumentation, not machine state.
+    pub fn ticks_executed(&self) -> u64 {
+        self.ticks_executed
     }
 
     /// Simulated seconds elapsed.

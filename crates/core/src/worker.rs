@@ -25,7 +25,7 @@ use bionicdb_softcore::request::DbRequest;
 use bionicdb_softcore::{PartitionId, Softcore};
 
 /// Statistics of one worker's channel glue.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerStats {
     /// Requests dispatched to the local coprocessor.
     pub local_requests: u64,
@@ -73,6 +73,32 @@ impl PartitionWorker {
     /// True when the worker has no pending work of any kind.
     pub fn is_quiescent(&self) -> bool {
         self.softcore.is_quiescent() && self.coproc.is_idle() && self.db_chan.is_empty()
+    }
+
+    /// Fast-forward support: the earliest future cycle at which this worker
+    /// could make progress or mutate a statistic on its own — i.e. without
+    /// a NoC delivery or DRAM completion, which the machine bounds
+    /// separately. `None` when both softcore and coprocessor are purely
+    /// waiting (or idle) and no routing work is queued.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        // Queued routing work retries a coproc push / NoC send every tick
+        // (a NoC send attempt mutates `busy_rejects`): never skip it.
+        if !self.db_chan.is_empty() || !self.coproc.out.is_empty() {
+            return Some(now + 1);
+        }
+        match (
+            self.softcore.next_event(now),
+            self.coproc.next_event(now),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fast-forward support: account for `k` skipped cycles in both halves.
+    pub fn skip(&mut self, k: u64) {
+        self.softcore.skip(k);
+        self.coproc.skip(k);
     }
 
     /// One cycle of the whole worker.

@@ -40,6 +40,98 @@ pub struct PortId(pub(crate) u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Tag(pub u64);
 
+/// Largest read that fits in a [`MemData`] without a heap allocation. Sized
+/// for the hot paths: 8-byte pointer/word reads, record headers, and the
+/// 80-byte skiplist tower-header bursts all fit; only payload bursts
+/// (up to the configured payload length, e.g. 1 KiB) spill to the heap.
+pub const INLINE_DATA: usize = 128;
+
+/// Response payload: a fixed inline buffer for line-sized reads, spilling to
+/// the heap only for multi-line payload bursts. Keeps the per-response
+/// allocation out of the simulator's hottest loop.
+#[derive(Clone)]
+pub enum MemData {
+    /// Up to [`INLINE_DATA`] bytes stored inline.
+    Inline {
+        /// Valid prefix length of `buf`.
+        len: u8,
+        /// Inline storage.
+        buf: [u8; INLINE_DATA],
+    },
+    /// A burst larger than [`INLINE_DATA`] bytes.
+    Heap(Box<[u8]>),
+}
+
+impl MemData {
+    /// An empty payload (write acknowledgements).
+    pub const fn empty() -> Self {
+        MemData::Inline {
+            len: 0,
+            buf: [0; INLINE_DATA],
+        }
+    }
+
+    /// Copy `src` into a payload, inline when it fits.
+    pub fn from_slice(src: &[u8]) -> Self {
+        if src.len() <= INLINE_DATA {
+            let mut buf = [0u8; INLINE_DATA];
+            buf[..src.len()].copy_from_slice(src);
+            MemData::Inline {
+                len: src.len() as u8,
+                buf,
+            }
+        } else {
+            MemData::Heap(src.into())
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            MemData::Inline { len, buf } => &buf[..*len as usize],
+            MemData::Heap(b) => b,
+        }
+    }
+
+    /// Copy out into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl std::ops::Deref for MemData {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for MemData {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for MemData {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for MemData {}
+
+impl std::fmt::Debug for MemData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("MemData").field(&self.as_slice()).finish()
+    }
+}
+
+impl From<&[u8]> for MemData {
+    fn from(src: &[u8]) -> Self {
+        MemData::from_slice(src)
+    }
+}
+
 /// The operation carried by a memory request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MemKind {
@@ -72,7 +164,7 @@ pub struct MemResponse {
     /// Address of the completed request.
     pub addr: u64,
     /// Data for reads; empty for writes.
-    pub data: Vec<u8>,
+    pub data: MemData,
     /// The tag from the matching request.
     pub tag: Tag,
 }
@@ -203,7 +295,7 @@ impl Dram {
         }
         let resp = match req.kind {
             MemKind::Read { len } => {
-                let data = self.host_read(req.addr, len as usize);
+                let data = self.read_data(req.addr, len as usize);
                 self.stats.reads += 1;
                 self.stats.bytes += u64::from(len);
                 MemResponse {
@@ -218,7 +310,7 @@ impl Dram {
                 self.stats.bytes += data.len() as u64;
                 MemResponse {
                     addr: req.addr,
-                    data: Vec::new(),
+                    data: MemData::empty(),
                     tag: req.tag,
                 }
             }
@@ -262,6 +354,50 @@ impl Dram {
         self.controllers.iter().map(|c| c.inflight.len()).sum()
     }
 
+    /// The earliest future cycle at which an in-flight request completes, or
+    /// `None` when nothing is in flight. Each controller's queue is sorted by
+    /// completion time (see [`Controller::inflight`]), so only queue fronts
+    /// need examining. After `tick(now)` every remaining entry is `> now`.
+    pub fn next_event(&self) -> Option<Cycle> {
+        self.controllers
+            .iter()
+            .filter_map(|c| c.inflight.front().map(|(ready, _, _)| *ready))
+            .min()
+    }
+
+    /// True when any port has a delivered-but-unconsumed response. While this
+    /// holds, a component could consume a response on the very next cycle, so
+    /// the fast-forward scheduler must not skip ahead.
+    pub fn has_buffered_responses(&self) -> bool {
+        self.responses.iter().any(|q| !q.is_empty())
+    }
+
+    /// FNV-1a digest over the allocated memory image (page index + contents
+    /// of every materialized page). Two runs that performed identical write
+    /// sequences allocate identical pages, so equal digests mean equal
+    /// functional memory state; used by the strict-vs-fast-forward
+    /// equivalence tests.
+    pub fn image_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        };
+        for (idx, page) in self.pages.iter().enumerate() {
+            if let Some(p) = page {
+                for b in (idx as u64).to_le_bytes() {
+                    eat(b);
+                }
+                for &b in p.iter() {
+                    eat(b);
+                }
+            }
+        }
+        h
+    }
+
     fn page_mut(&mut self, idx: usize) -> &mut [u8] {
         assert!(
             idx < self.pages.len(),
@@ -284,10 +420,10 @@ impl Dram {
         }
     }
 
-    /// Untimed read, modelling host/PCIe inspection of memory. Unwritten
-    /// memory reads as zero.
-    pub fn host_read(&self, addr: u64, len: usize) -> Vec<u8> {
-        let mut out = vec![0u8; len];
+    /// Read `out.len()` bytes starting at `addr` into a caller-provided
+    /// buffer, without allocating. Unwritten memory reads as zero.
+    pub fn read_into(&self, addr: u64, out: &mut [u8]) {
+        let len = out.len();
         let mut addr = addr as usize;
         let mut filled = 0;
         while filled < len {
@@ -300,10 +436,35 @@ impl Dram {
             );
             if let Some(p) = &self.pages[page] {
                 out[filled..filled + n].copy_from_slice(&p[off..off + n]);
+            } else {
+                out[filled..filled + n].fill(0);
             }
             addr += n;
             filled += n;
         }
+    }
+
+    /// Read `len` bytes into a [`MemData`], inline when the burst fits.
+    fn read_data(&self, addr: u64, len: usize) -> MemData {
+        if len <= INLINE_DATA {
+            let mut buf = [0u8; INLINE_DATA];
+            self.read_into(addr, &mut buf[..len]);
+            MemData::Inline {
+                len: len as u8,
+                buf,
+            }
+        } else {
+            let mut out = vec![0u8; len];
+            self.read_into(addr, &mut out);
+            MemData::Heap(out.into_boxed_slice())
+        }
+    }
+
+    /// Untimed read, modelling host/PCIe inspection of memory. Unwritten
+    /// memory reads as zero.
+    pub fn host_read(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.read_into(addr, &mut out);
         out
     }
 
@@ -386,7 +547,7 @@ mod tests {
         d.tick(cfg.dram_latency);
         let r = d.pop_response(p).expect("response due");
         assert_eq!(r.tag, Tag(7));
-        assert_eq!(u64::from_le_bytes(r.data.try_into().unwrap()), 42);
+        assert_eq!(u64::from_le_bytes(r.data.as_slice().try_into().unwrap()), 42);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod region;
 pub mod stats;
 pub mod timing;
 
-pub use dram::{Dram, MemKind, MemRequest, MemResponse, PortId, Tag};
+pub use dram::{Dram, MemData, MemKind, MemRequest, MemResponse, PortId, Tag};
 pub use fifo::Fifo;
 pub use lock_table::LockTable;
 pub use region::Region;

@@ -208,6 +208,21 @@ impl Noc {
         self.inbound.iter().all(VecDeque::is_empty)
     }
 
+    /// The earliest cycle at which some queued packet becomes (or already
+    /// is) visible to `peek`/`poll`, or `None` when every channel is empty.
+    ///
+    /// Because `peek`/`poll` only examine each destination's queue *front*,
+    /// a front that is already deliverable (`ready <= now`) may be consumed
+    /// on the next tick — reported as `now + 1`. A front still in flight
+    /// becomes visible exactly at its `ready` cycle. Deeper entries cannot
+    /// be observed before the front, so the front is the exact bound.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        self.inbound
+            .iter()
+            .filter_map(|q| q.front().map(|(ready, _)| (*ready).max(now + 1)))
+            .min()
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> NocStats {
         self.stats

@@ -25,7 +25,7 @@
 //! In [`ExecMode::Serial`] every batch holds exactly one transaction —
 //! the baseline the paper compares against in Fig. 12.
 
-use bionicdb_fpga::{Dram, Fifo, MemKind, MemRequest, Tag};
+use bionicdb_fpga::{Dram, Fifo, MemData, MemKind, MemRequest, Tag};
 
 use crate::catalogue::{Catalogue, ProcId};
 use crate::isa::{AluOp, Cond, Inst, MemBase, Operand};
@@ -125,8 +125,8 @@ enum CoreState {
     },
     /// STORE not yet accepted by DRAM (controller busy).
     WaitStore { addr: u64, value: u64 },
-    /// RET waiting for a CP register to become valid.
-    WaitCp,
+    /// RET waiting for CP register `idx` (global index) to become valid.
+    WaitCp { idx: usize },
     /// DB dispatch stalled on a full request channel.
     DispatchStall,
     /// Context switch in progress.
@@ -378,7 +378,7 @@ impl Softcore {
                         addr,
                     };
                 } else if let Some(data) = self.take_read(dram, TAG_LOAD, None) {
-                    let v = u64::from_le_bytes(data.try_into().expect("8-byte load"));
+                    let v = u64::from_le_bytes(data.as_slice().try_into().expect("8-byte load"));
                     self.gp[rd_global] = v;
                     self.advance_pc(cat);
                 } else {
@@ -404,7 +404,7 @@ impl Softcore {
                     self.state = CoreState::WaitStore { addr, value };
                 }
             }
-            CoreState::WaitCp => {
+            CoreState::WaitCp { .. } => {
                 self.stats.cp_stall_cycles += 1;
                 // Re-execute the RET; it completes if the CP arrived.
                 self.execute_current(now, dram, cat, db_out);
@@ -449,7 +449,7 @@ impl Softcore {
         dram: &mut Dram,
         expect: Tag,
         want_addr: Option<u64>,
-    ) -> Option<Vec<u8>> {
+    ) -> Option<MemData> {
         while let Some(resp) = dram.pop_response(self.port) {
             if resp.tag == TAG_STORE {
                 continue; // posted-write acknowledgement
@@ -582,7 +582,7 @@ impl Softcore {
             self.state = CoreState::FetchHeader { addr, issued };
             return;
         };
-        let proc = u64::from_le_bytes(data.try_into().expect("8 bytes"));
+        let proc = u64::from_le_bytes(data.as_slice().try_into().expect("8 bytes"));
         self.ingest_with_catalogue(now, addr, proc, cat);
     }
 
@@ -816,7 +816,7 @@ impl Softcore {
                         // Not a completed instruction; undo the count and
                         // retry until the CP result arrives.
                         self.stats.cpu_insts -= 1;
-                        self.state = CoreState::WaitCp;
+                        self.state = CoreState::WaitCp { idx };
                     }
                 }
             }
@@ -996,6 +996,101 @@ impl Softcore {
             self.begin_commit_for(self.cur + 1);
         } else {
             self.state = CoreState::BatchDrain;
+        }
+    }
+
+    /// Fast-forward support: the earliest future cycle at which this core
+    /// could change state, attempt a memory/NoC issue, or mutate any
+    /// statistic, assuming no external stimulus (no DRAM response delivery,
+    /// no CP writeback) arrives earlier. Returns `None` when the core is
+    /// purely waiting on such a stimulus (or fully idle); external events
+    /// are bounded by the DRAM/NoC `next_event`s at the machine level.
+    ///
+    /// Contract (DESIGN.md "Simulation performance"): the returned cycle is
+    /// always `> now`, and may be *earlier* than the true next change
+    /// (costing only speed), never later (which would break determinism).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // The prefetch unit issues a header read the moment it can — an
+        // issue *attempt* mutates DRAM rejection stats, so such a cycle can
+        // never be skipped.
+        if self.prefetch_inflight.is_none()
+            && self.prefetched.is_none()
+            && self.phase == Phase::Logic
+            && self.pending_block.is_none()
+            && self.input.front().is_some()
+        {
+            return Some(now + 1);
+        }
+        match &self.state {
+            CoreState::Idle => {
+                if self.input.is_empty()
+                    && self.pending_block.is_none()
+                    && self.prefetched.is_none()
+                    && self.contexts.is_empty()
+                {
+                    None
+                } else {
+                    Some(now + 1)
+                }
+            }
+            CoreState::FetchHeader { addr, issued } => {
+                if !issued || self.prefetched.map(|(a, _)| a) == Some(*addr) {
+                    Some(now + 1)
+                } else {
+                    None // waiting on the DRAM response
+                }
+            }
+            CoreState::Exec { remaining } => Some(now + remaining),
+            CoreState::WaitLoad { issued, .. } => {
+                if *issued {
+                    None // waiting on the DRAM response
+                } else {
+                    Some(now + 1) // will retry the issue
+                }
+            }
+            // Retries an issue / dispatch attempt every cycle.
+            CoreState::WaitStore { .. } | CoreState::DispatchStall => Some(now + 1),
+            // The CP writeback itself is an external event, but it lands
+            // *after* the softcore's slot in the worker tick — so the
+            // retrying RET observes it one cycle later. Once the register
+            // is valid, the retry is a real event.
+            CoreState::WaitCp { idx } => {
+                if self.cp[*idx].is_some() {
+                    Some(now + 1)
+                } else {
+                    None
+                }
+            }
+            CoreState::Switching { remaining, .. } => Some(now + remaining),
+            CoreState::BatchDrain => {
+                if self.outstanding == 0 {
+                    Some(now + 1)
+                } else {
+                    None // waiting on CP writebacks
+                }
+            }
+        }
+    }
+
+    /// Fast-forward support: account for `k` skipped cycles exactly as `k`
+    /// pure-wait ticks would have — countdowns decrease, stall counters
+    /// accrue. Only valid when `next_event` permitted the skip (the machine
+    /// guarantees `now + k < next_event` for every component).
+    pub fn skip(&mut self, k: Cycle) {
+        match &mut self.state {
+            CoreState::Exec { remaining } | CoreState::Switching { remaining, .. } => {
+                debug_assert!(*remaining > k, "skipped past an Exec/Switch completion");
+                *remaining -= k;
+            }
+            CoreState::FetchHeader { .. } | CoreState::WaitLoad { .. } => {
+                self.stats.mem_stall_cycles += k;
+            }
+            CoreState::WaitCp { .. } | CoreState::BatchDrain => {
+                self.stats.cp_stall_cycles += k;
+            }
+            // Idle ticks are stat-free; WaitStore/DispatchStall report
+            // next_event = now + 1 and therefore are never skipped over.
+            CoreState::Idle | CoreState::WaitStore { .. } | CoreState::DispatchStall => {}
         }
     }
 

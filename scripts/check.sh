@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merging.
+#
+# Uses --locked throughout: the committed Cargo.lock pins the vendored shim
+# versions and the build must work with no registry access (see
+# shims/README.md). Run from the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, locked) =="
+cargo build --workspace --release --locked
+
+echo "== tests =="
+cargo test --workspace --locked --quiet
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "All checks passed."

@@ -1,0 +1,321 @@
+//! Fast-forward scheduler equivalence tests.
+//!
+//! The machine may skip idle cycles (`Machine::set_fast_forward`), jumping
+//! the clock straight to the next component event. The contract is strict:
+//! skipping must be *bit-for-bit invisible* — identical cycle counts,
+//! identical DRAM images, identical statistics on every component — for any
+//! workload. These tests drive the same seeded workloads twice, once with
+//! single-cycle stepping and once with skipping, and compare full machine
+//! snapshots.
+
+use bionicdb::worker::WorkerStats;
+use bionicdb::{BionicConfig, Machine, Topology};
+use bionicdb_coproc::hash::HashStats;
+use bionicdb_coproc::skiplist::SkipStats;
+use bionicdb_coproc::CoprocStats;
+use bionicdb_fpga::dram::DramStats;
+use bionicdb_noc::NocStats;
+use bionicdb_softcore::SoftcoreStats;
+use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
+use bionicdb_workloads::{TpccSpec, YcsbSpec};
+use proptest::prelude::*;
+
+/// Everything observable about a machine after a run.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    now: u64,
+    machine: bionicdb::MachineStats,
+    dram: DramStats,
+    noc: NocStats,
+    dram_image: u64,
+    workers: Vec<WorkerSnapshot>,
+}
+
+#[derive(Debug, PartialEq)]
+struct WorkerSnapshot {
+    softcore: SoftcoreStats,
+    coproc: CoprocStats,
+    hash: HashStats,
+    skiplist: SkipStats,
+    glue: WorkerStats,
+}
+
+fn snapshot(m: &Machine) -> Snapshot {
+    Snapshot {
+        now: m.now(),
+        machine: m.stats(),
+        dram: m.dram().stats(),
+        noc: m.noc().stats(),
+        dram_image: m.dram().image_digest(),
+        workers: (0..m.num_workers())
+            .map(|w| {
+                let pw = m.worker(w);
+                WorkerSnapshot {
+                    softcore: pw.softcore.stats(),
+                    coproc: pw.coproc.stats(),
+                    hash: pw.coproc.hash_stats(),
+                    skiplist: pw.coproc.skip_stats(),
+                    glue: pw.stats(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Run a seeded YCSB wave on a fresh system and snapshot the result.
+fn ycsb_run(
+    cfg: BionicConfig,
+    spec: YcsbSpec,
+    kinds: &[YcsbKind],
+    txns_per_worker: usize,
+    max_inflight: Option<usize>,
+    fast: bool,
+    seed: u64,
+) -> Snapshot {
+    let mut y = YcsbBionic::build(cfg, spec, 4);
+    y.machine.set_fast_forward(fast);
+    if let Some(n) = max_inflight {
+        y.machine.set_max_inflight(n);
+    }
+    let workers = y.machine.num_workers();
+    let size = kinds
+        .iter()
+        .map(|&k| y.block_size(k))
+        .max()
+        .expect("at least one kind");
+    let mut pools: Vec<BlockPool> = (0..workers)
+        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
+        .collect();
+    let mut rng = YcsbBionic::rng(seed);
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for i in 0..txns_per_worker {
+            let blk = pool.take();
+            y.submit_txn(w, blk, kinds[i % kinds.len()], &mut rng);
+        }
+    }
+    y.machine.run_to_quiescence();
+    snapshot(&y.machine)
+}
+
+fn assert_equivalent(strict: Snapshot, fast: Snapshot, label: &str) {
+    assert_eq!(
+        strict.now, fast.now,
+        "{label}: cycle counts diverge (strict={}, fast={})",
+        strict.now, fast.now
+    );
+    assert_eq!(
+        strict.dram_image, fast.dram_image,
+        "{label}: DRAM images diverge"
+    );
+    assert_eq!(strict, fast, "{label}: snapshots diverge");
+}
+
+/// YCSB-C (read-only, local) under a tight in-flight cap — the stall-heavy
+/// configuration the fast path is built for.
+#[test]
+fn ycsb_c_low_inflight_equivalence() {
+    let cfg = BionicConfig::small(2);
+    let spec = YcsbSpec::tiny();
+    let strict = ycsb_run(
+        cfg.clone(),
+        spec.clone(),
+        &[YcsbKind::ReadLocal],
+        40,
+        Some(1),
+        false,
+        0xFA57,
+    );
+    let fast = ycsb_run(cfg, spec, &[YcsbKind::ReadLocal], 40, Some(1), true, 0xFA57);
+    assert!(strict.machine.committed > 0, "workload must commit");
+    assert_equivalent(strict, fast, "ycsb-c low-inflight");
+}
+
+/// Mixed YCSB (reads, updates, scans) at the default in-flight depth.
+#[test]
+fn ycsb_mixed_equivalence() {
+    let cfg = BionicConfig::small(2);
+    let spec = YcsbSpec::tiny();
+    let kinds = [
+        YcsbKind::ReadLocal,
+        YcsbKind::UpdateLocal,
+        YcsbKind::Scan,
+        YcsbKind::ReadLocal,
+    ];
+    let strict = ycsb_run(cfg.clone(), spec.clone(), &kinds, 24, None, false, 0x51CA);
+    let fast = ycsb_run(cfg, spec, &kinds, 24, None, true, 0x51CA);
+    assert!(strict.machine.committed > 0, "workload must commit");
+    assert_equivalent(strict, fast, "ycsb mixed");
+}
+
+/// Multisite: four workers on two chips, 75% remote accesses — exercises
+/// the NoC head-of-line next_event bound and background requests.
+#[test]
+fn multisite_equivalence() {
+    let cfg = BionicConfig {
+        topology: Topology::MultiChip {
+            workers_per_node: 2,
+            inter_node_hops: 8,
+        },
+        ..BionicConfig::small(4)
+    };
+    let spec = YcsbSpec {
+        remote_fraction: 0.75,
+        ..YcsbSpec::tiny()
+    };
+    let strict = ycsb_run(
+        cfg.clone(),
+        spec.clone(),
+        &[YcsbKind::ReadHomed],
+        24,
+        None,
+        false,
+        0x3317E,
+    );
+    let fast = ycsb_run(cfg, spec, &[YcsbKind::ReadHomed], 24, None, true, 0x3317E);
+    assert!(strict.machine.committed > 0, "workload must commit");
+    assert!(
+        strict.workers.iter().any(|w| w.glue.remote_requests > 0),
+        "multisite run must actually go remote"
+    );
+    assert_equivalent(strict, fast, "multisite");
+}
+
+/// TPC-C NewOrder/Payment mix on two partitions.
+#[test]
+fn tpcc_mix_equivalence() {
+    use bionicdb_workloads::tpcc::TpccBionic;
+
+    let run = |fast: bool| -> Snapshot {
+        let mut sys = TpccBionic::build(BionicConfig::small(2), TpccSpec::tiny());
+        sys.machine.set_fast_forward(fast);
+        let workers = sys.machine.num_workers();
+        let mut rng = YcsbBionic::rng(0x7FCC);
+        for w in 0..workers {
+            for i in 0..16 {
+                if i % 2 == 0 {
+                    let blk = sys
+                        .machine
+                        .alloc_block(w, TpccBionic::neworder_block_size());
+                    sys.submit_neworder(w, blk, &mut rng);
+                } else {
+                    let blk = sys.machine.alloc_block(w, TpccBionic::payment_block_size());
+                    sys.submit_payment(w, blk, &mut rng);
+                }
+            }
+        }
+        sys.machine.run_to_quiescence();
+        snapshot(&sys.machine)
+    };
+
+    let strict = run(false);
+    let fast = run(true);
+    assert!(strict.machine.committed > 0, "workload must commit");
+    assert_equivalent(strict, fast, "tpcc mix");
+}
+
+/// `run_fast` forces skipping regardless of the flag and restores it after.
+#[test]
+fn run_fast_forces_skipping() {
+    let cfg = BionicConfig::small(1);
+    let spec = YcsbSpec::tiny();
+
+    let strict = ycsb_run(
+        cfg.clone(),
+        spec.clone(),
+        &[YcsbKind::ReadLocal],
+        16,
+        None,
+        false,
+        0xF0,
+    );
+
+    let mut y = YcsbBionic::build(cfg, spec, 4);
+    y.machine.set_fast_forward(false);
+    let size = y.block_size(YcsbKind::ReadLocal);
+    let mut pool = BlockPool::new(&mut y.machine, 0, 16, size);
+    let mut rng = YcsbBionic::rng(0xF0);
+    for _ in 0..16 {
+        let blk = pool.take();
+        y.submit_txn(0, blk, YcsbKind::ReadLocal, &mut rng);
+    }
+    y.machine.run_fast();
+    assert_equivalent(strict, snapshot(&y.machine), "run_fast");
+}
+
+/// `next_event` contract: stepping strictly cycle by cycle, no component
+/// may ever name a cycle that is not strictly in the future.
+#[test]
+fn next_event_never_in_the_past() {
+    let cfg = BionicConfig::small(2);
+    let spec = YcsbSpec::tiny();
+    let mut y = YcsbBionic::build(cfg, spec, 4);
+    y.machine.set_fast_forward(false);
+    let size = y.block_size(YcsbKind::UpdateLocal);
+    let mut pools: Vec<BlockPool> = (0..2)
+        .map(|w| BlockPool::new(&mut y.machine, w, 8, size))
+        .collect();
+    let mut rng = YcsbBionic::rng(0xBADC);
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for _ in 0..8 {
+            let blk = pool.take();
+            y.submit_txn(w, blk, YcsbKind::UpdateLocal, &mut rng);
+        }
+    }
+    let mut steps = 0u64;
+    while !(0..y.machine.num_workers()).all(|w| y.machine.worker(w).is_quiescent()) {
+        y.machine.run(1);
+        steps += 1;
+        assert!(steps < 2_000_000, "workload failed to quiesce");
+        let now = y.machine.now();
+        if let Some(t) = y.machine.dram().next_event() {
+            assert!(t > now, "dram next_event {t} <= now {now}");
+        }
+        if let Some(t) = y.machine.noc().next_event(now) {
+            assert!(t > now, "noc next_event {t} <= now {now}");
+        }
+        for w in 0..y.machine.num_workers() {
+            if let Some(t) = y.machine.worker(w).next_event(now) {
+                assert!(t > now, "worker {w} next_event {t} <= now {now}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary interleavings of transaction kinds across two workers
+    /// produce identical cycle counts and DRAM images with skipping on/off.
+    #[test]
+    fn arbitrary_op_sequences_equivalent(
+        seed in 0u64..u64::MAX,
+        ops in proptest::collection::vec((0usize..2, 0usize..4), 1..24),
+    ) {
+        let run = |fast: bool| -> Snapshot {
+            let mut y = YcsbBionic::build(BionicConfig::small(2), YcsbSpec::tiny(), 4);
+            y.machine.set_fast_forward(fast);
+            let kinds = [
+                YcsbKind::ReadLocal,
+                YcsbKind::UpdateLocal,
+                YcsbKind::Scan,
+                YcsbKind::ReadHomed,
+            ];
+            let size = kinds.iter().map(|&k| y.block_size(k)).max().unwrap();
+            let mut pools: Vec<BlockPool> = (0..2)
+                .map(|w| BlockPool::new(&mut y.machine, w, ops.len(), size))
+                .collect();
+            let mut rng = YcsbBionic::rng(seed);
+            for &(w, k) in &ops {
+                let blk = pools[w].take();
+                y.submit_txn(w, blk, kinds[k], &mut rng);
+            }
+            y.machine.run_to_quiescence();
+            snapshot(&y.machine)
+        };
+        let strict = run(false);
+        let fast = run(true);
+        prop_assert_eq!(strict.now, fast.now, "cycle counts diverge");
+        prop_assert_eq!(strict.dram_image, fast.dram_image, "DRAM images diverge");
+        prop_assert_eq!(strict, fast);
+    }
+}
