@@ -79,7 +79,7 @@ fn main() {
         (
             format!(
                 "{workers}w {topo:?} (lat {:.1}cy)",
-                n.total_latency as f64 / n.messages as f64
+                n.total_latency as f64 / n.sent as f64
             ),
             t.per_sec / 1e3,
         )
@@ -134,20 +134,15 @@ fn main() {
             }
         }
         y.machine.run_to_quiescence();
-        for _ in 0..1000 {
-            let pending: Vec<_> = blocks
-                .iter()
-                .copied()
-                .filter(|&(_, b)| y.machine.block_status(b) == bionicdb::TxnStatus::Aborted)
-                .collect();
-            if pending.is_empty() {
-                break;
-            }
-            for (w, blk) in pending {
-                y.machine.resubmit(w, blk);
-            }
-            y.machine.run_to_quiescence();
-        }
+        let out = y.machine.retry_to_completion(
+            &blocks,
+            bionicdb::RetryBudget {
+                max_attempts: 1000,
+                backoff_cycles: 0,
+            },
+            1 << 33,
+        );
+        assert!(out.all_committed(), "skewed updates failed to converge");
         let cycles = y.machine.now() - c0;
         let aborted = y.machine.stats().aborted;
         let tput = blocks.len() as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64;

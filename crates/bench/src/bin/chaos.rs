@@ -1,0 +1,59 @@
+//! Chaos smoke matrix: deterministic fault-injection scenarios that must
+//! all pass on every build (wired into `scripts/check.sh`).
+//!
+//! `--smoke` runs one crash, one torn-tail crash, and one NoC-drop
+//! scenario per workload with fixed seeds. Without flags a small seeded
+//! sweep of random crash points runs on top. Every scenario asserts its
+//! own properties (see `bionicdb_bench::chaos`); the binary exits nonzero
+//! on the first violation.
+
+use bionicdb_bench::chaos::{run_crash, run_noc_drop, ChaosWorkload};
+
+const WORKLOADS: [ChaosWorkload; 3] = [
+    ChaosWorkload::Ycsb,
+    ChaosWorkload::Tpcc,
+    ChaosWorkload::Multisite,
+];
+
+fn main() {
+    let smoke_only = std::env::args().any(|a| a == "--smoke");
+
+    for w in WORKLOADS {
+        let r = run_crash(w, 500, false, 0xC4A5);
+        println!(
+            "PASS crash      {w:?}: crashed@{} with {}/{} committed, salvaged {}",
+            r.crash_cycle.unwrap(),
+            r.committed_at_crash,
+            r.total_txns,
+            r.salvaged
+        );
+        let r = run_crash(w, 700, true, 0xC4A5);
+        println!(
+            "PASS torn-tail  {w:?}: crashed@{} with {} committed, salvaged {} (torn={})",
+            r.crash_cycle.unwrap(),
+            r.committed_at_crash,
+            r.salvaged,
+            r.torn
+        );
+        let r = run_noc_drop(w, &[1, 3, 6], 0xC4A5);
+        println!(
+            "PASS noc-drop   {w:?}: {} txns survived {} dropped message(s)",
+            r.total_txns, r.dropped
+        );
+    }
+
+    if !smoke_only {
+        // A wider sweep of crash points; still fully deterministic.
+        for w in WORKLOADS {
+            for (i, frac) in [67u64, 250, 333, 499, 811, 950].iter().enumerate() {
+                let torn = i % 2 == 1;
+                let r = run_crash(w, *frac, torn, 0xBEE5 + i as u64);
+                println!(
+                    "PASS sweep      {w:?} @{frac}permille torn={torn}: {} committed, salvaged {}",
+                    r.committed_at_crash, r.salvaged
+                );
+            }
+        }
+    }
+    println!("chaos: all scenarios passed");
+}

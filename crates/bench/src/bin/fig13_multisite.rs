@@ -48,8 +48,8 @@ fn main() {
     let noc = multi.machine.noc().stats();
     println!(
         "NoC: {} messages, mean latency {:.1} cycles",
-        noc.messages,
-        noc.total_latency as f64 / noc.messages as f64
+        noc.sent,
+        noc.total_latency as f64 / noc.sent as f64
     );
 
     // Ablation: the ring topology the paper proposes for scaling (§4.6).

@@ -58,7 +58,7 @@ fn main() {
                 format!("{:.0}% remote", remote * 100.0),
                 name.to_string(),
                 format!("{:.1}", t.per_sec / 1e3),
-                format!("{:.1}", n.total_latency as f64 / n.messages.max(1) as f64),
+                format!("{:.1}", n.total_latency as f64 / n.sent.max(1) as f64),
             ]);
         }
     }

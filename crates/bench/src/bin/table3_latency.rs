@@ -37,6 +37,7 @@ fn main() {
             src: PartitionId(0),
             dst: PartitionId(1),
             payload: Payload::Request(req),
+            seq: 0,
         },
     )
     .unwrap();
@@ -49,6 +50,7 @@ fn main() {
             src: PartitionId(1),
             dst: PartitionId(0),
             payload: Payload::Request(req),
+            seq: 0,
         },
     )
     .unwrap();

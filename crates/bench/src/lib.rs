@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use bionicdb::{BionicConfig, ExecMode};
 use bionicdb_cpu_model::{CoreModel, CpuConfig};
 use bionicdb_workloads::tpcc::{TpccBionic, TpccSilo};
@@ -225,21 +227,23 @@ pub fn bionic_tpcc_tput(sys: &mut TpccBionic, mix: TpccMix, txns_per_worker: usi
         }
     }
     sys.machine.run_to_quiescence();
-    // Client-side retry of aborted transactions until everything commits.
-    for _ in 0..1000 {
-        let pending: Vec<(usize, bionicdb::TxnBlock)> = blocks
-            .iter()
-            .copied()
-            .filter(|&(_, b)| sys.machine.block_status(b) == bionicdb::TxnStatus::Aborted)
-            .collect();
-        if pending.is_empty() {
-            break;
-        }
-        for (w, blk) in pending {
-            sys.machine.resubmit(w, blk);
-        }
-        sys.machine.run_to_quiescence();
-    }
+    // Bounded client-side retry of aborted transactions. TPC-C conflicts
+    // are transient (dirty-rejects inside a batch), so the budget is never
+    // exhausted in practice; if it ever were, we fail loudly rather than
+    // report a throughput built on uncommitted work.
+    let out = sys.machine.retry_to_completion(
+        &blocks,
+        bionicdb::RetryBudget {
+            max_attempts: 1000,
+            backoff_cycles: 0,
+        },
+        1 << 33,
+    );
+    assert!(
+        out.all_committed(),
+        "TPC-C retries failed to converge: {} blocks gave up",
+        out.gave_up.len()
+    );
     let cycles = sys.machine.now() - c0;
     let s1 = sys.machine.stats();
     let committed = blocks.len() as u64;

@@ -5,6 +5,38 @@ use bionicdb_fpga::FpgaConfig;
 use bionicdb_noc::Topology;
 use bionicdb_softcore::ExecMode;
 
+/// Remote-request retry policy for the worker glue (see
+/// `worker::PartitionWorker`). When enabled, every remote DB instruction
+/// carries a sequence number; the initiating worker retransmits it if no
+/// response arrives within `timeout_cycles`, up to `max_attempts` total
+/// sends, then synthesizes a `Timeout` error into the waiting CP register
+/// so the transaction aborts cleanly instead of wedging. Receivers
+/// de-duplicate by `(source, sequence)` so a retransmitted request is
+/// never executed twice (remote ops stay idempotent under retry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocRetryConfig {
+    /// Cycles to wait for a response before retransmitting. Must exceed
+    /// the worst-case round trip *including* concurrency-control stalls at
+    /// the home partition, or healthy requests retransmit spuriously
+    /// (harmless — dedup absorbs them — but wasteful).
+    pub timeout_cycles: u64,
+    /// Total send attempts (first transmission included) before giving up
+    /// and delivering `DbStatus::Timeout`.
+    pub max_attempts: u32,
+}
+
+impl Default for NocRetryConfig {
+    fn default() -> Self {
+        // Generous: ~64 K cycles (≈0.5 ms at 125 MHz) dwarfs any healthy
+        // round trip in the simulated topologies, so with no injected
+        // faults the timer never fires.
+        NocRetryConfig {
+            timeout_cycles: 1 << 16,
+            max_attempts: 4,
+        }
+    }
+}
+
 /// Configuration of a BionicDB machine.
 ///
 /// The default models the paper's hardware: four partition workers on one
@@ -33,6 +65,12 @@ pub struct BionicConfig {
     /// context table). Small batches shrink the conflict window of
     /// hot-record workloads like TPC-C Payment.
     pub max_batch: usize,
+    /// Remote-request timeout/retry policy. `None` (the default) keeps the
+    /// legacy lossless-interconnect behavior bit-for-bit; `Some` arms the
+    /// worker glue's bounded-retry path, required for fault plans that
+    /// drop NoC messages (otherwise a dropped message wedges its
+    /// transaction forever).
+    pub noc_retry: Option<NocRetryConfig>,
 }
 
 impl Default for BionicConfig {
@@ -47,6 +85,7 @@ impl Default for BionicConfig {
             partition_bytes: 160 << 20,
             hazard_prevention: true,
             max_batch: 64,
+            noc_retry: None,
         }
     }
 }

@@ -54,13 +54,13 @@ pub mod recovery;
 pub mod storage;
 pub mod worker;
 
-pub use config::BionicConfig;
-pub use machine::{Machine, MachineStats, SystemBuilder};
-pub use recovery::{CommandLog, LogRecord};
+pub use config::{BionicConfig, NocRetryConfig};
+pub use machine::{Machine, MachineStats, RetryBudget, RetryOutcome, SystemBuilder};
+pub use recovery::{Checkpoint, CommandLog, DurableImage, LogRecord, RecoveryError};
 pub use storage::Loader;
 
 // Re-export the pieces users need to drive the system.
-pub use bionicdb_fpga::FpgaConfig;
+pub use bionicdb_fpga::{FaultBudget, FaultPlan, FpgaConfig};
 pub use bionicdb_noc::Topology;
 pub use bionicdb_softcore::txnblock::TxnStatus;
 pub use bionicdb_softcore::{

@@ -12,6 +12,7 @@
 //! * the **FPGA clock** — [`Machine::tick`] advances every component by one
 //!   cycle, deterministically.
 
+use bionicdb_fpga::fault::FaultPlan;
 use bionicdb_fpga::{Dram, Region};
 use bionicdb_noc::Noc;
 use bionicdb_softcore::catalogue::{Catalogue, ProcId, TableId, TableMeta};
@@ -21,8 +22,16 @@ use bionicdb_softcore::txnblock::TxnStatus;
 use bionicdb_softcore::{PartitionId, SoftcoreStats, TxnBlock};
 
 use crate::config::BionicConfig;
+use crate::recovery::DurableImage;
 use crate::storage::{Loader, Partition};
 use crate::worker::PartitionWorker;
+
+/// The crash hook: called exactly once, at the crash cycle, with the
+/// machine frozen in its crash-instant state. It must return the
+/// [`DurableImage`] — the bytes that survive the power loss (command log +
+/// checkpoint, with any scheduled durable-medium faults applied). Anything
+/// it does not serialize is, by definition, lost.
+pub type CrashHook = Box<dyn FnMut(&Machine) -> DurableImage>;
 
 /// Builder for a [`Machine`]: registers the schema and the stored
 /// procedures before the memory layout is fixed.
@@ -91,7 +100,13 @@ impl SystemBuilder {
                 arena,
                 cfg.fpga.skiplist_max_level,
             ));
-            workers.push(PartitionWorker::new(id, sc_params, &coproc_cfg, &mut dram));
+            workers.push(PartitionWorker::new(
+                id,
+                sc_params,
+                &coproc_cfg,
+                &mut dram,
+                cfg.noc_retry,
+            ));
         }
         Machine {
             cfg,
@@ -103,6 +118,11 @@ impl SystemBuilder {
             now: 0,
             fast_forward: true,
             ticks_executed: 0,
+            fault_plan: FaultPlan::none(),
+            crashed: false,
+            crash_hook: None,
+            crash_image: None,
+            resubmits: 0,
         }
     }
 }
@@ -122,6 +142,13 @@ pub struct MachineStats {
     pub cpu_insts: u64,
     /// Current simulation time in cycles.
     pub now: u64,
+    /// Client-side resubmissions of aborted blocks (host instrumentation).
+    pub resubmits: u64,
+    /// Aborts attributable to interconnect faults: the sum of the workers'
+    /// `retry_exhausted` counters (each synthesized `Timeout` aborts the
+    /// waiting transaction). `aborted - fault_aborts` is the
+    /// concurrency-control abort count.
+    pub fault_aborts: u64,
 }
 
 impl MachineStats {
@@ -131,6 +158,44 @@ impl MachineStats {
             return 0.0;
         }
         committed_delta as f64 * clock_hz as f64 / cycles_delta as f64
+    }
+}
+
+/// Client-side retry policy for [`Machine::retry_to_completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Maximum resubmit rounds before giving up on still-aborted blocks.
+    pub max_attempts: u32,
+    /// Cycles to let the machine idle before each retry round (client
+    /// backoff; shrinks the conflict window on hot-record workloads).
+    pub backoff_cycles: u64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            max_attempts: 64,
+            backoff_cycles: 0,
+        }
+    }
+}
+
+/// What [`Machine::retry_to_completion`] achieved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Blocks that ended committed.
+    pub committed: u64,
+    /// Total resubmissions performed.
+    pub resubmissions: u64,
+    /// Blocks still not committed when the budget ran out (or the machine
+    /// crashed), with their workers — the caller decides what to do.
+    pub gave_up: Vec<(usize, TxnBlock)>,
+}
+
+impl RetryOutcome {
+    /// True when every block committed.
+    pub fn all_committed(&self) -> bool {
+        self.gave_up.is_empty()
     }
 }
 
@@ -149,6 +214,17 @@ pub struct Machine {
     /// [`MachineStats`] — it measures the simulator, not the machine, and
     /// deliberately differs between strict and fast-forward runs.
     ticks_executed: u64,
+    /// The installed fault schedule (its NoC/DRAM parts are distributed to
+    /// those components at install time; the crash/log parts live here).
+    fault_plan: FaultPlan,
+    /// Latched once the crash cycle is reached; a crashed machine is inert.
+    crashed: bool,
+    /// Snapshots durable state at the crash instant.
+    crash_hook: Option<CrashHook>,
+    /// What the crash hook salvaged.
+    crash_image: Option<DurableImage>,
+    /// Client-side resubmissions (see [`Machine::resubmit`]).
+    resubmits: u64,
 }
 
 impl Machine {
@@ -211,7 +287,58 @@ impl Machine {
         );
         self.dram
             .host_write_u64(blk.addr() + bionicdb_softcore::txnblock::STATUS_OFFSET, 0);
+        self.resubmits += 1;
         self.submit(worker, blk);
+    }
+
+    /// Drive a set of executed blocks to completion under a bounded retry
+    /// policy: aborted blocks are resubmitted (inputs are preserved through
+    /// execution, §4.8) for up to `budget.max_attempts` rounds, advancing
+    /// the clock by `budget.backoff_cycles` before each retry round, and
+    /// running to quiescence (bounded by `limit` cycles per round) after.
+    ///
+    /// Blocks still aborted when the budget is spent — or still pending
+    /// because the machine crashed mid-round — are returned in
+    /// [`RetryOutcome::gave_up`] instead of looping forever. This is the
+    /// client-side retry policy the harnesses use in place of ad-hoc
+    /// unbounded resubmit loops.
+    pub fn retry_to_completion(
+        &mut self,
+        blocks: &[(usize, TxnBlock)],
+        budget: RetryBudget,
+        limit: u64,
+    ) -> RetryOutcome {
+        let mut outcome = RetryOutcome::default();
+        for _ in 0..budget.max_attempts {
+            if self.crashed {
+                break;
+            }
+            let aborted: Vec<(usize, TxnBlock)> = blocks
+                .iter()
+                .copied()
+                .filter(|&(_, blk)| self.block_status(blk) == TxnStatus::Aborted)
+                .collect();
+            if aborted.is_empty() {
+                break;
+            }
+            self.run(budget.backoff_cycles);
+            if self.crashed {
+                break;
+            }
+            for &(w, blk) in &aborted {
+                self.resubmit(w, blk);
+                outcome.resubmissions += 1;
+            }
+            self.run_to_quiescence_limit(limit);
+        }
+        for &(w, blk) in blocks {
+            if self.block_status(blk) == TxnStatus::Committed {
+                outcome.committed += 1;
+            } else {
+                outcome.gave_up.push((w, blk));
+            }
+        }
+        outcome
     }
 
     /// Upload a new stored procedure at runtime (wire format). The paper's
@@ -231,8 +358,12 @@ impl Machine {
 
     // ----- simulation control -----
 
-    /// Advance the whole machine by one cycle.
+    /// Advance the whole machine by one cycle. A crashed machine is inert:
+    /// the clock freezes and no component runs (the power is off).
     pub fn tick(&mut self) {
+        if self.crashed {
+            return;
+        }
         self.ticks_executed += 1;
         self.now += 1;
         self.dram.tick(self.now);
@@ -240,6 +371,14 @@ impl Machine {
             let worker = &mut self.workers[w];
             let tables = &mut self.partitions[w].tables;
             worker.tick(self.now, &mut self.dram, &self.cat, &mut self.noc, tables);
+        }
+        if let Some(c) = self.fault_plan.crash_at {
+            if self.now >= c {
+                self.crashed = true;
+                if let Some(mut hook) = self.crash_hook.take() {
+                    self.crash_image = Some(hook(self));
+                }
+            }
         }
     }
 
@@ -276,9 +415,13 @@ impl Machine {
     }
 
     /// Run until quiescent, panicking after `limit` additional cycles.
+    /// Returns early (without quiescing) if the machine crashes.
     pub fn run_to_quiescence_limit(&mut self, limit: u64) -> u64 {
         let start = self.now;
         while !self.is_quiescent() {
+            if self.crashed {
+                break;
+            }
             assert!(
                 self.now - start < limit,
                 "machine did not quiesce within {limit} cycles; workers: {:?}",
@@ -292,6 +435,13 @@ impl Machine {
             if self.fast_forward && !self.dram.has_buffered_responses() {
                 if let Some(t) = self.next_event() {
                     debug_assert!(t > self.now, "next_event returned a past cycle");
+                    // Never skip past a scheduled crash: the crash cycle
+                    // must be *ticked* in both strict and fast modes so the
+                    // crash-instant state is bit-identical.
+                    let t = match self.fault_plan.crash_at {
+                        Some(c) => t.min(c).max(self.now + 1),
+                        None => t,
+                    };
                     let k = t - self.now - 1;
                     if k > 0 {
                         self.now += k;
@@ -339,6 +489,43 @@ impl Machine {
     /// True when no work remains anywhere in the machine.
     pub fn is_quiescent(&self) -> bool {
         self.noc.is_idle() && self.workers.iter().all(PartitionWorker::is_quiescent)
+    }
+
+    // ----- fault injection & crash control -----
+
+    /// Install a fault schedule. The NoC and DRAM parts are pushed down to
+    /// those components; the crash and durable-medium parts are consulted
+    /// by the machine itself (`tick`) and the crash hook. Installing
+    /// [`FaultPlan::none()`] is exactly the default: a none-plan run is
+    /// bit-identical to a run with no plan installed at all.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.noc.set_faults(plan.noc.clone());
+        self.dram.set_faults(plan.dram.clone());
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// True once the scheduled crash cycle has been reached. A crashed
+    /// machine is inert; only [`Machine::take_crash_image`] is useful.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Install the crash hook that snapshots durable state (command log +
+    /// checkpoint bytes) at the crash instant. One-shot: consumed when the
+    /// crash fires.
+    pub fn set_crash_hook(&mut self, hook: impl FnMut(&Machine) -> DurableImage + 'static) {
+        self.crash_hook = Some(Box::new(hook));
+    }
+
+    /// The durable bytes salvaged at the crash instant, if the machine has
+    /// crashed and a hook was installed. Consumes the image.
+    pub fn take_crash_image(&mut self) -> Option<DurableImage> {
+        self.crash_image.take()
     }
 
     // ----- introspection -----
@@ -453,6 +640,7 @@ impl Machine {
     pub fn stats(&self) -> MachineStats {
         let mut s = MachineStats {
             now: self.now,
+            resubmits: self.resubmits,
             ..MachineStats::default()
         };
         for w in &self.workers {
@@ -462,6 +650,7 @@ impl Machine {
             s.batches += sc.batches;
             s.db_insts += sc.db_insts;
             s.cpu_insts += sc.cpu_insts;
+            s.fault_aborts += w.stats().retry_exhausted;
         }
         s
     }
@@ -544,8 +733,147 @@ mod tests {
         assert_eq!(m.worker(0).stats().remote_requests, 1);
         assert_eq!(m.worker(1).stats().background_requests, 1);
         assert!(
-            m.noc().stats().messages >= 2,
+            m.noc().stats().sent >= 2,
             "request + response crossed the NoC"
         );
+    }
+
+    fn remote_read_machine(retry: Option<crate::config::NocRetryConfig>) -> (Machine, TxnBlock) {
+        let mut b = SystemBuilder::new(BionicConfig {
+            noc_retry: retry,
+            ..BionicConfig::small(2)
+        });
+        let t = b.table(TableMeta::hash("kv", 8, 16, 1 << 8));
+        let p = b.proc(
+            assemble(
+                "proc remote_read\nlogic:\n    search 0, 0, c0, home=1\ncommit:\n    ret g0, c0\n    cmp g0, 0\n    blt abort\n    commit\nabort:\n    abort\n",
+            )
+            .unwrap(),
+        );
+        let mut m = b.build();
+        m.loader(1).insert(t, &7u64.to_be_bytes(), &[1u8; 16]);
+        let blk = m.alloc_block(0, 128);
+        m.init_block(blk, p);
+        m.write_block(blk, 0, &7u64.to_be_bytes());
+        m.submit(0, blk);
+        (m, blk)
+    }
+
+    #[test]
+    fn dropped_request_is_retransmitted_and_commits() {
+        let retry = crate::config::NocRetryConfig {
+            timeout_cycles: 512,
+            max_attempts: 3,
+        };
+        let (mut m, blk) = remote_read_machine(Some(retry));
+        // Drop the first accepted send (the remote request).
+        m.set_fault_plan(FaultPlan::none().drop_nth_send(0));
+        m.run_to_quiescence_limit(1 << 22);
+        assert_eq!(m.block_status(blk), TxnStatus::Committed);
+        assert_eq!(m.worker(0).stats().retries_sent, 1);
+        assert_eq!(m.worker(0).stats().retry_exhausted, 0);
+        // The home worker executed the request exactly once.
+        assert_eq!(m.worker(1).stats().background_requests, 1);
+    }
+
+    #[test]
+    fn persistent_loss_times_out_and_aborts_cleanly() {
+        let retry = crate::config::NocRetryConfig {
+            timeout_cycles: 512,
+            max_attempts: 3,
+        };
+        let (mut m, blk) = remote_read_machine(Some(retry));
+        // Drop every send this short run can make.
+        let mut plan = FaultPlan::none();
+        for n in 0..16 {
+            plan = plan.drop_nth_send(n);
+        }
+        m.set_fault_plan(plan);
+        m.run_to_quiescence_limit(1 << 22);
+        // The synthesized Timeout drove the sproc's abort branch: the
+        // machine quiesced instead of wedging on a lost message.
+        assert_eq!(m.block_status(blk), TxnStatus::Aborted);
+        let s = m.stats();
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.fault_aborts, 1);
+        assert_eq!(m.worker(0).stats().retry_exhausted, 1);
+        assert_eq!(m.worker(0).stats().retries_sent, 2);
+    }
+
+    #[test]
+    fn duplicate_request_is_not_executed_twice() {
+        // Tight timeout: the request round trip takes longer than the
+        // timeout, so the initiator retransmits a request that was *not*
+        // lost — the home worker must absorb the duplicate.
+        let retry = crate::config::NocRetryConfig {
+            timeout_cycles: 32,
+            max_attempts: 16,
+        };
+        let (mut m, blk) = remote_read_machine(Some(retry));
+        m.run_to_quiescence_limit(1 << 22);
+        assert_eq!(m.block_status(blk), TxnStatus::Committed);
+        let w1 = m.worker(1).stats();
+        assert_eq!(
+            w1.background_requests, 1,
+            "the index op executed exactly once despite retransmits"
+        );
+        let w0 = m.worker(0).stats();
+        assert!(w0.retries_sent >= 1, "the tight timeout forced retries");
+        assert_eq!(w0.retry_exhausted, 0);
+        assert_eq!(
+            w1.dup_requests, w0.retries_sent,
+            "every retransmit was absorbed as a duplicate at the home worker"
+        );
+    }
+
+    #[test]
+    fn crash_freezes_the_machine_and_salvages_durable_bytes() {
+        let (mut m, blk) = remote_read_machine(None);
+        m.set_fault_plan(FaultPlan::none().crash_at(50));
+        m.set_crash_hook(|m| DurableImage {
+            log: vec![0xAB],
+            checkpoint: m.now().to_le_bytes().to_vec(),
+        });
+        m.run_to_quiescence_limit(1 << 22);
+        assert!(m.is_crashed());
+        assert_eq!(m.now(), 50, "crash fires exactly at its scheduled cycle");
+        assert_ne!(m.block_status(blk), TxnStatus::Committed);
+        let img = m.take_crash_image().expect("hook ran");
+        assert_eq!(img.log, vec![0xAB]);
+        assert_eq!(img.checkpoint, 50u64.to_le_bytes().to_vec());
+        // A crashed machine is inert: ticking does nothing.
+        let before = m.now();
+        m.run(100);
+        assert_eq!(m.now(), before);
+    }
+
+    #[test]
+    fn retry_to_completion_gives_up_on_poisoned_blocks() {
+        // A read of a missing key aborts deterministically every time:
+        // the budget must bound the resubmissions.
+        let mut b = SystemBuilder::new(BionicConfig::small(1));
+        b.table(TableMeta::hash("kv", 8, 16, 1 << 8));
+        let p = b.proc(
+            assemble(
+                "proc read1\nlogic:\n    search 0, 0, c0\ncommit:\n    ret g0, c0\n    cmp g0, 0\n    blt abort\n    commit\nabort:\n    abort\n",
+            )
+            .unwrap(),
+        );
+        let mut m = b.build();
+        let blk = m.alloc_block(0, 128);
+        m.init_block(blk, p);
+        m.write_block(blk, 0, &7u64.to_be_bytes());
+        m.submit(0, blk);
+        m.run_to_quiescence_limit(1 << 22);
+        assert_eq!(m.block_status(blk), TxnStatus::Aborted);
+        let budget = RetryBudget {
+            max_attempts: 3,
+            backoff_cycles: 16,
+        };
+        let out = m.retry_to_completion(&[(0, blk)], budget, 1 << 22);
+        assert!(!out.all_committed());
+        assert_eq!(out.resubmissions, 3);
+        assert_eq!(out.gave_up, vec![(0, blk)]);
+        assert_eq!(m.stats().resubmits, 3);
     }
 }

@@ -26,6 +26,7 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::DramFaults;
 use crate::timing::{Cycle, FpgaConfig};
 
 /// Size of one lazily-allocated memory page.
@@ -180,7 +181,11 @@ pub struct MemBusy;
 struct Controller {
     /// Requests in flight: `(ready_cycle, port, response)`. Completion
     /// times are monotone per controller (issue order + uniform latency +
-    /// serialized bursts), so this stays sorted by construction.
+    /// serialized bursts), so this stays sorted by construction. An
+    /// injected transient fault may push one entry's ready time past its
+    /// successors'; delivery then head-of-line blocks on it (the retrying
+    /// controller stalls its queue), which `tick`/`next_event` model by
+    /// only ever examining the front.
     inflight: VecDeque<(Cycle, PortId, MemResponse)>,
     /// The controller's data bus is occupied until this cycle (bursts).
     busy_until: Cycle,
@@ -197,6 +202,8 @@ pub struct DramStats {
     pub bytes: u64,
     /// Requests rejected because a controller was saturated.
     pub rejections: u64,
+    /// Injected transient faults (ECC-corrected retries) observed.
+    pub transient_faults: u64,
 }
 
 /// The simulated FPGA-side DRAM: functional byte store plus timing model.
@@ -207,6 +214,11 @@ pub struct Dram {
     latency: Cycle,
     max_outstanding: usize,
     stats: DramStats,
+    /// Injected fault schedule (empty by default; see [`crate::fault`]).
+    faults: DramFaults,
+    /// Accepted read requests so far — the ordinal the fault schedule
+    /// matches against.
+    reads_seen: u64,
 }
 
 impl Dram {
@@ -223,7 +235,15 @@ impl Dram {
             latency: cfg.dram_latency,
             max_outstanding: cfg.dram_max_outstanding,
             stats: DramStats::default(),
+            faults: DramFaults::default(),
+            reads_seen: 0,
         }
+    }
+
+    /// Install an injected fault schedule (see [`crate::fault`]). An empty
+    /// schedule leaves every access bit-identical to an unfaulted run.
+    pub fn set_faults(&mut self, faults: DramFaults) {
+        self.faults = faults;
     }
 
     /// Total capacity in bytes.
@@ -293,8 +313,18 @@ impl Dram {
                 return Err(MemBusy);
             }
         }
+        // Injected transient faults (ECC scrub + controller retry): the nth
+        // accepted read pays extra response latency. Functional bytes are
+        // untouched; with no schedule installed this is a counter bump only.
+        let mut fault_extra = 0;
         let resp = match req.kind {
             MemKind::Read { len } => {
+                let n = self.reads_seen;
+                self.reads_seen += 1;
+                if let Some(extra) = self.faults.extra_latency_for(n) {
+                    fault_extra = extra;
+                    self.stats.transient_faults += 1;
+                }
                 let data = self.read_data(req.addr, len as usize);
                 self.stats.reads += 1;
                 self.stats.bytes += u64::from(len);
@@ -321,7 +351,7 @@ impl Dram {
         }
         self.controllers[cidx]
             .inflight
-            .push_back((now + latency + occupy - 1, port, resp));
+            .push_back((now + latency + occupy - 1 + fault_extra, port, resp));
         Ok(())
     }
 
@@ -702,6 +732,29 @@ mod tests {
         .unwrap();
         let s = d.stats();
         assert_eq!((s.reads, s.writes, s.bytes), (1, 1, 24));
+    }
+
+    #[test]
+    fn transient_fault_delays_the_scheduled_read_only() {
+        use crate::fault::FaultPlan;
+        let cfg = FpgaConfig::default();
+        let mut d = Dram::new(&cfg, 1 << 20);
+        d.set_faults(FaultPlan::none().dram_transient(1, 10).dram);
+        let p = d.register_port();
+        let req = |addr, tag| MemRequest {
+            addr,
+            kind: MemKind::Read { len: 8 },
+            tag: Tag(tag),
+        };
+        // Different granules so both issue at cycle 0.
+        d.issue(0, p, req(0, 0)).unwrap();
+        d.issue(0, p, req(64, 1)).unwrap();
+        d.tick(cfg.dram_latency);
+        assert_eq!(d.pop_response(p).unwrap().tag, Tag(0), "read 0 on time");
+        assert!(d.pop_response(p).is_none(), "read 1 held by ECC retry");
+        d.tick(cfg.dram_latency + 10);
+        assert_eq!(d.pop_response(p).unwrap().tag, Tag(1));
+        assert_eq!(d.stats().transient_faults, 1);
     }
 
     #[test]

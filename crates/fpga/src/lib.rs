@@ -36,6 +36,7 @@
 #![deny(unsafe_code)]
 
 pub mod dram;
+pub mod fault;
 pub mod fifo;
 pub mod lock_table;
 pub mod region;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod timing;
 
 pub use dram::{Dram, MemData, MemKind, MemRequest, MemResponse, PortId, Tag};
+pub use fault::{CorruptByte, DramFaults, FaultBudget, FaultPlan, NocFaults, TornWrite};
 pub use fifo::Fifo;
 pub use lock_table::LockTable;
 pub use region::Region;

@@ -32,6 +32,7 @@
 
 use std::collections::VecDeque;
 
+use bionicdb_fpga::fault::NocFaults;
 use bionicdb_softcore::request::{DbRequest, DbResponse, PartitionId};
 
 /// Interconnect topology.
@@ -74,19 +75,38 @@ pub struct Packet {
     pub src: PartitionId,
     /// Receiving worker.
     pub dst: PartitionId,
+    /// Per-source request sequence number. Responses echo the sequence
+    /// number of the request they answer, which is what lets the sender
+    /// detect duplicates when a lost message is retransmitted (the worker
+    /// glue's bounded-retry path). Workers that never retransmit leave it 0.
+    pub seq: u64,
     /// Request or response.
     pub payload: Payload,
 }
 
 /// Interconnect statistics.
+///
+/// Conservation invariant: every accepted send is eventually delivered,
+/// was dropped by an injected fault, or is still in flight —
+/// `sent == delivered + dropped + in_flight()`. Back-pressure rejections
+/// (`rejected`) never enter the channel and are counted separately, so an
+/// injected drop is always distinguishable from a busy link.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct NocStats {
-    /// Messages delivered.
-    pub messages: u64,
-    /// Sum of per-message latencies in cycles (mean = total / messages).
+    /// Messages accepted into a channel (including later-dropped ones).
+    pub sent: u64,
+    /// Messages consumed by their destination worker.
+    pub delivered: u64,
+    /// Messages lost to an injected [`NocFaults`] drop.
+    pub dropped: u64,
+    /// Sends rejected because the per-source issue limit was reached
+    /// (back-pressure, not loss: the sender retries next cycle).
+    pub rejected: u64,
+    /// Messages that paid an injected extra delay.
+    pub delayed: u64,
+    /// Sum of in-flight latencies over accepted, non-dropped messages
+    /// (mean = `total_latency / (sent - dropped)`).
     pub total_latency: u64,
-    /// Sends rejected because the per-source issue limit was reached.
-    pub busy_rejects: u64,
 }
 
 /// Error: the sender's channel cannot accept another message this cycle.
@@ -101,12 +121,20 @@ pub struct Noc {
     n: usize,
     /// Per-destination in-flight messages `(deliver_at, packet)`, kept
     /// sorted by construction (uniform per-pair latency, FIFO channels).
+    /// An injected delay may push one entry past its successors; delivery
+    /// then head-of-line blocks on it (the channel is a physical FIFO),
+    /// which `peek`/`poll`/`next_event` model by only examining the front.
     inbound: Vec<VecDeque<(u64, Packet)>>,
     /// Per-source issue tracking: a link accepts one message per cycle.
     last_send: Vec<(u64, u32)>,
     /// Messages a single link may inject per cycle.
     issue_width: u32,
     stats: NocStats,
+    /// Injected fault schedule (empty by default; see `bionicdb_fpga::fault`).
+    faults: NocFaults,
+    /// Accepted sends so far — the ordinal the fault schedule matches
+    /// against.
+    sends_seen: u64,
 }
 
 impl Noc {
@@ -122,7 +150,15 @@ impl Noc {
             last_send: vec![(u64::MAX, 0); n],
             issue_width: 1,
             stats: NocStats::default(),
+            faults: NocFaults::default(),
+            sends_seen: 0,
         }
+    }
+
+    /// Install an injected fault schedule. An empty schedule leaves every
+    /// send bit-identical to an unfaulted run.
+    pub fn set_faults(&mut self, faults: NocFaults) {
+        self.faults = faults;
     }
 
     /// Number of hops between two workers under the current topology.
@@ -169,7 +205,7 @@ impl Noc {
         );
         let (cycle, count) = &mut self.last_send[src];
         if *cycle == now && *count >= self.issue_width {
-            self.stats.busy_rejects += 1;
+            self.stats.rejected += 1;
             return Err(NocBusy);
         }
         if *cycle != now {
@@ -177,9 +213,23 @@ impl Noc {
             *count = 0;
         }
         *count += 1;
-        let lat = self.latency(pkt.src, pkt.dst);
+        self.stats.sent += 1;
+        // Injected faults: the nth accepted send may vanish in flight (the
+        // sender cannot tell — recovering is the worker retry path's job)
+        // or pay extra latency. With no schedule installed this is a
+        // counter bump only.
+        let n = self.sends_seen;
+        self.sends_seen += 1;
+        if self.faults.drop_for(n) {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        let mut lat = self.latency(pkt.src, pkt.dst);
+        if let Some(extra) = self.faults.delay_for(n) {
+            lat += extra;
+            self.stats.delayed += 1;
+        }
         self.inbound[pkt.dst.0 as usize].push_back((now + lat, pkt));
-        self.stats.messages += 1;
         self.stats.total_latency += lat;
         Ok(())
     }
@@ -198,7 +248,10 @@ impl Noc {
     pub fn poll(&mut self, now: u64, dst: PartitionId) -> Option<Packet> {
         let q = &mut self.inbound[dst.0 as usize];
         match q.front() {
-            Some((ready, _)) if *ready <= now => Some(q.pop_front().expect("front checked").1),
+            Some((ready, _)) if *ready <= now => {
+                self.stats.delivered += 1;
+                Some(q.pop_front().expect("front checked").1)
+            }
             _ => None,
         }
     }
@@ -206,6 +259,13 @@ impl Noc {
     /// True when no messages are in flight anywhere.
     pub fn is_idle(&self) -> bool {
         self.inbound.iter().all(VecDeque::is_empty)
+    }
+
+    /// Messages currently in flight (accepted, not yet consumed). Closes
+    /// the [`NocStats`] conservation identity
+    /// `sent == delivered + dropped + in_flight`.
+    pub fn in_flight(&self) -> u64 {
+        self.inbound.iter().map(|q| q.len() as u64).sum()
     }
 
     /// The earliest cycle at which some queued packet becomes (or already
@@ -244,6 +304,7 @@ mod tests {
         Packet {
             src: PartitionId(src),
             dst: PartitionId(dst),
+            seq: 0,
             payload: Payload::Request(DbRequest {
                 op: DbOp::Search,
                 table: TableId(0),
@@ -295,7 +356,42 @@ mod tests {
         noc.send(5, req_pkt(0, 1)).unwrap();
         assert_eq!(noc.send(5, req_pkt(0, 2)), Err(NocBusy));
         assert!(noc.send(6, req_pkt(0, 2)).is_ok());
-        assert_eq!(noc.stats().busy_rejects, 1);
+        assert_eq!(noc.stats().rejected, 1);
+        assert_eq!(noc.stats().sent, 2, "rejected sends are not counted sent");
+    }
+
+    #[test]
+    fn injected_drop_vanishes_in_flight() {
+        use bionicdb_fpga::fault::FaultPlan;
+        let mut noc = Noc::new(Topology::Crossbar, 2, 3);
+        noc.set_faults(FaultPlan::none().drop_nth_send(1).noc);
+        noc.send(0, req_pkt(0, 1)).unwrap();
+        noc.send(1, req_pkt(0, 1)).unwrap(); // dropped
+        noc.send(2, req_pkt(0, 1)).unwrap();
+        let mut got = 0;
+        for t in 0..20 {
+            while noc.poll(t, PartitionId(1)).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 2, "the dropped packet never arrives");
+        let s = noc.stats();
+        assert_eq!((s.sent, s.delivered, s.dropped, s.rejected), (3, 2, 1, 0));
+        assert_eq!(s.sent, s.delivered + s.dropped + noc.in_flight());
+    }
+
+    #[test]
+    fn injected_delay_holds_the_channel_fifo() {
+        use bionicdb_fpga::fault::FaultPlan;
+        let mut noc = Noc::new(Topology::Crossbar, 2, 3);
+        noc.set_faults(FaultPlan::none().delay_nth_send(0, 10).noc);
+        noc.send(0, req_pkt(0, 1)).unwrap(); // ready at 13 instead of 3
+        noc.send(1, req_pkt(0, 1)).unwrap(); // ready at 4, but behind
+        assert!(noc.poll(4, PartitionId(1)).is_none(), "head-of-line blocked");
+        assert!(noc.poll(13, PartitionId(1)).is_some());
+        assert!(noc.poll(13, PartitionId(1)).is_some());
+        assert_eq!(noc.stats().delayed, 1);
+        assert_eq!(noc.in_flight(), 0);
     }
 
     #[test]
@@ -356,7 +452,7 @@ mod tests {
         noc.send(0, req_pkt(0, 1)).unwrap();
         noc.send(1, req_pkt(1, 2)).unwrap();
         let s = noc.stats();
-        assert_eq!(s.messages, 2);
+        assert_eq!(s.sent, 2);
         assert_eq!(s.total_latency, 6);
     }
 

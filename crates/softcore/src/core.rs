@@ -976,15 +976,19 @@ impl Softcore {
         );
         let ctx = &mut self.contexts[self.cur];
         ctx.outcome = Some(outcome);
+        // The block's commit timestamp is stamped at *commit* time, not
+        // with the context's begin timestamp: command-log replay orders by
+        // this field, and only the commit order is a serialization order
+        // (a transaction that begins early but touches a contended row
+        // late must replay after the earlier committer of that row).
         let (status, ts) = match outcome {
-            CtxOutcome::Committed => (1u64, ctx.ts),
+            CtxOutcome::Committed => (1u64, (now << 10) | (self.worker.0 as u64 & 0x3ff)),
             CtxOutcome::Aborted => (2u64, 0),
         };
         // Write the commit state and timestamp back into the transaction
         // block (posted writes; host-side visibility is what matters and
         // functional state applies immediately).
         let block = ctx.block_addr;
-        let _ = now;
         dram.host_write_u64(block + STATUS_OFFSET, status);
         dram.host_write_u64(block + COMMIT_TS_OFFSET, ts);
         match outcome {

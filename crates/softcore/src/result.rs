@@ -24,6 +24,11 @@ pub enum DbStatus {
     Dirty,
     /// The request was malformed (bad table, wrong index kind for the op).
     BadRequest,
+    /// A remote request exhausted its retry budget without a response
+    /// (injected interconnect loss; see the worker glue's bounded-retry
+    /// path). Synthesized by the *initiating* worker, never by an index
+    /// pipeline, so the transaction aborts cleanly instead of wedging.
+    Timeout,
 }
 
 /// A decoded DB result: either a successful value or an error status.
@@ -49,6 +54,7 @@ impl DbResult {
                 DbStatus::CcConflict => -2,
                 DbStatus::Dirty => -3,
                 DbStatus::BadRequest => -4,
+                DbStatus::Timeout => -5,
             },
         }
     }
@@ -60,6 +66,7 @@ impl DbResult {
             -1 => DbResult::Err(DbStatus::NotFound),
             -2 => DbResult::Err(DbStatus::CcConflict),
             -3 => DbResult::Err(DbStatus::Dirty),
+            -5 => DbResult::Err(DbStatus::Timeout),
             _ => DbResult::Err(DbStatus::BadRequest),
         }
     }
@@ -91,6 +98,7 @@ mod tests {
             DbResult::Err(DbStatus::CcConflict),
             DbResult::Err(DbStatus::Dirty),
             DbResult::Err(DbStatus::BadRequest),
+            DbResult::Err(DbStatus::Timeout),
         ] {
             assert_eq!(DbResult::decode(r.encode()), r);
         }

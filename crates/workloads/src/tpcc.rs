@@ -381,12 +381,35 @@ pub fn build_neworder_proc(t: &TpccTables, local_only: bool) -> bionicdb_softcor
     // ---------------- commit handler ----------------
     b.begin_commit();
     let g_r = b.gp();
-    // Collect + check all remaining results.
+    // Pass 1: validate *every* pending result before touching any data.
+    // RET does not consume the CP slot, so the apply pass below re-reads
+    // the tuple addresses. The ordering matters for atomicity: the abort
+    // handler can tombstone inserts and restore next_o_id, but it cannot
+    // undo a stock RMW, so a failure discovered late (e.g. an order-line
+    // insert) must be seen before the first stock write is applied.
     ret_or_abort(&mut b, c_wh, g_r);
     ret_or_abort(&mut b, c_cu, g_r);
-    ret_or_abort(&mut b, c_ord, g_a);
+    ret_or_abort(&mut b, c_ord, g_r);
+    ret_or_abort(&mut b, c_no, g_r);
+    let v_stocks_done = b.label();
+    for (i, &cs) in c_stock.iter().enumerate() {
+        b.cmp(g_cnt, Operand::Imm(i as i64));
+        b.br(Cond::Le, v_stocks_done);
+        ret_or_abort(&mut b, cs, g_r);
+    }
+    b.bind(v_stocks_done);
+    let v_ols_done = b.label();
+    for (i, &cl) in c_ol.iter().enumerate() {
+        b.cmp(g_oldone, Operand::Imm(i as i64));
+        b.br(Cond::Le, v_ols_done);
+        ret_or_abort(&mut b, cl, g_r);
+    }
+    b.bind(v_ols_done);
+
+    // Pass 2: everything validated non-negative; apply and commit.
+    b.ret(g_a, c_ord);
     commit_tuple(&mut b, g_a, g_ts, g_zero);
-    ret_or_abort(&mut b, c_no, g_a);
+    b.ret(g_a, c_no);
     commit_tuple(&mut b, g_a, g_ts, g_zero);
     // Stock RMW + commit, per dispatched item.
     let stocks_done = b.label();
@@ -394,7 +417,8 @@ pub fn build_neworder_proc(t: &TpccTables, local_only: bool) -> bionicdb_softcor
     for (i, &cs) in c_stock.iter().enumerate() {
         b.cmp(g_cnt, Operand::Imm(i as i64));
         b.br(Cond::Le, stocks_done);
-        let g_s = ret_or_abort(&mut b, cs, g_c);
+        let g_s = g_c;
+        b.ret(g_s, cs);
         // quantity rule: q = q - qty; if q < 10 { q += 91 }.
         b.load(g_q, MemBase::Reg(g_s), Operand::Imm(PAYLOAD));
         b.load(g_a, MemBase::Block, Operand::Imm(it(i, IT_QTY)));
@@ -420,8 +444,8 @@ pub fn build_neworder_proc(t: &TpccTables, local_only: bool) -> bionicdb_softcor
     for (i, &cl) in c_ol.iter().enumerate() {
         b.cmp(g_oldone, Operand::Imm(i as i64));
         b.br(Cond::Le, ols_done);
-        let g_l = ret_or_abort(&mut b, cl, g_c);
-        commit_tuple(&mut b, g_l, g_ts, g_zero);
+        b.ret(g_c, cl);
+        commit_tuple(&mut b, g_c, g_ts, g_zero);
     }
     b.bind(ols_done);
     // District: commit the in-place increment done during logic.
@@ -560,20 +584,25 @@ pub fn build_payment_proc(t: &TpccTables, local_only: bool) -> bionicdb_softcore
     // ---------------- commit ----------------
     b.begin_commit();
     b.load(g_amt, MemBase::Block, Operand::Imm(PAY_AMOUNT as i64));
-    // warehouse.ytd += amount.
+    // Validate every result before applying any write: the abort handler
+    // can release dirty marks and tombstone the history insert, but it
+    // cannot undo a YTD increment, so no data may move until all four
+    // operations are known good.
     let g_w = ret_or_abort(&mut b, c_wh, g_w);
+    let g_d = ret_or_abort(&mut b, c_di, g_d);
+    let g_c = ret_or_abort(&mut b, c_cu, g_c);
+    let g_hrec = ret_or_abort(&mut b, c_hi, g_hrec);
+    // warehouse.ytd += amount.
     b.load(g_v, MemBase::Reg(g_w), Operand::Imm(PAYLOAD));
     b.add(g_v, Operand::Reg(g_amt));
     b.store(g_v, MemBase::Reg(g_w), Operand::Imm(PAYLOAD));
     commit_tuple(&mut b, g_w, g_ts, g_zero);
     // district.ytd += amount.
-    let g_d = ret_or_abort(&mut b, c_di, g_d);
     b.load(g_v, MemBase::Reg(g_d), Operand::Imm(PAYLOAD + 8));
     b.add(g_v, Operand::Reg(g_amt));
     b.store(g_v, MemBase::Reg(g_d), Operand::Imm(PAYLOAD + 8));
     commit_tuple(&mut b, g_d, g_ts, g_zero);
     // customer: balance -= amount; ytd_payment += amount; payment_cnt += 1.
-    let g_c = ret_or_abort(&mut b, c_cu, g_c);
     b.load(g_v, MemBase::Reg(g_c), Operand::Imm(PAYLOAD));
     b.alu(AluOp::Sub, g_v, Operand::Reg(g_amt));
     b.store(g_v, MemBase::Reg(g_c), Operand::Imm(PAYLOAD));
@@ -585,7 +614,6 @@ pub fn build_payment_proc(t: &TpccTables, local_only: bool) -> bionicdb_softcore
     b.store(g_v, MemBase::Reg(g_c), Operand::Imm(PAYLOAD + 16));
     commit_tuple(&mut b, g_c, g_ts, g_zero);
     // history insert.
-    let g_hrec = ret_or_abort(&mut b, c_hi, g_hrec);
     commit_tuple(&mut b, g_hrec, g_ts, g_zero);
     b.commit();
 
@@ -1334,7 +1362,7 @@ fn sub_u64(p: &mut [u8], off: usize, v: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bionicdb::{BlockStatus, TxnStatus};
+    use bionicdb::{BlockStatus, RetryBudget, TxnStatus};
     use bionicdb_cpu_model::NullTracer;
     use rand::SeedableRng;
 
@@ -1437,7 +1465,7 @@ mod tests {
         sys.machine.run_to_quiescence_limit(1 << 27);
         assert_eq!(sys.machine.block_status(blk), TxnStatus::Committed);
         assert!(
-            sys.machine.noc().stats().messages >= 2,
+            sys.machine.noc().stats().sent >= 2,
             "customer update was remote"
         );
         // Remote customer's balance decreased.
@@ -1491,26 +1519,24 @@ mod tests {
         );
 
         // Client-side retry: resubmit aborted blocks (inputs are preserved
-        // in the block, §4.8) until everything commits.
-        let mut rounds = 0;
-        loop {
-            let pending: Vec<(usize, TxnBlock)> = no_workers
-                .iter()
-                .copied()
-                .zip(no_blocks.iter().copied())
-                .chain(pay_workers.iter().copied().zip(pay_blocks.iter().copied()))
-                .filter(|&(_, b)| !sys.machine.block_status(b).is_committed())
-                .collect();
-            if pending.is_empty() {
-                break;
-            }
-            rounds += 1;
-            assert!(rounds < 64, "retries must converge");
-            for (w, blk) in pending {
-                sys.machine.resubmit(w, blk);
-            }
-            sys.machine.run_to_quiescence_limit(1 << 28);
-        }
+        // in the block, §4.8) under a bounded budget until everything
+        // commits.
+        let all: Vec<(usize, TxnBlock)> = no_workers
+            .iter()
+            .copied()
+            .zip(no_blocks.iter().copied())
+            .chain(pay_workers.iter().copied().zip(pay_blocks.iter().copied()))
+            .collect();
+        let out = sys.machine.retry_to_completion(
+            &all,
+            RetryBudget {
+                max_attempts: 64,
+                backoff_cycles: 0,
+            },
+            1 << 28,
+        );
+        assert!(out.all_committed(), "retries must converge: {out:?}");
+        assert_eq!(out.committed, 16);
 
         // Committed NewOrders installed their order rows; aborted ones are
         // invisible (never inserted or tombstoned).

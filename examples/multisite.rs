@@ -145,8 +145,8 @@ skip_to:
     let noc = db.noc().stats();
     println!(
         "on-chip channels: {} messages, mean latency {:.1} cycles ({:.0} ns) — paper Table 3: 3 cycles / 24 ns",
-        noc.messages,
-        noc.total_latency as f64 / noc.messages as f64,
-        db.config().fpga.cycles_to_ns(noc.total_latency) / noc.messages as f64,
+        noc.sent,
+        noc.total_latency as f64 / noc.sent as f64,
+        db.config().fpga.cycles_to_ns(noc.total_latency) / noc.sent as f64,
     );
 }

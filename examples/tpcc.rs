@@ -83,8 +83,8 @@ fn main() {
     let noc = sys.machine.noc().stats();
     println!(
         "  on-chip messages: {} (mean latency {:.1} cycles) — cross-partition stock/customer accesses",
-        noc.messages,
-        if noc.messages > 0 { noc.total_latency as f64 / noc.messages as f64 } else { 0.0 }
+        noc.sent,
+        if noc.sent > 0 { noc.total_latency as f64 / noc.sent as f64 } else { 0.0 }
     );
 
     // Consistency audit: district next_o_id advances match committed orders.

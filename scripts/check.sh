@@ -17,4 +17,7 @@ cargo test --workspace --locked --quiet
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --locked -- -D warnings
 
+echo "== chaos smoke (fixed-seed fault matrix) =="
+cargo run --release --locked -p bionicdb-bench --bin chaos -- --smoke
+
 echo "All checks passed."

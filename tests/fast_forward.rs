@@ -281,6 +281,100 @@ fn next_event_never_in_the_past() {
     }
 }
 
+/// Installing `FaultPlan::none()` must be bit-identical to never touching
+/// the fault subsystem at all — the tentpole guarantee that fault hooks are
+/// pure counter-bumps when no fault is scheduled.
+#[test]
+fn none_fault_plan_is_bit_identical() {
+    use bionicdb::FaultPlan;
+
+    let run = |with_plan: bool| -> Snapshot {
+        let mut y = YcsbBionic::build(BionicConfig::small(2), YcsbSpec::tiny(), 4);
+        if with_plan {
+            y.machine.set_fault_plan(FaultPlan::none());
+        }
+        let kinds = [YcsbKind::ReadLocal, YcsbKind::UpdateLocal, YcsbKind::Scan];
+        let size = kinds.iter().map(|&k| y.block_size(k)).max().unwrap();
+        let mut pools: Vec<BlockPool> = (0..2)
+            .map(|w| BlockPool::new(&mut y.machine, w, 24, size))
+            .collect();
+        let mut rng = YcsbBionic::rng(0x20F4);
+        for (w, pool) in pools.iter_mut().enumerate() {
+            for i in 0..24 {
+                let blk = pool.take();
+                y.submit_txn(w, blk, kinds[i % kinds.len()], &mut rng);
+            }
+        }
+        y.machine.run_to_quiescence();
+        snapshot(&y.machine)
+    };
+    let bare = run(false);
+    let with_none_plan = run(true);
+    assert!(bare.machine.committed > 0, "workload must commit");
+    assert_equivalent(bare, with_none_plan, "none-plan");
+}
+
+/// Armed retry glue plus injected NoC drops/delays and DRAM transients:
+/// the fault path must itself be deterministic, and strict vs fast-forward
+/// stepping must stay bit-identical even under faults (delays break queue
+/// sortedness, retransmit timers add self-generated wakeups — all of it
+/// must be invisible to the scheduler contract).
+#[test]
+fn faulted_runs_are_strict_fast_equivalent() {
+    use bionicdb::{FaultPlan, NocRetryConfig};
+
+    let run = |fast: bool| -> Snapshot {
+        let cfg = BionicConfig {
+            noc_retry: Some(NocRetryConfig {
+                timeout_cycles: 1024,
+                max_attempts: 4,
+            }),
+            ..BionicConfig::small(2)
+        };
+        let spec = YcsbSpec {
+            remote_fraction: 0.8,
+            ..YcsbSpec::tiny()
+        };
+        let mut y = YcsbBionic::build(cfg, spec, 4);
+        y.machine.set_fast_forward(fast);
+        let mut plan = FaultPlan::none()
+            .delay_nth_send(1, 40)
+            .delay_nth_send(6, 13)
+            .dram_transient(3, 17)
+            .dram_transient(11, 9);
+        for n in [2u64, 7, 12] {
+            plan = plan.drop_nth_send(n);
+        }
+        y.machine.set_fault_plan(plan);
+        let size = y.block_size(YcsbKind::ReadHomed);
+        let mut pools: Vec<BlockPool> = (0..2)
+            .map(|w| BlockPool::new(&mut y.machine, w, 16, size))
+            .collect();
+        let mut rng = YcsbBionic::rng(0xFA11);
+        for (w, pool) in pools.iter_mut().enumerate() {
+            for _ in 0..16 {
+                let blk = pool.take();
+                y.submit_txn(w, blk, YcsbKind::ReadHomed, &mut rng);
+            }
+        }
+        y.machine.run_to_quiescence();
+        snapshot(&y.machine)
+    };
+    let strict = run(false);
+    let fast = run(true);
+    assert!(strict.machine.committed > 0, "workload must commit");
+    assert!(
+        strict.noc.dropped >= 1 && strict.noc.delayed >= 1,
+        "faults actually fired: {:?}",
+        strict.noc
+    );
+    assert!(
+        strict.dram.transient_faults >= 1,
+        "DRAM transients actually fired"
+    );
+    assert_equivalent(strict, fast, "faulted run");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
