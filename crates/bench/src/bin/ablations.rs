@@ -14,6 +14,7 @@
 //!    correctness on insert-heavy load (paper Fig. 6).
 
 use bionicdb::{BionicConfig, ExecMode, Topology};
+use bionicdb_bench::json::{render_machine_row, JsonOut};
 use bionicdb_bench::*;
 use bionicdb_workloads::tpcc::TpccBionic;
 use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
@@ -22,6 +23,7 @@ use bionicdb_workloads::YcsbSpec;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let wave = if quick { 60 } else { 200 };
+    let mut json = JsonOut::from_env("ablations");
 
     // 1. Scanner count vs scan throughput. Every ablation point builds its
     // own machine, so each sweep fans out over par_map.
@@ -30,8 +32,11 @@ fn main() {
         cfg.fpga.skiplist_scanners = scanners;
         let mut y = YcsbBionic::build(cfg, bench_ycsb_spec(), 60);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::Scan, wave);
-        (format!("{scanners} scanner(s)"), t.per_sec / 1e3)
+        let row = render_machine_row(&format!("scanners_{scanners}"), Some(t), &y.machine);
+        ((format!("{scanners} scanner(s)"), t.per_sec / 1e3), row)
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         "Ablation 1: scan throughput vs scanner count",
         "config",
@@ -49,8 +54,11 @@ fn main() {
         };
         let mut y = YcsbBionic::build(cfg, spec, 60);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, wave);
-        (format!("{stages} traverse stage(s)"), t.per_sec / 1e3)
+        let row = render_machine_row(&format!("traverse_{stages}"), Some(t), &y.machine);
+        ((format!("{stages} traverse stage(s)"), t.per_sec / 1e3), row)
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         "Ablation 2: YCSB-C on long chains vs Traverse stages",
         "config",
@@ -76,14 +84,20 @@ fn main() {
         let mut y = YcsbBionic::build(cfg, bench_ycsb_spec(), 60);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave / 2);
         let n = y.machine.noc().stats();
+        let row = render_machine_row(&format!("topo_{workers}w_{topo:?}"), Some(t), &y.machine);
         (
-            format!(
-                "{workers}w {topo:?} (lat {:.1}cy)",
-                n.total_latency as f64 / n.sent as f64
+            (
+                format!(
+                    "{workers}w {topo:?} (lat {:.1}cy)",
+                    n.total_latency as f64 / n.sent as f64
+                ),
+                t.per_sec / 1e3,
             ),
-            t.per_sec / 1e3,
+            row,
         )
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         "Ablation 3: multisite throughput vs topology",
         "config",
@@ -101,8 +115,11 @@ fn main() {
         };
         let mut sys = TpccBionic::build(cfg, bench_tpcc_spec());
         let t = bionic_tpcc_tput(&mut sys, TpccMix::Mixed, wave / 2);
-        (format!("batch {max_batch}"), t.per_sec / 1e3)
+        let row = render_machine_row(&format!("batch_{max_batch}"), Some(t), &sys.machine);
+        ((format!("batch {max_batch}"), t.per_sec / 1e3), row)
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         "Ablation 4: TPC-C mix vs interleaving batch size (hotspot conflicts)",
         "config",
@@ -151,8 +168,19 @@ fn main() {
         } else {
             format!("zipf {theta} ({} aborts)", aborted)
         };
-        (label, tput / 1e3)
+        let row = render_machine_row(
+            &format!("skew_{theta}"),
+            Some(Tput {
+                committed: blocks.len() as u64,
+                aborted,
+                per_sec: tput,
+            }),
+            &y.machine,
+        );
+        ((label, tput / 1e3), row)
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         "Ablation 6: update-txn throughput vs key skew (with retries)",
         "distribution",
@@ -177,19 +205,30 @@ fn main() {
         let stalls: u64 = (0..4)
             .map(|w| y.machine.worker(w).coproc.hash_stats().lock_stalls)
             .sum();
+        let row = render_machine_row(
+            &format!("hazard_{}", if hazard { "on" } else { "off" }),
+            Some(t),
+            &y.machine,
+        );
         (
-            format!(
-                "locks {} ({} stall cycles)",
-                if hazard { "on" } else { "OFF (unsafe)" },
-                stalls
+            (
+                format!(
+                    "locks {} ({} stall cycles)",
+                    if hazard { "on" } else { "OFF (unsafe)" },
+                    stalls
+                ),
+                t.per_sec / 1e6,
             ),
-            t.per_sec / 1e6,
+            row,
         )
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         "Ablation 5: insert Mops with/without hazard prevention",
         "config",
         "Mops",
         &rows,
     );
+    json.write();
 }

@@ -8,6 +8,7 @@
 //! on the first violation.
 
 use bionicdb_bench::chaos::{run_crash, run_noc_drop, ChaosWorkload};
+use bionicdb_bench::json::JsonOut;
 
 const WORKLOADS: [ChaosWorkload; 3] = [
     ChaosWorkload::Ycsb,
@@ -17,6 +18,8 @@ const WORKLOADS: [ChaosWorkload; 3] = [
 
 fn main() {
     let smoke_only = std::env::args().any(|a| a == "--smoke");
+    let mut json = JsonOut::from_env("chaos");
+    let mut scenarios = 0u64;
 
     for w in WORKLOADS {
         let r = run_crash(w, 500, false, 0xC4A5);
@@ -27,6 +30,8 @@ fn main() {
             r.total_txns,
             r.salvaged
         );
+        json.value_row(&format!("crash_{w:?}_committed"), r.committed_at_crash as f64);
+        scenarios += 1;
         let r = run_crash(w, 700, true, 0xC4A5);
         println!(
             "PASS torn-tail  {w:?}: crashed@{} with {} committed, salvaged {} (torn={})",
@@ -35,11 +40,15 @@ fn main() {
             r.salvaged,
             r.torn
         );
+        json.value_row(&format!("torn_{w:?}_salvaged"), r.salvaged as f64);
+        scenarios += 1;
         let r = run_noc_drop(w, &[1, 3, 6], 0xC4A5);
         println!(
             "PASS noc-drop   {w:?}: {} txns survived {} dropped message(s)",
             r.total_txns, r.dropped
         );
+        json.value_row(&format!("nocdrop_{w:?}_dropped"), r.dropped as f64);
+        scenarios += 1;
     }
 
     if !smoke_only {
@@ -52,8 +61,11 @@ fn main() {
                     "PASS sweep      {w:?} @{frac}permille torn={torn}: {} committed, salvaged {}",
                     r.committed_at_crash, r.salvaged
                 );
+                scenarios += 1;
             }
         }
     }
     println!("chaos: all scenarios passed");
+    json.value_row("scenarios_passed", scenarios as f64);
+    json.write();
 }

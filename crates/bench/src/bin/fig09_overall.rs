@@ -8,12 +8,14 @@
 //!   merely comparable (insufficient index parallelism + data dependency).
 
 use bionicdb::ExecMode;
+use bionicdb_bench::json::JsonOut;
 use bionicdb_bench::*;
 use bionicdb_workloads::tpcc::TpccSilo;
 use bionicdb_workloads::ycsb::{YcsbKind, YcsbSilo};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let mut json = JsonOut::from_env("fig09_overall");
     let (wave, silo_txns) = if quick {
         (120, 400)
     } else {
@@ -26,11 +28,13 @@ fn main() {
         let mut y = build_ycsb(workers, ExecMode::Interleaved);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, wave);
         rows.push((format!("BionicDB/{workers}w"), t.per_sec / 1e3));
+        json.machine_row(&format!("ycsb_bionic_{workers}w"), Some(t), &y.machine);
     }
     let silo = YcsbSilo::build(bench_ycsb_spec(), 4);
     for cores in [1, 4, 8, 12, 16, 20, 24] {
         let t = silo_ycsb_model_tput(&silo, silo_txns, cores);
         rows.push((format!("Silo/{cores}c"), t / 1e3));
+        json.value_row(&format!("ycsb_silo_{cores}c_per_sec"), t);
     }
     print_series("Fig 9a: YCSB-C (read-only)", "system", "kTps", &rows);
 
@@ -40,11 +44,13 @@ fn main() {
         let mut sys = build_tpcc(workers, ExecMode::Interleaved);
         let t = bionic_tpcc_tput(&mut sys, TpccMix::Mixed, wave);
         rows.push((format!("BionicDB/{workers}w"), t.per_sec / 1e3));
+        json.machine_row(&format!("tpcc_bionic_{workers}w"), Some(t), &sys.machine);
     }
     let tsilo = TpccSilo::build(bench_tpcc_spec(), 4);
     for cores in [1, 4, 8, 12, 16, 20, 24] {
         let t = silo_tpcc_model_tput(&tsilo, TpccMix::Mixed, silo_txns, cores);
         rows.push((format!("Silo/{cores}c"), t / 1e3));
+        json.value_row(&format!("tpcc_silo_{cores}c_per_sec"), t);
     }
     print_series(
         "Fig 9b: TPC-C NewOrder+Payment (50:50)",
@@ -52,4 +58,5 @@ fn main() {
         "kTps",
         &rows,
     );
+    json.write();
 }

@@ -12,6 +12,7 @@
 //! Payment stops improving after 4 — it only has 4 index lookups (10d).
 
 use bionicdb::ExecMode;
+use bionicdb_bench::json::{render_machine_row, JsonOut};
 use bionicdb_bench::*;
 use bionicdb_workloads::ycsb::YcsbKind;
 
@@ -20,6 +21,7 @@ const INFLIGHT: [usize; 7] = [1, 4, 8, 12, 16, 20, 24];
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let wave = if quick { 60 } else { 200 };
+    let mut json = JsonOut::from_env("fig10_hash");
 
     // (a) KV insert / search, operation throughput. Each sweep point is an
     // independent machine, so the whole figure fans out over par_map.
@@ -27,15 +29,26 @@ fn main() {
         let mut y = build_ycsb(4, ExecMode::Interleaved);
         y.machine.set_max_inflight(n);
         let ins = bionic_kv_tput(&mut y, true, wave / 4);
+        let ins_row = render_machine_row(&format!("kv_insert_{n}if"), Some(ins), &y.machine);
         let mut y = build_ycsb(4, ExecMode::Interleaved);
         y.machine.set_max_inflight(n);
         let se = bionic_kv_tput(&mut y, false, wave / 4);
-        vec![
-            n.to_string(),
-            format!("{:.2}", ins.per_sec / 1e6),
-            format!("{:.2}", se.per_sec / 1e6),
-        ]
+        let se_row = render_machine_row(&format!("kv_search_{n}if"), Some(se), &y.machine);
+        (
+            vec![
+                n.to_string(),
+                format!("{:.2}", ins.per_sec / 1e6),
+                format!("{:.2}", se.per_sec / 1e6),
+            ],
+            [ins_row, se_row],
+        )
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    for pair in json_rows {
+        for r in pair {
+            json.push_raw(r);
+        }
+    }
     print_table(
         "Fig 10a: KeyValue (Mops)",
         &["in-flight", "insert", "search"],
@@ -47,22 +60,29 @@ fn main() {
         let mut y = build_ycsb(4, ExecMode::Interleaved);
         y.machine.set_max_inflight(n);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, wave);
-        (n.to_string(), t.per_sec / 1e3)
+        let row = render_machine_row(&format!("ycsb_{n}if"), Some(t), &y.machine);
+        ((n.to_string(), t.per_sec / 1e3), row)
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series("Fig 10b: YCSB-C (read-only)", "in-flight", "kTps", &rows);
 
     // (c) TPC-C NewOrder, (d) Payment — serial execution, isolating the
     // coprocessor's intra-transaction parallelism exactly as §5.5 intends.
-    for (mix, title) in [
-        (TpccMix::NewOrderOnly, "Fig 10c: TPC-C NewOrder"),
-        (TpccMix::PaymentOnly, "Fig 10d: TPC-C Payment"),
+    for (mix, title, tag) in [
+        (TpccMix::NewOrderOnly, "Fig 10c: TPC-C NewOrder", "neworder"),
+        (TpccMix::PaymentOnly, "Fig 10d: TPC-C Payment", "payment"),
     ] {
         let rows = par_map(INFLIGHT.to_vec(), |n| {
             let mut sys = build_tpcc_local(4, ExecMode::Serial);
             sys.machine.set_max_inflight(n);
             let t = bionic_tpcc_tput(&mut sys, mix, wave / 2);
-            (n.to_string(), t.per_sec / 1e3)
+            let row = render_machine_row(&format!("tpcc_{tag}_{n}if"), Some(t), &sys.machine);
+            ((n.to_string(), t.per_sec / 1e3), row)
         });
+        let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        json_rows.into_iter().for_each(|r| json.push_raw(r));
         print_series(title, "in-flight", "kTps", &rows);
     }
+    json.write();
 }

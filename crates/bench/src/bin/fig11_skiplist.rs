@@ -11,6 +11,7 @@
 //! ablation shows the fix the paper proposes.
 
 use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_bench::json::{render_machine_row, JsonOut};
 use bionicdb_bench::*;
 use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind, YcsbSilo};
 
@@ -34,6 +35,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let mut json = JsonOut::from_env("fig11_skiplist");
 
     // (a) sequential loading (bulk inserts), operation throughput. Points
     // are independent machines — fan the sweep out over par_map.
@@ -41,8 +43,11 @@ fn main() {
         let mut y = build(scanners);
         y.machine.set_max_inflight(n);
         let t = bionic_kv_skip_tput(&mut y, true, wave / 4);
-        (n.to_string(), t.per_sec / 1e3)
+        let row = render_machine_row(&format!("skip_insert_{n}if"), Some(t), &y.machine);
+        ((n.to_string(), t.per_sec / 1e3), row)
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         "Fig 11a: skiplist insert (kOps)",
         "in-flight",
@@ -55,8 +60,11 @@ fn main() {
         let mut y = build(scanners);
         y.machine.set_max_inflight(n);
         let t = bionic_kv_skip_tput(&mut y, false, wave / 4);
-        (n.to_string(), t.per_sec / 1e3)
+        let row = render_machine_row(&format!("skip_query_{n}if"), Some(t), &y.machine);
+        ((n.to_string(), t.per_sec / 1e3), row)
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         "Fig 11b: skiplist point query (kOps)",
         "in-flight",
@@ -69,8 +77,11 @@ fn main() {
         let mut y = build(scanners);
         y.machine.set_max_inflight(n);
         let t = bionic_ycsb_tput(&mut y, YcsbKind::Scan, wave);
-        (n.to_string(), t.per_sec / 1e3)
+        let row = render_machine_row(&format!("skip_scan_{n}if"), Some(t), &y.machine);
+        ((n.to_string(), t.per_sec / 1e3), row)
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    json_rows.into_iter().for_each(|r| json.push_raw(r));
     print_series(
         &format!("Fig 11c: YCSB-E scan-only, {scanners} scanner(s)"),
         "in-flight",
@@ -83,20 +94,20 @@ fn main() {
     let mut y = build(scanners);
     let t = bionic_ycsb_tput(&mut y, YcsbKind::Scan, wave);
     rows.push((format!("BionicDB ({scanners} scanner)"), t.per_sec / 1e3));
+    json.machine_row(&format!("scan_bionic_{scanners}sc"), Some(t), &y.machine);
     let silo = YcsbSilo::build(bench_ycsb_spec(), 4);
     let txns = if quick { 300 } else { 1_000 };
-    rows.push((
-        "Masstree".into(),
-        silo_scan_model_tput(&silo, silo.masstree, txns, 4) / 1e3,
-    ));
-    rows.push((
-        "SW skiplist".into(),
-        silo_scan_model_tput(&silo, silo.skiplist, txns, 4) / 1e3,
-    ));
+    let masstree = silo_scan_model_tput(&silo, silo.masstree, txns, 4);
+    let sw_skip = silo_scan_model_tput(&silo, silo.skiplist, txns, 4);
+    rows.push(("Masstree".into(), masstree / 1e3));
+    rows.push(("SW skiplist".into(), sw_skip / 1e3));
+    json.value_row("scan_masstree_per_sec", masstree);
+    json.value_row("scan_sw_skiplist_per_sec", sw_skip);
     print_series(
         "Fig 11d: scan comparison (kTps, 4 workers)",
         "index",
         "kTps",
         &rows,
     );
+    json.write();
 }

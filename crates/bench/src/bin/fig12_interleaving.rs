@@ -10,6 +10,7 @@
 //! eliminate the interleaving opportunity.
 
 use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_bench::json::{render_machine_row, JsonOut};
 use bionicdb_bench::*;
 use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
@@ -30,6 +31,7 @@ fn build_with_footprint(ops: usize, mode: ExecMode) -> YcsbBionic {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let wave = if quick { 150 } else { 400 };
+    let mut json = JsonOut::from_env("fig12_interleaving");
 
     // (a) YCSB-C footprint sweep (each point two independent machines;
     // the sweep fans out over par_map).
@@ -37,15 +39,26 @@ fn main() {
         let w = (wave * 16 / ops).max(40);
         let mut inter = build_with_footprint(ops, ExecMode::Interleaved);
         let ti = bionic_ycsb_tput(&mut inter, YcsbKind::ReadLocal, w);
+        let ri = render_machine_row(&format!("ycsb_inter_{ops}ops"), Some(ti), &inter.machine);
         let mut serial = build_with_footprint(ops, ExecMode::Serial);
         let ts = bionic_ycsb_tput(&mut serial, YcsbKind::ReadLocal, w);
-        vec![
-            ops.to_string(),
-            format!("{:.1}", ti.per_sec / 1e3),
-            format!("{:.1}", ts.per_sec / 1e3),
-            format!("{:.2}x", ti.per_sec / ts.per_sec),
-        ]
+        let rs = render_machine_row(&format!("ycsb_serial_{ops}ops"), Some(ts), &serial.machine);
+        (
+            vec![
+                ops.to_string(),
+                format!("{:.1}", ti.per_sec / 1e3),
+                format!("{:.1}", ts.per_sec / 1e3),
+                format!("{:.2}x", ti.per_sec / ts.per_sec),
+            ],
+            [ri, rs],
+        )
     });
+    let (rows, json_rows): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+    for pair in json_rows {
+        for r in pair {
+            json.push_raw(r);
+        }
+    }
     print_table(
         "Fig 12a: YCSB-C, interleaving vs serial (kTps)",
         &["DB accesses", "interleaving", "serial", "speedup"],
@@ -61,8 +74,10 @@ fn main() {
     ] {
         let mut inter = build_tpcc_local(4, ExecMode::Interleaved);
         let ti = bionic_tpcc_tput(&mut inter, mix, wave / 2);
+        json.machine_row(&format!("tpcc_{name}_inter"), Some(ti), &inter.machine);
         let mut serial = build_tpcc_local(4, ExecMode::Serial);
         let ts = bionic_tpcc_tput(&mut serial, mix, wave / 2);
+        json.machine_row(&format!("tpcc_{name}_serial"), Some(ts), &serial.machine);
         rows.push(vec![
             name.to_string(),
             format!("{:.1}", ti.per_sec / 1e3),
@@ -75,4 +90,5 @@ fn main() {
         &["transaction", "interleaving", "serial", "speedup"],
         &rows,
     );
+    json.write();
 }

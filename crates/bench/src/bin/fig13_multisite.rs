@@ -9,6 +9,7 @@
 //! future-work topology's cost.
 
 use bionicdb::{BionicConfig, ExecMode, Topology};
+use bionicdb_bench::json::JsonOut;
 use bionicdb_bench::*;
 use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
@@ -30,14 +31,17 @@ fn build(remote_fraction: f64, topology: Topology) -> YcsbBionic {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let wave = if quick { 150 } else { 400 };
+    let mut json = JsonOut::from_env("fig13_multisite");
 
     let mut rows = Vec::new();
     let mut single = build(0.0, Topology::Crossbar);
     let ts = bionic_ycsb_tput(&mut single, YcsbKind::ReadHomed, wave);
     rows.push(("Singlesite (100% local)".to_string(), ts.per_sec / 1e3));
+    json.machine_row("singlesite", Some(ts), &single.machine);
     let mut multi = build(0.75, Topology::Crossbar);
     let tm = bionic_ycsb_tput(&mut multi, YcsbKind::ReadHomed, wave);
     rows.push(("Multisite (75% remote)".to_string(), tm.per_sec / 1e3));
+    json.machine_row("multisite", Some(tm), &multi.machine);
     print_series(
         "Fig 13: single-site vs multisite YCSB-C (crossbar)",
         "variant",
@@ -60,4 +64,6 @@ fn main() {
         tr.per_sec / 1e3,
         tr.per_sec / tm.per_sec
     );
+    json.machine_row("multisite_ring", Some(tr), &ring.machine);
+    json.write();
 }

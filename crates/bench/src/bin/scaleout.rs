@@ -8,6 +8,7 @@
 //! future direction" of scaling out.
 
 use bionicdb::{BionicConfig, ExecMode, Topology};
+use bionicdb_bench::json::JsonOut;
 use bionicdb_bench::*;
 use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
@@ -48,11 +49,17 @@ fn main() {
             },
         ),
     ];
+    let mut json = JsonOut::from_env("scaleout");
     let mut rows = Vec::new();
     for remote in [0.0, 0.25, 0.75] {
         for (name, topo) in topologies {
             let mut y = build(topo, remote);
             let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave);
+            json.machine_row(
+                &format!("{}pct_{}", (remote * 100.0) as u32, name.replace(' ', "")),
+                Some(t),
+                &y.machine,
+            );
             let n = y.machine.noc().stats();
             rows.push(vec![
                 format!("{:.0}% remote", remote * 100.0),
@@ -80,6 +87,7 @@ fn main() {
             0.75,
         );
         let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave);
+        json.machine_row(&format!("latency_{hops}hops"), Some(t), &y.machine);
         let ns = 3.0 * hops as f64 * 8.0;
         rows.push(vec![
             format!("{hops} hops ({ns:.0} ns)"),
@@ -91,4 +99,5 @@ fn main() {
         &["link latency", "kTps"],
         &rows,
     );
+    json.write();
 }

@@ -13,6 +13,7 @@
 use std::time::Instant;
 
 use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_bench::json::JsonOut;
 use bionicdb_bench::rng;
 use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
@@ -127,4 +128,13 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write results file");
     println!("wrote {out_path}");
+
+    // Shared `--json` dump (same flag as every other bench bin).
+    let mut jout = JsonOut::from_env("simperf");
+    jout.value_row("simulated_cycles", strict.cycles as f64);
+    jout.value_row("committed", strict.committed as f64);
+    jout.value_row("strict_cycles_per_sec", strict.cycles_per_sec());
+    jout.value_row("fast_cycles_per_sec", fast.cycles_per_sec());
+    jout.value_row("speedup", speedup);
+    jout.write();
 }

@@ -1,0 +1,121 @@
+//! Stats smoke test (wired into `scripts/check.sh`).
+//!
+//! Runs a fixed-seed YCSB wave and checks the observability layer
+//! end-to-end:
+//!
+//! 1. **Determinism** — two identical runs produce byte-identical report
+//!    JSON and byte-identical Chrome trace JSON.
+//! 2. **Bit-inertness** — a run with the trace sink installed produces the
+//!    same report as a run without one (the sink only buffers host-side
+//!    events; nothing in the machine reads it).
+//! 3. **Schema** — the `--json` document and the trace export both pass
+//!    the hand-rolled JSON validator, and the report carries the required
+//!    keys (latency percentiles, abort reasons, link/port counters).
+//!
+//! With `--json <path>` the document is also written to disk, read back,
+//! and re-validated — exercising the exact code path every bench bin uses.
+//! Exits nonzero on the first violation.
+
+use bionicdb::ExecMode;
+use bionicdb_bench::json::{render_machine_row, validate, JsonOut};
+use bionicdb_bench::{bionic_ycsb_tput, build_ycsb};
+use bionicdb_fpga::ChromeTraceSink;
+use bionicdb_workloads::ycsb::YcsbKind;
+
+/// One fixed-seed YCSB run; returns the rendered report row and, when a
+/// sink is installed, the Chrome trace export.
+fn run_once(traced: bool) -> (String, Option<String>) {
+    let mut y = build_ycsb(2, ExecMode::Interleaved);
+    if traced {
+        y.machine.set_trace_sink(Box::new(ChromeTraceSink::new()));
+    }
+    let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadLocal, 40);
+    let row = render_machine_row("ycsb_smoke", Some(t), &y.machine);
+    (row, y.machine.trace_json())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("statscheck: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    // 1. Determinism: identical fixed-seed runs → byte-identical dumps.
+    let (row_a, trace_a) = run_once(true);
+    let (row_b, trace_b) = run_once(true);
+    if row_a != row_b {
+        fail("two identical runs produced different report JSON");
+    }
+    let trace_a = trace_a.unwrap_or_else(|| fail("trace sink produced no export"));
+    let trace_b = trace_b.unwrap_or_else(|| fail("trace sink produced no export"));
+    if trace_a != trace_b {
+        fail("two identical runs produced different trace JSON");
+    }
+    println!("statscheck: determinism OK (report {} B, trace {} B)", row_a.len(), trace_a.len());
+
+    // 2. Bit-inertness: the trace sink must not perturb the run.
+    let (row_plain, trace_plain) = run_once(false);
+    if trace_plain.is_some() {
+        fail("NullSink produced a trace export");
+    }
+    if row_plain != row_a {
+        fail("installing the trace sink changed the report (sink is not bit-inert)");
+    }
+    println!("statscheck: trace sink bit-inert OK");
+
+    // 3. Schema: both documents are well-formed JSON with the keys the
+    // downstream tooling reads.
+    let mut json = JsonOut::from_env("statscheck");
+    json.push_raw(row_a.clone());
+    let active = json.active();
+    let doc = json.render();
+    if let Err(e) = validate(&doc) {
+        fail(&format!("--json document is not valid JSON: {e}"));
+    }
+    if let Err(e) = validate(&trace_a) {
+        fail(&format!("trace export is not valid JSON: {e}"));
+    }
+    for key in [
+        "\"bin\"",
+        "\"rows\"",
+        "\"label\"",
+        "\"per_sec\"",
+        "\"report\"",
+        "\"p50\"",
+        "\"p95\"",
+        "\"p99\"",
+        "\"abort_reasons\"",
+        "\"queue_wait\"",
+        "\"txn_commit\"",
+        "\"links\"",
+        "\"ports\"",
+        "\"stages\"",
+    ] {
+        if !doc.contains(key) {
+            fail(&format!("--json document is missing required key {key}"));
+        }
+    }
+    if !trace_a.contains("\"traceEvents\"") {
+        fail("trace export is missing \"traceEvents\"");
+    }
+    println!("statscheck: schema OK");
+
+    // 4. Round-trip through the file when --json was given.
+    json.write();
+    if active {
+        let path = std::env::args()
+            .skip_while(|a| a != "--json")
+            .nth(1)
+            .expect("--json path");
+        let readback = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read back {path}: {e}")));
+        if readback != doc {
+            fail("written --json file differs from the rendered document");
+        }
+        if let Err(e) = validate(&readback) {
+            fail(&format!("written --json file is not valid JSON: {e}"));
+        }
+        println!("statscheck: file round-trip OK ({path})");
+    }
+    println!("statscheck: all checks passed");
+}

@@ -1,5 +1,6 @@
 //! Table 4 + §5.8 — resource utilization and power (paper §5.8).
 
+use bionicdb_bench::json::JsonOut;
 use bionicdb_bench::print_table;
 use bionicdb_fpga::FpgaConfig;
 use bionicdb_power::{
@@ -66,4 +67,16 @@ fn main() {
         "\nWhat-if 16 workers (datacenter-grade chip): {w16:.1} W, saving {:.1}x",
         model.xeon_ratio(w16)
     );
+
+    let mut json = JsonOut::from_env("table4_resources");
+    json.value_row("total_ff", t.ff as f64);
+    json.value_row("total_lut", t.lut as f64);
+    json.value_row("total_bram", t.bram as f64);
+    json.value_row("utilization_ff", ff);
+    json.value_row("utilization_lut", lut);
+    json.value_row("utilization_bram", bram);
+    json.value_row("power_watts", watts);
+    json.value_row("power_saving_x", model.xeon_ratio(watts));
+    json.value_row("power_watts_16w", w16);
+    json.write();
 }

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod json;
 
 use bionicdb::{BionicConfig, ExecMode};
 use bionicdb_cpu_model::{CoreModel, CpuConfig};

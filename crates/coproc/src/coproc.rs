@@ -151,6 +151,26 @@ impl IndexCoproc {
         self.skip.stats()
     }
 
+    /// Every pipeline stage's utilization counters under one label each:
+    /// the hash pipeline's fixed stages and Traverse stages, then the
+    /// skiplist's traversal/bottom/scanner stages. This is the per-stage
+    /// occupancy export the `MachineReport` aggregates.
+    pub fn stage_report(&self) -> Vec<(String, bionicdb_fpga::stats::StageStats)> {
+        let h = self.hash.stats();
+        let mut v = vec![
+            ("hash.keyfetch".to_string(), h.keyfetch),
+            ("hash.hash".to_string(), h.hash),
+            ("hash.install".to_string(), h.install),
+            ("hash.headfetch".to_string(), h.headfetch),
+            ("hash.compare".to_string(), h.compare),
+        ];
+        for (i, t) in self.hash.traverse_stats().into_iter().enumerate() {
+            v.push((format!("hash.traverse[{i}]"), t));
+        }
+        v.extend(self.skip.stage_stats());
+        v
+    }
+
     /// True when nothing is queued or executing.
     pub fn is_idle(&self) -> bool {
         self.input.is_empty()

@@ -181,6 +181,12 @@ impl HashPipeline {
         s
     }
 
+    /// Per-Traverse-stage utilization counters (one entry per chain-walk
+    /// stage; the fixed stages are in [`HashStats`]).
+    pub fn traverse_stats(&self) -> Vec<StageStats> {
+        self.traverse.iter().map(|t| t.stats).collect()
+    }
+
     /// True when no operation is anywhere in the pipeline.
     pub fn is_idle(&self) -> bool {
         self.input.is_empty()

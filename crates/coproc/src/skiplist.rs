@@ -417,25 +417,40 @@ impl SkipPipeline {
     }
 
     /// Fast-forward support: account for `k` skipped pure-wait cycles. The
-    /// per-cycle bookkeeping replicated here is the stall counter of every
-    /// empty-and-idle stage (a tick with no op and no input records a
-    /// stall); stages waiting on an in-flight read record nothing per
-    /// cycle, and every other configuration reports `now + 1` from
-    /// [`Self::next_event`] and is never skipped over.
+    /// per-cycle bookkeeping replicated here is the *idle* counter of every
+    /// empty stage (a tick with no op and no input records an idle cycle,
+    /// never a stall — stalls mean contention, and a skippable cycle has
+    /// none by construction); stages waiting on an in-flight read record
+    /// nothing per cycle, and every other configuration reports `now + 1`
+    /// from [`Self::next_event`] and is never skipped over.
     pub fn skip(&mut self, k: u64) {
         for s in &mut self.stages {
             if s.op.is_none() && s.forwarding.is_none() && s.input.is_empty() {
-                s.stats.stalled += k;
+                s.stats.idle += k;
             }
         }
         if self.bottom.op.is_none() && self.bottom.input.is_empty() {
-            self.bottom.stats.stalled += k;
+            self.bottom.stats.idle += k;
         }
         for sc in &mut self.scanners {
             if sc.op.is_none() {
-                sc.stats.stalled += k;
+                sc.stats.idle += k;
             }
         }
+    }
+
+    /// Per-stage utilization counters: one entry per traversal stage
+    /// (labelled with its level range), the bottom stage, and each scanner.
+    pub fn stage_stats(&self) -> Vec<(String, StageStats)> {
+        let mut v = Vec::with_capacity(self.stages.len() + 1 + self.scanners.len());
+        for s in &self.stages {
+            v.push((format!("skip.levels[{}..={}]", s.lo, s.hi), s.stats));
+        }
+        v.push(("skip.bottom".to_string(), self.bottom.stats));
+        for (i, sc) in self.scanners.iter().enumerate() {
+            v.push((format!("skip.scanner[{i}]"), sc.stats));
+        }
+        v
     }
 
     /// Advance the pipeline by one cycle.
@@ -553,7 +568,7 @@ impl SkipPipeline {
                 self.stages[idx].op = Some((item, StepState::NeedNextPtr));
                 self.stages[idx].stats.work(1);
             } else {
-                self.stages[idx].stats.stall();
+                self.stages[idx].stats.idle();
             }
             return;
         };
@@ -729,7 +744,7 @@ impl SkipPipeline {
                 });
                 self.bottom.stats.work(1);
             } else {
-                self.bottom.stats.stall();
+                self.bottom.stats.idle();
             }
             return;
         };
@@ -988,7 +1003,7 @@ impl SkipPipeline {
         for sc in &mut self.scanners {
             sc.reader.poll(dram);
             let Some(mut op) = sc.op.take() else {
-                sc.stats.stall();
+                sc.stats.idle();
                 continue;
             };
             let table = &tables[op.req.table.0 as usize];

@@ -51,12 +51,14 @@
 pub mod config;
 pub mod machine;
 pub mod recovery;
+pub mod report;
 pub mod storage;
 pub mod worker;
 
 pub use config::{BionicConfig, NocRetryConfig};
 pub use machine::{Machine, MachineStats, RetryBudget, RetryOutcome, SystemBuilder};
 pub use recovery::{Checkpoint, CommandLog, DurableImage, LogRecord, RecoveryError};
+pub use report::{MachineReport, WorkerReport};
 pub use storage::Loader;
 
 // Re-export the pieces users need to drive the system.

@@ -13,7 +13,7 @@
 //!   cycle, deterministically.
 
 use bionicdb_fpga::fault::FaultPlan;
-use bionicdb_fpga::{Dram, Region};
+use bionicdb_fpga::{AbortReasons, Dram, NullSink, Region, TraceSink};
 use bionicdb_noc::Noc;
 use bionicdb_softcore::catalogue::{Catalogue, ProcId, TableId, TableMeta};
 use bionicdb_softcore::core::SoftcoreParams;
@@ -23,6 +23,7 @@ use bionicdb_softcore::{PartitionId, SoftcoreStats, TxnBlock};
 
 use crate::config::BionicConfig;
 use crate::recovery::DurableImage;
+use crate::report::MachineReport;
 use crate::storage::{Loader, Partition};
 use crate::worker::PartitionWorker;
 
@@ -123,6 +124,7 @@ impl SystemBuilder {
             crash_hook: None,
             crash_image: None,
             resubmits: 0,
+            trace_sink: Box::new(NullSink),
         }
     }
 }
@@ -149,6 +151,9 @@ pub struct MachineStats {
     /// waiting transaction). `aborted - fault_aborts` is the
     /// concurrency-control abort count.
     pub fault_aborts: u64,
+    /// Why transactions aborted, summed across all workers (attributed
+    /// from the DB status observed at the `Ret` collecting each result).
+    pub abort_reasons: AbortReasons,
 }
 
 impl MachineStats {
@@ -225,6 +230,11 @@ pub struct Machine {
     crash_image: Option<DurableImage>,
     /// Client-side resubmissions (see [`Machine::resubmit`]).
     resubmits: u64,
+    /// Where per-transaction trace events go. The default [`NullSink`]
+    /// disables tracing entirely: no events are buffered anywhere, and the
+    /// run is bit-identical to one with a real sink installed (the sink is
+    /// host-side instrumentation — nothing in the machine reads it).
+    trace_sink: Box<dyn TraceSink>,
 }
 
 impl Machine {
@@ -271,9 +281,11 @@ impl Machine {
         blk.commit_ts(&self.dram)
     }
 
-    /// Submit a populated block to `worker`'s input queue.
+    /// Submit a populated block to `worker`'s input queue, stamping the
+    /// current cycle as the block's submission time so queue-wait latency
+    /// is measured from here.
     pub fn submit(&mut self, worker: usize, blk: TxnBlock) {
-        self.workers[worker].softcore.submit(blk.addr());
+        self.workers[worker].softcore.submit_at(blk.addr(), self.now);
     }
 
     /// Re-submit an aborted block unchanged (client-side retry): the block
@@ -371,6 +383,13 @@ impl Machine {
             let worker = &mut self.workers[w];
             let tables = &mut self.partitions[w].tables;
             worker.tick(self.now, &mut self.dram, &self.cat, &mut self.noc, tables);
+        }
+        if self.trace_sink.enabled() {
+            for w in &mut self.workers {
+                for ev in w.softcore.drain_trace() {
+                    self.trace_sink.txn(&ev);
+                }
+            }
         }
         if let Some(c) = self.fault_plan.crash_at {
             if self.now >= c {
@@ -651,8 +670,34 @@ impl Machine {
             s.db_insts += sc.db_insts;
             s.cpu_insts += sc.cpu_insts;
             s.fault_aborts += w.stats().retry_exhausted;
+            s.abort_reasons.merge(&w.softcore.obs().abort_reasons);
         }
         s
+    }
+
+    /// Install a trace sink. When the sink reports itself enabled, every
+    /// worker's softcore starts buffering per-transaction lifecycle events,
+    /// which the machine drains into the sink at the end of each tick.
+    /// Installing a [`NullSink`] (the default) turns tracing back off.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        let on = sink.enabled();
+        for w in &mut self.workers {
+            w.softcore.set_tracing(on);
+        }
+        self.trace_sink = sink;
+    }
+
+    /// The installed sink's JSON export, if it produces one ([`NullSink`]
+    /// returns `None`).
+    pub fn trace_json(&self) -> Option<String> {
+        self.trace_sink.export_json()
+    }
+
+    /// The full cycle-accurate observability report: merged and per-worker
+    /// latency histograms, abort attribution, pipeline stage counters, NoC
+    /// link utilization, and DRAM per-port occupancy.
+    pub fn report(&self) -> MachineReport {
+        MachineReport::collect(self)
     }
 }
 

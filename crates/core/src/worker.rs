@@ -238,7 +238,7 @@ impl PartitionWorker {
                             self.pending_remote.iter().position(|p| p.seq == seq)
                         {
                             self.pending_remote.swap_remove(i);
-                            self.softcore.deliver_cp(resp.cp.index, resp.value);
+                            self.softcore.deliver_cp(now, resp.cp.index, resp.value);
                         } else {
                             // Stale: a retransmitted request produced a
                             // second response, or the wait already timed
@@ -247,7 +247,7 @@ impl PartitionWorker {
                             self.stats.dup_responses += 1;
                         }
                     } else {
-                        self.softcore.deliver_cp(resp.cp.index, resp.value);
+                        self.softcore.deliver_cp(now, resp.cp.index, resp.value);
                         noc.poll(now, self.id);
                     }
                 }
@@ -324,6 +324,7 @@ impl PartitionWorker {
                         unreachable!("pending entries are requests")
                     };
                     self.softcore.deliver_cp(
+                        now,
                         req.cp.index,
                         DbResult::Err(DbStatus::Timeout).encode(),
                     );
@@ -383,7 +384,7 @@ impl PartitionWorker {
         // 6. Route completed results.
         while let Some(resp) = self.coproc.out.peek().copied() {
             if resp.cp.worker == self.id {
-                self.softcore.deliver_cp(resp.cp.index, resp.value);
+                self.softcore.deliver_cp(now, resp.cp.index, resp.value);
             } else {
                 // Echo the originating request's seq so the initiator can
                 // match the response against its pending table.

@@ -206,11 +206,28 @@ pub struct DramStats {
     pub transient_faults: u64,
 }
 
+/// Per-port DRAM accounting: who is generating the memory traffic. All
+/// counters are updated at issue time, so they are identical under strict
+/// stepping and fast-forward.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PortStats {
+    /// Accepted read requests issued by this port.
+    pub reads: u64,
+    /// Accepted write requests issued by this port.
+    pub writes: u64,
+    /// Bytes moved on behalf of this port (read + written).
+    pub bytes: u64,
+    /// Controller bus cycles this port's bursts occupied (per-controller
+    /// share of each transfer; the paper's bandwidth-occupancy proxy).
+    pub occupancy_cycles: Cycle,
+}
+
 /// The simulated FPGA-side DRAM: functional byte store plus timing model.
 pub struct Dram {
     pages: Vec<Option<Box<[u8]>>>,
     controllers: Vec<Controller>,
     responses: Vec<VecDeque<MemResponse>>,
+    port_stats: Vec<PortStats>,
     latency: Cycle,
     max_outstanding: usize,
     stats: DramStats,
@@ -232,6 +249,7 @@ impl Dram {
                 .map(|_| Controller::default())
                 .collect(),
             responses: Vec::new(),
+            port_stats: Vec::new(),
             latency: cfg.dram_latency,
             max_outstanding: cfg.dram_max_outstanding,
             stats: DramStats::default(),
@@ -255,7 +273,13 @@ impl Dram {
     pub fn register_port(&mut self) -> PortId {
         let id = PortId(self.responses.len() as u32);
         self.responses.push(VecDeque::new());
+        self.port_stats.push(PortStats::default());
         id
+    }
+
+    /// Per-port accounting, indexed by [`PortId`].
+    pub fn port_stats(&self) -> &[PortStats] {
+        &self.port_stats
     }
 
     /// Number of registered ports.
@@ -271,6 +295,9 @@ impl Dram {
     /// Reset statistics (used between benchmark phases).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+        for p in &mut self.port_stats {
+            *p = PortStats::default();
+        }
     }
 
     fn controller_for(&self, addr: u64) -> usize {
@@ -317,6 +344,7 @@ impl Dram {
         // accepted read pays extra response latency. Functional bytes are
         // untouched; with no schedule installed this is a counter bump only.
         let mut fault_extra = 0;
+        let is_read = matches!(req.kind, MemKind::Read { .. });
         let resp = match req.kind {
             MemKind::Read { len } => {
                 let n = self.reads_seen;
@@ -348,6 +376,15 @@ impl Dram {
         for k in 0..touched {
             let i = (cidx + k) % self.controllers.len();
             self.controllers[i].busy_until = now + occupy;
+        }
+        if let Some(ps) = self.port_stats.get_mut(port.0 as usize) {
+            if is_read {
+                ps.reads += 1;
+            } else {
+                ps.writes += 1;
+            }
+            ps.bytes += len;
+            ps.occupancy_cycles += occupy;
         }
         self.controllers[cidx]
             .inflight

@@ -39,11 +39,15 @@ pub mod dram;
 pub mod fault;
 pub mod fifo;
 pub mod lock_table;
+pub mod obs;
 pub mod region;
 pub mod stats;
 pub mod timing;
 
 pub use dram::{Dram, MemData, MemKind, MemRequest, MemResponse, PortId, Tag};
+pub use obs::{
+    AbortReasons, ChromeTraceSink, LatencyHistogram, NullSink, TraceSink, TxnEvent,
+};
 pub use fault::{CorruptByte, DramFaults, FaultBudget, FaultPlan, NocFaults, TornWrite};
 pub use fifo::Fifo;
 pub use lock_table::LockTable;

@@ -11,6 +11,12 @@ pub struct StageStats {
     pub busy: Cycle,
     /// Cycles stalled waiting for a memory response or lock.
     pub stalled: Cycle,
+    /// Cycles with nothing to do (empty input, no in-flight op). Kept
+    /// separate from `stalled` so utilization reflects genuine contention:
+    /// the fast-forward scheduler skips exactly these cycles, and folding
+    /// them into `stalled` would make strict and fast-forward runs disagree
+    /// on what "stalled" means.
+    pub idle: Cycle,
     /// Items processed (stage-specific meaning).
     pub items: u64,
 }
@@ -27,9 +33,14 @@ impl StageStats {
         self.stalled += 1;
     }
 
+    /// Record one idle cycle (no input, no in-flight op).
+    pub fn idle(&mut self) {
+        self.idle += 1;
+    }
+
     /// Fraction of observed cycles that were busy.
     pub fn utilization(&self) -> f64 {
-        let total = self.busy + self.stalled;
+        let total = self.busy + self.stalled + self.idle;
         if total == 0 {
             0.0
         } else {
@@ -69,6 +80,18 @@ mod tests {
         s.stall();
         assert!((s.utilization() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.items, 2);
+    }
+
+    #[test]
+    fn idle_counts_against_utilization_but_not_stalls() {
+        let mut s = StageStats::default();
+        s.work(1);
+        s.idle();
+        s.idle();
+        s.idle();
+        assert_eq!(s.stalled, 0);
+        assert_eq!(s.idle, 3);
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -109,6 +109,22 @@ pub struct NocStats {
     pub total_latency: u64,
 }
 
+/// Per-link (per-destination channel) utilization counters. Updated only
+/// inside `send`/`poll`, which fire at identical cycles under strict
+/// stepping and fast-forward, so link stats never diverge between the two
+/// schedulers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages accepted into this destination's channel (including ones
+    /// later lost to an injected drop — the sender cannot tell).
+    pub sent: u64,
+    /// Messages consumed by the destination worker.
+    pub delivered: u64,
+    /// High-water mark of the channel's queue depth (in-flight plus
+    /// waiting-to-be-consumed messages).
+    pub queue_high_water: u64,
+}
+
 /// Error: the sender's channel cannot accept another message this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NocBusy;
@@ -130,6 +146,8 @@ pub struct Noc {
     /// Messages a single link may inject per cycle.
     issue_width: u32,
     stats: NocStats,
+    /// Per-destination link counters, indexed like `inbound`.
+    link_stats: Vec<LinkStats>,
     /// Injected fault schedule (empty by default; see `bionicdb_fpga::fault`).
     faults: NocFaults,
     /// Accepted sends so far — the ordinal the fault schedule matches
@@ -150,6 +168,7 @@ impl Noc {
             last_send: vec![(u64::MAX, 0); n],
             issue_width: 1,
             stats: NocStats::default(),
+            link_stats: vec![LinkStats::default(); n],
             faults: NocFaults::default(),
             sends_seen: 0,
         }
@@ -214,6 +233,7 @@ impl Noc {
         }
         *count += 1;
         self.stats.sent += 1;
+        self.link_stats[pkt.dst.0 as usize].sent += 1;
         // Injected faults: the nth accepted send may vanish in flight (the
         // sender cannot tell — recovering is the worker retry path's job)
         // or pay extra latency. With no schedule installed this is a
@@ -229,7 +249,11 @@ impl Noc {
             lat += extra;
             self.stats.delayed += 1;
         }
-        self.inbound[pkt.dst.0 as usize].push_back((now + lat, pkt));
+        let dst = pkt.dst.0 as usize;
+        self.inbound[dst].push_back((now + lat, pkt));
+        let depth = self.inbound[dst].len() as u64;
+        let ls = &mut self.link_stats[dst];
+        ls.queue_high_water = ls.queue_high_water.max(depth);
         self.stats.total_latency += lat;
         Ok(())
     }
@@ -250,6 +274,7 @@ impl Noc {
         match q.front() {
             Some((ready, _)) if *ready <= now => {
                 self.stats.delivered += 1;
+                self.link_stats[dst.0 as usize].delivered += 1;
                 Some(q.pop_front().expect("front checked").1)
             }
             _ => None,
@@ -286,6 +311,11 @@ impl Noc {
     /// Statistics snapshot.
     pub fn stats(&self) -> NocStats {
         self.stats
+    }
+
+    /// Per-destination link counters, indexed by worker id.
+    pub fn link_stats(&self) -> &[LinkStats] {
+        &self.link_stats
     }
 
     /// The configured topology.
@@ -454,6 +484,22 @@ mod tests {
         let s = noc.stats();
         assert_eq!(s.sent, 2);
         assert_eq!(s.total_latency, 6);
+    }
+
+    #[test]
+    fn link_stats_track_per_destination_traffic() {
+        let mut noc = Noc::new(Topology::Crossbar, 4, 3);
+        noc.send(0, req_pkt(0, 1)).unwrap();
+        noc.send(1, req_pkt(2, 1)).unwrap();
+        noc.send(2, req_pkt(0, 3)).unwrap();
+        assert_eq!(noc.link_stats()[1].sent, 2);
+        assert_eq!(noc.link_stats()[1].queue_high_water, 2);
+        assert_eq!(noc.link_stats()[3].sent, 1);
+        for t in 0..10 {
+            while noc.poll(t, PartitionId(1)).is_some() {}
+        }
+        assert_eq!(noc.link_stats()[1].delivered, 2);
+        assert_eq!(noc.link_stats()[0], LinkStats::default());
     }
 
     #[test]

@@ -25,11 +25,14 @@
 //! In [`ExecMode::Serial`] every batch holds exactly one transaction —
 //! the baseline the paper compares against in Fig. 12.
 
-use bionicdb_fpga::{Dram, Fifo, MemData, MemKind, MemRequest, Tag};
+use bionicdb_fpga::{
+    AbortReasons, Dram, Fifo, LatencyHistogram, MemData, MemKind, MemRequest, Tag, TxnEvent,
+};
 
 use crate::catalogue::{Catalogue, ProcId};
 use crate::isa::{AluOp, Cond, Inst, MemBase, Operand};
 use crate::request::{CpSlot, DbOp, DbRequest, PartitionId};
+use crate::result::{DbResult, DbStatus};
 use crate::txnblock::{BLOCK_HEADER_SIZE, COMMIT_TS_OFFSET, STATUS_OFFSET};
 
 /// Cycle timestamp alias.
@@ -106,6 +109,16 @@ struct Context {
     /// Set when the logic phase requested an abort (exception or voluntary).
     failed: bool,
     outcome: Option<CtxOutcome>,
+    /// Lifecycle timestamps (host-side observability; never read by the
+    /// execution path): submission to the input queue, logic phase start
+    /// (ingest) and end (YIELD/exception), commit handler start.
+    submitted_at: Cycle,
+    logic_start: Cycle,
+    logic_end: Cycle,
+    commit_start: Cycle,
+    /// The last DB error this transaction collected through a RET — the
+    /// abort reason attributed if the transaction ends up aborting.
+    last_err: Option<DbStatus>,
 }
 
 /// What the core is doing this cycle.
@@ -114,7 +127,11 @@ enum CoreState {
     /// Nothing runnable.
     Idle,
     /// Waiting for the transaction-block header read to come back.
-    FetchHeader { addr: u64, issued: bool },
+    FetchHeader {
+        addr: u64,
+        issued: bool,
+        submitted_at: Cycle,
+    },
     /// Charging the fixed cost of the current instruction.
     Exec { remaining: Cycle },
     /// LOAD issued; waiting for the DRAM response.
@@ -171,6 +188,46 @@ pub struct SoftcoreStats {
     pub mem_stall_cycles: u64,
 }
 
+/// Host-side observability counters for one softcore: per-phase latency
+/// histograms, the per-DB-op round trip, and abort attribution. Collected
+/// unconditionally — recording is simulation-passive (no DRAM, FIFO, or
+/// timing state is touched), so strict and fast-forward runs produce
+/// identical values whether or not anyone reads them.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SoftcoreObs {
+    /// Submission → logic start (input-queue wait).
+    pub queue_wait: LatencyHistogram,
+    /// Logic start → YIELD/exception (the transaction logic phase).
+    pub logic: LatencyHistogram,
+    /// Logic end → commit handler start (batch interleaving wait).
+    pub commit_wait: LatencyHistogram,
+    /// Commit handler start → COMMIT/ABORT retirement.
+    pub commit: LatencyHistogram,
+    /// Submission → retirement, committed transactions only.
+    pub txn_commit: LatencyHistogram,
+    /// Submission → retirement, aborted transactions only.
+    pub txn_abort: LatencyHistogram,
+    /// DB instruction dispatch → CP writeback round trip.
+    pub db_op: LatencyHistogram,
+    /// Why transactions aborted (the last DB error each one observed).
+    pub abort_reasons: AbortReasons,
+}
+
+impl SoftcoreObs {
+    /// Fold `other`'s counters into `self` (exact; see
+    /// [`LatencyHistogram::merge`]).
+    pub fn merge(&mut self, other: &SoftcoreObs) {
+        self.queue_wait.merge(&other.queue_wait);
+        self.logic.merge(&other.logic);
+        self.commit_wait.merge(&other.commit_wait);
+        self.commit.merge(&other.commit);
+        self.txn_commit.merge(&other.txn_commit);
+        self.txn_abort.merge(&other.txn_abort);
+        self.db_op.merge(&other.db_op);
+        self.abort_reasons.merge(&other.abort_reasons);
+    }
+}
+
 /// The softcore of one partition worker.
 pub struct Softcore {
     worker: PartitionId,
@@ -181,8 +238,9 @@ pub struct Softcore {
     cp: Vec<Option<i64>>,
     flags: std::cmp::Ordering,
 
-    input: std::collections::VecDeque<u64>,
-    pending_block: Option<u64>,
+    /// Input queue entries: `(block_addr, submission cycle)`.
+    input: std::collections::VecDeque<(u64, Cycle)>,
+    pending_block: Option<(u64, Cycle)>,
     /// Input-queue prefetch unit: header read in flight for the block at
     /// the front of the input queue.
     prefetch_inflight: Option<u64>,
@@ -198,6 +256,16 @@ pub struct Softcore {
     outstanding: u32,
 
     stats: SoftcoreStats,
+    obs: SoftcoreObs,
+    /// Dispatch cycle of the DB instruction whose result will land in each
+    /// (batch-global) CP register — for the `db_op` round-trip histogram.
+    cp_issued_at: Vec<Cycle>,
+    /// When set (a real [`bionicdb_fpga::TraceSink`] is installed on the
+    /// machine), retired transactions buffer a [`TxnEvent`]. Off by
+    /// default; the buffer is the *only* state that differs with tracing
+    /// on/off, and nothing in the execution path reads it.
+    tracing: bool,
+    trace: Vec<TxnEvent>,
 }
 
 impl Softcore {
@@ -223,13 +291,25 @@ impl Softcore {
             state: CoreState::Idle,
             outstanding: 0,
             stats: SoftcoreStats::default(),
+            obs: SoftcoreObs::default(),
+            cp_issued_at: vec![0; n],
+            tracing: false,
+            trace: Vec::new(),
         }
     }
 
     /// Submit a transaction block (by DRAM address) to the input queue.
     /// Models the host filling the worker's input queue (paper §5.1).
+    /// Queue-wait latency is measured from cycle 0; callers that know the
+    /// submission cycle should use [`Softcore::submit_at`].
     pub fn submit(&mut self, block_addr: u64) {
-        self.input.push_back(block_addr);
+        self.input.push_back((block_addr, 0));
+    }
+
+    /// Submit a transaction block at cycle `now`, stamping the submission
+    /// time for the queue-wait histogram.
+    pub fn submit_at(&mut self, block_addr: u64, now: Cycle) {
+        self.input.push_back((block_addr, now));
     }
 
     /// Number of blocks waiting in the input queue.
@@ -251,10 +331,30 @@ impl Softcore {
         self.stats
     }
 
-    /// Deliver a DB result into (batch-global) CP register `index`.
-    /// Called by the worker glue when the index coprocessor or the on-chip
-    /// response channel writes back.
-    pub fn deliver_cp(&mut self, index: u16, value: i64) {
+    /// Observability counters (latency histograms, abort attribution).
+    pub fn obs(&self) -> &SoftcoreObs {
+        &self.obs
+    }
+
+    /// Enable or disable [`TxnEvent`] buffering for an installed trace
+    /// sink. Buffering is host-side only; toggling it never changes
+    /// simulation behaviour.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Drain the buffered trace events (empty unless tracing is enabled).
+    pub fn drain_trace(&mut self) -> Vec<TxnEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Deliver a DB result into (batch-global) CP register `index` at cycle
+    /// `now`. Called by the worker glue when the index coprocessor or the
+    /// on-chip response channel writes back.
+    pub fn deliver_cp(&mut self, now: Cycle, index: u16, value: i64) {
+        self.obs
+            .db_op
+            .record(now.saturating_sub(self.cp_issued_at[index as usize]));
         let slot = &mut self.cp[index as usize];
         assert!(
             slot.is_none(),
@@ -317,7 +417,7 @@ impl Softcore {
         if self.phase != Phase::Logic || self.pending_block.is_some() {
             return;
         }
-        let Some(&addr) = self.input.front() else {
+        let Some(&(addr, _)) = self.input.front() else {
             return;
         };
         let req = MemRequest {
@@ -342,9 +442,11 @@ impl Softcore {
         self.try_prefetch(now, dram);
         match std::mem::replace(&mut self.state, CoreState::Idle) {
             CoreState::Idle => self.do_idle(now, dram),
-            CoreState::FetchHeader { addr, issued } => {
-                self.do_fetch_header(now, dram, cat, addr, issued)
-            }
+            CoreState::FetchHeader {
+                addr,
+                issued,
+                submitted_at,
+            } => self.do_fetch_header(now, dram, cat, addr, issued, submitted_at),
             CoreState::Exec { remaining } => {
                 if remaining > 1 {
                     self.state = CoreState::Exec {
@@ -512,10 +614,10 @@ impl Softcore {
         // skip the DRAM round trip entirely.
         if self.pending_block.is_none() {
             if let Some((addr, proc)) = self.prefetched {
-                if self.input.front() == Some(&addr) {
-                    self.input.pop_front();
+                if self.input.front().map(|&(a, _)| a) == Some(addr) {
+                    let (_, sub) = self.input.pop_front().expect("front checked");
                     self.prefetched = None;
-                    self.ingest(now, addr, proc);
+                    self.ingest(now, addr, proc, sub);
                     return;
                 }
                 // Stale (input changed); drop it.
@@ -524,7 +626,7 @@ impl Softcore {
         }
         let next_block = self.pending_block.take().or_else(|| self.input.pop_front());
         match next_block {
-            Some(addr) => {
+            Some((addr, sub)) => {
                 // If the prefetch unit already has this header in flight,
                 // just wait for it instead of issuing a duplicate read.
                 let issued = if self.prefetch_inflight == Some(addr) {
@@ -541,9 +643,13 @@ impl Softcore {
                     )
                     .is_ok()
                 };
-                self.state = CoreState::FetchHeader { addr, issued };
+                self.state = CoreState::FetchHeader {
+                    addr,
+                    issued,
+                    submitted_at: sub,
+                };
             }
-            None if !self.contexts.is_empty() => self.close_batch(),
+            None if !self.contexts.is_empty() => self.close_batch(now),
             None => self.state = CoreState::Idle,
         }
     }
@@ -555,6 +661,7 @@ impl Softcore {
         cat: &Catalogue,
         addr: u64,
         issued: bool,
+        sub: Cycle,
     ) {
         self.stats.mem_stall_cycles += 1;
         if !issued {
@@ -569,35 +676,54 @@ impl Softcore {
                     },
                 )
                 .is_ok();
-            self.state = CoreState::FetchHeader { addr, issued: ok };
+            self.state = CoreState::FetchHeader {
+                addr,
+                issued: ok,
+                submitted_at: sub,
+            };
             return;
         }
         if self.prefetched.map(|(a, _)| a) == Some(addr) {
             // The prefetch completed while we were entering this state.
             let (_, proc) = self.prefetched.take().expect("checked");
-            self.ingest_with_catalogue(now, addr, proc, cat);
+            self.ingest_with_catalogue(now, addr, proc, cat, sub);
             return;
         }
         let Some(data) = self.take_read(dram, TAG_HEADER, Some(addr)) else {
-            self.state = CoreState::FetchHeader { addr, issued };
+            self.state = CoreState::FetchHeader {
+                addr,
+                issued,
+                submitted_at: sub,
+            };
             return;
         };
         let proc = u64::from_le_bytes(data.as_slice().try_into().expect("8 bytes"));
-        self.ingest_with_catalogue(now, addr, proc, cat);
+        self.ingest_with_catalogue(now, addr, proc, cat, sub);
     }
 
     /// Ingest a block whose header is known, without catalogue access (the
     /// prefetch fast path defers to the next tick, where the catalogue is
     /// available again).
-    fn ingest(&mut self, _now: Cycle, addr: u64, proc: u64) {
+    fn ingest(&mut self, _now: Cycle, addr: u64, proc: u64, sub: Cycle) {
         // The catalogue reference is not available here (do_idle is called
         // without it); park in FetchHeader with the header already decoded
         // so the next tick completes ingest with zero extra latency.
         self.prefetched = Some((addr, proc));
-        self.state = CoreState::FetchHeader { addr, issued: true };
+        self.state = CoreState::FetchHeader {
+            addr,
+            issued: true,
+            submitted_at: sub,
+        };
     }
 
-    fn ingest_with_catalogue(&mut self, now: Cycle, addr: u64, proc_word: u64, cat: &Catalogue) {
+    fn ingest_with_catalogue(
+        &mut self,
+        now: Cycle,
+        addr: u64,
+        proc_word: u64,
+        cat: &Catalogue,
+        sub: Cycle,
+    ) {
         let proc_id = ProcId(proc_word as u32);
         let proc = cat
             .proc(proc_id)
@@ -608,8 +734,8 @@ impl Softcore {
         if !fits {
             // Batch closure: the new transaction is scheduled after the
             // current batch commits (paper §4.5).
-            self.pending_block = Some(addr);
-            self.close_batch();
+            self.pending_block = Some((addr, sub));
+            self.close_batch(now);
             return;
         }
         let gp_base = self.gp_next;
@@ -633,19 +759,25 @@ impl Softcore {
             ts,
             failed: false,
             outcome: None,
+            submitted_at: sub,
+            logic_start: now,
+            logic_end: now,
+            commit_start: now,
+            last_err: None,
         });
         self.cur = self.contexts.len() - 1;
         self.begin_inst(cat);
     }
 
-    fn close_batch(&mut self) {
+    fn close_batch(&mut self, now: Cycle) {
         debug_assert!(!self.contexts.is_empty());
         self.phase = Phase::Commit;
-        self.begin_commit_for(0);
+        self.begin_commit_for(now, 0);
     }
 
-    fn begin_commit_for(&mut self, idx: usize) {
+    fn begin_commit_for(&mut self, now: Cycle, idx: usize) {
         self.cur = idx;
+        self.contexts[idx].commit_start = now;
         self.stats.switches += 1;
         self.state = CoreState::Switching {
             remaining: self.params.context_switch.max(1),
@@ -706,7 +838,7 @@ impl Softcore {
         let inst = proc.code[pc as usize];
 
         if inst.is_db() {
-            self.dispatch_db(cat, inst, db_out);
+            self.dispatch_db(now, cat, inst, db_out);
             return;
         }
         self.stats.cpu_insts += 1;
@@ -726,7 +858,7 @@ impl Softcore {
                             // Exception: triggers the abort handler
                             // (paper §4.5 "any exception caught will
                             // trigger the abort handler").
-                            self.raise_exception(cat);
+                            self.raise_exception(now, cat);
                             return;
                         }
                         ((a as i64).wrapping_div(b as i64)) as u64
@@ -809,6 +941,9 @@ impl Softcore {
                 match self.cp[idx] {
                     Some(v) => {
                         let gp_base = ctx.gp_base;
+                        if let DbResult::Err(status) = DbResult::decode(v) {
+                            self.contexts[ctx_idx].last_err = Some(status);
+                        }
                         self.gp_write(gp_base, rd, v as u64);
                         self.advance_pc(cat);
                     }
@@ -825,6 +960,7 @@ impl Softcore {
                     Phase::Logic => {
                         // Save context, switch to the next transaction.
                         self.contexts[ctx_idx].pc = pc; // saved as-is; commit entry set later
+                        self.contexts[ctx_idx].logic_end = now;
                         match self.params.mode {
                             ExecMode::Interleaved => {
                                 self.stats.switches += 1;
@@ -833,7 +969,7 @@ impl Softcore {
                                     then: AfterSwitch::Ingest,
                                 };
                             }
-                            ExecMode::Serial => self.close_batch(),
+                            ExecMode::Serial => self.close_batch(now),
                         }
                     }
                     Phase::Commit => panic!("YIELD executed inside a commit/abort handler"),
@@ -841,7 +977,7 @@ impl Softcore {
             }
             Inst::Commit => self.finish_context(now, dram, cat, CtxOutcome::Committed),
             Inst::Abort => match self.phase {
-                Phase::Logic => self.raise_exception(cat),
+                Phase::Logic => self.raise_exception(now, cat),
                 Phase::Commit => self.finish_context(now, dram, cat, CtxOutcome::Aborted),
             },
             Inst::Insert { .. }
@@ -855,9 +991,10 @@ impl Softcore {
     /// A logic-phase exception (CC failure observed early, voluntary abort,
     /// divide-by-zero): mark the context failed and yield; the abort handler
     /// will run in the commit phase.
-    fn raise_exception(&mut self, _cat: &Catalogue) {
+    fn raise_exception(&mut self, now: Cycle, _cat: &Catalogue) {
         let ctx = &mut self.contexts[self.cur];
         ctx.failed = true;
+        ctx.logic_end = now;
         match self.phase {
             Phase::Logic => match self.params.mode {
                 ExecMode::Interleaved => {
@@ -867,13 +1004,19 @@ impl Softcore {
                         then: AfterSwitch::Ingest,
                     };
                 }
-                ExecMode::Serial => self.close_batch(),
+                ExecMode::Serial => self.close_batch(now),
             },
             Phase::Commit => unreachable!("exceptions in commit phase finish the context"),
         }
     }
 
-    fn dispatch_db(&mut self, cat: &Catalogue, inst: Inst, db_out: &mut Fifo<DbRequest>) {
+    fn dispatch_db(
+        &mut self,
+        now: Cycle,
+        cat: &Catalogue,
+        inst: Inst,
+        db_out: &mut Fifo<DbRequest>,
+    ) {
         let ctx = &self.contexts[self.cur];
         let user_base = ctx.block_addr + BLOCK_HEADER_SIZE;
         let (op, table, key_off, payload_off, count, out_off, home, cp) = match inst {
@@ -954,6 +1097,7 @@ impl Softcore {
                 // Invalidate the destination CP register so a stale value
                 // from an earlier (RET-collected) use cannot be observed.
                 self.cp[req_cp_index] = None;
+                self.cp_issued_at[req_cp_index] = now;
                 self.outstanding += 1;
                 self.stats.db_insts += 1;
                 self.advance_pc(cat);
@@ -995,9 +1139,54 @@ impl Softcore {
             CtxOutcome::Committed => self.stats.committed += 1,
             CtxOutcome::Aborted => self.stats.aborted += 1,
         }
+        // Observability: record the retired transaction's phase breakdown.
+        // All inputs are host-side timestamps of events that occur at
+        // identical cycles under strict stepping and fast-forward.
+        let (sub, ls, le, cs, last_err) = {
+            let c = &self.contexts[self.cur];
+            (
+                c.submitted_at,
+                c.logic_start,
+                c.logic_end,
+                c.commit_start,
+                c.last_err,
+            )
+        };
+        self.obs.queue_wait.record(ls.saturating_sub(sub));
+        self.obs.logic.record(le.saturating_sub(ls));
+        self.obs.commit_wait.record(cs.saturating_sub(le));
+        self.obs.commit.record(now.saturating_sub(cs));
+        let total = now.saturating_sub(sub);
+        match outcome {
+            CtxOutcome::Committed => self.obs.txn_commit.record(total),
+            CtxOutcome::Aborted => {
+                self.obs.txn_abort.record(total);
+                let r = &mut self.obs.abort_reasons;
+                match last_err {
+                    Some(DbStatus::NotFound) => r.not_found += 1,
+                    Some(DbStatus::CcConflict) => r.cc_conflict += 1,
+                    Some(DbStatus::Dirty) => r.dirty += 1,
+                    Some(DbStatus::BadRequest) => r.bad_request += 1,
+                    Some(DbStatus::Timeout) => r.timeout += 1,
+                    Some(DbStatus::Ok) | None => r.other += 1,
+                }
+            }
+        }
+        if self.tracing {
+            self.trace.push(TxnEvent {
+                worker: self.worker.0,
+                block_addr: block,
+                submitted_at: sub,
+                logic_start: ls,
+                logic_end: le,
+                commit_start: cs,
+                finished_at: now,
+                committed: outcome == CtxOutcome::Committed,
+            });
+        }
         let _ = cat;
         if self.cur + 1 < self.contexts.len() {
-            self.begin_commit_for(self.cur + 1);
+            self.begin_commit_for(now, self.cur + 1);
         } else {
             self.state = CoreState::BatchDrain;
         }
@@ -1037,7 +1226,7 @@ impl Softcore {
                     Some(now + 1)
                 }
             }
-            CoreState::FetchHeader { addr, issued } => {
+            CoreState::FetchHeader { addr, issued, .. } => {
                 if !issued || self.prefetched.map(|(a, _)| a) == Some(*addr) {
                     Some(now + 1)
                 } else {

@@ -36,7 +36,7 @@ pub mod txnblock;
 
 pub use builder::ProcBuilder;
 pub use catalogue::{Catalogue, IndexKind, ProcId, TableId, TableMeta};
-pub use core::{ExecMode, Softcore, SoftcoreStats};
+pub use core::{ExecMode, Softcore, SoftcoreObs, SoftcoreStats};
 pub use isa::{AluOp, Cond, Cp, Gp, Inst, MemBase, Operand, Procedure};
 pub use key::IndexKey;
 pub use request::{CpSlot, DbOp, DbRequest, PartitionId};

@@ -38,7 +38,7 @@ impl MockCoproc {
         while i < self.inflight.len() {
             if self.inflight[i].0 <= now {
                 let (_, idx, v) = self.inflight.swap_remove(i);
-                core.deliver_cp(idx, v);
+                core.deliver_cp(now, idx, v);
             } else {
                 i += 1;
             }

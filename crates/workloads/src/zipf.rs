@@ -35,12 +35,23 @@ impl Zipf {
         assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2.min(n), theta);
+        // Gray et al.'s eta correction only matters for ranks >= 2: `sample`
+        // resolves ranks 0 and 1 through early returns that never read
+        // `eta`. For n <= 2 the closed form divides by `1 - zeta2/zetan`,
+        // which is exactly zero (zeta2 == zetan), producing inf (n == 1) or
+        // 0/0 = NaN (n == 2) that used to leak into the struct — masked at
+        // sample time, but poisonous to any future arithmetic on `eta`.
+        let eta = if n <= 2 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
         Zipf {
             n,
             theta,
             alpha: 1.0 / (1.0 - theta),
             zetan,
-            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            eta,
         }
     }
 
@@ -125,5 +136,54 @@ mod tests {
     #[should_panic(expected = "theta")]
     fn theta_one_rejected() {
         let _ = Zipf::new(10, 1.0);
+    }
+
+    #[test]
+    fn tiny_key_spaces_have_finite_eta() {
+        // Regression: the eta closed form divides by `1 - zeta2/zetan`,
+        // which is 0 for n <= 2. Before the guard, n == 1 produced
+        // eta = inf and n == 2 produced eta = NaN — masked only because
+        // `sample` happens to resolve ranks 0/1 via early returns.
+        for n in [1u64, 2] {
+            for theta in [0.05, 0.5, 0.99] {
+                let z = Zipf::new(n, theta);
+                assert!(
+                    z.eta.is_finite(),
+                    "eta must be finite for n={n}, theta={theta}, got {}",
+                    z.eta
+                );
+            }
+        }
+        // n == 3 exercises the real closed form and must stay finite too.
+        assert!(Zipf::new(3, 0.99).eta.is_finite());
+    }
+
+    #[test]
+    fn single_key_space_always_samples_zero() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_key_space_matches_pmf() {
+        let z = Zipf::new(2, 0.99);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let trials = 100_000;
+        let mut ones = 0u64;
+        for _ in 0..trials {
+            let k = z.sample(&mut rng);
+            assert!(k < 2);
+            ones += k;
+        }
+        let p1 = ones as f64 / trials as f64;
+        let expect1 = z.pmf(1);
+        assert!(
+            (p1 - expect1).abs() < 0.01,
+            "rank-1 frequency {p1:.4} vs pmf {expect1:.4}"
+        );
     }
 }

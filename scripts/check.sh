@@ -20,4 +20,7 @@ cargo clippy --workspace --all-targets --locked -- -D warnings
 echo "== chaos smoke (fixed-seed fault matrix) =="
 cargo run --release --locked -p bionicdb-bench --bin chaos -- --smoke
 
+echo "== stats smoke (fixed-seed YCSB: determinism, schema, trace inertness) =="
+cargo run --release --locked -p bionicdb-bench --bin statscheck -- --json target/stats_smoke.json
+
 echo "All checks passed."

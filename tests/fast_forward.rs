@@ -9,7 +9,7 @@
 //! snapshots.
 
 use bionicdb::worker::WorkerStats;
-use bionicdb::{BionicConfig, Machine, Topology};
+use bionicdb::{BionicConfig, Machine, MachineReport, Topology};
 use bionicdb_coproc::hash::HashStats;
 use bionicdb_coproc::skiplist::SkipStats;
 use bionicdb_coproc::CoprocStats;
@@ -29,6 +29,11 @@ struct Snapshot {
     noc: NocStats,
     dram_image: u64,
     workers: Vec<WorkerSnapshot>,
+    /// The full observability report — latency histograms, per-stage
+    /// busy/stalled/idle counters, NoC link stats, DRAM port stats. Folded
+    /// into the snapshot so every equivalence test in this file also proves
+    /// the whole observability layer is identical strict vs fast-forward.
+    report: MachineReport,
 }
 
 #[derive(Debug, PartialEq)]
@@ -59,6 +64,7 @@ fn snapshot(m: &Machine) -> Snapshot {
                 }
             })
             .collect(),
+        report: m.report(),
     }
 }
 
@@ -373,6 +379,66 @@ fn faulted_runs_are_strict_fast_equivalent() {
         "DRAM transients actually fired"
     );
     assert_equivalent(strict, fast, "faulted run");
+}
+
+/// The trace sink must be bit-inert: all four combinations of
+/// {NullSink, ChromeTraceSink} × {strict, fast-forward} produce identical
+/// cycle counts, DRAM images, statistics, and observability reports. The
+/// sink only buffers host-side lifecycle events — nothing in the machine
+/// reads it — so installing one cannot perturb the run.
+#[test]
+fn trace_sink_is_bit_inert_strict_and_fast() {
+    use bionicdb_fpga::ChromeTraceSink;
+
+    let run = |traced: bool, fast: bool| -> Snapshot {
+        let mut y = YcsbBionic::build(BionicConfig::small(2), YcsbSpec::tiny(), 4);
+        y.machine.set_fast_forward(fast);
+        if traced {
+            y.machine.set_trace_sink(Box::new(ChromeTraceSink::new()));
+        }
+        let kinds = [YcsbKind::ReadLocal, YcsbKind::UpdateLocal, YcsbKind::Scan];
+        let size = kinds.iter().map(|&k| y.block_size(k)).max().unwrap();
+        let mut pools: Vec<BlockPool> = (0..2)
+            .map(|w| BlockPool::new(&mut y.machine, w, 24, size))
+            .collect();
+        let mut rng = YcsbBionic::rng(0x7AACE);
+        for (w, pool) in pools.iter_mut().enumerate() {
+            for i in 0..24 {
+                let blk = pool.take();
+                y.submit_txn(w, blk, kinds[i % kinds.len()], &mut rng);
+            }
+        }
+        y.machine.run_to_quiescence();
+        if traced {
+            let trace = y.machine.trace_json().expect("sink exports a trace");
+            assert!(trace.contains("\"traceEvents\""));
+        } else {
+            assert!(y.machine.trace_json().is_none(), "NullSink exports nothing");
+        }
+        snapshot(&y.machine)
+    };
+
+    let baseline = run(false, false);
+    assert!(baseline.machine.committed > 0, "workload must commit");
+    assert!(
+        baseline.report.obs.txn_commit.count() > 0,
+        "histograms must have recorded the committed transactions"
+    );
+    assert_equivalent(
+        run(false, false),
+        run(true, false),
+        "sink inert under strict stepping",
+    );
+    assert_equivalent(
+        run(false, true),
+        run(true, true),
+        "sink inert under fast-forward",
+    );
+    assert_equivalent(
+        run(true, false),
+        run(true, true),
+        "traced run strict vs fast-forward",
+    );
 }
 
 proptest! {
