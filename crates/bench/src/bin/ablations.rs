@@ -87,10 +87,7 @@ fn main() {
         let row = render_machine_row(&format!("topo_{workers}w_{topo:?}"), Some(t), &y.machine);
         (
             (
-                format!(
-                    "{workers}w {topo:?} (lat {:.1}cy)",
-                    n.total_latency as f64 / n.sent as f64
-                ),
+                format!("{workers}w {topo:?} (lat {:.1}cy)", n.mean_latency()),
                 t.per_sec / 1e3,
             ),
             row,

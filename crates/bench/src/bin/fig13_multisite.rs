@@ -53,7 +53,7 @@ fn main() {
     println!(
         "NoC: {} messages, mean latency {:.1} cycles",
         noc.sent,
-        noc.total_latency as f64 / noc.sent as f64
+        noc.mean_latency()
     );
 
     // Ablation: the ring topology the paper proposes for scaling (§4.6).

@@ -25,15 +25,18 @@ fn build(topology: Topology, remote_fraction: f64) -> YcsbBionic {
         remote_fraction,
         ..bench_ycsb_spec()
     };
-    YcsbBionic::build(cfg, spec, 60)
+    let mut y = YcsbBionic::build(cfg, spec, 60);
+    y.machine.set_sim_threads(sim_threads());
+    y
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let wave = if quick { 100 } else { 300 };
 
-    let topologies: [(&str, Topology); 3] = [
+    let topologies: [(&str, Topology); 4] = [
         ("1 chip x 8 (crossbar)", Topology::Crossbar),
+        ("1 chip x 8 (ring)", Topology::Ring),
         (
             "2 chips x 4",
             Topology::MultiChip {
@@ -54,6 +57,15 @@ fn main() {
     for remote in [0.0, 0.25, 0.75] {
         for (name, topo) in topologies {
             let mut y = build(topo, remote);
+            // The ring's cheapest path is one hop between ring neighbours —
+            // the PDES lookahead the epoch-parallel scheduler would use.
+            if topo == Topology::Ring {
+                assert_eq!(
+                    y.machine.noc().min_hop_latency(),
+                    y.machine.config().fpga.noc_hop_latency,
+                    "ring min hop latency must be one base hop"
+                );
+            }
             let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave);
             json.machine_row(
                 &format!("{}pct_{}", (remote * 100.0) as u32, name.replace(' ', "")),
@@ -65,7 +77,7 @@ fn main() {
                 format!("{:.0}% remote", remote * 100.0),
                 name.to_string(),
                 format!("{:.1}", t.per_sec / 1e3),
-                format!("{:.1}", n.total_latency as f64 / n.sent.max(1) as f64),
+                format!("{:.1}", n.mean_latency()),
             ]);
         }
     }

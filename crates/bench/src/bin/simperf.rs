@@ -1,18 +1,26 @@
-//! Simulator performance: simulated cycles per wall-clock second, strict
-//! single-cycle stepping vs the fast-forward scheduler.
+//! Simulator performance: simulated cycles per wall-clock second.
 //!
-//! The workload is deliberately stall-heavy — single-worker YCSB-C point reads under
-//! *serial* execution with the coprocessor's in-flight bound at 1, so the
-//! softcore idles through every DB round trip instead of interleaving over
-//! it — which is exactly the span the fast-forward scheduler elides.
-//! Results (and the speedup) are written to `BENCH_simperf.json` for the
-//! repo record.
+//! Two studies, selected by flag:
 //!
-//! Usage: `simperf [--quick] [--out PATH]`
+//! * default — strict single-cycle stepping vs the fast-forward scheduler.
+//!   The workload is deliberately stall-heavy — single-worker YCSB-C point
+//!   reads under *serial* execution with the coprocessor's in-flight bound
+//!   at 1, so the softcore idles through every DB round trip instead of
+//!   interleaving over it — which is exactly the span the fast-forward
+//!   scheduler elides. Results go to `BENCH_simperf.json`.
+//! * `--par` — the serial fast path vs the epoch-parallel scheduler at 2
+//!   and 4 threads on a 4-worker multisite workload (each worker on its
+//!   own chip, so the NoC lookahead — and therefore the epoch — is a full
+//!   inter-node round trip). Every run's `MachineReport` JSON must be
+//!   byte-identical — this is the `parcheck` gate in `scripts/check.sh` —
+//!   and the honest wall-clock numbers (with the host's CPU count, which
+//!   bounds any attainable speedup) go to `BENCH_parsim.json`.
+//!
+//! Usage: `simperf [--par] [--quick] [--out PATH] [--sim-threads N]`
 
 use std::time::Instant;
 
-use bionicdb::{BionicConfig, ExecMode};
+use bionicdb::{BionicConfig, ExecMode, Topology};
 use bionicdb_bench::json::JsonOut;
 use bionicdb_bench::rng;
 use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
@@ -69,12 +77,164 @@ fn measure(fast: bool, txns_per_worker: usize) -> Measurement {
     }
 }
 
+/// One epoch-parallel (or serial when `threads == 1`) multisite run.
+struct ParRun {
+    m: Measurement,
+    report_json: String,
+}
+
+/// Run the 4-worker multisite wave at a given sim-thread count and time it.
+/// Every worker sits on its own chip: the cheapest NoC path is a full
+/// inter-node link, so the conservative lookahead (= the epoch length) is
+/// 75 cycles and the workers genuinely run concurrently between barriers.
+fn measure_par(threads: usize, txns_per_worker: usize) -> ParRun {
+    let cfg = BionicConfig {
+        workers: 4,
+        mode: ExecMode::Interleaved,
+        topology: Topology::MultiChip {
+            workers_per_node: 1,
+            inter_node_hops: 25,
+        },
+        ..BionicConfig::default()
+    };
+    let spec = YcsbSpec {
+        records_per_partition: 20_000,
+        remote_fraction: 0.5,
+        ..YcsbSpec::default()
+    };
+    let mut y = YcsbBionic::build(cfg, spec, 4);
+    y.machine.set_fast_forward(true);
+    y.machine.set_sim_threads(threads);
+    let workers = y.machine.num_workers();
+    let size = y.block_size(YcsbKind::ReadHomed);
+    let mut pools: Vec<BlockPool> = (0..workers)
+        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
+        .collect();
+    let mut r = rng(0x9A7);
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for _ in 0..txns_per_worker {
+            let blk = pool.take();
+            y.submit_txn(w, blk, YcsbKind::ReadHomed, &mut r);
+        }
+    }
+    let c0 = y.machine.now();
+    let t0 = Instant::now();
+    y.machine.run_to_quiescence();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    ParRun {
+        m: Measurement {
+            cycles: y.machine.now() - c0,
+            ticks: y.machine.ticks_executed(),
+            wall_secs,
+            committed: y.machine.stats().committed,
+        },
+        report_json: y.machine.report().to_json(),
+    }
+}
+
+/// The `--par` study: serial fast path vs epoch-parallel at 2 and 4
+/// threads. Byte-identity of the report JSON is asserted (the `parcheck`
+/// equivalence gate); speedups are recorded honestly alongside the host's
+/// CPU count, since a 1-CPU container cannot show wall-clock gains no
+/// matter how parallel the schedule is.
+fn run_par_study(quick: bool, out_path: &str) {
+    let txns = if quick { 150 } else { 1_200 };
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let serial = measure_par(1, txns);
+    let par2 = measure_par(2, txns);
+    let par4 = measure_par(4, txns);
+
+    for (label, run) in [("2 threads", &par2), ("4 threads", &par4)] {
+        assert_eq!(
+            serial.m.cycles, run.m.cycles,
+            "epoch-parallel ({label}) must be cycle-exact"
+        );
+        assert_eq!(
+            serial.m.committed, run.m.committed,
+            "epoch-parallel ({label}) must commit identically"
+        );
+        assert_eq!(
+            serial.report_json, run.report_json,
+            "epoch-parallel ({label}) report JSON must be byte-identical"
+        );
+    }
+    println!("report JSON byte-identical across 1/2/4 sim threads");
+
+    for (label, run) in [("serial", &serial), ("par2", &par2), ("par4", &par4)] {
+        println!(
+            "{label:>6}: {:>12.0} cycles/s  ({} cycles, {} ticks, {:.3}s)",
+            run.m.cycles_per_sec(),
+            run.m.cycles,
+            run.m.ticks,
+            run.m.wall_secs
+        );
+    }
+    let speedup2 = serial.m.wall_secs / par2.m.wall_secs;
+    let speedup4 = serial.m.wall_secs / par4.m.wall_secs;
+    println!("speedup: {speedup2:.2}x at 2 threads, {speedup4:.2}x at 4 threads (host has {host_cpus} CPU(s))");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"ycsb read-homed 50% remote, interleaved exec, 4 workers x 1 chip (75-cycle lookahead), {} txns/worker\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"simulated_cycles\": {},\n",
+            "  \"committed\": {},\n",
+            "  \"report_bytes_identical\": true,\n",
+            "  \"serial\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
+            "  \"par2\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
+            "  \"par4\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
+            "  \"speedup_par2\": {:.3},\n",
+            "  \"speedup_par4\": {:.3}\n",
+            "}}\n"
+        ),
+        txns,
+        host_cpus,
+        serial.m.cycles,
+        serial.m.committed,
+        serial.m.wall_secs,
+        serial.m.cycles_per_sec(),
+        par2.m.wall_secs,
+        par2.m.cycles_per_sec(),
+        par4.m.wall_secs,
+        par4.m.cycles_per_sec(),
+        speedup2,
+        speedup4
+    );
+    std::fs::write(out_path, json).expect("write results file");
+    println!("wrote {out_path}");
+
+    let mut jout = JsonOut::from_env("simperf-par");
+    jout.value_row("host_cpus", host_cpus as f64);
+    jout.value_row("simulated_cycles", serial.m.cycles as f64);
+    jout.value_row("committed", serial.m.committed as f64);
+    jout.value_row("serial_cycles_per_sec", serial.m.cycles_per_sec());
+    jout.value_row("par2_cycles_per_sec", par2.m.cycles_per_sec());
+    jout.value_row("par4_cycles_per_sec", par4.m.cycles_per_sec());
+    jout.value_row("speedup_par4", speedup4);
+    jout.write();
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let par = std::env::args().any(|a| a == "--par");
     let out_path = std::env::args()
         .skip_while(|a| a != "--out")
         .nth(1)
-        .unwrap_or_else(|| "BENCH_simperf.json".into());
+        .unwrap_or_else(|| {
+            if par {
+                "BENCH_parsim.json".into()
+            } else {
+                "BENCH_simperf.json".into()
+            }
+        });
+    if par {
+        run_par_study(quick, &out_path);
+        return;
+    }
     let txns = if quick { 400 } else { 2_000 };
 
     let strict = measure(false, txns);

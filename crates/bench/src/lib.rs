@@ -364,7 +364,9 @@ pub fn build_ycsb(workers: usize, mode: ExecMode) -> YcsbBionic {
         mode,
         ..BionicConfig::default()
     };
-    YcsbBionic::build(cfg, bench_ycsb_spec(), 60)
+    let mut y = YcsbBionic::build(cfg, bench_ycsb_spec(), 60);
+    y.machine.set_sim_threads(sim_threads());
+    y
 }
 
 /// Build a TPC-C machine with `workers` workers (= warehouses).
@@ -380,7 +382,9 @@ pub fn build_tpcc(workers: usize, mode: ExecMode) -> TpccBionic {
         max_batch: 2,
         ..BionicConfig::default()
     };
-    TpccBionic::build(cfg, bench_tpcc_spec())
+    let mut sys = TpccBionic::build(cfg, bench_tpcc_spec());
+    sys.machine.set_sim_threads(sim_threads());
+    sys
 }
 
 /// Build a TPC-C machine whose transactions are all local (the paper's
@@ -397,12 +401,38 @@ pub fn build_tpcc_local(workers: usize, mode: ExecMode) -> TpccBionic {
         payment_remote_fraction: 0.0,
         ..bench_tpcc_spec()
     };
-    TpccBionic::build(cfg, spec)
+    let mut sys = TpccBionic::build(cfg, spec);
+    sys.machine.set_sim_threads(sim_threads());
+    sys
 }
 
 // ---------------------------------------------------------------------------
 // Parallel sweep harness
 // ---------------------------------------------------------------------------
+
+/// Simulation thread count for a single [`bionicdb::Machine`]
+/// (`Machine::set_sim_threads`): `--sim-threads N` on the command line,
+/// else `BIONICDB_SIM_THREADS`, else `BIONICDB_THREADS`, else 1 (serial).
+/// Every bench bin that builds a machine through this crate honours it;
+/// results are bit-identical at any value — only wall-clock time changes.
+pub fn sim_threads() -> usize {
+    std::env::args()
+        .skip_while(|a| a != "--sim-threads")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            std::env::var("BIONICDB_SIM_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .or_else(|| {
+            std::env::var("BIONICDB_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
 
 /// Worker-thread count for [`par_map`]: `BIONICDB_THREADS` if set, else the
 /// machine's available parallelism.

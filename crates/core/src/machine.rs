@@ -27,6 +27,8 @@ use crate::report::MachineReport;
 use crate::storage::{Loader, Partition};
 use crate::worker::PartitionWorker;
 
+mod par;
+
 /// The crash hook: called exactly once, at the crash cycle, with the
 /// machine frozen in its crash-instant state. It must return the
 /// [`DurableImage`] — the bytes that survive the power loss (command log +
@@ -79,7 +81,7 @@ impl SystemBuilder {
     /// partitions, and construct the workers and interconnect.
     pub fn build(self) -> Machine {
         let SystemBuilder { cfg, cat } = self;
-        let mut dram = Dram::new(&cfg.fpga, cfg.dram_bytes);
+        let dram = Dram::new(&cfg.fpga, cfg.dram_bytes);
         let coproc_cfg = cfg.coproc();
         let mut sc_params = SoftcoreParams::from_fpga(&cfg.fpga, cfg.mode);
         sc_params.max_batch = cfg.max_batch;
@@ -90,6 +92,13 @@ impl SystemBuilder {
         let mut map = Region::new(64 * 1024, cfg.dram_bytes - 64 * 1024);
         let mut partitions = Vec::with_capacity(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
+        // Each worker gets its own DRAM *bank*: private controllers and
+        // ports over the shared byte image (see [`Dram::bank`]). This is
+        // both the HC-2's physical DIMM partitioning and what lets the
+        // epoch-parallel scheduler hand a worker its memory channel on its
+        // own thread. `dram` itself keeps the host/PCIe role: untimed
+        // loads, block population, digests.
+        let mut banks = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
             let id = PartitionId(w as u16);
             let arena = map.carve(cfg.block_arena_bytes, 64);
@@ -101,23 +110,27 @@ impl SystemBuilder {
                 arena,
                 cfg.fpga.skiplist_max_level,
             ));
+            let mut bank = dram.bank();
             workers.push(PartitionWorker::new(
                 id,
                 sc_params,
                 &coproc_cfg,
-                &mut dram,
+                &mut bank,
                 cfg.noc_retry,
             ));
+            banks.push(bank);
         }
         Machine {
             cfg,
             dram,
+            banks,
             noc,
             cat,
             workers,
             partitions,
             now: 0,
             fast_forward: true,
+            sim_threads: 1,
             ticks_executed: 0,
             fault_plan: FaultPlan::none(),
             crashed: false,
@@ -207,13 +220,20 @@ impl RetryOutcome {
 /// A fully assembled BionicDB machine.
 pub struct Machine {
     cfg: BionicConfig,
+    /// Host-facing DRAM view: untimed reads/writes, image digests. No
+    /// simulated component issues through it.
     dram: Dram,
+    /// Worker `w`'s memory bank (same byte image, private timing state),
+    /// indexed like `workers`.
+    banks: Vec<Dram>,
     noc: Noc,
     cat: Catalogue,
     workers: Vec<PartitionWorker>,
     partitions: Vec<Partition>,
     now: u64,
     fast_forward: bool,
+    /// Worker threads for [`Machine::run_to_quiescence`]; 1 = serial.
+    sim_threads: usize,
     /// Host-side instrumentation: number of `tick()` calls actually
     /// executed (simulated cycles minus skipped ones). Not part of
     /// [`MachineStats`] — it measures the simulator, not the machine, and
@@ -378,11 +398,21 @@ impl Machine {
         }
         self.ticks_executed += 1;
         self.now += 1;
-        self.dram.tick(self.now);
+        // Ordering invariants the epoch-parallel scheduler must (and does)
+        // preserve — see DESIGN.md §11:
+        //  1. worker `w`'s bank delivers its due responses before `w`'s
+        //     tick at the same cycle (banks are worker-private, so ticking
+        //     bank `w` immediately before worker `w` is exactly the old
+        //     global `dram.tick()`-first order as far as `w` can observe);
+        //  2. workers tick in id order within a cycle (NoC send/issue order);
+        //  3. the trace drain runs after *all* workers, in worker order;
+        //  4. the crash check runs last, so the crash-instant state includes
+        //     every component's work at the crash cycle.
         for w in 0..self.workers.len() {
+            self.banks[w].tick(self.now);
             let worker = &mut self.workers[w];
             let tables = &mut self.partitions[w].tables;
-            worker.tick(self.now, &mut self.dram, &self.cat, &mut self.noc, tables);
+            worker.tick(self.now, &mut self.banks[w], &self.cat, &mut self.noc, tables);
         }
         if self.trace_sink.enabled() {
             for w in &mut self.workers {
@@ -437,6 +467,13 @@ impl Machine {
     /// Returns early (without quiescing) if the machine crashes.
     pub fn run_to_quiescence_limit(&mut self, limit: u64) -> u64 {
         let start = self.now;
+        // Epoch-parallel phase: with more than one sim thread configured,
+        // run the bulk of the work on real threads (bit-exact with the
+        // serial loop below — see `par`), then let the serial loop handle
+        // the uniform exit conditions (quiescence, crash, limit).
+        if self.fast_forward && self.sim_threads > 1 && self.workers.len() > 1 && !self.crashed {
+            self.run_epochs(start, limit);
+        }
         while !self.is_quiescent() {
             if self.crashed {
                 break;
@@ -451,7 +488,7 @@ impl Machine {
             // skipped span's bulk accounting) and tick normally onto `t`.
             // A delivered-but-unconsumed DRAM response could be consumed on
             // the very next tick, so no skip is attempted while one exists.
-            if self.fast_forward && !self.dram.has_buffered_responses() {
+            if self.fast_forward && !self.any_buffered_responses() {
                 if let Some(t) = self.next_event() {
                     debug_assert!(t > self.now, "next_event returned a past cycle");
                     // Never skip past a scheduled crash: the crash cycle
@@ -487,11 +524,13 @@ impl Machine {
         if best == Some(now + 1) {
             return best;
         }
-        if let Some(t) = self.dram.next_event() {
-            let t = t.max(now + 1);
-            best = Some(best.map_or(t, |b| b.min(t)));
-            if best == Some(now + 1) {
-                return best;
+        for bank in &self.banks {
+            if let Some(t) = bank.next_event() {
+                let t = t.max(now + 1);
+                best = Some(best.map_or(t, |b| b.min(t)));
+                if best == Some(now + 1) {
+                    return best;
+                }
             }
         }
         for w in &self.workers {
@@ -503,6 +542,11 @@ impl Machine {
             }
         }
         best
+    }
+
+    /// True when any bank holds a delivered-but-unconsumed response.
+    fn any_buffered_responses(&self) -> bool {
+        self.banks.iter().any(Dram::has_buffered_responses)
     }
 
     /// True when no work remains anywhere in the machine.
@@ -519,7 +563,13 @@ impl Machine {
     /// bit-identical to a run with no plan installed at all.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.noc.set_faults(plan.noc.clone());
+        // Every bank gets the schedule: DRAM fault ordinals are per-bank
+        // ("the nth read *on this worker's memory channel*"), which keeps
+        // them deterministic regardless of how worker ticks interleave.
         self.dram.set_faults(plan.dram.clone());
+        for bank in &mut self.banks {
+            bank.set_faults(plan.dram.clone());
+        }
         self.fault_plan = plan;
     }
 
@@ -584,6 +634,53 @@ impl Machine {
     /// Mutable host access to DRAM.
     pub fn dram_mut(&mut self) -> &mut Dram {
         &mut self.dram
+    }
+
+    /// Aggregate DRAM statistics summed over every worker's bank (plus the
+    /// host view, which never carries simulated traffic).
+    pub fn dram_stats(&self) -> bionicdb_fpga::DramStats {
+        let mut s = self.dram.stats();
+        for bank in &self.banks {
+            let b = bank.stats();
+            s.reads += b.reads;
+            s.writes += b.writes;
+            s.bytes += b.bytes;
+            s.rejections += b.rejections;
+            s.transient_faults += b.transient_faults;
+        }
+        s
+    }
+
+    /// Per-port DRAM accounting concatenated in bank (= worker) order —
+    /// the same global port order the single shared DRAM used to expose.
+    pub fn dram_ports(&self) -> Vec<bionicdb_fpga::PortStats> {
+        self.banks
+            .iter()
+            .flat_map(|b| b.port_stats().iter().copied())
+            .collect()
+    }
+
+    /// The earliest pending DRAM completion across every worker's bank
+    /// (`None` when all memory channels are drained). The host view never
+    /// carries timed traffic, so it is not consulted.
+    pub fn dram_next_event(&self) -> Option<u64> {
+        self.banks.iter().filter_map(Dram::next_event).min()
+    }
+
+    /// Set the number of worker threads `run_to_quiescence` may use. `1`
+    /// (the default) is the serial scheduler. More than one enables the
+    /// epoch-parallel scheduler, which is bit-for-bit identical to serial
+    /// ticking — same cycle counts, statistics, DRAM image, report JSON —
+    /// for any thread count; only wall-clock time changes. It engages under
+    /// fast-forward scheduling (the default); `run(n)`/`tick()` always
+    /// step serially.
+    pub fn set_sim_threads(&mut self, n: usize) {
+        self.sim_threads = n.max(1);
+    }
+
+    /// The configured sim-thread count.
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
     }
 
     /// The interconnect.

@@ -1,0 +1,530 @@
+//! Epoch-parallel simulation: conservative parallel discrete-event
+//! simulation of the whole machine, bit-exact with serial ticking.
+//!
+//! # Why this is possible at all
+//!
+//! BionicDB's partitions are shared-nothing (paper §4; the same isolation
+//! argument Porobic et al. make for "hardware islands"): a worker's
+//! softcore, coprocessor, DRAM bank, and partition tables are touched by
+//! that worker alone. The *only* inter-worker coupling is the NoC, and
+//! every NoC path has a minimum latency `L = noc.min_hop_latency()` — the
+//! classic **lookahead** of conservative PDES. A message sent at cycle `c`
+//! is delivered no earlier than `c + L`, so a *round* covering cycles
+//! `(H_prev, H]` with `H - T < L` (where `T` is the earliest pending
+//! action) can execute every worker to `H` with **no** communication: any
+//! send inside the round lands strictly beyond `H`.
+//!
+//! # The schedule
+//!
+//! Each round:
+//!
+//! 1. the coordinator computes `T` (the earliest next action anywhere) and
+//!    sets the horizon `H = min(T + L - 1, cap)`;
+//! 2. every worker *lane* (worker + bank + tables + detached
+//!    [`EpochLink`]) runs independently — on its own thread — using the
+//!    per-worker fast-forward (`next_event`/`skip`) to jump idle spans,
+//!    executing every cycle `<= H` at which it has an event;
+//! 3. at the barrier, the coordinator replays the staged NoC sends in the
+//!    exact serial order (cycle, then worker id), routes the resulting
+//!    deliveries (all `> H` — asserted), merges traces in serial sink
+//!    order, and computes the next `T` from the lanes' exit hints.
+//!
+//! When no action remains at or below `cap`, every lane is topped up
+//! (`skip`) to a common cycle and control returns to the serial loop in
+//! [`Machine::run_to_quiescence_limit`], which owns the uniform exit
+//! conditions (quiescence, crash, limit panic).
+//!
+//! # Determinism invariants
+//!
+//! * A lane ticks exactly the set of cycles at which serial ticking would
+//!   have given its components an event; ticking an event-free cycle is
+//!   `skip(1)` per the PR-1 fast-forward contract, so per-worker state is
+//!   bit-identical.
+//! * NoC effects are replayed at the barrier in (cycle, worker-id) order —
+//!   the serial send order — so fault ordinals, issue-width ledgers,
+//!   stats, and queue high-water marks are bit-identical.
+//! * Traces are merged by (cycle, worker-id) — the serial drain order.
+//! * A scheduled crash caps the epoch phase at `crash_at - 1`; the crash
+//!   cycle itself is *ticked* by the serial loop, so the crash-instant
+//!   state (and the [`crate::recovery::DurableImage`] the hook snapshots)
+//!   is bit-identical to a serial run.
+//!
+//! The coordination barrier blocks (mutex + condvar) rather than spins, so
+//! oversubscribed hosts — including single-core CI boxes — degrade
+//! gracefully instead of burning timeslices.
+
+use std::sync::{Condvar, Mutex};
+
+use bionicdb_coproc::layout::TableState;
+use bionicdb_fpga::{Dram, TxnEvent};
+use bionicdb_noc::{EpochLink, EpochTraffic, Packet};
+use bionicdb_softcore::catalogue::Catalogue;
+
+use super::Machine;
+use crate::worker::PartitionWorker;
+
+/// What a spawned worker thread leaves behind when it finishes: the index
+/// of its first lane (for reassembling global link order), its links, and
+/// its component-tick total.
+type ThreadFinal = (usize, Vec<EpochLink>, u64);
+
+/// One worker's slice of the machine, self-contained for a round.
+struct Lane<'a> {
+    idx: usize,
+    worker: &'a mut PartitionWorker,
+    bank: &'a mut Dram,
+    tables: &'a mut [TableState],
+    /// This lane's clock: the last cycle it ticked or skipped to.
+    pos: u64,
+    /// Component ticks executed by this lane (simulator instrumentation).
+    ticks: u64,
+    /// Trace events buffered this round, stamped with their cycle.
+    trace: Vec<(u64, TxnEvent)>,
+}
+
+/// What a lane reports at the round barrier.
+struct LaneOut {
+    traffic: EpochTraffic,
+    /// The lane's next self-known action (`> horizon`), or `None` when the
+    /// worker, bank, and queued deliveries are all exhausted.
+    hint: Option<u64>,
+    pos: u64,
+    quiescent: bool,
+    trace: Vec<(u64, TxnEvent)>,
+}
+
+/// Coordinator commands, published before the round barrier.
+#[derive(Clone, Copy)]
+enum Cmd {
+    /// Run every lane up to and including `horizon`.
+    Run { horizon: u64 },
+    /// Top every lane up to cycle `to` and exit. `expect_idle` asserts the
+    /// machine is quiescent (the audit for the serial loop's exit).
+    Finish { to: u64, expect_idle: bool },
+}
+
+/// A blocking reusable barrier with panic poisoning: if any participant
+/// panics mid-round, the rest unblock and panic too instead of deadlocking
+/// under `std::thread::scope`'s implicit join.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    n: usize,
+}
+
+struct GateState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl Gate {
+    fn new(n: usize) -> Self {
+        Gate {
+            state: Mutex::new(GateState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wait(&self) {
+        let mut g = self.lock();
+        if g.poisoned {
+            drop(g);
+            panic!("epoch-parallel peer panicked");
+        }
+        g.arrived += 1;
+        if g.arrived == self.n {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let generation = g.generation;
+        while g.generation == generation && !g.poisoned {
+            g = self
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let poisoned = g.poisoned;
+        drop(g);
+        if poisoned {
+            panic!("epoch-parallel peer panicked");
+        }
+    }
+
+    fn poison(&self) {
+        let mut g = self.lock();
+        g.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Poisons the gate when its owner unwinds, releasing blocked peers.
+struct PanicGuard<'a>(&'a Gate);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// The earliest cycle `> lane.pos` at which this lane has an event: its
+/// worker's own next event, its bank's next completion, or its queue
+/// front becoming deliverable — the per-worker slice of the serial
+/// scheduler's global `next_event`.
+///
+/// One deliberate asymmetry: a *quiescent* worker with no queued NoC
+/// deliveries never wakes for bank-only events. Those are orphan
+/// responses to requests whose transactions already retired (aborts
+/// abandon in-flight reads); the serial loop exits at machine quiescence
+/// with such responses still in flight, so a lane that kept ticking to
+/// drain them would over-account idle cycles past the serial exit cycle.
+/// Delivering and draining an orphan is stat-neutral, so *when* it
+/// happens (here: only while the lane is otherwise active) is invisible.
+fn lane_next(lane: &Lane<'_>, link: &EpochLink) -> Option<u64> {
+    let link_next = link.next_ready(lane.pos);
+    if link_next.is_none() && lane.worker.is_quiescent() {
+        return None;
+    }
+    if lane.bank.has_buffered_responses() {
+        return Some(lane.pos + 1);
+    }
+    let mut best = lane.worker.next_event(lane.pos);
+    if let Some(t) = lane.bank.next_event() {
+        let t = t.max(lane.pos + 1);
+        best = Some(best.map_or(t, |b| b.min(t)));
+    }
+    if let Some(t) = link_next {
+        best = Some(best.map_or(t, |b| b.min(t)));
+    }
+    best
+}
+
+/// Run one lane through one round: fast-forward from event to event,
+/// ticking every cycle `<= horizon` at which the lane could act.
+fn run_round(
+    lane: &mut Lane<'_>,
+    link: &mut EpochLink,
+    horizon: u64,
+    cat: &Catalogue,
+    tracing: bool,
+) -> LaneOut {
+    let hint = loop {
+        match lane_next(lane, link) {
+            Some(t) if t <= horizon => {
+                let k = t - lane.pos - 1;
+                if k > 0 {
+                    lane.worker.skip(k);
+                }
+                lane.pos = t;
+                lane.ticks += 1;
+                lane.bank.tick(t);
+                lane.worker.tick(t, lane.bank, cat, link, lane.tables);
+                if tracing {
+                    for ev in lane.worker.softcore.drain_trace() {
+                        lane.trace.push((t, ev));
+                    }
+                }
+            }
+            other => break other,
+        }
+    };
+    LaneOut {
+        hint,
+        pos: lane.pos,
+        quiescent: lane.worker.is_quiescent(),
+        trace: std::mem::take(&mut lane.trace),
+        traffic: link.harvest(),
+    }
+}
+
+/// Top a lane up to the common exit cycle. With `expect_idle` (the
+/// coordinator determined the machine is quiescent) this also audits that
+/// nothing was left behind — the parallel counterpart of the serial
+/// loop's `is_quiescent` exit check.
+fn finish_lane(lane: &mut Lane<'_>, link: &EpochLink, to: u64, expect_idle: bool) {
+    debug_assert!(to >= lane.pos, "finish target behind lane position");
+    if to > lane.pos {
+        lane.worker.skip(to - lane.pos);
+        lane.pos = to;
+    }
+    if expect_idle {
+        debug_assert!(
+            lane.worker.is_quiescent(),
+            "quiescent finish with a busy worker"
+        );
+        // Note: the DRAM bank may legitimately still hold in-flight or
+        // buffered *orphan* responses here — serial exits at machine
+        // quiescence without waiting for them (see `lane_next`).
+        debug_assert!(
+            link.next_ready(to).is_none(),
+            "quiescent finish with a queued NoC delivery"
+        );
+    }
+}
+
+/// The loop a spawned worker thread runs: wait for a command, execute it
+/// over this thread's chunk of lanes, repeat until `Finish`.
+#[allow(clippy::too_many_arguments)]
+fn participant(
+    lanes: &mut [Lane<'_>],
+    links: &mut [EpochLink],
+    gate: &Gate,
+    cmd: &Mutex<Cmd>,
+    delivery_slots: &[Mutex<Vec<(u64, Packet)>>],
+    out_slots: &[Mutex<Option<LaneOut>>],
+    cat: &Catalogue,
+    tracing: bool,
+) {
+    loop {
+        gate.wait();
+        let c = *cmd.lock().expect("cmd lock");
+        match c {
+            Cmd::Run { horizon } => {
+                for (lane, link) in lanes.iter_mut().zip(links.iter_mut()) {
+                    let d = std::mem::take(
+                        &mut *delivery_slots[lane.idx].lock().expect("delivery lock"),
+                    );
+                    link.begin_round(d);
+                    let out = run_round(lane, link, horizon, cat, tracing);
+                    *out_slots[lane.idx].lock().expect("out lock") = Some(out);
+                }
+                gate.wait();
+            }
+            Cmd::Finish { to, expect_idle } => {
+                for (lane, link) in lanes.iter_mut().zip(links.iter()) {
+                    finish_lane(lane, link, to, expect_idle);
+                }
+                return;
+            }
+        }
+    }
+}
+
+impl Machine {
+    /// The epoch-parallel phase of [`Machine::run_to_quiescence_limit`]:
+    /// advance the machine as far as the lookahead allows on
+    /// `sim_threads` real threads, bit-exactly, then return so the serial
+    /// loop can apply its uniform exit conditions. See the module docs for
+    /// the argument.
+    pub(crate) fn run_epochs(&mut self, start: u64, limit: u64) {
+        if limit == 0 || self.is_quiescent() {
+            return;
+        }
+        let lookahead = self.noc.min_hop_latency();
+        // Never run at or past the crash cycle: the crash cycle must be
+        // *ticked* (by the serial loop) so the crash-instant state and the
+        // hook's durable snapshot are bit-identical to a serial run.
+        let mut cap = start.saturating_add(limit) - 1;
+        if let Some(c) = self.fault_plan.crash_at {
+            if c <= self.now + 1 {
+                return;
+            }
+            cap = cap.min(c - 1);
+        }
+        let t0 = if self.any_buffered_responses() {
+            Some(self.now + 1)
+        } else {
+            self.next_event()
+        };
+        let Some(t0) = t0 else { return };
+        if t0 > cap {
+            return;
+        }
+
+        let nworkers = self.workers.len();
+        let threads = self.sim_threads.min(nworkers);
+        let tracing = self.trace_sink.enabled();
+        let now0 = self.now;
+        // Split the machine into disjoint per-worker lanes. The host DRAM
+        // view, catalogue, NoC, and trace sink stay with the coordinator.
+        let cat = &self.cat;
+        let noc = &mut self.noc;
+        let sink = &mut self.trace_sink;
+        let mut links: Vec<EpochLink> = noc.begin_epoch();
+        let mut lanes: Vec<Lane<'_>> = self
+            .workers
+            .iter_mut()
+            .zip(self.banks.iter_mut())
+            .zip(self.partitions.iter_mut())
+            .enumerate()
+            .map(|(idx, ((worker, bank), part))| Lane {
+                idx,
+                worker,
+                bank,
+                tables: &mut part.tables,
+                pos: now0,
+                ticks: 0,
+                trace: Vec::new(),
+            })
+            .collect();
+
+        let chunk_size = nworkers.div_ceil(threads);
+        let mut lane_chunks: Vec<&mut [Lane<'_>]> = lanes.chunks_mut(chunk_size).collect();
+        let my_lanes = lane_chunks.remove(0);
+        let mut link_chunks: Vec<Vec<EpochLink>> = Vec::with_capacity(lane_chunks.len());
+        let mut my_links: Vec<EpochLink> = links.drain(..my_lanes.len()).collect();
+        for chunk in &lane_chunks {
+            link_chunks.push(links.drain(..chunk.len()).collect());
+        }
+        debug_assert!(links.is_empty());
+
+        let gate = Gate::new(lane_chunks.len() + 1);
+        let cmd_slot: Mutex<Cmd> = Mutex::new(Cmd::Run { horizon: 0 });
+        let delivery_slots: Vec<Mutex<Vec<(u64, Packet)>>> =
+            (0..nworkers).map(|_| Mutex::new(Vec::new())).collect();
+        let out_slots: Vec<Mutex<Option<LaneOut>>> =
+            (0..nworkers).map(|_| Mutex::new(None)).collect();
+        // Per spawned thread: (first worker idx, links, component ticks).
+        let final_slots: Vec<Mutex<Option<ThreadFinal>>> =
+            (0..lane_chunks.len()).map(|_| Mutex::new(None)).collect();
+
+        let (pending, to, my_links, coord_ticks) = std::thread::scope(|s| {
+            for (ti, (chunk, mut lnks)) in
+                lane_chunks.into_iter().zip(link_chunks).enumerate()
+            {
+                let gate = &gate;
+                let cmd_slot = &cmd_slot;
+                let delivery_slots = &delivery_slots[..];
+                let out_slots = &out_slots[..];
+                let final_slots = &final_slots[..];
+                s.spawn(move || {
+                    let _guard = PanicGuard(gate);
+                    let first_idx = chunk[0].idx;
+                    participant(
+                        chunk,
+                        &mut lnks,
+                        gate,
+                        cmd_slot,
+                        delivery_slots,
+                        out_slots,
+                        cat,
+                        tracing,
+                    );
+                    let ticks: u64 = chunk.iter().map(|l| l.ticks).sum();
+                    *final_slots[ti].lock().expect("final slot") = Some((first_idx, lnks, ticks));
+                });
+            }
+
+            let _guard = PanicGuard(&gate);
+            let mut horizon = t0.saturating_add(lookahead - 1).min(cap);
+            loop {
+                *cmd_slot.lock().expect("cmd lock") = Cmd::Run { horizon };
+                gate.wait(); // release the round
+                for (lane, link) in my_lanes.iter_mut().zip(my_links.iter_mut()) {
+                    let d = std::mem::take(
+                        &mut *delivery_slots[lane.idx].lock().expect("delivery lock"),
+                    );
+                    link.begin_round(d);
+                    let out = run_round(lane, link, horizon, cat, tracing);
+                    *out_slots[lane.idx].lock().expect("out lock") = Some(out);
+                }
+                gate.wait(); // all results in
+
+                let outs: Vec<LaneOut> = out_slots
+                    .iter()
+                    .map(|s| s.lock().expect("out lock").take().expect("lane reported"))
+                    .collect();
+                let mut all_quiescent = true;
+                let mut to = now0;
+                let mut hints = Vec::with_capacity(nworkers);
+                let mut traffics = Vec::with_capacity(nworkers);
+                let mut events: Vec<(u64, TxnEvent)> = Vec::new();
+                for mut o in outs {
+                    all_quiescent &= o.quiescent;
+                    to = to.max(o.pos);
+                    hints.push((o.hint, o.traffic.queue_drained()));
+                    traffics.push(o.traffic);
+                    events.append(&mut o.trace); // worker order
+                }
+                if tracing {
+                    // Serial sink order is (cycle, worker id); the concat
+                    // above is worker-ordered, so a stable sort by cycle
+                    // reproduces it exactly.
+                    events.sort_by_key(|&(c, _)| c);
+                    for (_, ev) in &events {
+                        sink.txn(ev);
+                    }
+                }
+                let deliveries = noc.merge_epoch(horizon, traffics);
+
+                // The machine's next action: each lane's exit hint, plus —
+                // for lanes whose queue ran dry — its earliest fresh
+                // delivery (a non-drained queue head-of-line blocks fresh
+                // deliveries, and the hint already covers its front).
+                let mut next: Option<u64> = None;
+                for (w, &(hint, drained)) in hints.iter().enumerate() {
+                    let mut na = hint;
+                    if drained {
+                        if let Some(&(d, _)) = deliveries[w].first() {
+                            na = Some(na.map_or(d, |h| h.min(d)));
+                        }
+                    }
+                    if let Some(t) = na {
+                        next = Some(next.map_or(t, |b| b.min(t)));
+                    }
+                }
+                match next {
+                    Some(t) if t <= cap => {
+                        for (w, d) in deliveries.into_iter().enumerate() {
+                            *delivery_slots[w].lock().expect("delivery lock") = d;
+                        }
+                        debug_assert!(t > horizon, "rounds must advance");
+                        horizon = t.saturating_add(lookahead - 1).min(cap);
+                    }
+                    _ => {
+                        let expect_idle = all_quiescent && next.is_none();
+                        if expect_idle {
+                            debug_assert!(
+                                deliveries.iter().all(Vec::is_empty),
+                                "quiescent exit with undelivered NoC traffic"
+                            );
+                        }
+                        *cmd_slot.lock().expect("cmd lock") = Cmd::Finish { to, expect_idle };
+                        gate.wait(); // release peers into Finish
+                        for (lane, link) in my_lanes.iter_mut().zip(my_links.iter()) {
+                            finish_lane(lane, link, to, expect_idle);
+                        }
+                        let coord_ticks: u64 = my_lanes.iter().map(|l| l.ticks).sum();
+                        break (deliveries, to, my_links, coord_ticks);
+                    }
+                }
+            }
+        });
+
+        drop(lanes);
+        let mut total_ticks = coord_ticks;
+        let mut link_groups: Vec<(usize, Vec<EpochLink>)> = vec![(0, my_links)];
+        for slot in final_slots {
+            let (first_idx, lnks, ticks) = slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("worker thread reported");
+            total_ticks += ticks;
+            link_groups.push((first_idx, lnks));
+        }
+        link_groups.sort_by_key(|&(first, _)| first);
+        let links_flat: Vec<EpochLink> = link_groups.into_iter().flat_map(|(_, v)| v).collect();
+        noc.absorb_epoch(links_flat, pending);
+        self.now = to;
+        // In parallel mode a "tick" is one *component* tick (a single
+        // worker at a single cycle) rather than one whole-machine cycle —
+        // like strict-vs-fast, the unit deliberately measures the
+        // simulator, not the machine.
+        self.ticks_executed += total_ticks;
+    }
+}

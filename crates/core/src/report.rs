@@ -80,8 +80,8 @@ impl MachineReport {
             workers,
             noc: m.noc().stats(),
             links: m.noc().link_stats().to_vec(),
-            dram: m.dram().stats(),
-            ports: m.dram().port_stats().to_vec(),
+            dram: m.dram_stats(),
+            ports: m.dram_ports(),
         }
     }
 

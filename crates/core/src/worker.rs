@@ -44,7 +44,7 @@ use std::collections::VecDeque;
 use bionicdb_coproc::layout::TableState;
 use bionicdb_coproc::{CoprocConfig, IndexCoproc};
 use bionicdb_fpga::{Dram, Fifo};
-use bionicdb_noc::{Noc, Packet, Payload};
+use bionicdb_noc::{Link, Packet, Payload};
 use bionicdb_softcore::catalogue::Catalogue;
 use bionicdb_softcore::core::SoftcoreParams;
 use bionicdb_softcore::request::DbRequest;
@@ -218,14 +218,28 @@ impl PartitionWorker {
     }
 
     /// One cycle of the whole worker.
+    ///
+    /// `noc` is any [`Link`]: the shared [`bionicdb_noc::Noc`] under serial
+    /// ticking, or this worker's detached [`bionicdb_noc::EpochLink`] under
+    /// the epoch-parallel scheduler — the glue cannot tell the difference,
+    /// which is precisely what makes the parallel schedule bit-exact.
     pub fn tick(
         &mut self,
         now: u64,
         dram: &mut Dram,
         cat: &Catalogue,
-        noc: &mut Noc,
+        noc: &mut impl Link,
         tables: &mut [TableState],
     ) {
+        // Tick-order invariant 1 (see `Machine::tick`): the bank must have
+        // been ticked at `now` before its worker — a response completing
+        // at `now` has to be consumable this very cycle, in serial and
+        // epoch-parallel schedules alike. An unticked bank would still
+        // report a due completion at or before `now`.
+        debug_assert!(
+            dram.next_event().is_none_or(|t| t > now),
+            "DRAM bank ticked after its worker at cycle {now}"
+        );
         // 1. Background unit: drain deliverable inbound packets.
         while let Some(pkt) = noc.peek(now, self.id) {
             match pkt.payload {

@@ -25,12 +25,126 @@
 //! over PCIe before the run starts (§5.1 of the paper does exactly this).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::fault::DramFaults;
 use crate::timing::{Cycle, FpgaConfig};
 
 /// Size of one lazily-allocated memory page.
 const PAGE_SIZE: usize = 1 << 16;
+
+/// The functional byte image, shared between a [`Dram`] and every bank
+/// created from it with [`Dram::bank`]. Pages are lazily allocated on first
+/// write ([`OnceLock`] makes the allocation race-free) and hold [`AtomicU8`]
+/// so banks on different threads can touch memory without `unsafe`.
+///
+/// All accesses use [`Ordering::Relaxed`]: the epoch-parallel scheduler
+/// guarantees that any two accesses to the *same* byte from different
+/// workers are separated by an epoch barrier (a message must cross the NoC
+/// first, and the barrier's lock provides the happens-before edge), so the
+/// atomics only have to make the byte-level sharing defined, not ordered.
+struct PageStore {
+    pages: Vec<OnceLock<Box<[AtomicU8]>>>,
+}
+
+impl PageStore {
+    fn new(npages: usize) -> Self {
+        PageStore {
+            pages: (0..npages).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        (self.pages.len() * PAGE_SIZE) as u64
+    }
+
+    /// The page backing `idx`, allocated (zeroed) on first use.
+    fn page(&self, idx: usize) -> &[AtomicU8] {
+        assert!(
+            idx < self.pages.len(),
+            "DRAM address out of range (page {idx})"
+        );
+        self.pages[idx].get_or_init(|| {
+            let mut v = Vec::with_capacity(PAGE_SIZE);
+            v.resize_with(PAGE_SIZE, || AtomicU8::new(0));
+            v.into_boxed_slice()
+        })
+    }
+
+    fn write(&self, addr: u64, data: &[u8]) {
+        let mut addr = addr as usize;
+        let mut data = data;
+        while !data.is_empty() {
+            let page = self.page(addr / PAGE_SIZE);
+            let off = addr % PAGE_SIZE;
+            let n = (PAGE_SIZE - off).min(data.len());
+            for (dst, &b) in page[off..off + n].iter().zip(&data[..n]) {
+                dst.store(b, Ordering::Relaxed);
+            }
+            addr += n;
+            data = &data[n..];
+        }
+    }
+
+    /// Read without allocating: unwritten pages yield zeros and stay
+    /// unallocated, so reads never perturb the [`PageStore::digest`].
+    fn read_into(&self, addr: u64, out: &mut [u8]) {
+        let len = out.len();
+        let mut addr = addr as usize;
+        let mut filled = 0;
+        while filled < len {
+            let page = addr / PAGE_SIZE;
+            let off = addr % PAGE_SIZE;
+            let n = (PAGE_SIZE - off).min(len - filled);
+            assert!(
+                page < self.pages.len(),
+                "DRAM address out of range (page {page})"
+            );
+            if let Some(p) = self.pages[page].get() {
+                for (dst, src) in out[filled..filled + n].iter_mut().zip(&p[off..off + n]) {
+                    *dst = src.load(Ordering::Relaxed);
+                }
+            } else {
+                out[filled..filled + n].fill(0);
+            }
+            addr += n;
+            filled += n;
+        }
+    }
+
+    /// FNV-1a over allocated pages; see [`Dram::image_digest`].
+    fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        };
+        for (idx, page) in self.pages.iter().enumerate() {
+            if let Some(p) = page.get() {
+                for b in (idx as u64).to_le_bytes() {
+                    eat(b);
+                }
+                for b in p.iter() {
+                    eat(b.load(Ordering::Relaxed));
+                }
+            }
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for PageStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let allocated = self.pages.iter().filter(|p| p.get().is_some()).count();
+        f.debug_struct("PageStore")
+            .field("pages", &self.pages.len())
+            .field("allocated", &allocated)
+            .finish()
+    }
+}
 
 /// Identifies a requester port on the memory interconnect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -223,8 +337,15 @@ pub struct PortStats {
 }
 
 /// The simulated FPGA-side DRAM: functional byte store plus timing model.
+///
+/// The byte image lives in a [`PageStore`] shared by reference: [`Dram::bank`]
+/// creates additional views with private controllers/ports over the same
+/// bytes, which is how the machine gives every partition worker its own
+/// memory channel (the HC-2's DIMM groups are physically partitioned the
+/// same way) — and what lets the epoch-parallel scheduler hand each worker's
+/// bank to its own thread.
 pub struct Dram {
-    pages: Vec<Option<Box<[u8]>>>,
+    store: Arc<PageStore>,
     controllers: Vec<Controller>,
     responses: Vec<VecDeque<MemResponse>>,
     port_stats: Vec<PortStats>,
@@ -244,7 +365,7 @@ impl Dram {
     pub fn new(cfg: &FpgaConfig, size_bytes: u64) -> Self {
         let npages = (size_bytes as usize).div_ceil(PAGE_SIZE);
         Dram {
-            pages: (0..npages).map(|_| None).collect(),
+            store: Arc::new(PageStore::new(npages)),
             controllers: (0..cfg.dram_controllers)
                 .map(|_| Controller::default())
                 .collect(),
@@ -252,6 +373,26 @@ impl Dram {
             port_stats: Vec::new(),
             latency: cfg.dram_latency,
             max_outstanding: cfg.dram_max_outstanding,
+            stats: DramStats::default(),
+            faults: DramFaults::default(),
+            reads_seen: 0,
+        }
+    }
+
+    /// A new bank over the *same* functional bytes: private controllers,
+    /// ports, statistics, and fault ordinals, shared [`PageStore`]. A write
+    /// through any bank is immediately visible to reads through every other
+    /// (functional effects apply at issue time, as always).
+    pub fn bank(&self) -> Dram {
+        Dram {
+            store: Arc::clone(&self.store),
+            controllers: (0..self.controllers.len())
+                .map(|_| Controller::default())
+                .collect(),
+            responses: Vec::new(),
+            port_stats: Vec::new(),
+            latency: self.latency,
+            max_outstanding: self.max_outstanding,
             stats: DramStats::default(),
             faults: DramFaults::default(),
             reads_seen: 0,
@@ -266,7 +407,7 @@ impl Dram {
 
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        (self.pages.len() * PAGE_SIZE) as u64
+        self.store.capacity()
     }
 
     /// Register a new requester port and return its id.
@@ -445,70 +586,18 @@ impl Dram {
     /// functional memory state; used by the strict-vs-fast-forward
     /// equivalence tests.
     pub fn image_digest(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |b: u8| {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        };
-        for (idx, page) in self.pages.iter().enumerate() {
-            if let Some(p) = page {
-                for b in (idx as u64).to_le_bytes() {
-                    eat(b);
-                }
-                for &b in p.iter() {
-                    eat(b);
-                }
-            }
-        }
-        h
-    }
-
-    fn page_mut(&mut self, idx: usize) -> &mut [u8] {
-        assert!(
-            idx < self.pages.len(),
-            "DRAM address out of range (page {idx})"
-        );
-        self.pages[idx].get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice())
+        self.store.digest()
     }
 
     /// Untimed write, modelling host/PCIe population of memory.
     pub fn host_write(&mut self, addr: u64, data: &[u8]) {
-        let mut addr = addr as usize;
-        let mut data = data;
-        while !data.is_empty() {
-            let page = addr / PAGE_SIZE;
-            let off = addr % PAGE_SIZE;
-            let n = (PAGE_SIZE - off).min(data.len());
-            self.page_mut(page)[off..off + n].copy_from_slice(&data[..n]);
-            addr += n;
-            data = &data[n..];
-        }
+        self.store.write(addr, data);
     }
 
     /// Read `out.len()` bytes starting at `addr` into a caller-provided
     /// buffer, without allocating. Unwritten memory reads as zero.
     pub fn read_into(&self, addr: u64, out: &mut [u8]) {
-        let len = out.len();
-        let mut addr = addr as usize;
-        let mut filled = 0;
-        while filled < len {
-            let page = addr / PAGE_SIZE;
-            let off = addr % PAGE_SIZE;
-            let n = (PAGE_SIZE - off).min(len - filled);
-            assert!(
-                page < self.pages.len(),
-                "DRAM address out of range (page {page})"
-            );
-            if let Some(p) = &self.pages[page] {
-                out[filled..filled + n].copy_from_slice(&p[off..off + n]);
-            } else {
-                out[filled..filled + n].fill(0);
-            }
-            addr += n;
-            filled += n;
-        }
+        self.store.read_into(addr, out);
     }
 
     /// Read `len` bytes into a [`MemData`], inline when the burst fits.
@@ -799,5 +888,45 @@ mod tests {
     fn out_of_range_access_panics() {
         let mut d = small_dram();
         d.host_write(2 << 20, &[1]);
+    }
+
+    #[test]
+    fn banks_share_bytes_but_not_timing() {
+        let mut d = small_dram();
+        let mut bank = d.bank();
+        // Functional bytes are shared both ways, immediately.
+        d.host_write(100, &[7; 4]);
+        assert_eq!(bank.host_read(100, 4), vec![7; 4]);
+        let p = bank.register_port();
+        bank.issue(
+            0,
+            p,
+            MemRequest {
+                addr: 200,
+                kind: MemKind::Write { data: vec![5; 8] },
+                tag: Tag(0),
+            },
+        )
+        .unwrap();
+        assert_eq!(d.host_read(200, 8), vec![5; 8]);
+        assert_eq!(d.image_digest(), bank.image_digest());
+        // Timing state is private: the parent saw no traffic.
+        assert_eq!(d.stats(), DramStats::default());
+        assert_eq!(bank.stats().writes, 1);
+        assert_eq!(d.inflight(), 0);
+        assert_eq!(bank.inflight(), 1);
+        // A port registered on one bank does not exist on the other.
+        assert_eq!(d.num_ports(), 0);
+        assert_eq!(bank.num_ports(), 1);
+    }
+
+    #[test]
+    fn unallocated_reads_do_not_perturb_the_digest() {
+        let mut d = small_dram();
+        d.host_write(0, &[1]);
+        let before = d.image_digest();
+        // Reading a never-written page returns zeros without allocating it.
+        assert_eq!(d.host_read(5 * PAGE_SIZE as u64, 16), vec![0; 16]);
+        assert_eq!(d.image_digest(), before);
     }
 }

@@ -44,7 +44,7 @@ pub mod region;
 pub mod stats;
 pub mod timing;
 
-pub use dram::{Dram, MemData, MemKind, MemRequest, MemResponse, PortId, Tag};
+pub use dram::{Dram, DramStats, MemData, MemKind, MemRequest, MemResponse, PortId, PortStats, Tag};
 pub use obs::{
     AbortReasons, ChromeTraceSink, LatencyHistogram, NullSink, TraceSink, TxnEvent,
 };

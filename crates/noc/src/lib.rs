@@ -109,6 +109,22 @@ pub struct NocStats {
     pub total_latency: u64,
 }
 
+impl NocStats {
+    /// Mean in-flight latency over accepted, non-dropped messages.
+    ///
+    /// Guarded against the all-dropped case (`sent == dropped`, possible
+    /// under a fault plan that drops every send): an empty sample has no
+    /// mean, reported as `0.0` instead of a division by zero.
+    pub fn mean_latency(&self) -> f64 {
+        let n = self.sent.saturating_sub(self.dropped);
+        if n == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / n as f64
+        }
+    }
+}
+
 /// Per-link (per-destination channel) utilization counters. Updated only
 /// inside `send`/`poll`, which fire at identical cycles under strict
 /// stepping and fast-forward, so link stats never diverge between the two
@@ -322,6 +338,297 @@ impl Noc {
     pub fn topology(&self) -> Topology {
         self.topology
     }
+
+    /// Minimum latency between any two *distinct* workers — the conservative
+    /// parallel-simulation **lookahead**: a message sent at cycle `c` cannot
+    /// be delivered before `c + min_hop_latency()`, so an epoch of that many
+    /// cycles can run every worker independently without missing a delivery.
+    ///
+    /// Brute force over all ordered pairs; topologies here are symmetric but
+    /// nothing requires it. With a single worker there are no pairs and any
+    /// epoch length is safe; the one-hop latency is returned as a floor.
+    pub fn min_hop_latency(&self) -> u64 {
+        let mut best = u64::MAX;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b {
+                    best = best.min(self.latency(PartitionId(a as u16), PartitionId(b as u16)));
+                }
+            }
+        }
+        if best == u64::MAX {
+            self.hop_latency
+        } else {
+            best
+        }
+    }
+
+    /// Detach every worker's view of the interconnect into an [`EpochLink`]
+    /// for an epoch-parallel run. Each link takes ownership of its inbound
+    /// delivery queue; sends and polls are recorded locally and replayed
+    /// into the shared stats by [`Noc::merge_epoch`] at each epoch barrier.
+    /// [`Noc::absorb_epoch`] puts the queues back when the run ends.
+    ///
+    /// The per-source issue-width ledger restarts empty, which is exact: a
+    /// link admits at most `issue_width` sends per *cycle*, every epoch
+    /// round starts at a cycle strictly after any cycle the ledger has seen,
+    /// and the merge replay rebuilds the shared ledger from the accepted
+    /// sends themselves.
+    pub fn begin_epoch(&mut self) -> Vec<EpochLink> {
+        (0..self.n)
+            .map(|w| EpochLink {
+                id: w,
+                n: self.n,
+                issue_width: self.issue_width,
+                queue: std::mem::take(&mut self.inbound[w]),
+                staged: Vec::new(),
+                polls: Vec::new(),
+                depth_start: 0,
+                last_send: (u64::MAX, 0),
+                rejected: 0,
+            })
+            .collect()
+    }
+
+    /// Merge one epoch round's per-worker traffic back into the shared
+    /// interconnect state, replaying the accepted sends **in the exact order
+    /// a serial run would have made them** (by cycle, ties broken by source
+    /// worker id — the serial tick order within a cycle). Returns the
+    /// resulting deliveries grouped per destination, each `(deliver_at,
+    /// packet)` strictly beyond `horizon` (the lookahead guarantee), for the
+    /// caller to hand to the next round's [`EpochLink::begin_round`].
+    pub fn merge_epoch(&mut self, horizon: u64, traffic: Vec<EpochTraffic>) -> Vec<Vec<(u64, Packet)>> {
+        assert_eq!(traffic.len(), self.n, "one traffic record per worker");
+        let mut out: Vec<Vec<(u64, Packet)>> = (0..self.n).map(|_| Vec::new()).collect();
+        // Queue-depth replay events per destination: (cycle, acting worker,
+        // +1 push / -1 pop), used to rebuild `queue_high_water` exactly.
+        let mut events: Vec<Vec<(u64, usize, i64)>> = (0..self.n).map(|_| Vec::new()).collect();
+        let mut depth_start = vec![0u64; self.n];
+        let mut staged_all: Vec<(u64, usize, Packet)> = Vec::new();
+        for (w, t) in traffic.into_iter().enumerate() {
+            debug_assert_eq!(t.src, w, "traffic records must arrive in worker order");
+            self.stats.rejected += t.rejected;
+            self.stats.delivered += t.polls.len() as u64;
+            self.link_stats[w].delivered += t.polls.len() as u64;
+            depth_start[w] = t.depth_start;
+            for &c in &t.polls {
+                events[w].push((c, w, -1));
+            }
+            for (c, pkt) in t.staged {
+                staged_all.push((c, w, pkt));
+            }
+        }
+        // Stable sort: each source's stage list is already cycle-ordered, so
+        // sorting by cycle alone leaves same-cycle sends in source-id order —
+        // exactly the order serial ticking calls `send` in.
+        staged_all.sort_by_key(|&(c, _, _)| c);
+        for (c, src, pkt) in staged_all {
+            // Same bookkeeping as `send`, minus the issue-width gate: the
+            // link already enforced it with an identical per-cycle ledger.
+            let (cycle, count) = &mut self.last_send[src];
+            if *cycle != c {
+                *cycle = c;
+                *count = 0;
+            }
+            *count += 1;
+            self.stats.sent += 1;
+            self.link_stats[pkt.dst.0 as usize].sent += 1;
+            let nth = self.sends_seen;
+            self.sends_seen += 1;
+            if self.faults.drop_for(nth) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let mut lat = self.latency(pkt.src, pkt.dst);
+            if let Some(extra) = self.faults.delay_for(nth) {
+                lat += extra;
+                self.stats.delayed += 1;
+            }
+            let deliver_at = c + lat;
+            debug_assert!(
+                deliver_at > horizon,
+                "lookahead violated: send at {c} delivers at {deliver_at} inside horizon {horizon}"
+            );
+            self.stats.total_latency += lat;
+            let dst = pkt.dst.0 as usize;
+            events[dst].push((c, src, 1));
+            out[dst].push((deliver_at, pkt));
+        }
+        for (dst, ev) in events.iter_mut().enumerate() {
+            // Serial order within a cycle is worker-id order: dst pops during
+            // its own tick, sources push during theirs.
+            ev.sort_by_key(|&(c, actor, _)| (c, actor));
+            let mut depth = depth_start[dst] as i64;
+            let ls = &mut self.link_stats[dst];
+            for &(_, _, delta) in ev.iter() {
+                depth += delta;
+                debug_assert!(depth >= 0, "queue depth replay went negative");
+                if delta > 0 {
+                    ls.queue_high_water = ls.queue_high_water.max(depth as u64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-attach the per-worker queues after the final epoch round. `pending`
+    /// is the last [`Noc::merge_epoch`] result that was never handed to a
+    /// next round; its deliveries land *behind* whatever is still queued
+    /// (they were sent later than anything the link already holds).
+    pub fn absorb_epoch(&mut self, links: Vec<EpochLink>, pending: Vec<Vec<(u64, Packet)>>) {
+        assert_eq!(links.len(), self.n);
+        assert_eq!(pending.len(), self.n);
+        for (w, (link, extra)) in links.into_iter().zip(pending).enumerate() {
+            debug_assert_eq!(link.id, w, "links must return in worker order");
+            let mut q = link.queue;
+            q.extend(extra);
+            self.inbound[w] = q;
+        }
+    }
+}
+
+/// The worker-facing face of the interconnect: what a `PartitionWorker`
+/// may do to it during its own tick. [`Noc`] implements it directly (the
+/// serial scheduler); [`EpochLink`] implements it over a detached
+/// per-worker queue (the epoch-parallel scheduler).
+pub trait Link {
+    /// See [`Noc::peek`].
+    fn peek(&self, now: u64, dst: PartitionId) -> Option<&Packet>;
+    /// See [`Noc::poll`].
+    fn poll(&mut self, now: u64, dst: PartitionId) -> Option<Packet>;
+    /// See [`Noc::send`].
+    fn send(&mut self, now: u64, pkt: Packet) -> Result<(), NocBusy>;
+}
+
+impl Link for Noc {
+    fn peek(&self, now: u64, dst: PartitionId) -> Option<&Packet> {
+        Noc::peek(self, now, dst)
+    }
+    fn poll(&mut self, now: u64, dst: PartitionId) -> Option<Packet> {
+        Noc::poll(self, now, dst)
+    }
+    fn send(&mut self, now: u64, pkt: Packet) -> Result<(), NocBusy> {
+        Noc::send(self, now, pkt)
+    }
+}
+
+/// One worker's detached view of the interconnect during an epoch round:
+/// the worker consumes deliveries from its own queue and stages outbound
+/// sends locally, with zero shared state — which is what lets every worker
+/// run on its own thread. Created by [`Noc::begin_epoch`]; traffic is
+/// reconciled by [`Noc::merge_epoch`] at the barrier.
+#[derive(Debug)]
+pub struct EpochLink {
+    id: usize,
+    n: usize,
+    issue_width: u32,
+    /// This worker's inbound deliveries `(deliver_at, packet)`, FIFO.
+    queue: VecDeque<(u64, Packet)>,
+    /// Outbound sends this round, `(cycle, packet)`, in send order.
+    staged: Vec<(u64, Packet)>,
+    /// Cycles at which this worker consumed a delivery this round.
+    polls: Vec<u64>,
+    /// Queue depth at the start of the round (after deliveries appended).
+    depth_start: u64,
+    /// Per-cycle issue ledger, same semantics as the shared one.
+    last_send: (u64, u32),
+    rejected: u64,
+}
+
+impl EpochLink {
+    /// Start a round: append the deliveries produced by the previous
+    /// round's merge (all strictly beyond the previous horizon, hence
+    /// behind anything still queued) and reset the round-local traffic log.
+    pub fn begin_round(&mut self, deliveries: Vec<(u64, Packet)>) {
+        self.queue.extend(deliveries);
+        self.depth_start = self.queue.len() as u64;
+        self.staged.clear();
+        self.polls.clear();
+        self.rejected = 0;
+    }
+
+    /// End a round: hand the recorded traffic to [`Noc::merge_epoch`].
+    pub fn harvest(&mut self) -> EpochTraffic {
+        EpochTraffic {
+            src: self.id,
+            staged: std::mem::take(&mut self.staged),
+            polls: std::mem::take(&mut self.polls),
+            rejected: std::mem::take(&mut self.rejected),
+            depth_start: self.depth_start,
+            depth_end: self.queue.len() as u64,
+        }
+    }
+
+    /// The earliest cycle `> now` at which the queue front becomes (or
+    /// already is) deliverable — this worker's slice of [`Noc::next_event`].
+    pub fn next_ready(&self, now: u64) -> Option<u64> {
+        self.queue.front().map(|(ready, _)| (*ready).max(now + 1))
+    }
+}
+
+impl Link for EpochLink {
+    fn peek(&self, now: u64, dst: PartitionId) -> Option<&Packet> {
+        debug_assert_eq!(dst.0 as usize, self.id, "epoch link peeked for another worker");
+        match self.queue.front() {
+            Some((ready, pkt)) if *ready <= now => Some(pkt),
+            _ => None,
+        }
+    }
+
+    fn poll(&mut self, now: u64, dst: PartitionId) -> Option<Packet> {
+        debug_assert_eq!(dst.0 as usize, self.id, "epoch link polled for another worker");
+        match self.queue.front() {
+            Some((ready, _)) if *ready <= now => {
+                self.polls.push(now);
+                Some(self.queue.pop_front().expect("front checked").1)
+            }
+            _ => None,
+        }
+    }
+
+    fn send(&mut self, now: u64, pkt: Packet) -> Result<(), NocBusy> {
+        let src = pkt.src.0 as usize;
+        assert!(
+            src < self.n && (pkt.dst.0 as usize) < self.n,
+            "packet for unknown worker"
+        );
+        debug_assert_eq!(src, self.id, "epoch link sent from another worker");
+        let (cycle, count) = &mut self.last_send;
+        if *cycle == now && *count >= self.issue_width {
+            self.rejected += 1;
+            return Err(NocBusy);
+        }
+        if *cycle != now {
+            *cycle = now;
+            *count = 0;
+        }
+        *count += 1;
+        self.staged.push((now, pkt));
+        Ok(())
+    }
+}
+
+/// One worker's traffic log for one epoch round, produced by
+/// [`EpochLink::harvest`] and consumed by [`Noc::merge_epoch`].
+#[derive(Debug)]
+pub struct EpochTraffic {
+    src: usize,
+    staged: Vec<(u64, Packet)>,
+    polls: Vec<u64>,
+    rejected: u64,
+    depth_start: u64,
+    depth_end: u64,
+}
+
+impl EpochTraffic {
+    /// True when the worker's delivery queue was empty at harvest time —
+    /// the epoch scheduler uses this to decide whether a freshly merged
+    /// delivery is the worker's next wake-up (a non-empty queue means an
+    /// older front head-of-line blocks it, and the worker's own exit hint
+    /// already accounts for that front).
+    pub fn queue_drained(&self) -> bool {
+        self.depth_end == 0
+    }
 }
 
 #[cfg(test)]
@@ -507,5 +814,87 @@ mod tests {
     fn out_of_range_destination_panics() {
         let mut noc = Noc::new(Topology::Crossbar, 2, 3);
         let _ = noc.send(0, req_pkt(0, 5));
+    }
+
+    #[test]
+    fn mean_latency_guarded_when_all_sends_dropped() {
+        use bionicdb_fpga::fault::FaultPlan;
+        let mut noc = Noc::new(Topology::Crossbar, 2, 3);
+        noc.set_faults(FaultPlan::none().drop_nth_send(0).drop_nth_send(1).noc);
+        noc.send(0, req_pkt(0, 1)).unwrap();
+        noc.send(1, req_pkt(0, 1)).unwrap();
+        let s = noc.stats();
+        assert_eq!((s.sent, s.dropped), (2, 2));
+        assert_eq!(s.mean_latency(), 0.0, "sent == dropped must not divide by zero");
+        // And the healthy path still averages correctly.
+        noc.send(2, req_pkt(0, 1)).unwrap();
+        assert_eq!(noc.stats().mean_latency(), 3.0);
+    }
+
+    #[test]
+    fn min_hop_latency_per_topology() {
+        assert_eq!(Noc::new(Topology::Crossbar, 4, 3).min_hop_latency(), 3);
+        // Ring: adjacent workers are one hop apart.
+        assert_eq!(Noc::new(Topology::Ring, 8, 3).min_hop_latency(), 3);
+        assert_eq!(Noc::new(Topology::Ring, 3, 5).min_hop_latency(), 5);
+        // Multi-chip with one worker per node: every pair pays the link.
+        let mc = Noc::new(
+            Topology::MultiChip {
+                workers_per_node: 1,
+                inter_node_hops: 25,
+            },
+            4,
+            3,
+        );
+        assert_eq!(mc.min_hop_latency(), 75);
+        // Multi-chip with co-resident workers: the intra-node hop wins.
+        let mc2 = Noc::new(
+            Topology::MultiChip {
+                workers_per_node: 2,
+                inter_node_hops: 25,
+            },
+            4,
+            3,
+        );
+        assert_eq!(mc2.min_hop_latency(), 3);
+        // Degenerate single worker: no pairs; the hop latency is the floor.
+        assert_eq!(Noc::new(Topology::Crossbar, 1, 3).min_hop_latency(), 3);
+    }
+
+    /// Epoch round-trip: the same traffic pushed through detached links +
+    /// merge must leave the Noc in exactly the state direct sends produce.
+    #[test]
+    fn epoch_links_replay_bit_identical() {
+        let run = |epoch: bool| -> (NocStats, Vec<LinkStats>, Vec<Option<Packet>>) {
+            let mut noc = Noc::new(Topology::Crossbar, 3, 3);
+            if epoch {
+                let mut links = noc.begin_epoch();
+                for l in &mut links {
+                    l.begin_round(Vec::new());
+                }
+                // Worker 0 sends twice at cycle 5 (second rejected), worker
+                // 1 sends at 5 and 6.
+                Link::send(&mut links[0], 5, req_pkt(0, 2)).unwrap();
+                assert_eq!(Link::send(&mut links[0], 5, req_pkt(0, 1)), Err(NocBusy));
+                Link::send(&mut links[1], 5, req_pkt(1, 2)).unwrap();
+                Link::send(&mut links[1], 6, req_pkt(1, 0)).unwrap();
+                let traffic = links.iter_mut().map(|l| l.harvest()).collect();
+                let deliveries = noc.merge_epoch(6, traffic);
+                noc.absorb_epoch(links, deliveries);
+            } else {
+                noc.send(5, req_pkt(0, 2)).unwrap();
+                assert_eq!(noc.send(5, req_pkt(0, 1)), Err(NocBusy));
+                noc.send(5, req_pkt(1, 2)).unwrap();
+                noc.send(6, req_pkt(1, 0)).unwrap();
+            }
+            let drained: Vec<Option<Packet>> = (0..3)
+                .map(|w| noc.poll(100, PartitionId(w)))
+                .collect();
+            (noc.stats(), noc.link_stats().to_vec(), drained)
+        };
+        let (serial, epoch) = (run(false), run(true));
+        assert_eq!(serial.0, epoch.0, "NocStats diverged");
+        assert_eq!(serial.1, epoch.1, "LinkStats diverged");
+        assert_eq!(serial.2, epoch.2, "delivered packets diverged");
     }
 }

@@ -23,4 +23,7 @@ cargo run --release --locked -p bionicdb-bench --bin chaos -- --smoke
 echo "== stats smoke (fixed-seed YCSB: determinism, schema, trace inertness) =="
 cargo run --release --locked -p bionicdb-bench --bin statscheck -- --json target/stats_smoke.json
 
+echo "== parcheck (serial vs epoch-parallel at 1/2/4 sim threads: byte-identical reports) =="
+cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --quick --out target/parsim_smoke.json
+
 echo "All checks passed."

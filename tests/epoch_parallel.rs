@@ -1,0 +1,445 @@
+//! Epoch-parallel scheduler equivalence tests.
+//!
+//! `Machine::set_sim_threads(n)` with `n > 1` runs each partition worker
+//! (softcore + coprocessor + DRAM bank + partition tables) on its own OS
+//! thread inside epochs bounded by the NoC lookahead
+//! (`Noc::min_hop_latency`). The contract is the same as fast-forward's,
+//! one level stronger: the parallel run must be *bit-for-bit identical* to
+//! strict serial ticking — identical final cycle, identical DRAM image,
+//! identical statistics on every component, and byte-identical
+//! `MachineReport::to_json()` output — for ANY thread count, on any
+//! workload, including runs that crash mid-flight under a `FaultPlan`.
+//!
+//! Every test here runs the same seeded workload under strict serial
+//! stepping, serial fast-forward, and epoch-parallel at 2 and 4 threads,
+//! and compares whole-machine snapshots plus raw report JSON bytes.
+
+use bionicdb::worker::WorkerStats;
+use bionicdb::{BionicConfig, FaultPlan, Machine, MachineReport, Topology};
+use bionicdb_coproc::CoprocStats;
+use bionicdb_fpga::dram::DramStats;
+use bionicdb_noc::NocStats;
+use bionicdb_softcore::SoftcoreStats;
+use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
+use bionicdb_workloads::{TpccSpec, YcsbSpec};
+use proptest::prelude::*;
+
+/// How a run is scheduled. All modes must be observationally identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Strict single-cycle serial ticking.
+    Strict,
+    /// Serial fast-forward (PR 1 scheduler).
+    Fast,
+    /// Epoch-parallel with this many worker threads.
+    Par(usize),
+}
+
+fn apply(m: &mut Machine, mode: Mode) {
+    match mode {
+        Mode::Strict => m.set_fast_forward(false),
+        Mode::Fast => m.set_fast_forward(true),
+        Mode::Par(n) => {
+            m.set_fast_forward(true);
+            m.set_sim_threads(n);
+        }
+    }
+}
+
+/// Everything observable about a machine after a run, plus the raw report
+/// JSON bytes (the artifact `scripts/check.sh parcheck` diffs).
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    now: u64,
+    crashed: bool,
+    machine: bionicdb::MachineStats,
+    dram: DramStats,
+    noc: NocStats,
+    dram_image: u64,
+    workers: Vec<(SoftcoreStats, CoprocStats, WorkerStats)>,
+    report: MachineReport,
+    json: String,
+}
+
+fn snapshot(m: &Machine) -> Snapshot {
+    let report = m.report();
+    let json = report.to_json();
+    Snapshot {
+        now: m.now(),
+        crashed: m.is_crashed(),
+        machine: m.stats(),
+        dram: m.dram_stats(),
+        noc: m.noc().stats(),
+        dram_image: m.dram().image_digest(),
+        workers: (0..m.num_workers())
+            .map(|w| {
+                let pw = m.worker(w);
+                (pw.softcore.stats(), pw.coproc.stats(), pw.stats())
+            })
+            .collect(),
+        report,
+        json,
+    }
+}
+
+/// Assert two snapshots are bit-identical, with targeted messages for the
+/// most diagnostic fields before the blanket comparison.
+fn assert_identical(base: &Snapshot, other: &Snapshot, label: &str) {
+    assert_eq!(
+        base.now, other.now,
+        "{label}: cycle counts diverge (base={}, other={})",
+        base.now, other.now
+    );
+    assert_eq!(
+        base.dram_image, other.dram_image,
+        "{label}: DRAM images diverge"
+    );
+    assert_eq!(base.json, other.json, "{label}: report JSON bytes diverge");
+    assert_eq!(base, other, "{label}: snapshots diverge");
+}
+
+/// Run the same seeded YCSB wave under a given mode.
+fn ycsb_run(
+    cfg: BionicConfig,
+    spec: YcsbSpec,
+    kinds: &[YcsbKind],
+    txns_per_worker: usize,
+    plan: Option<FaultPlan>,
+    seed: u64,
+    mode: Mode,
+) -> Snapshot {
+    let mut y = YcsbBionic::build(cfg, spec, 4);
+    apply(&mut y.machine, mode);
+    if let Some(p) = plan {
+        y.machine.set_fault_plan(p);
+    }
+    let workers = y.machine.num_workers();
+    let size = kinds
+        .iter()
+        .map(|&k| y.block_size(k))
+        .max()
+        .expect("at least one kind");
+    let mut pools: Vec<BlockPool> = (0..workers)
+        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
+        .collect();
+    let mut rng = YcsbBionic::rng(seed);
+    for (w, pool) in pools.iter_mut().enumerate() {
+        for i in 0..txns_per_worker {
+            let blk = pool.take();
+            y.submit_txn(w, blk, kinds[i % kinds.len()], &mut rng);
+        }
+    }
+    y.machine.run_to_quiescence();
+    snapshot(&y.machine)
+}
+
+fn ycsb_all_modes(
+    cfg: BionicConfig,
+    spec: YcsbSpec,
+    kinds: &[YcsbKind],
+    txns_per_worker: usize,
+    plan: Option<FaultPlan>,
+    seed: u64,
+    label: &str,
+) -> Snapshot {
+    let strict = ycsb_run(
+        cfg.clone(),
+        spec.clone(),
+        kinds,
+        txns_per_worker,
+        plan.clone(),
+        seed,
+        Mode::Strict,
+    );
+    for mode in [Mode::Fast, Mode::Par(2), Mode::Par(4)] {
+        let other = ycsb_run(
+            cfg.clone(),
+            spec.clone(),
+            kinds,
+            txns_per_worker,
+            plan.clone(),
+            seed,
+            mode,
+        );
+        assert_identical(&strict, &other, &format!("{label} [{mode:?}]"));
+    }
+    strict
+}
+
+/// Crossbar topology: the minimum-lookahead case (L = hop latency).
+#[test]
+fn ycsb_crossbar_parallel_equivalence() {
+    let strict = ycsb_all_modes(
+        BionicConfig::small(4),
+        YcsbSpec::tiny(),
+        &[YcsbKind::ReadLocal, YcsbKind::UpdateLocal, YcsbKind::Scan],
+        16,
+        None,
+        0xEA57,
+        "ycsb crossbar",
+    );
+    assert!(strict.machine.committed > 0, "workload must commit");
+}
+
+/// Multisite: four workers on two chips, 75% remote — cross-worker NoC
+/// traffic is what the epoch barrier actually has to get right.
+#[test]
+fn multisite_parallel_equivalence() {
+    let cfg = BionicConfig {
+        topology: Topology::MultiChip {
+            workers_per_node: 2,
+            inter_node_hops: 8,
+        },
+        ..BionicConfig::small(4)
+    };
+    let spec = YcsbSpec {
+        remote_fraction: 0.75,
+        ..YcsbSpec::tiny()
+    };
+    let strict = ycsb_all_modes(
+        cfg,
+        spec,
+        &[YcsbKind::ReadHomed],
+        24,
+        None,
+        0x3317E,
+        "multisite",
+    );
+    assert!(strict.machine.committed > 0, "workload must commit");
+    assert!(
+        strict.workers.iter().any(|w| w.2.remote_requests > 0),
+        "multisite run must actually go remote"
+    );
+}
+
+/// Thread counts beyond the worker count must clamp, not diverge or hang.
+#[test]
+fn more_threads_than_workers_is_identical() {
+    let strict = ycsb_run(
+        BionicConfig::small(2),
+        YcsbSpec::tiny(),
+        &[YcsbKind::ReadLocal, YcsbKind::UpdateLocal],
+        12,
+        None,
+        0x0DD,
+        Mode::Strict,
+    );
+    let par = ycsb_run(
+        BionicConfig::small(2),
+        YcsbSpec::tiny(),
+        &[YcsbKind::ReadLocal, YcsbKind::UpdateLocal],
+        12,
+        None,
+        0x0DD,
+        Mode::Par(16),
+    );
+    assert_identical(&strict, &par, "16 threads / 2 workers");
+}
+
+/// TPC-C NewOrder/Payment mix across four partitions.
+#[test]
+fn tpcc_parallel_equivalence() {
+    use bionicdb_workloads::tpcc::TpccBionic;
+
+    let run = |mode: Mode| -> Snapshot {
+        let mut sys = TpccBionic::build(BionicConfig::small(4), TpccSpec::tiny());
+        apply(&mut sys.machine, mode);
+        let workers = sys.machine.num_workers();
+        let mut rng = YcsbBionic::rng(0x7FCC);
+        for w in 0..workers {
+            for i in 0..12 {
+                if i % 2 == 0 {
+                    let blk = sys
+                        .machine
+                        .alloc_block(w, TpccBionic::neworder_block_size());
+                    sys.submit_neworder(w, blk, &mut rng);
+                } else {
+                    let blk = sys.machine.alloc_block(w, TpccBionic::payment_block_size());
+                    sys.submit_payment(w, blk, &mut rng);
+                }
+            }
+        }
+        sys.machine.run_to_quiescence();
+        snapshot(&sys.machine)
+    };
+
+    let strict = run(Mode::Strict);
+    assert!(strict.machine.committed > 0, "workload must commit");
+    for mode in [Mode::Fast, Mode::Par(2), Mode::Par(4)] {
+        assert_identical(&strict, &run(mode), &format!("tpcc [{mode:?}]"));
+    }
+}
+
+/// NoC drops/delays plus DRAM transients under retry glue: the fault replay
+/// (per-link ordinals, retransmit timers) must survive the epoch split.
+#[test]
+fn faulted_parallel_equivalence() {
+    use bionicdb::NocRetryConfig;
+
+    let cfg = BionicConfig {
+        noc_retry: Some(NocRetryConfig {
+            timeout_cycles: 1024,
+            max_attempts: 4,
+        }),
+        ..BionicConfig::small(4)
+    };
+    let spec = YcsbSpec {
+        remote_fraction: 0.8,
+        ..YcsbSpec::tiny()
+    };
+    let mut plan = FaultPlan::none()
+        .delay_nth_send(1, 40)
+        .delay_nth_send(6, 13)
+        .dram_transient(3, 17)
+        .dram_transient(11, 9);
+    for n in [2u64, 7, 12] {
+        plan = plan.drop_nth_send(n);
+    }
+    let strict = ycsb_all_modes(
+        cfg,
+        spec,
+        &[YcsbKind::ReadHomed],
+        16,
+        Some(plan),
+        0xFA11,
+        "faulted",
+    );
+    assert!(strict.machine.committed > 0, "workload must commit");
+    assert!(
+        strict.noc.dropped >= 1 && strict.noc.delayed >= 1,
+        "faults actually fired: {:?}",
+        strict.noc
+    );
+    assert!(
+        strict.dram.transient_faults >= 1,
+        "DRAM transients actually fired"
+    );
+}
+
+/// A crash-at-cycle plan must stop the parallel run on exactly the same
+/// cycle with exactly the same machine state as serial: the epoch horizon
+/// is capped at `crash_at - 1` and the crash cycle itself ticks serially.
+#[test]
+fn crash_plan_parallel_equivalence() {
+    // A crash landing mid-run; chosen so work is genuinely in flight.
+    for crash_at in [150u64, 1_000, 5_000] {
+        let plan = FaultPlan::none().crash_at(crash_at);
+        let strict = ycsb_run(
+            BionicConfig::small(4),
+            YcsbSpec::tiny(),
+            &[YcsbKind::ReadLocal, YcsbKind::UpdateLocal],
+            24,
+            Some(plan.clone()),
+            0xC4A5,
+            Mode::Strict,
+        );
+        for mode in [Mode::Fast, Mode::Par(2), Mode::Par(4)] {
+            let other = ycsb_run(
+                BionicConfig::small(4),
+                YcsbSpec::tiny(),
+                &[YcsbKind::ReadLocal, YcsbKind::UpdateLocal],
+                24,
+                Some(plan.clone()),
+                0xC4A5,
+                mode,
+            );
+            assert_identical(
+                &strict,
+                &other,
+                &format!("crash@{crash_at} [{mode:?}]"),
+            );
+        }
+        if strict.crashed {
+            assert_eq!(strict.now, crash_at, "crash stops on the crash cycle");
+        }
+    }
+}
+
+/// The Chrome trace export must also be byte-identical: parallel lanes
+/// buffer events locally and the barrier merges them back into the serial
+/// (cycle, worker) sink order.
+#[test]
+fn trace_bytes_identical_across_modes() {
+    use bionicdb_fpga::ChromeTraceSink;
+
+    let run = |mode: Mode| -> (Snapshot, String) {
+        let mut y = YcsbBionic::build(BionicConfig::small(4), YcsbSpec::tiny(), 4);
+        apply(&mut y.machine, mode);
+        y.machine.set_trace_sink(Box::new(ChromeTraceSink::new()));
+        let kinds = [YcsbKind::ReadLocal, YcsbKind::UpdateLocal, YcsbKind::Scan];
+        let size = kinds.iter().map(|&k| y.block_size(k)).max().unwrap();
+        let mut pools: Vec<BlockPool> = (0..4)
+            .map(|w| BlockPool::new(&mut y.machine, w, 12, size))
+            .collect();
+        let mut rng = YcsbBionic::rng(0x7AACE);
+        for (w, pool) in pools.iter_mut().enumerate() {
+            for i in 0..12 {
+                let blk = pool.take();
+                y.submit_txn(w, blk, kinds[i % kinds.len()], &mut rng);
+            }
+        }
+        y.machine.run_to_quiescence();
+        let trace = y.machine.trace_json().expect("sink exports a trace");
+        (snapshot(&y.machine), trace)
+    };
+
+    let (strict, strict_trace) = run(Mode::Strict);
+    assert!(strict.machine.committed > 0, "workload must commit");
+    for mode in [Mode::Fast, Mode::Par(2), Mode::Par(4)] {
+        let (other, other_trace) = run(mode);
+        assert_identical(&strict, &other, &format!("traced [{mode:?}]"));
+        assert_eq!(
+            strict_trace, other_trace,
+            "trace bytes diverge [{mode:?}]"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arbitrary interleavings across four workers, arbitrary crash cycles:
+    /// serial strict, serial fast-forward, and epoch-parallel at 2 and 4
+    /// threads all produce byte-identical report JSON.
+    #[test]
+    fn arbitrary_runs_byte_identical(
+        seed in 0u64..u64::MAX,
+        ops in proptest::collection::vec((0usize..4, 0usize..4), 1..20),
+        crash_raw in 0u64..20_000,
+    ) {
+        // Values below 100 mean "no crash"; the rest are crash cycles.
+        let crash = (crash_raw >= 100).then_some(crash_raw);
+        let run = |mode: Mode| -> Snapshot {
+            let mut y = YcsbBionic::build(BionicConfig::small(4), YcsbSpec::tiny(), 4);
+            apply(&mut y.machine, mode);
+            if let Some(c) = crash {
+                y.machine.set_fault_plan(FaultPlan::none().crash_at(c));
+            }
+            let kinds = [
+                YcsbKind::ReadLocal,
+                YcsbKind::UpdateLocal,
+                YcsbKind::Scan,
+                YcsbKind::ReadHomed,
+            ];
+            let size = kinds.iter().map(|&k| y.block_size(k)).max().unwrap();
+            let mut pools: Vec<BlockPool> = (0..4)
+                .map(|w| BlockPool::new(&mut y.machine, w, ops.len(), size))
+                .collect();
+            let mut rng = YcsbBionic::rng(seed);
+            for &(w, k) in &ops {
+                let blk = pools[w].take();
+                y.submit_txn(w, blk, kinds[k], &mut rng);
+            }
+            y.machine.run_to_quiescence();
+            snapshot(&y.machine)
+        };
+        let strict = run(Mode::Strict);
+        for mode in [Mode::Fast, Mode::Par(2), Mode::Par(4)] {
+            let other = run(mode);
+            prop_assert_eq!(&strict.now, &other.now, "cycle counts diverge [{:?}]", mode);
+            prop_assert_eq!(&strict.dram_image, &other.dram_image, "DRAM images diverge [{:?}]", mode);
+            prop_assert_eq!(&strict.json, &other.json, "report JSON diverges [{:?}]", mode);
+            prop_assert_eq!(&strict, &other);
+        }
+    }
+}

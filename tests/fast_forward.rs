@@ -49,7 +49,7 @@ fn snapshot(m: &Machine) -> Snapshot {
     Snapshot {
         now: m.now(),
         machine: m.stats(),
-        dram: m.dram().stats(),
+        dram: m.dram_stats(),
         noc: m.noc().stats(),
         dram_image: m.dram().image_digest(),
         workers: (0..m.num_workers())
@@ -273,7 +273,7 @@ fn next_event_never_in_the_past() {
         steps += 1;
         assert!(steps < 2_000_000, "workload failed to quiesce");
         let now = y.machine.now();
-        if let Some(t) = y.machine.dram().next_event() {
+        if let Some(t) = y.machine.dram_next_event() {
             assert!(t > now, "dram next_event {t} <= now {now}");
         }
         if let Some(t) = y.machine.noc().next_event(now) {
