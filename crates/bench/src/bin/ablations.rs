@@ -21,8 +21,8 @@ use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let wave = if quick { 60 } else { 200 };
+    let args = BenchArgs::from_env();
+    let wave = args.wave(60, 200);
     let mut json = JsonOut::from_env("ablations");
 
     // 1. Scanner count vs scan throughput. Every ablation point builds its

@@ -10,14 +10,15 @@
 use bionicdb_bench::chaos::{run_crash, run_noc_drop, ChaosWorkload};
 use bionicdb_bench::json::JsonOut;
 
-const WORKLOADS: [ChaosWorkload; 3] = [
+const WORKLOADS: [ChaosWorkload; 4] = [
     ChaosWorkload::Ycsb,
     ChaosWorkload::Tpcc,
     ChaosWorkload::Multisite,
+    ChaosWorkload::SmallBank,
 ];
 
 fn main() {
-    let smoke_only = std::env::args().any(|a| a == "--smoke");
+    let smoke_only = bionicdb_bench::BenchArgs::from_env().flag("--smoke");
     let mut json = JsonOut::from_env("chaos");
     let mut scenarios = 0u64;
 

@@ -14,9 +14,9 @@ use bionicdb_workloads::tpcc::TpccSilo;
 use bionicdb_workloads::ycsb::{YcsbKind, YcsbSilo};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = BenchArgs::from_env();
     let mut json = JsonOut::from_env("fig09_overall");
-    let (wave, silo_txns) = if quick {
+    let (wave, silo_txns) = if args.quick() {
         (120, 400)
     } else {
         (YCSB_WAVE, 2_000)

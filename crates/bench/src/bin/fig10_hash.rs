@@ -19,8 +19,8 @@ use bionicdb_workloads::ycsb::YcsbKind;
 const INFLIGHT: [usize; 7] = [1, 4, 8, 12, 16, 20, 24];
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let wave = if quick { 60 } else { 200 };
+    let args = BenchArgs::from_env();
+    let wave = args.wave(60, 200);
     let mut json = JsonOut::from_env("fig10_hash");
 
     // (a) KV insert / search, operation throughput. Each sweep point is an

@@ -28,13 +28,9 @@ fn build(scanners: usize) -> YcsbBionic {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let wave = if quick { 40 } else { 150 };
-    let scanners: usize = std::env::args()
-        .skip_while(|a| a != "--scanners")
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let args = BenchArgs::from_env();
+    let wave = args.wave(40, 150);
+    let scanners: usize = args.parsed("--scanners", 1);
     let mut json = JsonOut::from_env("fig11_skiplist");
 
     // (a) sequential loading (bulk inserts), operation throughput. Points
@@ -96,7 +92,7 @@ fn main() {
     rows.push((format!("BionicDB ({scanners} scanner)"), t.per_sec / 1e3));
     json.machine_row(&format!("scan_bionic_{scanners}sc"), Some(t), &y.machine);
     let silo = YcsbSilo::build(bench_ycsb_spec(), 4);
-    let txns = if quick { 300 } else { 1_000 };
+    let txns = args.wave(300, 1_000);
     let masstree = silo_scan_model_tput(&silo, silo.masstree, txns, 4);
     let sw_skip = silo_scan_model_tput(&silo, silo.skiplist, txns, 4);
     rows.push(("Masstree".into(), masstree / 1e3));

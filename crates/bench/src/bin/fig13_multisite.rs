@@ -29,8 +29,8 @@ fn build(remote_fraction: f64, topology: Topology) -> YcsbBionic {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let wave = if quick { 150 } else { 400 };
+    let args = BenchArgs::from_env();
+    let wave = args.wave(150, 400);
     let mut json = JsonOut::from_env("fig13_multisite");
 
     let mut rows = Vec::new();

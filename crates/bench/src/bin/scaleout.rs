@@ -31,8 +31,8 @@ fn build(topology: Topology, remote_fraction: f64) -> YcsbBionic {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let wave = if quick { 100 } else { 300 };
+    let args = BenchArgs::from_env();
+    let wave = args.wave(100, 300);
 
     let topologies: [(&str, Topology); 4] = [
         ("1 chip x 8 (crossbar)", Topology::Crossbar),

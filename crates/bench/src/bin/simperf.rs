@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use bionicdb::{BionicConfig, ExecMode, Topology};
 use bionicdb_bench::json::JsonOut;
-use bionicdb_bench::rng;
+use bionicdb_bench::{rng, BenchArgs};
 use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
 
@@ -81,6 +81,9 @@ fn measure(fast: bool, txns_per_worker: usize) -> Measurement {
 struct ParRun {
     m: Measurement,
     report_json: String,
+    /// Per-lane `(ticks, skipped)` from the epoch-parallel scheduler
+    /// (all zeros for the serial run).
+    lanes: Vec<(u64, u64)>,
 }
 
 /// Run the 4-worker multisite wave at a given sim-thread count and time it.
@@ -129,6 +132,7 @@ fn measure_par(threads: usize, txns_per_worker: usize) -> ParRun {
             committed: y.machine.stats().committed,
         },
         report_json: y.machine.report().to_json(),
+        lanes: y.machine.lane_activity().to_vec(),
     }
 }
 
@@ -171,6 +175,14 @@ fn run_par_study(quick: bool, out_path: &str) {
             run.m.ticks,
             run.m.wall_secs
         );
+        // Per-lane load balance: component ticks actually executed vs
+        // cycles fast-forwarded over, per worker lane (epoch runs only —
+        // the serial schedule does not maintain lane counters).
+        for (w, &(ticks, skipped)) in run.lanes.iter().enumerate() {
+            if ticks > 0 || skipped > 0 {
+                println!("        lane {w}: {ticks} ticks, {skipped} skipped");
+            }
+        }
     }
     let speedup2 = serial.m.wall_secs / par2.m.wall_secs;
     let speedup4 = serial.m.wall_secs / par4.m.wall_secs;
@@ -215,27 +227,30 @@ fn run_par_study(quick: bool, out_path: &str) {
     jout.value_row("par2_cycles_per_sec", par2.m.cycles_per_sec());
     jout.value_row("par4_cycles_per_sec", par4.m.cycles_per_sec());
     jout.value_row("speedup_par4", speedup4);
+    for (w, &(ticks, skipped)) in par4.lanes.iter().enumerate() {
+        jout.value_row(&format!("par4_lane{w}_ticks"), ticks as f64);
+        jout.value_row(&format!("par4_lane{w}_skipped"), skipped as f64);
+    }
     jout.write();
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let par = std::env::args().any(|a| a == "--par");
-    let out_path = std::env::args()
-        .skip_while(|a| a != "--out")
-        .nth(1)
-        .unwrap_or_else(|| {
-            if par {
-                "BENCH_parsim.json".into()
-            } else {
-                "BENCH_simperf.json".into()
-            }
-        });
+    let args = BenchArgs::from_env();
+    let quick = args.quick();
+    let par = args.flag("--par");
+    let out_path = args
+        .value("--out")
+        .unwrap_or(if par {
+            "BENCH_parsim.json"
+        } else {
+            "BENCH_simperf.json"
+        })
+        .to_string();
     if par {
         run_par_study(quick, &out_path);
         return;
     }
-    let txns = if quick { 400 } else { 2_000 };
+    let txns = args.wave(400, 2_000);
 
     let strict = measure(false, txns);
     let fast = measure(true, txns);

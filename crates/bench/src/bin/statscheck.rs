@@ -18,7 +18,7 @@
 
 use bionicdb::ExecMode;
 use bionicdb_bench::json::{render_machine_row, validate, JsonOut};
-use bionicdb_bench::{bionic_ycsb_tput, build_ycsb};
+use bionicdb_bench::{bionic_ycsb_tput, build_ycsb, BenchArgs};
 use bionicdb_fpga::ChromeTraceSink;
 use bionicdb_workloads::ycsb::YcsbKind;
 
@@ -103,10 +103,10 @@ fn main() {
     // 4. Round-trip through the file when --json was given.
     json.write();
     if active {
-        let path = std::env::args()
-            .skip_while(|a| a != "--json")
-            .nth(1)
-            .expect("--json path");
+        let path = BenchArgs::from_env()
+            .json_path()
+            .expect("--json path")
+            .to_string();
         let readback = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read back {path}: {e}")));
         if readback != doc {

@@ -1,0 +1,152 @@
+//! Workload-ABI gate: proves the generic driver is behavior-preserving and
+//! that every workload stays deterministic under all three execution modes.
+//!
+//! Two halves:
+//!
+//! 1. **Golden bit-identity** — run a fixed-seed wave of every legacy
+//!    runner shape (YCSB all kinds, the three KV bulk loops, TPC-C all
+//!    mixes) and compare each rendered measurement row — throughput plus
+//!    the full `MachineReport` JSON — byte-for-byte against
+//!    `crates/bench/golden/workload_goldens.json`. The golden file was
+//!    captured from the hand-rolled pre-refactor loops (`--capture`
+//!    regenerates it; only do that deliberately), so any drift introduced
+//!    by driver changes fails loudly.
+//! 2. **SmallBank smoke** — the workload that proves the ABI seam: a
+//!    fixed-seed SmallBank wave through strict, fast-forward, and
+//!    epoch-parallel execution must produce byte-identical rows, twice
+//!    (determinism), and survive the chaos crash-at-cycle recovery and
+//!    NoC-drop scenarios.
+//!
+//! `scripts/check.sh` runs this bin as the `workloadcheck` step.
+
+use bionicdb::ExecMode;
+use bionicdb_bench::json::render_machine_row;
+use bionicdb_bench::*;
+use bionicdb_workloads::ycsb::YcsbKind;
+
+/// Where the golden rows live, relative to the bench crate.
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/workload_goldens.json")
+}
+
+/// Run the fixed wave of every legacy runner shape and render one row per
+/// measurement. The exact call sequence (machines shared between waves,
+/// wave sizes, seeds inside the runners) is part of the golden contract —
+/// do not reorder.
+fn golden_rows() -> Vec<String> {
+    let mut rows = Vec::new();
+
+    // One YCSB machine, four transaction kinds in sequence.
+    let mut y = build_ycsb(4, ExecMode::Interleaved);
+    for (label, kind, wave) in [
+        ("ycsb_read_local", YcsbKind::ReadLocal, 40),
+        ("ycsb_read_homed", YcsbKind::ReadHomed, 40),
+        ("ycsb_update_local", YcsbKind::UpdateLocal, 24),
+        ("ycsb_scan", YcsbKind::Scan, 12),
+    ] {
+        let t = bionic_ycsb_tput(&mut y, kind, wave);
+        rows.push(render_machine_row(label, Some(t), &y.machine));
+    }
+
+    // One hash-KV machine: bulk insert, search, then random inserts.
+    let mut y = build_ycsb(4, ExecMode::Interleaved);
+    let t = bionic_kv_tput(&mut y, true, 12);
+    rows.push(render_machine_row("kv_hash_insert", Some(t), &y.machine));
+    let t = bionic_kv_tput(&mut y, false, 12);
+    rows.push(render_machine_row("kv_hash_search", Some(t), &y.machine));
+    let t = bionic_kv_random_insert_tput(&mut y, 12);
+    rows.push(render_machine_row("kv_random_insert", Some(t), &y.machine));
+
+    // One skiplist machine: bulk insert then point query.
+    let mut y = build_ycsb(4, ExecMode::Interleaved);
+    let t = bionic_kv_skip_tput(&mut y, true, 12);
+    rows.push(render_machine_row("kv_skip_insert", Some(t), &y.machine));
+    let t = bionic_kv_skip_tput(&mut y, false, 12);
+    rows.push(render_machine_row("kv_skip_search", Some(t), &y.machine));
+
+    // One TPC-C machine, all three mixes in sequence.
+    let mut sys = build_tpcc(4, ExecMode::Interleaved);
+    for (label, mix, wave) in [
+        ("tpcc_mixed", TpccMix::Mixed, 24),
+        ("tpcc_neworder", TpccMix::NewOrderOnly, 12),
+        ("tpcc_payment", TpccMix::PaymentOnly, 12),
+    ] {
+        let t = bionic_tpcc_tput(&mut sys, mix, wave);
+        rows.push(render_machine_row(label, Some(t), &sys.machine));
+    }
+
+    rows
+}
+
+/// SmallBank smoke: one fixed-seed wave per execution schedule must render
+/// byte-identical measurement rows (strict ≡ fast-forward ≡ epoch-parallel
+/// at 2 lanes), and running the whole set twice must reproduce the exact
+/// bytes. Then the chaos crash-recovery and NoC-drop scenarios run on the
+/// SmallBank conserving mix — the new workload inherits the full
+/// robustness harness purely through the ABI.
+fn smallbank_smoke() {
+    let run = |fast_forward: bool, threads: usize| -> String {
+        let mut sb = build_smallbank(4, ExecMode::Interleaved);
+        sb.machine.set_fast_forward(fast_forward);
+        sb.machine.set_sim_threads(threads);
+        let t = bionic_smallbank_tput(&mut sb, 16);
+        render_machine_row("smallbank_mixed", Some(t), &sb.machine)
+    };
+
+    let strict = run(false, 1);
+    let fast = run(true, 1);
+    let par = run(true, 2);
+    assert_eq!(strict, fast, "smallbank: fast-forward row drifted from strict");
+    assert_eq!(strict, par, "smallbank: epoch-parallel row drifted from strict");
+    assert_eq!(strict, run(false, 1), "smallbank: rerun is not byte-identical");
+    println!("workloadcheck: smallbank rows byte-identical across schedules");
+
+    let r = chaos::run_crash(chaos::ChaosWorkload::SmallBank, 500, true, 0x5BC4);
+    println!(
+        "workloadcheck: smallbank crash recovery OK ({} committed, {} salvaged)",
+        r.committed_at_crash, r.salvaged
+    );
+    let r = chaos::run_noc_drop(chaos::ChaosWorkload::SmallBank, &[1, 4], 0x5BC4);
+    println!(
+        "workloadcheck: smallbank noc-drop OK ({} dropped)",
+        r.dropped
+    );
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let capture = args.flag("--capture");
+    let rows = golden_rows();
+    let doc: String = rows.join("\n") + "\n";
+
+    if capture {
+        std::fs::create_dir_all(golden_path().parent().unwrap()).expect("mkdir golden/");
+        std::fs::write(golden_path(), &doc).expect("write goldens");
+        println!(
+            "captured {} golden rows to {}",
+            rows.len(),
+            golden_path().display()
+        );
+        return;
+    }
+
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file present (regenerate deliberately with --capture)");
+    if doc != golden {
+        for (i, (got, want)) in doc.lines().zip(golden.lines()).enumerate() {
+            if got != want {
+                eprintln!("row {i} differs:\n  want: {want}\n  got:  {got}");
+            }
+        }
+        assert_eq!(
+            doc.lines().count(),
+            golden.lines().count(),
+            "golden row count drifted"
+        );
+        panic!("workload driver output drifted from the pre-refactor goldens");
+    }
+    println!("workloadcheck: {} golden rows bit-identical", rows.len());
+
+    smallbank_smoke();
+    println!("workloadcheck: all checks passed");
+}

@@ -28,9 +28,12 @@
 //! with no wedged machine, no double-applied remote op, and a final state
 //! identical to what replaying the log reproduces.
 //!
-//! Three workloads exercise different recovery paths: YCSB (single-site
-//! updates + multisite reads), TPC-C (multi-table logic with inserts), and
-//! a bank-transfer multisite workload with a global conservation invariant.
+//! Four workloads exercise different recovery paths: YCSB (single-site
+//! updates + multisite reads), TPC-C (multi-table logic with inserts), a
+//! bank-transfer multisite workload with a global conservation invariant,
+//! and SmallBank (two-table transfers through the workload ABI, restricted
+//! to its conserving procedures so every committed prefix preserves the
+//! total balance).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -40,9 +43,10 @@ use bionicdb::{
     asm::assemble, BionicConfig, FaultPlan, Machine, NocRetryConfig, ProcId, RetryBudget,
     SystemBuilder, TableId, TableMeta, TxnBlock,
 };
+use bionicdb_workloads::smallbank::SmallBankBionic;
 use bionicdb_workloads::tpcc::TpccBionic;
 use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
-use bionicdb_workloads::{TpccSpec, YcsbSpec};
+use bionicdb_workloads::{SbOp, SmallBankSpec, TpccSpec, YcsbSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,6 +63,10 @@ pub enum ChaosWorkload {
     /// Cross-partition bank transfers with a global money-conservation
     /// invariant.
     Multisite,
+    /// SmallBank through the workload ABI, restricted to its conserving
+    /// procedures (SendPayment / Amalgamate / Balance) so the total
+    /// balance is invariant over *every* committed prefix.
+    SmallBank,
 }
 
 /// What a chaos scenario observed; the assertions have already run by the
@@ -150,6 +158,7 @@ enum Sys {
         table: TableId,
         proc: ProcId,
     },
+    SmallBank(SmallBankBionic),
 }
 
 impl Sys {
@@ -198,6 +207,20 @@ impl Sys {
                 }
                 Sys::Multisite { db, table, proc }
             }
+            ChaosWorkload::SmallBank => {
+                let cfg = BionicConfig {
+                    noc_retry: retry,
+                    ..BionicConfig::small(2)
+                };
+                // A high transfer-remote fraction so a small conserving
+                // batch reliably crosses the NoC for the drop schedules.
+                let spec = SmallBankSpec {
+                    accounts_per_partition: 256,
+                    transfer_remote_fraction: 0.6,
+                    ..SmallBankSpec::tiny()
+                };
+                Sys::SmallBank(SmallBankBionic::build(cfg, spec))
+            }
         }
     }
 
@@ -206,6 +229,7 @@ impl Sys {
             Sys::Ycsb(y) => &mut y.machine,
             Sys::Tpcc(t) => &mut t.machine,
             Sys::Multisite { db, .. } => db,
+            Sys::SmallBank(sb) => &mut sb.machine,
         }
     }
 
@@ -266,6 +290,17 @@ impl Sys {
                     blocks.push((origin, blk));
                 }
             }
+            Sys::SmallBank(sb) => {
+                // Conserving ops only: any committed prefix of this batch
+                // leaves the total balance at its initial value, which is
+                // what lets a mid-run crash image be checked at all.
+                for i in 0..18usize {
+                    let w = i % sb.machine.num_workers();
+                    let blk = sb.machine.alloc_block(w, SmallBankBionic::block_size());
+                    sb.submit_txn(w, blk, SbOp::conserving_at(i), &mut rng);
+                    blocks.push((w, blk));
+                }
+            }
         }
         blocks
     }
@@ -273,6 +308,13 @@ impl Sys {
     /// Workload-level invariants that must hold on *any* recovered image
     /// (every transfer conserves money, so every committed prefix does).
     fn assert_invariants(&mut self) {
+        if let Sys::SmallBank(sb) = self {
+            assert_eq!(
+                sb.total_balance(),
+                sb.initial_total(),
+                "SmallBank conserving batch keeps the total balance"
+            );
+        }
         if let Sys::Multisite { db, table, .. } = self {
             let total: u64 = (0..MULTISITE_WORKERS)
                 .map(|w| {

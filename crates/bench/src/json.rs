@@ -23,18 +23,14 @@ pub struct JsonOut {
 }
 
 impl JsonOut {
-    /// Parse `--json <path>` from the process arguments.
+    /// Parse `--json <path>` from the process arguments (shared bench-bin
+    /// vocabulary, see [`crate::BenchArgs`]).
     pub fn from_env(bin: &str) -> JsonOut {
-        let mut path = None;
-        let mut args = std::env::args();
-        while let Some(a) = args.next() {
-            if a == "--json" {
-                path = args.next();
-            }
-        }
         JsonOut {
             bin: bin.to_string(),
-            path,
+            path: crate::BenchArgs::from_env()
+                .json_path()
+                .map(str::to_string),
             rows: Vec::new(),
         }
     }

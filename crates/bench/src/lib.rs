@@ -5,12 +5,15 @@
 //! `table3_latency`, `table4_resources`); each prints the same rows/series
 //! the paper reports. This library holds the runners:
 //!
-//! * [`bionic_ycsb_tput`] / [`bionic_tpcc_tput`] — drive the simulated
-//!   machine with pre-populated transaction blocks (paper §5.1) and report
-//!   committed transactions over *simulated* time;
-//! * [`silo_ycsb_model_tput`] and friends — run the Silo baseline
-//!   single-threaded under the Xeon cache/timing model and scale to a core
-//!   count with a calibrated multi-socket efficiency factor.
+//! * [`drive`] — the single generic driver behind every BionicDB
+//!   throughput measurement: batch fill → submit → run → retry → [`Tput`],
+//!   over any [`bionicdb_workloads::Workload`]. The legacy entry points
+//!   ([`bionic_ycsb_tput`], [`bionic_tpcc_tput`], …) are thin adapters and
+//!   remain bit-identical to the pre-ABI hand-rolled loops (pinned by the
+//!   `workloadcheck` goldens);
+//! * [`silo_model_tput`] — the equivalent single runner for the Silo
+//!   baseline under the Xeon cache/timing model, scaled to a core count
+//!   with a calibrated multi-socket efficiency factor.
 
 #![warn(missing_docs)]
 
@@ -19,11 +22,18 @@ pub mod json;
 
 use bionicdb::{BionicConfig, ExecMode};
 use bionicdb_cpu_model::{CoreModel, CpuConfig};
+use bionicdb_workloads::abi::{
+    KvOp, KvWorkload, SiloWorkload, TpccSiloMix, TpccWorkload, YcsbSiloRead, YcsbSiloScan,
+    YcsbWorkload,
+};
+use bionicdb_workloads::smallbank::{SmallBankBionic, SmallBankWorkload};
 use bionicdb_workloads::tpcc::{TpccBionic, TpccSilo};
-use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind, YcsbSilo};
-use bionicdb_workloads::{TpccSpec, YcsbSpec};
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind, YcsbSilo};
+use bionicdb_workloads::{SmallBankSpec, TpccSpec, Workload, YcsbSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+pub use bionicdb_workloads::TpccMix;
 
 /// A throughput measurement.
 #[derive(Debug, Clone, Copy)]
@@ -61,198 +71,147 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 }
 
 // ---------------------------------------------------------------------------
-// BionicDB runners
+// The generic BionicDB driver
 // ---------------------------------------------------------------------------
 
 /// Default per-worker transactions for a measured wave.
 pub const YCSB_WAVE: usize = 400;
 
-/// Run `txns_per_worker` YCSB transactions of `kind` on every worker and
-/// return the committed throughput over simulated time. A warm-up wave of a
-/// quarter size runs first.
-pub fn bionic_ycsb_tput(y: &mut YcsbBionic, kind: YcsbKind, txns_per_worker: usize) -> Tput {
-    let workers = y.machine.num_workers();
-    let size = y.block_size(kind);
-    let warm = (txns_per_worker / 4).max(8);
-    let mut pools: Vec<BlockPool> = (0..workers)
-        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker + warm, size))
+/// Drive one measured wave of `txns_per_worker` transactions per worker
+/// through a [`Workload`] and return the committed throughput over
+/// *simulated* time. This is the single driver behind every BionicDB
+/// measurement:
+///
+/// 1. allocate all blocks up front, worker-major (per-worker bump arenas
+///    make this equivalent to any interleaved allocation order);
+/// 2. run (and discard) the workload's warm-up wave, if any;
+/// 3. snapshot stats/cycle, submit the measured wave worker-major with one
+///    RNG seeded from [`Workload::seed`], and run to quiescence;
+/// 4. if the workload declares a [`Workload::retry`] budget, retry aborted
+///    blocks to completion client-side — the conflicts are transient
+///    (dirty-rejects inside a batch), so the budget is never exhausted in
+///    practice, and we fail loudly rather than report a throughput built
+///    on uncommitted work;
+/// 5. run the workload's [`Workload::validate`] hook and report.
+pub fn drive<W: Workload + ?Sized>(w: &mut W, txns_per_worker: usize) -> Tput {
+    let workers = w.machine().num_workers();
+    let warm = w.warmup(txns_per_worker);
+    let blocks: Vec<Vec<bionicdb::TxnBlock>> = (0..workers)
+        .map(|wk| {
+            (0..warm + txns_per_worker)
+                .map(|i| {
+                    let size = w.block_size(wk, i.saturating_sub(warm));
+                    w.machine().alloc_block(wk, size)
+                })
+                .collect()
+        })
         .collect();
-    let mut rng = SmallRng::seed_from_u64(0xB105);
+    let mut rng = SmallRng::seed_from_u64(w.seed());
 
-    for (w, pool) in pools.iter_mut().enumerate() {
-        for _ in 0..warm {
-            let blk = pool.take();
-            y.submit_txn(w, blk, kind, &mut rng);
+    if warm > 0 {
+        for (wk, worker_blocks) in blocks.iter().enumerate() {
+            for (i, &blk) in worker_blocks[..warm].iter().enumerate() {
+                w.submit(wk, i, blk, &mut rng);
+            }
+        }
+        w.machine().run_to_quiescence();
+    }
+    let s0 = w.machine().stats();
+    let c0 = w.machine().now();
+
+    let mut submitted = Vec::with_capacity(workers * txns_per_worker);
+    for (wk, worker_blocks) in blocks.iter().enumerate() {
+        for (i, &blk) in worker_blocks[warm..].iter().enumerate() {
+            w.submit(wk, i, blk, &mut rng);
+            submitted.push((wk, blk));
         }
     }
-    y.machine.run_to_quiescence();
-    let s0 = y.machine.stats();
-    let c0 = y.machine.now();
+    w.machine().run_to_quiescence();
+    let retried = if let Some(budget) = w.retry() {
+        let out = w.machine().retry_to_completion(&submitted, budget, 1 << 33);
+        assert!(
+            out.all_committed(),
+            "{}: retries failed to converge: {} blocks gave up",
+            w.name(),
+            out.gave_up.len()
+        );
+        true
+    } else {
+        false
+    };
+    let s1 = w.machine().stats();
+    let cycles = w.machine().now() - c0;
+    let hz = w.machine().config().fpga.clock_hz as f64;
+    w.validate();
 
-    for (w, pool) in pools.iter_mut().enumerate() {
-        for _ in 0..txns_per_worker {
-            let blk = pool.take();
-            y.submit_txn(w, blk, kind, &mut rng);
-        }
-    }
-    y.machine.run_to_quiescence();
-    let s1 = y.machine.stats();
-    let cycles = y.machine.now() - c0;
-    let committed = s1.committed - s0.committed;
+    let committed = if retried {
+        submitted.len() as u64
+    } else {
+        s1.committed - s0.committed
+    };
+    let aborted = if w.count_aborts() {
+        s1.aborted - s0.aborted
+    } else {
+        0
+    };
+    let ops = committed * w.ops_per_txn();
     Tput {
         committed,
-        aborted: s1.aborted - s0.aborted,
-        per_sec: committed as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64,
+        aborted,
+        per_sec: ops as f64 * hz / cycles as f64,
     }
+}
+
+/// Run `txns_per_worker` YCSB transactions of `kind` on every worker and
+/// return the committed throughput over simulated time. A warm-up wave of
+/// a quarter size runs first.
+pub fn bionic_ycsb_tput(y: &mut YcsbBionic, kind: YcsbKind, txns_per_worker: usize) -> Tput {
+    drive(&mut YcsbWorkload { sys: y, kind }, txns_per_worker)
 }
 
 /// Run bulk KV transactions (Fig. 10a) and return *operation* throughput.
 pub fn bionic_kv_tput(y: &mut YcsbBionic, insert: bool, txns_per_worker: usize) -> Tput {
-    let workers = y.machine.num_workers();
-    let size = y.kv_block_size(y.kv_ops);
-    let mut pools: Vec<BlockPool> = (0..workers)
-        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
-        .collect();
-    let mut rng = SmallRng::seed_from_u64(0x6B5D);
-    let c0 = y.machine.now();
-    let s0 = y.machine.stats();
-    for (w, pool) in pools.iter_mut().enumerate() {
-        for _ in 0..txns_per_worker {
-            let blk = pool.take();
-            y.submit_kv_txn(w, blk, insert, &mut rng);
-        }
-    }
-    y.machine.run_to_quiescence();
-    let cycles = y.machine.now() - c0;
-    let committed = y.machine.stats().committed - s0.committed;
-    let ops = committed * y.kv_ops as u64;
-    Tput {
-        committed,
-        aborted: 0,
-        per_sec: ops as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64,
-    }
+    let op = if insert {
+        KvOp::HashInsert
+    } else {
+        KvOp::HashSearch
+    };
+    drive(&mut KvWorkload { sys: y, op }, txns_per_worker)
 }
 
 /// Like [`bionic_kv_tput`] but with random insert keys (bucket-colliding;
 /// the hazard-prevention ablation).
 pub fn bionic_kv_random_insert_tput(y: &mut YcsbBionic, txns_per_worker: usize) -> Tput {
-    let workers = y.machine.num_workers();
-    let size = y.kv_block_size(y.kv_ops);
-    let mut pools: Vec<BlockPool> = (0..workers)
-        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
-        .collect();
-    let mut rng = SmallRng::seed_from_u64(0xAB1A);
-    let c0 = y.machine.now();
-    let s0 = y.machine.stats();
-    for (w, pool) in pools.iter_mut().enumerate() {
-        for _ in 0..txns_per_worker {
-            let blk = pool.take();
-            y.submit_kv_insert_random(w, blk, &mut rng);
-        }
-    }
-    y.machine.run_to_quiescence();
-    let cycles = y.machine.now() - c0;
-    let committed = y.machine.stats().committed - s0.committed;
-    let ops = committed * y.kv_ops as u64;
-    Tput {
-        committed,
-        aborted: 0,
-        per_sec: ops as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64,
-    }
+    drive(
+        &mut KvWorkload {
+            sys: y,
+            op: KvOp::HashInsertRandom,
+        },
+        txns_per_worker,
+    )
 }
 
 /// Like [`bionic_kv_tput`] but for the skiplist table (Fig. 11a/11b).
 pub fn bionic_kv_skip_tput(y: &mut YcsbBionic, insert: bool, txns_per_worker: usize) -> Tput {
-    let workers = y.machine.num_workers();
-    let size = y.kv_block_size(y.kv_ops);
-    let mut pools: Vec<BlockPool> = (0..workers)
-        .map(|w| BlockPool::new(&mut y.machine, w, txns_per_worker, size))
-        .collect();
-    let mut rng = SmallRng::seed_from_u64(0x5C1D);
-    let c0 = y.machine.now();
-    let s0 = y.machine.stats();
-    for (w, pool) in pools.iter_mut().enumerate() {
-        for _ in 0..txns_per_worker {
-            let blk = pool.take();
-            y.submit_skip_txn(w, blk, insert, &mut rng);
-        }
-    }
-    y.machine.run_to_quiescence();
-    let cycles = y.machine.now() - c0;
-    let committed = y.machine.stats().committed - s0.committed;
-    let ops = committed * y.kv_ops as u64;
-    Tput {
-        committed,
-        aborted: 0,
-        per_sec: ops as f64 * y.machine.config().fpga.clock_hz as f64 / cycles as f64,
-    }
-}
-
-/// Which TPC-C mix to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TpccMix {
-    /// 50:50 NewOrder : Payment (the paper's overall mix).
-    Mixed,
-    /// NewOrder only.
-    NewOrderOnly,
-    /// Payment only.
-    PaymentOnly,
+    let op = if insert {
+        KvOp::SkipInsert
+    } else {
+        KvOp::SkipSearch
+    };
+    drive(&mut KvWorkload { sys: y, op }, txns_per_worker)
 }
 
 /// Run TPC-C on BionicDB; aborted transactions are retried (client-side)
 /// and throughput counts commits over the whole span of simulated time.
 pub fn bionic_tpcc_tput(sys: &mut TpccBionic, mix: TpccMix, txns_per_worker: usize) -> Tput {
-    let workers = sys.machine.num_workers();
-    let mut rng = SmallRng::seed_from_u64(0x79CC);
-    let c0 = sys.machine.now();
-    let s0 = sys.machine.stats();
-    let mut blocks = Vec::new();
-    for w in 0..workers {
-        for i in 0..txns_per_worker {
-            let neworder = match mix {
-                TpccMix::Mixed => i % 2 == 0,
-                TpccMix::NewOrderOnly => true,
-                TpccMix::PaymentOnly => false,
-            };
-            if neworder {
-                let blk = sys
-                    .machine
-                    .alloc_block(w, TpccBionic::neworder_block_size());
-                sys.submit_neworder(w, blk, &mut rng);
-                blocks.push((w, blk));
-            } else {
-                let blk = sys.machine.alloc_block(w, TpccBionic::payment_block_size());
-                sys.submit_payment(w, blk, &mut rng);
-                blocks.push((w, blk));
-            }
-        }
-    }
-    sys.machine.run_to_quiescence();
-    // Bounded client-side retry of aborted transactions. TPC-C conflicts
-    // are transient (dirty-rejects inside a batch), so the budget is never
-    // exhausted in practice; if it ever were, we fail loudly rather than
-    // report a throughput built on uncommitted work.
-    let out = sys.machine.retry_to_completion(
-        &blocks,
-        bionicdb::RetryBudget {
-            max_attempts: 1000,
-            backoff_cycles: 0,
-        },
-        1 << 33,
-    );
-    assert!(
-        out.all_committed(),
-        "TPC-C retries failed to converge: {} blocks gave up",
-        out.gave_up.len()
-    );
-    let cycles = sys.machine.now() - c0;
-    let s1 = sys.machine.stats();
-    let committed = blocks.len() as u64;
-    Tput {
-        committed,
-        aborted: s1.aborted - s0.aborted,
-        per_sec: committed as f64 * sys.machine.config().fpga.clock_hz as f64 / cycles as f64,
-    }
+    drive(&mut TpccWorkload { sys, mix }, txns_per_worker)
+}
+
+/// Run SmallBank on BionicDB (standard six-op rotation; aborted
+/// transactions are retried client-side, and the money-conservation
+/// invariant is checked after the wave).
+pub fn bionic_smallbank_tput(sb: &mut SmallBankBionic, txns_per_worker: usize) -> Tput {
+    drive(&mut SmallBankWorkload { sys: sb }, txns_per_worker)
 }
 
 // ---------------------------------------------------------------------------
@@ -274,61 +233,39 @@ pub fn scale_cores(per_core: f64, cores: usize) -> f64 {
     per_core * cores as f64 / (1.0 + SCALING_ALPHA * (cores as f64 - 1.0))
 }
 
-/// Model-time throughput of YCSB-C on the Silo baseline.
-pub fn silo_ycsb_model_tput(sys: &YcsbSilo, txns: usize, cores: usize) -> f64 {
+/// Model-time throughput of a [`SiloWorkload`] on the Silo baseline: a
+/// quarter-size warm-up wave, clock reset, then `txns` measured
+/// transactions counting commits, scaled to `cores`.
+pub fn silo_model_tput<W: SiloWorkload + ?Sized>(sys: &W, txns: usize, cores: usize) -> f64 {
     let mut model = CoreModel::new(CpuConfig::default());
-    let mut rng = SmallRng::seed_from_u64(0x51C0);
-    for _ in 0..txns / 4 {
-        sys.run_read_txn(&mut model, &mut rng);
+    let mut rng = SmallRng::seed_from_u64(sys.seed());
+    for i in 0..txns / 4 {
+        sys.run(&mut model, &mut rng, i);
     }
     model.reset_clock();
-    for _ in 0..txns {
-        sys.run_read_txn(&mut model, &mut rng);
+    let mut committed = 0usize;
+    for i in 0..txns {
+        if sys.run(&mut model, &mut rng, i) {
+            committed += 1;
+        }
     }
-    scale_cores(txns as f64 / model.secs(), cores)
+    scale_cores(committed as f64 / model.secs(), cores)
+}
+
+/// Model-time throughput of YCSB-C on the Silo baseline.
+pub fn silo_ycsb_model_tput(sys: &YcsbSilo, txns: usize, cores: usize) -> f64 {
+    silo_model_tput(&YcsbSiloRead(sys), txns, cores)
 }
 
 /// Model-time scan throughput on the given Silo index
 /// (`sys.masstree` or `sys.skiplist`).
 pub fn silo_scan_model_tput(sys: &YcsbSilo, index: usize, txns: usize, cores: usize) -> f64 {
-    let mut model = CoreModel::new(CpuConfig::default());
-    let mut rng = SmallRng::seed_from_u64(0x5CA7);
-    for _ in 0..txns / 4 {
-        sys.run_scan_txn(&mut model, &mut rng, index);
-    }
-    model.reset_clock();
-    for _ in 0..txns {
-        sys.run_scan_txn(&mut model, &mut rng, index);
-    }
-    scale_cores(txns as f64 / model.secs(), cores)
+    silo_model_tput(&YcsbSiloScan { sys, index }, txns, cores)
 }
 
 /// Model-time throughput of the TPC-C mix on the Silo baseline.
 pub fn silo_tpcc_model_tput(sys: &TpccSilo, mix: TpccMix, txns: usize, cores: usize) -> f64 {
-    let mut model = CoreModel::new(CpuConfig::default());
-    let mut rng = SmallRng::seed_from_u64(0x7199);
-    let run = |model: &mut CoreModel, rng: &mut SmallRng, i: usize| match mix {
-        TpccMix::Mixed => {
-            if i.is_multiple_of(2) {
-                sys.run_neworder(model, rng)
-            } else {
-                sys.run_payment(model, rng)
-            }
-        }
-        TpccMix::NewOrderOnly => sys.run_neworder(model, rng),
-        TpccMix::PaymentOnly => sys.run_payment(model, rng),
-    };
-    for i in 0..txns / 4 {
-        run(&mut model, &mut rng, i);
-    }
-    model.reset_clock();
-    let mut committed = 0usize;
-    for i in 0..txns {
-        if run(&mut model, &mut rng, i) {
-            committed += 1;
-        }
-    }
-    scale_cores(committed as f64 / model.secs(), cores)
+    silo_model_tput(&TpccSiloMix { sys, mix }, txns, cores)
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +324,26 @@ pub fn build_tpcc(workers: usize, mode: ExecMode) -> TpccBionic {
     sys
 }
 
+/// Bench-scale SmallBank spec.
+pub fn bench_smallbank_spec() -> SmallBankSpec {
+    SmallBankSpec::default()
+}
+
+/// Build a SmallBank machine with `workers` workers (= partitions).
+/// SmallBank procedures update one to three rows each, so like TPC-C they
+/// run under a narrow interleave batch to keep dirty-reject churn low.
+pub fn build_smallbank(workers: usize, mode: ExecMode) -> SmallBankBionic {
+    let cfg = BionicConfig {
+        workers,
+        mode,
+        max_batch: 2,
+        ..BionicConfig::default()
+    };
+    let mut sb = SmallBankBionic::build(cfg, bench_smallbank_spec());
+    sb.machine.set_sim_threads(sim_threads());
+    sb
+}
+
 /// Build a TPC-C machine whose transactions are all local (the paper's
 /// §5.5 coprocessor-focused form: no home loads in the dispatch path).
 pub fn build_tpcc_local(workers: usize, mode: ExecMode) -> TpccBionic {
@@ -407,31 +364,107 @@ pub fn build_tpcc_local(workers: usize, mode: ExecMode) -> TpccBionic {
 }
 
 // ---------------------------------------------------------------------------
+// Shared command-line handling for the bench bins
+// ---------------------------------------------------------------------------
+
+/// The command-line arguments every bench bin shares, parsed once.
+///
+/// All bins accept the same vocabulary: `--quick` (smaller waves for CI),
+/// `--json <path>` (machine-readable dump, see [`json::JsonOut`]),
+/// `--sim-threads <n>` (epoch-parallel lanes for each built machine), plus
+/// bin-specific flags and valued options read through [`BenchArgs::flag`]
+/// and [`BenchArgs::value`]. Environment fallbacks (`BIONICDB_SIM_THREADS`,
+/// `BIONICDB_THREADS`) are folded in here so no bin re-implements the
+/// precedence order.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    argv: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parse the process arguments.
+    pub fn from_env() -> BenchArgs {
+        BenchArgs {
+            argv: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Build from an explicit argument list (tests).
+    pub fn from_vec(argv: Vec<String>) -> BenchArgs {
+        BenchArgs { argv }
+    }
+
+    /// True when the bare flag `name` (e.g. `"--quick"`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.argv.iter().any(|a| a == name)
+    }
+
+    /// The value following the option `name` (e.g. `"--json"`), if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        let mut it = self.argv.iter();
+        while let Some(a) = it.next() {
+            if a == name {
+                return it.next().map(String::as_str);
+            }
+        }
+        None
+    }
+
+    /// The value of `name` parsed as `T`, or `default` when absent or
+    /// unparseable.
+    pub fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// True when `--quick` was given (CI-scale waves).
+    pub fn quick(&self) -> bool {
+        self.flag("--quick")
+    }
+
+    /// Pick the wave size: `quick` under `--quick`, else `full`.
+    pub fn wave(&self, quick: usize, full: usize) -> usize {
+        if self.quick() { quick } else { full }
+    }
+
+    /// The `--json <path>` dump target, if given.
+    pub fn json_path(&self) -> Option<&str> {
+        self.value("--json")
+    }
+
+    /// Simulation thread count for a single [`bionicdb::Machine`]
+    /// (`Machine::set_sim_threads`): `--sim-threads N` on the command
+    /// line, else `BIONICDB_SIM_THREADS`, else `BIONICDB_THREADS`, else 1
+    /// (serial). Results are bit-identical at any value — only wall-clock
+    /// time changes.
+    pub fn sim_threads(&self) -> usize {
+        self.value("--sim-threads")
+            .and_then(|s| s.parse().ok())
+            .or_else(|| {
+                std::env::var("BIONICDB_SIM_THREADS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+            })
+            .or_else(|| {
+                std::env::var("BIONICDB_THREADS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+            })
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Parallel sweep harness
 // ---------------------------------------------------------------------------
 
-/// Simulation thread count for a single [`bionicdb::Machine`]
-/// (`Machine::set_sim_threads`): `--sim-threads N` on the command line,
-/// else `BIONICDB_SIM_THREADS`, else `BIONICDB_THREADS`, else 1 (serial).
-/// Every bench bin that builds a machine through this crate honours it;
-/// results are bit-identical at any value — only wall-clock time changes.
+/// Simulation thread count from the process arguments/environment; see
+/// [`BenchArgs::sim_threads`]. Every bench bin that builds a machine
+/// through this crate honours it.
 pub fn sim_threads() -> usize {
-    std::env::args()
-        .skip_while(|a| a != "--sim-threads")
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .or_else(|| {
-            std::env::var("BIONICDB_SIM_THREADS")
-                .ok()
-                .and_then(|s| s.parse().ok())
-        })
-        .or_else(|| {
-            std::env::var("BIONICDB_THREADS")
-                .ok()
-                .and_then(|s| s.parse().ok())
-        })
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
+    BenchArgs::from_env().sim_threads()
 }
 
 /// Worker-thread count for [`par_map`]: `BIONICDB_THREADS` if set, else the

@@ -120,6 +120,7 @@ impl SystemBuilder {
             ));
             banks.push(bank);
         }
+        let lane_activity = vec![(0, 0); workers.len()];
         Machine {
             cfg,
             dram,
@@ -132,6 +133,7 @@ impl SystemBuilder {
             fast_forward: true,
             sim_threads: 1,
             ticks_executed: 0,
+            lane_activity,
             fault_plan: FaultPlan::none(),
             crashed: false,
             crash_hook: None,
@@ -239,6 +241,13 @@ pub struct Machine {
     /// [`MachineStats`] — it measures the simulator, not the machine, and
     /// deliberately differs between strict and fast-forward runs.
     ticks_executed: u64,
+    /// Host-side instrumentation for the epoch-parallel scheduler: per
+    /// lane (worker), the component ticks executed and the cycles skipped
+    /// across all `run_epochs` rounds. Like [`Machine::ticks_executed`] it
+    /// measures the simulator, not the machine — it stays out of
+    /// [`MachineStats`] and the report, and is only surfaced by tooling
+    /// (`simperf --par`).
+    lane_activity: Vec<(u64, u64)>,
     /// The installed fault schedule (its NoC/DRAM parts are distributed to
     /// those components at install time; the crash/log parts live here).
     fault_plan: FaultPlan,
@@ -609,6 +618,16 @@ impl Machine {
     /// instrumentation, not machine state.
     pub fn ticks_executed(&self) -> u64 {
         self.ticks_executed
+    }
+
+    /// Per-lane `(ticks_executed, cycles_skipped)` totals from the
+    /// epoch-parallel scheduler, indexed by worker. All zeros until an
+    /// epoch-parallel phase has run (serial and strict schedules do not
+    /// maintain it). Simulator instrumentation, not machine state: it is
+    /// excluded from [`MachineStats`] and [`Machine::report`] and consumed
+    /// only by tooling (`simperf --par`).
+    pub fn lane_activity(&self) -> &[(u64, u64)] {
+        &self.lane_activity
     }
 
     /// Simulated seconds elapsed.

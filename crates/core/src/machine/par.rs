@@ -64,9 +64,10 @@ use super::Machine;
 use crate::worker::PartitionWorker;
 
 /// What a spawned worker thread leaves behind when it finishes: the index
-/// of its first lane (for reassembling global link order), its links, and
-/// its component-tick total.
-type ThreadFinal = (usize, Vec<EpochLink>, u64);
+/// of its first lane (for reassembling global link order) and its links.
+/// Per-lane tick/skip counters stay on the [`Lane`]s themselves, which the
+/// coordinator owns and harvests after the scope joins.
+type ThreadFinal = (usize, Vec<EpochLink>);
 
 /// One worker's slice of the machine, self-contained for a round.
 struct Lane<'a> {
@@ -78,6 +79,9 @@ struct Lane<'a> {
     pos: u64,
     /// Component ticks executed by this lane (simulator instrumentation).
     ticks: u64,
+    /// Cycles this lane fast-forwarded over instead of ticking
+    /// (simulator instrumentation).
+    skips: u64,
     /// Trace events buffered this round, stamped with their cycle.
     trace: Vec<(u64, TxnEvent)>,
 }
@@ -229,6 +233,7 @@ fn run_round(
                 let k = t - lane.pos - 1;
                 if k > 0 {
                     lane.worker.skip(k);
+                    lane.skips += k;
                 }
                 lane.pos = t;
                 lane.ticks += 1;
@@ -260,6 +265,7 @@ fn finish_lane(lane: &mut Lane<'_>, link: &EpochLink, to: u64, expect_idle: bool
     debug_assert!(to >= lane.pos, "finish target behind lane position");
     if to > lane.pos {
         lane.worker.skip(to - lane.pos);
+        lane.skips += to - lane.pos;
         lane.pos = to;
     }
     if expect_idle {
@@ -369,6 +375,7 @@ impl Machine {
                 tables: &mut part.tables,
                 pos: now0,
                 ticks: 0,
+                skips: 0,
                 trace: Vec::new(),
             })
             .collect();
@@ -389,11 +396,11 @@ impl Machine {
             (0..nworkers).map(|_| Mutex::new(Vec::new())).collect();
         let out_slots: Vec<Mutex<Option<LaneOut>>> =
             (0..nworkers).map(|_| Mutex::new(None)).collect();
-        // Per spawned thread: (first worker idx, links, component ticks).
+        // Per spawned thread: (first worker idx, links).
         let final_slots: Vec<Mutex<Option<ThreadFinal>>> =
             (0..lane_chunks.len()).map(|_| Mutex::new(None)).collect();
 
-        let (pending, to, my_links, coord_ticks) = std::thread::scope(|s| {
+        let (pending, to, my_links) = std::thread::scope(|s| {
             for (ti, (chunk, mut lnks)) in
                 lane_chunks.into_iter().zip(link_chunks).enumerate()
             {
@@ -415,8 +422,7 @@ impl Machine {
                         cat,
                         tracing,
                     );
-                    let ticks: u64 = chunk.iter().map(|l| l.ticks).sum();
-                    *final_slots[ti].lock().expect("final slot") = Some((first_idx, lnks, ticks));
+                    *final_slots[ti].lock().expect("final slot") = Some((first_idx, lnks));
                 });
             }
 
@@ -499,22 +505,25 @@ impl Machine {
                         for (lane, link) in my_lanes.iter_mut().zip(my_links.iter()) {
                             finish_lane(lane, link, to, expect_idle);
                         }
-                        let coord_ticks: u64 = my_lanes.iter().map(|l| l.ticks).sum();
-                        break (deliveries, to, my_links, coord_ticks);
+                        break (deliveries, to, my_links);
                     }
                 }
             }
         });
 
+        let mut total_ticks = 0u64;
+        for lane in &lanes {
+            total_ticks += lane.ticks;
+            self.lane_activity[lane.idx].0 += lane.ticks;
+            self.lane_activity[lane.idx].1 += lane.skips;
+        }
         drop(lanes);
-        let mut total_ticks = coord_ticks;
         let mut link_groups: Vec<(usize, Vec<EpochLink>)> = vec![(0, my_links)];
         for slot in final_slots {
-            let (first_idx, lnks, ticks) = slot
+            let (first_idx, lnks) = slot
                 .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("worker thread reported");
-            total_ticks += ticks;
             link_groups.push((first_idx, lnks));
         }
         link_groups.sort_by_key(|&(first, _)| first);

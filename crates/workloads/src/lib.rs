@@ -8,10 +8,18 @@
 //! * [`tpcc`] — TPC-C NewOrder + Payment (50:50 mix; paper §5.3: database
 //!   partitioned by warehouse, Item replicated, Payment modified to select
 //!   customers by id; 1% of NewOrder and 15% of Payment cross-partition);
+//! * [`smallbank`] — SmallBank (six short banking procedures, hash-index
+//!   only, hot-account skew and multisite transfer knobs), added through
+//!   the workload ABI with zero engine changes;
+//! * [`abi`] — the workload ABI: the [`Workload`] trait every benchmark
+//!   implements, its Silo twin [`SiloWorkload`], shared procedure-builder
+//!   commit-discipline helpers, and adapters for the workloads above.
 //!
 //! Each workload module contains a `bionic` driver (stored-procedure
 //! builders and transaction-block populators for BionicDB) and a `silo`
-//! driver (the equivalent transaction bodies for the Silo baseline).
+//! driver (the equivalent transaction bodies for the Silo baseline); both
+//! plug into the generic driver/model runner in `bionicdb_bench` through
+//! the [`abi`] traits.
 //!
 //! ## Key encoding conventions
 //!
@@ -31,10 +39,15 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod abi;
+pub mod smallbank;
 pub mod spec;
 pub mod tpcc;
 pub mod ycsb;
 pub mod zipf;
 
+pub use abi::{SiloWorkload, StdWorkload, Workload};
+pub use smallbank::{SmallBankSpec, SbOp};
 pub use spec::{KvSpec, TpccSpec, YcsbSpec};
+pub use tpcc::TpccMix;
 pub use zipf::Zipf;

@@ -38,23 +38,42 @@
 use bionicdb::{
     BionicConfig, Machine, ProcBuilder, ProcId, SystemBuilder, TableId, TableMeta, TxnBlock,
 };
-use bionicdb_coproc::layout::{TUPLE_HEADER, TUPLE_PAYLOAD};
-use bionicdb_softcore::isa::{AluOp, Cond, Cp, Gp, MemBase, Operand};
+use bionicdb_softcore::isa::{AluOp, Cond, Cp, MemBase, Operand};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::abi::procs::{
+    abort_clear_dirty, commit_tuple, ret_or_abort, FLAGS_OFF, PAYLOAD, TOMBSTONE, WRITE_TS_OFF,
+};
+use crate::abi::assemble;
 use crate::spec::{customer_key, district_key, order_key, orderline_key, stock_key, TpccSpec};
 
 /// Maximum order lines per NewOrder (TPC-C: 5–15).
 pub const MAX_OL: usize = 15;
 
-/// Tuple-header field offsets relative to a tuple address returned in a CP
-/// register (hash tuples: header at +8).
-const WRITE_TS_OFF: i64 = (TUPLE_HEADER) as i64;
-const FLAGS_OFF: i64 = (TUPLE_HEADER + 16) as i64;
-const PAYLOAD: i64 = TUPLE_PAYLOAD as i64;
-/// Tombstone flag value.
-const TOMBSTONE: i64 = 2;
+/// Which TPC-C transaction mix to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpccMix {
+    /// 50:50 NewOrder : Payment (the paper's overall mix).
+    Mixed,
+    /// NewOrder only.
+    NewOrderOnly,
+    /// Payment only.
+    PaymentOnly,
+}
+
+impl TpccMix {
+    /// Whether the `i`-th transaction of a wave is a NewOrder. This is the
+    /// single source of the mix ratio: the BionicDB generator and the Silo
+    /// twin both call it, so the ratios cannot drift between engines.
+    pub fn neworder_at(self, i: usize) -> bool {
+        match self {
+            TpccMix::Mixed => i.is_multiple_of(2),
+            TpccMix::NewOrderOnly => true,
+            TpccMix::PaymentOnly => false,
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Table payload layouts (scaled column sets; money in integer cents)
@@ -196,23 +215,6 @@ pub fn register_tables(b: &mut SystemBuilder, spec: &TpccSpec) -> TpccTables {
         order_line: b.table(TableMeta::hash("order_line", 8, ORDERLINE_PAYLOAD, 1 << 18)),
         history: b.table(TableMeta::hash("history", 8, HISTORY_PAYLOAD, 1 << 16)),
     }
-}
-
-/// Emit `RET cp` + error check, jumping to the abort handler on failure.
-/// Returns the GP holding the tuple address.
-fn ret_or_abort(b: &mut ProcBuilder, cp: Cp, into: Gp) -> Gp {
-    let abort = b.abort_label();
-    b.ret(into, cp)
-        .cmp(into, Operand::Imm(0))
-        .br(Cond::Lt, abort);
-    into
-}
-
-/// Clear the dirty flag and stamp the write timestamp of the tuple whose
-/// address is in `addr` (the commit handler's per-tuple write-set walk).
-fn commit_tuple(b: &mut ProcBuilder, addr: Gp, ts: Gp, zero: Gp) {
-    b.store(ts, MemBase::Reg(addr), Operand::Imm(WRITE_TS_OFF));
-    b.store(zero, MemBase::Reg(addr), Operand::Imm(FLAGS_OFF));
 }
 
 /// Build the NewOrder stored procedure. With `local_only` the supplying
@@ -622,14 +624,7 @@ pub fn build_payment_proc(t: &TpccTables, local_only: bool) -> bionicdb_softcore
     let g_x = b.gp();
     let g_tomb = b.gp();
     b.mov(g_tomb, Operand::Imm(TOMBSTONE));
-    for cp in [c_wh, c_di, c_cu] {
-        let skip = b.label();
-        b.ret(g_x, cp);
-        b.cmp(g_x, Operand::Imm(0));
-        b.br(Cond::Lt, skip);
-        b.store(g_zero, MemBase::Reg(g_x), Operand::Imm(FLAGS_OFF));
-        b.bind(skip);
-    }
+    abort_clear_dirty(&mut b, g_x, g_zero, &[c_wh, c_di, c_cu]);
     let skip = b.label();
     b.ret(g_x, c_hi);
     b.cmp(g_x, Operand::Imm(0));
@@ -888,50 +883,57 @@ pub struct TpccBionic {
 impl TpccBionic {
     /// Build, register and load the TPC-C system.
     pub fn build(cfg: BionicConfig, spec: TpccSpec) -> Self {
-        let mut b = SystemBuilder::new(cfg);
-        let tables = register_tables(&mut b, &spec);
-        let neworder = b.proc(build_neworder_proc(&tables, false));
-        let payment = b.proc(build_payment_proc(&tables, false));
-        let neworder_local = b.proc(build_neworder_proc(&tables, true));
-        let payment_local = b.proc(build_payment_proc(&tables, true));
-        let delivery = b.proc(build_delivery_proc(&tables));
-        let mut machine = b.build();
-
-        let workers = machine.num_workers();
-        for w in 0..workers {
-            let wid = w as u64;
-            let mut loader = machine.loader(w);
-            // warehouse: ytd=0, tax=80‰.
-            loader.insert(
-                tables.warehouse,
-                &wid.to_le_bytes(),
-                &pack32(&[0, 80, 0, 0]),
-            );
-            for d in 0..spec.districts_per_warehouse {
-                // district: next_o_id=1, ytd=0, tax=90‰.
+        let (machine, h) = assemble(
+            cfg,
+            |b| {
+                let tables = register_tables(b, &spec);
+                (
+                    tables,
+                    b.proc(build_neworder_proc(&tables, false)),
+                    b.proc(build_payment_proc(&tables, false)),
+                    b.proc(build_neworder_proc(&tables, true)),
+                    b.proc(build_payment_proc(&tables, true)),
+                    b.proc(build_delivery_proc(&tables)),
+                )
+            },
+            |machine, w, h| {
+                let tables = h.0;
+                let wid = w as u64;
+                let mut loader = machine.loader(w);
+                // warehouse: ytd=0, tax=80‰.
                 loader.insert(
-                    tables.district,
-                    &district_key(wid, d).to_le_bytes(),
-                    &pack32(&[1, 0, 90, 1]),
+                    tables.warehouse,
+                    &wid.to_le_bytes(),
+                    &pack32(&[0, 80, 0, 0]),
                 );
-                for c in 0..spec.customers_per_district {
-                    let key = customer_key(wid, d, c);
-                    let mut pay = vec![0u8; CUSTOMER_PAYLOAD as usize];
-                    pay[..8].copy_from_slice(&(100_000u64).to_le_bytes()); // balance
-                    loader.insert(tables.customer, &key.to_le_bytes(), &pay);
+                for d in 0..spec.districts_per_warehouse {
+                    // district: next_o_id=1, ytd=0, tax=90‰.
+                    loader.insert(
+                        tables.district,
+                        &district_key(wid, d).to_le_bytes(),
+                        &pack32(&[1, 0, 90, 1]),
+                    );
+                    for c in 0..spec.customers_per_district {
+                        let key = customer_key(wid, d, c);
+                        let mut pay = vec![0u8; CUSTOMER_PAYLOAD as usize];
+                        pay[..8].copy_from_slice(&(100_000u64).to_le_bytes()); // balance
+                        loader.insert(tables.customer, &key.to_le_bytes(), &pay);
+                    }
                 }
-            }
-            for i in 0..spec.items {
-                // item replicated on every partition; price 1..100 cents.
-                let price = (i % 100) + 1;
-                loader.insert(tables.item, &i.to_le_bytes(), &pack16(&[price, 0]));
-                loader.insert(
-                    tables.stock,
-                    &stock_key(wid, i).to_le_bytes(),
-                    &pack32(&[50, 0, 0, 0]),
-                );
-            }
-        }
+                for i in 0..spec.items {
+                    // item replicated on every partition; price 1..100 cents.
+                    let price = (i % 100) + 1;
+                    loader.insert(tables.item, &i.to_le_bytes(), &pack16(&[price, 0]));
+                    loader.insert(
+                        tables.stock,
+                        &stock_key(wid, i).to_le_bytes(),
+                        &pack32(&[50, 0, 0, 0]),
+                    );
+                }
+            },
+        );
+        let (tables, neworder, payment, neworder_local, payment_local, delivery) = h;
+        let workers = machine.num_workers();
         TpccBionic {
             machine,
             spec,

@@ -7,9 +7,7 @@
 //! microbenchmark (Fig. 10a) issues 60 inserts or searches in bulk per
 //! transaction.
 
-use bionicdb::{
-    BionicConfig, Machine, ProcBuilder, ProcId, SystemBuilder, TableId, TableMeta, TxnBlock,
-};
+use bionicdb::{BionicConfig, Machine, ProcBuilder, ProcId, TableId, TableMeta, TxnBlock};
 use bionicdb_softcore::isa::{MemBase, Operand};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -272,48 +270,55 @@ impl YcsbBionic {
     /// Build the machine, load both tables on every partition, register the
     /// procedures. `kv_ops` sizes the bulk KV transactions (paper: 60).
     pub fn build(cfg: BionicConfig, spec: YcsbSpec, kv_ops: usize) -> Self {
-        let mut b = SystemBuilder::new(cfg);
         let buckets = spec
             .hash_buckets
             .unwrap_or(spec.records_per_partition * 2)
             .next_power_of_two();
-        let table = b.table(TableMeta::hash("ycsb", 8, spec.payload_len, buckets));
-        let scan_table = b.table(TableMeta::skiplist("ycsb_e", 8, spec.payload_len));
-        let read_local = b.proc(build_read_proc(table, spec.ops_per_txn, false));
-        let read_homed = b.proc(build_read_proc(table, spec.ops_per_txn, true));
-        let update_local = b.proc(build_update_proc(table, spec.ops_per_txn));
-        let scan = b.proc(build_scan_proc(scan_table, spec.scan_len));
-        let hash_flags = (bionicdb_coproc::layout::TUPLE_HEADER + 16) as i64;
-        let tower_flags = 16i64;
-        let kv_insert = b.proc(build_kv_insert_proc(table, kv_ops, hash_flags));
-        let kv_search = b.proc(build_read_proc(table, kv_ops, false));
-        let skip_insert = b.proc(build_kv_insert_proc(scan_table, kv_ops, tower_flags));
-        let skip_search = b.proc(build_read_proc(scan_table, kv_ops, false));
-        let mut machine = b.build();
-
+        let (machine, h) = crate::abi::assemble(
+            cfg,
+            |b| {
+                let table = b.table(TableMeta::hash("ycsb", 8, spec.payload_len, buckets));
+                let scan_table = b.table(TableMeta::skiplist("ycsb_e", 8, spec.payload_len));
+                let hash_flags = (bionicdb_coproc::layout::TUPLE_HEADER + 16) as i64;
+                let tower_flags = 16i64;
+                (
+                    table,
+                    scan_table,
+                    b.proc(build_read_proc(table, spec.ops_per_txn, false)),
+                    b.proc(build_read_proc(table, spec.ops_per_txn, true)),
+                    b.proc(build_update_proc(table, spec.ops_per_txn)),
+                    b.proc(build_scan_proc(scan_table, spec.scan_len)),
+                    b.proc(build_kv_insert_proc(table, kv_ops, hash_flags)),
+                    b.proc(build_read_proc(table, kv_ops, false)),
+                    b.proc(build_kv_insert_proc(scan_table, kv_ops, tower_flags)),
+                    b.proc(build_read_proc(scan_table, kv_ops, false)),
+                )
+            },
+            |machine, w, h| {
+                let (table, scan_table) = (h.0, h.1);
+                let mut loader = machine.loader(w);
+                let mut payload = vec![0u8; spec.payload_len as usize];
+                for k in 0..spec.records_per_partition {
+                    payload[..8].copy_from_slice(&k.to_le_bytes());
+                    loader.insert(table, &k.to_le_bytes(), &payload);
+                    loader.insert(scan_table, &k.to_be_bytes(), &payload);
+                }
+            },
+        );
         let workers = machine.num_workers();
-        for w in 0..workers {
-            let mut loader = machine.loader(w);
-            let mut payload = vec![0u8; spec.payload_len as usize];
-            for k in 0..spec.records_per_partition {
-                payload[..8].copy_from_slice(&k.to_le_bytes());
-                loader.insert(table, &k.to_le_bytes(), &payload);
-                loader.insert(scan_table, &k.to_be_bytes(), &payload);
-            }
-        }
         YcsbBionic {
             machine,
             spec,
-            table,
-            scan_table,
-            read_local,
-            read_homed,
-            update_local,
-            scan,
-            kv_insert,
-            kv_search,
-            skip_insert,
-            skip_search,
+            table: h.0,
+            scan_table: h.1,
+            read_local: h.2,
+            read_homed: h.3,
+            update_local: h.4,
+            scan: h.5,
+            kv_insert: h.6,
+            kv_search: h.7,
+            skip_insert: h.8,
+            skip_search: h.9,
             kv_ops,
             insert_seq: vec![0; workers],
         }

@@ -26,4 +26,7 @@ cargo run --release --locked -p bionicdb-bench --bin statscheck -- --json target
 echo "== parcheck (serial vs epoch-parallel at 1/2/4 sim threads: byte-identical reports) =="
 cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --quick --out target/parsim_smoke.json
 
+echo "== workloadcheck (driver bit-identity vs pre-refactor goldens + SmallBank ABI smoke) =="
+cargo run --release --locked -p bionicdb-bench --bin workloadcheck
+
 echo "All checks passed."

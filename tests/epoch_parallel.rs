@@ -21,7 +21,7 @@ use bionicdb_fpga::dram::DramStats;
 use bionicdb_noc::NocStats;
 use bionicdb_softcore::SoftcoreStats;
 use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
-use bionicdb_workloads::{TpccSpec, YcsbSpec};
+use bionicdb_workloads::{StdWorkload, TpccSpec, YcsbSpec};
 use proptest::prelude::*;
 
 /// How a run is scheduled. All modes must be observationally identical.
@@ -395,8 +395,53 @@ fn trace_bytes_identical_across_modes() {
     }
 }
 
+/// Run a [`StdWorkload`] wave through the generic bench driver under a
+/// given mode and snapshot the machine.
+fn std_workload_run(w: StdWorkload, txns_per_worker: usize, mode: Mode) -> Snapshot {
+    let mut wl = w.build(BionicConfig::small(4));
+    apply(wl.machine(), mode);
+    bionicdb_bench::drive(&mut *wl, txns_per_worker);
+    snapshot(wl.machine_ref())
+}
+
+/// Every workload behind the `Workload` trait — YCSB, TPC-C, SmallBank —
+/// is byte-identical across strict serial, fast-forward, and
+/// epoch-parallel schedules when driven by the one generic driver. New
+/// workloads join this equivalence gate by appearing in
+/// [`StdWorkload::ALL`]; SmallBank inherits it with zero engine changes.
+#[test]
+fn std_workloads_parallel_equivalence() {
+    for w in StdWorkload::ALL {
+        let strict = std_workload_run(w, 8, Mode::Strict);
+        assert!(
+            strict.machine.committed > 0,
+            "{w:?}: workload must commit"
+        );
+        for mode in [Mode::Fast, Mode::Par(2), Mode::Par(4)] {
+            let other = std_workload_run(w, 8, mode);
+            assert_identical(&strict, &other, &format!("{w:?} [{mode:?}]"));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any workload family, any per-worker wave size: serial and
+    /// epoch-parallel runs through the generic driver stay byte-identical.
+    #[test]
+    fn arbitrary_std_workload_waves_byte_identical(
+        which in 0usize..StdWorkload::ALL.len(),
+        txns in 1usize..10,
+        threads in 2usize..5,
+    ) {
+        let w = StdWorkload::ALL[which];
+        let serial = std_workload_run(w, txns, Mode::Fast);
+        let par = std_workload_run(w, txns, Mode::Par(threads));
+        prop_assert_eq!(&serial.now, &par.now, "cycle counts diverge [{:?}]", w);
+        prop_assert_eq!(&serial.json, &par.json, "report JSON diverges [{:?}]", w);
+        prop_assert_eq!(&serial, &par);
+    }
 
     /// Arbitrary interleavings across four workers, arbitrary crash cycles:
     /// serial strict, serial fast-forward, and epoch-parallel at 2 and 4
