@@ -1,0 +1,67 @@
+//! Regression gate over the append-only benchmark history.
+//!
+//! Reads `results/bench_history.jsonl` (or `--history PATH`), compares the
+//! newest entry per bench key against that key's recorded baseline (its
+//! oldest entry — the first full `simperf` run bootstraps the baseline)
+//! and exits non-zero when any key's cycles/sec fell more than the
+//! tolerance (default 10%, `--tolerance 0.10`) below baseline. A fresh
+//! single-run history always passes; a missing or empty history is a
+//! configuration error, not a pass.
+//!
+//! Usage: `benchdiff [--history PATH] [--tolerance F]`
+
+use bionicdb_bench::history;
+use bionicdb_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let path = args
+        .value("--history")
+        .unwrap_or(history::DEFAULT_PATH)
+        .to_string();
+    let tolerance: f64 = args.parsed("--tolerance", history::DEFAULT_TOLERANCE);
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("benchdiff: cannot read {path}: {e}");
+            eprintln!("benchdiff: run `simperf --par` (full, not --quick) to record a baseline");
+            std::process::exit(2);
+        }
+    };
+    let entries = history::parse(&text);
+    if entries.is_empty() {
+        eprintln!("benchdiff: no parseable entries in {path}");
+        std::process::exit(2);
+    }
+
+    let verdicts = history::check(&entries, tolerance);
+    println!(
+        "{:>16} {:>16} {:>16} {:>8}  verdict",
+        "bench", "baseline c/s", "latest c/s", "ratio"
+    );
+    let mut failed = false;
+    for v in &verdicts {
+        println!(
+            "{:>16} {:>16.0} {:>16.0} {:>7.2}x  {}",
+            v.bench,
+            v.baseline,
+            v.latest,
+            v.ratio,
+            if v.regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= v.regressed;
+    }
+    if failed {
+        eprintln!(
+            "benchdiff: regression beyond {:.0}% tolerance in {path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "benchdiff: {} bench key(s) within {:.0}% of baseline",
+        verdicts.len(),
+        tolerance * 100.0
+    );
+}

@@ -8,19 +8,29 @@
 //!   at 1, so the softcore idles through every DB round trip instead of
 //!   interleaving over it — which is exactly the span the fast-forward
 //!   scheduler elides. Results go to `BENCH_simperf.json`.
-//! * `--par` — the serial fast path vs the epoch-parallel scheduler at 2
-//!   and 4 threads on a 4-worker multisite workload (each worker on its
-//!   own chip, so the NoC lookahead — and therefore the epoch — is a full
-//!   inter-node round trip). Every run's `MachineReport` JSON must be
-//!   byte-identical — this is the `parcheck` gate in `scripts/check.sh` —
-//!   and the honest wall-clock numbers (with the host's CPU count, which
-//!   bounds any attainable speedup) go to `BENCH_parsim.json`.
+//! * `--par` — the serial fast path vs the epoch-parallel scheduler under
+//!   both lookahead modes (`Global` = one min-latency horizon for every
+//!   lane, `Matrix` = per-pair horizons solved to a fixpoint) at 2 and 4
+//!   threads on a 4-worker multisite workload. Every run's `MachineReport`
+//!   JSON must be byte-identical — this is the `parcheck` gate in
+//!   `scripts/check.sh` — and the honest wall-clock numbers (with the
+//!   host's CPU count, which bounds any attainable speedup) go to
+//!   `BENCH_parsim.json`. A second, deliberately skewed scenario (one
+//!   update-heavy worker, three near-idle peers across two chips) measures
+//!   what the matrix lookahead buys structurally: the epoch-round count,
+//!   which is thread-count-independent, must drop at least 5x vs the
+//!   global horizon.
 //!
-//! Usage: `simperf [--par] [--quick] [--out PATH] [--sim-threads N]`
+//! Full (non-`--quick`) runs append their cycles/sec to the append-only
+//! history file (`results/bench_history.jsonl` unless `--history PATH`),
+//! which the `benchdiff` bin gates on.
+//!
+//! Usage: `simperf [--par] [--quick] [--out PATH] [--history PATH]`
 
 use std::time::Instant;
 
-use bionicdb::{BionicConfig, ExecMode, Topology};
+use bionicdb::{BionicConfig, ExecMode, LaneActivity, LookaheadMode, Topology};
+use bionicdb_bench::history::{self, Entry};
 use bionicdb_bench::json::JsonOut;
 use bionicdb_bench::{rng, BenchArgs};
 use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
@@ -81,16 +91,23 @@ fn measure(fast: bool, txns_per_worker: usize) -> Measurement {
 struct ParRun {
     m: Measurement,
     report_json: String,
-    /// Per-lane `(ticks, skipped)` from the epoch-parallel scheduler
-    /// (all zeros for the serial run).
-    lanes: Vec<(u64, u64)>,
+    /// Per-lane scheduler counters (all zeros for the serial run).
+    lanes: Vec<LaneActivity>,
+    /// Barrier rounds the epoch scheduler executed (0 for the serial run).
+    /// Deterministic for a given workload + lookahead mode: the schedule
+    /// never depends on the thread count, only on who claims each lane.
+    epoch_rounds: u64,
+    /// Posted-write DRAM acks cancelled instead of delivered to workers
+    /// that had already retired the write.
+    cancelled_acks: u64,
 }
 
-/// Run the 4-worker multisite wave at a given sim-thread count and time it.
-/// Every worker sits on its own chip: the cheapest NoC path is a full
-/// inter-node link, so the conservative lookahead (= the epoch length) is
-/// 75 cycles and the workers genuinely run concurrently between barriers.
-fn measure_par(threads: usize, txns_per_worker: usize) -> ParRun {
+/// Run the 4-worker multisite wave at a given sim-thread count and
+/// lookahead mode and time it. Every worker sits on its own chip: the
+/// cheapest NoC path is a full inter-node link, so even the global
+/// conservative lookahead is 75 cycles and the workers genuinely run
+/// concurrently between barriers.
+fn measure_par(threads: usize, mode: LookaheadMode, txns_per_worker: usize) -> ParRun {
     let cfg = BionicConfig {
         workers: 4,
         mode: ExecMode::Interleaved,
@@ -108,6 +125,7 @@ fn measure_par(threads: usize, txns_per_worker: usize) -> ParRun {
     let mut y = YcsbBionic::build(cfg, spec, 4);
     y.machine.set_fast_forward(true);
     y.machine.set_sim_threads(threads);
+    y.machine.set_lookahead_mode(mode);
     let workers = y.machine.num_workers();
     let size = y.block_size(YcsbKind::ReadHomed);
     let mut pools: Vec<BlockPool> = (0..workers)
@@ -133,25 +151,123 @@ fn measure_par(threads: usize, txns_per_worker: usize) -> ParRun {
         },
         report_json: y.machine.report().to_json(),
         lanes: y.machine.lane_activity().to_vec(),
+        epoch_rounds: y.machine.epoch_rounds(),
+        cancelled_acks: y.machine.cancelled_write_acks(),
     }
 }
 
-/// The `--par` study: serial fast path vs epoch-parallel at 2 and 4
-/// threads. Byte-identity of the report JSON is asserted (the `parcheck`
-/// equivalence gate); speedups are recorded honestly alongside the host's
-/// CPU count, since a 1-CPU container cannot show wall-clock gains no
-/// matter how parallel the schedule is.
-fn run_par_study(quick: bool, out_path: &str) {
+/// The skewed scenario for the epoch-round comparison: five workers on
+/// three chips ({0,1}, {2,3}, {4}), with worker 4 — *alone on its chip* —
+/// grinding through a long run of local updates while the four peers
+/// retire a couple of *local* reads and go idle (local so they genuinely
+/// quiesce — a remote read homed at the busy partition would sit in its
+/// queue and keep the sender's lane alive all run). The global horizon is
+/// the cheapest pair anywhere: the 3-cycle same-chip links on the full
+/// chips throttle worker 4 to 3-cycle epochs forever. The per-pair
+/// matrix knows the only way worker 4 can be affected is its own traffic
+/// bouncing off a remote chip — a 150-cycle round trip — so its epochs
+/// are ~50x longer. The round count is deterministic and thread-count
+/// independent, so this measures the structural win even on 1 CPU.
+fn measure_skew(threads: usize, mode: LookaheadMode, hot: usize, light: usize) -> ParRun {
+    let cfg = BionicConfig {
+        workers: 5,
+        mode: ExecMode::Interleaved,
+        topology: Topology::MultiChip {
+            workers_per_node: 2,
+            inter_node_hops: 25,
+        },
+        ..BionicConfig::default()
+    };
+    let spec = YcsbSpec {
+        records_per_partition: 20_000,
+        remote_fraction: 1.0,
+        ..YcsbSpec::default()
+    };
+    let mut y = YcsbBionic::build(cfg, spec, 4);
+    y.machine.set_fast_forward(true);
+    y.machine.set_sim_threads(threads);
+    y.machine.set_lookahead_mode(mode);
+    let workers = y.machine.num_workers();
+    let upd_size = y.block_size(YcsbKind::UpdateLocal);
+    let read_size = y.block_size(YcsbKind::ReadLocal);
+    let mut r = rng(0x5EED);
+    for w in 0..workers {
+        let (kind, txns, size) = if w == workers - 1 {
+            (YcsbKind::UpdateLocal, hot, upd_size)
+        } else {
+            (YcsbKind::ReadLocal, light, read_size)
+        };
+        let mut pool = BlockPool::new(&mut y.machine, w, txns, size);
+        for _ in 0..txns {
+            let blk = pool.take();
+            y.submit_txn(w, blk, kind, &mut r);
+        }
+    }
+    let c0 = y.machine.now();
+    let t0 = Instant::now();
+    y.machine.run_to_quiescence();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    ParRun {
+        m: Measurement {
+            cycles: y.machine.now() - c0,
+            ticks: y.machine.ticks_executed(),
+            wall_secs,
+            committed: y.machine.stats().committed,
+        },
+        report_json: y.machine.report().to_json(),
+        lanes: y.machine.lane_activity().to_vec(),
+        epoch_rounds: y.machine.epoch_rounds(),
+        cancelled_acks: y.machine.cancelled_write_acks(),
+    }
+}
+
+/// Append per-lane scheduler counters as a JSON array field.
+fn push_lane_json(out: &mut String, lanes: &[LaneActivity]) {
+    out.push_str("[\n");
+    for (w, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"lane\": {}, \"rounds\": {}, \"ticks\": {}, \"skips\": {}, \
+             \"barrier_idle_ns\": {}, \"epoch_len_p50\": {:.0}, \"epoch_len_p95\": {:.0}, \
+             \"epoch_len_max\": {} }}{}\n",
+            w,
+            lane.rounds,
+            lane.ticks,
+            lane.skips,
+            lane.barrier_idle_ns,
+            lane.epoch_len.p50(),
+            lane.epoch_len.p95(),
+            lane.epoch_len.max(),
+            if w + 1 == lanes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]");
+}
+
+/// The `--par` study: serial fast path vs epoch-parallel under both
+/// lookahead modes at 2 and 4 threads, plus the skewed epoch-round
+/// comparison. Byte-identity of the report JSON is asserted across every
+/// run (the `parcheck` equivalence gate); speedups are recorded honestly
+/// alongside the host's CPU count, since a 1-CPU container cannot show
+/// wall-clock gains no matter how parallel the schedule is.
+fn run_par_study(quick: bool, out_path: &str, history_path: &str) {
     let txns = if quick { 150 } else { 1_200 };
     let host_cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
 
-    let serial = measure_par(1, txns);
-    let par2 = measure_par(2, txns);
-    let par4 = measure_par(4, txns);
+    let serial = measure_par(1, LookaheadMode::Matrix, txns);
+    let global2 = measure_par(2, LookaheadMode::Global, txns);
+    let global4 = measure_par(4, LookaheadMode::Global, txns);
+    let matrix2 = measure_par(2, LookaheadMode::Matrix, txns);
+    let matrix4 = measure_par(4, LookaheadMode::Matrix, txns);
 
-    for (label, run) in [("2 threads", &par2), ("4 threads", &par4)] {
+    let runs = [
+        ("global x2", &global2),
+        ("global x4", &global4),
+        ("matrix x2", &matrix2),
+        ("matrix x4", &matrix4),
+    ];
+    for (label, run) in runs {
         assert_eq!(
             serial.m.cycles, run.m.cycles,
             "epoch-parallel ({label}) must be cycle-exact"
@@ -165,71 +281,187 @@ fn run_par_study(quick: bool, out_path: &str) {
             "epoch-parallel ({label}) report JSON must be byte-identical"
         );
     }
-    println!("report JSON byte-identical across 1/2/4 sim threads");
+    println!("report JSON byte-identical: serial vs global/matrix lookahead at 2 and 4 threads");
 
-    for (label, run) in [("serial", &serial), ("par2", &par2), ("par4", &par4)] {
+    for (label, run) in [("serial", &serial)].into_iter().chain(runs) {
         println!(
-            "{label:>6}: {:>12.0} cycles/s  ({} cycles, {} ticks, {:.3}s)",
+            "{label:>9}: {:>12.0} cycles/s  ({} cycles, {} ticks, {:.3}s, {} rounds)",
             run.m.cycles_per_sec(),
             run.m.cycles,
             run.m.ticks,
-            run.m.wall_secs
+            run.m.wall_secs,
+            run.epoch_rounds
         );
         // Per-lane load balance: component ticks actually executed vs
         // cycles fast-forwarded over, per worker lane (epoch runs only —
         // the serial schedule does not maintain lane counters).
-        for (w, &(ticks, skipped)) in run.lanes.iter().enumerate() {
-            if ticks > 0 || skipped > 0 {
-                println!("        lane {w}: {ticks} ticks, {skipped} skipped");
+        for (w, lane) in run.lanes.iter().enumerate() {
+            if lane.rounds > 0 {
+                println!(
+                    "        lane {w}: {} rounds, {} ticks, {} skipped, {:.1}us barrier idle, epoch len p50/p95/max {:.0}/{:.0}/{}",
+                    lane.rounds,
+                    lane.ticks,
+                    lane.skips,
+                    lane.barrier_idle_ns as f64 / 1_000.0,
+                    lane.epoch_len.p50(),
+                    lane.epoch_len.p95(),
+                    lane.epoch_len.max()
+                );
             }
         }
     }
-    let speedup2 = serial.m.wall_secs / par2.m.wall_secs;
-    let speedup4 = serial.m.wall_secs / par4.m.wall_secs;
-    println!("speedup: {speedup2:.2}x at 2 threads, {speedup4:.2}x at 4 threads (host has {host_cpus} CPU(s))");
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"workload\": \"ycsb read-homed 50% remote, interleaved exec, 4 workers x 1 chip (75-cycle lookahead), {} txns/worker\",\n",
-            "  \"host_cpus\": {},\n",
-            "  \"simulated_cycles\": {},\n",
-            "  \"committed\": {},\n",
-            "  \"report_bytes_identical\": true,\n",
-            "  \"serial\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
-            "  \"par2\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
-            "  \"par4\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
-            "  \"speedup_par2\": {:.3},\n",
-            "  \"speedup_par4\": {:.3}\n",
-            "}}\n"
-        ),
-        txns,
-        host_cpus,
-        serial.m.cycles,
-        serial.m.committed,
-        serial.m.wall_secs,
-        serial.m.cycles_per_sec(),
-        par2.m.wall_secs,
-        par2.m.cycles_per_sec(),
-        par4.m.wall_secs,
-        par4.m.cycles_per_sec(),
-        speedup2,
-        speedup4
+    // The structural win, independent of host CPU count: per-pair
+    // lookahead must need fewer barrier rounds than the single global
+    // horizon on the balanced scenario...
+    assert!(
+        matrix2.epoch_rounds <= global2.epoch_rounds,
+        "matrix lookahead must never need more rounds than global \
+         (matrix {}, global {})",
+        matrix2.epoch_rounds,
+        global2.epoch_rounds
     );
+    // ...and at least 5x fewer on the skewed one, where the global
+    // horizon's cheapest-pair step is pure overhead once the light
+    // workers drain.
+    let (hot, light) = if quick { (60, 3) } else { (400, 10) };
+    let skew_global = measure_skew(2, LookaheadMode::Global, hot, light);
+    let skew_matrix = measure_skew(2, LookaheadMode::Matrix, hot, light);
+    assert_eq!(
+        skew_global.report_json, skew_matrix.report_json,
+        "skewed scenario must stay byte-identical across lookahead modes"
+    );
+    for (label, run) in [("skew global", &skew_global), ("skew matrix", &skew_matrix)] {
+        println!("{label}: {} rounds over {} cycles", run.epoch_rounds, run.m.cycles);
+        for (w, lane) in run.lanes.iter().enumerate() {
+            println!(
+                "        lane {w}: {} rounds, {} ticks, {} skipped, epoch len p50/p95/max {:.0}/{:.0}/{}",
+                lane.rounds, lane.ticks, lane.skips,
+                lane.epoch_len.p50(), lane.epoch_len.p95(), lane.epoch_len.max()
+            );
+        }
+    }
+    assert!(
+        skew_matrix.epoch_rounds * 5 <= skew_global.epoch_rounds,
+        "matrix lookahead must cut skewed-scenario epoch rounds at least 5x \
+         (matrix {}, global {})",
+        skew_matrix.epoch_rounds,
+        skew_global.epoch_rounds
+    );
+    let round_ratio = skew_global.epoch_rounds as f64 / skew_matrix.epoch_rounds.max(1) as f64;
+    println!(
+        "skewed scenario: {} rounds under global lookahead, {} under matrix ({round_ratio:.1}x fewer)",
+        skew_global.epoch_rounds, skew_matrix.epoch_rounds
+    );
+
+    let speedups = [
+        ("global2", serial.m.wall_secs / global2.m.wall_secs),
+        ("global4", serial.m.wall_secs / global4.m.wall_secs),
+        ("matrix2", serial.m.wall_secs / matrix2.m.wall_secs),
+        ("matrix4", serial.m.wall_secs / matrix4.m.wall_secs),
+    ];
+    for (label, s) in speedups {
+        println!("speedup {label}: {s:.2}x");
+    }
+    println!("host has {host_cpus} CPU(s)");
+    let best_matrix = speedups[2].1.max(speedups[3].1);
+    // Wall-clock assertions need real cores and a full-size wave; byte
+    // identity above is asserted unconditionally.
+    if !quick && host_cpus >= 4 {
+        assert!(
+            best_matrix > 2.0,
+            "matrix lookahead + work stealing must beat serial by >2x on a \
+             {host_cpus}-CPU host (got {best_matrix:.2}x)"
+        );
+    } else if !quick && host_cpus >= 2 {
+        assert!(
+            best_matrix > 1.0,
+            "matrix lookahead + work stealing must beat serial on a \
+             {host_cpus}-CPU host (got {best_matrix:.2}x)"
+        );
+    } else {
+        println!("(speedup assertions skipped: quick run or {host_cpus} CPU host)");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"workload\": \"ycsb read-homed 50% remote, interleaved exec, 4 workers x 1 chip (75-cycle min lookahead), {txns} txns/worker\",\n"
+    ));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"simulated_cycles\": {},\n  \"committed\": {},\n",
+        serial.m.cycles, serial.m.committed
+    ));
+    json.push_str("  \"report_bytes_identical\": true,\n");
+    json.push_str(&format!(
+        "  \"serial\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0} }},\n",
+        serial.m.wall_secs,
+        serial.m.cycles_per_sec()
+    ));
+    for ((label, run), (_, speedup)) in runs.into_iter().zip(speedups) {
+        let key = label.replace(" x", "");
+        json.push_str(&format!(
+            "  \"{key}\": {{ \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0}, \"speedup\": {speedup:.3}, \"epoch_rounds\": {} }},\n",
+            run.m.wall_secs,
+            run.m.cycles_per_sec(),
+            run.epoch_rounds
+        ));
+    }
+    json.push_str(&format!(
+        "  \"cancelled_write_acks\": {},\n",
+        matrix4.cancelled_acks
+    ));
+    json.push_str("  \"matrix4_lanes\": ");
+    push_lane_json(&mut json, &matrix4.lanes);
+    json.push_str(",\n");
+    json.push_str(&format!(
+        "  \"skewed\": {{ \"hot_txns\": {hot}, \"light_txns\": {light}, \
+         \"global_epoch_rounds\": {}, \"matrix_epoch_rounds\": {}, \"round_ratio\": {round_ratio:.1}, \
+         \"cancelled_write_acks\": {}, \"report_bytes_identical\": true }}\n",
+        skew_global.epoch_rounds, skew_matrix.epoch_rounds, skew_matrix.cancelled_acks
+    ));
+    json.push_str("}\n");
     std::fs::write(out_path, json).expect("write results file");
     println!("wrote {out_path}");
+
+    // Full runs feed the regression history `benchdiff` gates on; quick
+    // waves are too small to be comparable and stay out of it.
+    if !quick {
+        let t = history::now_unix();
+        for (bench, cps) in [
+            ("parsim-serial", serial.m.cycles_per_sec()),
+            ("parsim-global", global4.m.cycles_per_sec()),
+            ("parsim-matrix", matrix4.m.cycles_per_sec()),
+        ] {
+            history::append(
+                history_path.as_ref(),
+                &Entry {
+                    bench: bench.to_string(),
+                    cycles_per_sec: cps,
+                    unix_secs: t,
+                },
+            )
+            .expect("append bench history");
+        }
+        println!("appended 3 entries to {history_path}");
+    }
 
     let mut jout = JsonOut::from_env("simperf-par");
     jout.value_row("host_cpus", host_cpus as f64);
     jout.value_row("simulated_cycles", serial.m.cycles as f64);
     jout.value_row("committed", serial.m.committed as f64);
     jout.value_row("serial_cycles_per_sec", serial.m.cycles_per_sec());
-    jout.value_row("par2_cycles_per_sec", par2.m.cycles_per_sec());
-    jout.value_row("par4_cycles_per_sec", par4.m.cycles_per_sec());
-    jout.value_row("speedup_par4", speedup4);
-    for (w, &(ticks, skipped)) in par4.lanes.iter().enumerate() {
-        jout.value_row(&format!("par4_lane{w}_ticks"), ticks as f64);
-        jout.value_row(&format!("par4_lane{w}_skipped"), skipped as f64);
+    jout.value_row("global4_cycles_per_sec", global4.m.cycles_per_sec());
+    jout.value_row("matrix4_cycles_per_sec", matrix4.m.cycles_per_sec());
+    jout.value_row("speedup_matrix4", speedups[3].1);
+    jout.value_row("skew_global_rounds", skew_global.epoch_rounds as f64);
+    jout.value_row("skew_matrix_rounds", skew_matrix.epoch_rounds as f64);
+    for (w, lane) in matrix4.lanes.iter().enumerate() {
+        jout.value_row(&format!("matrix4_lane{w}_rounds"), lane.rounds as f64);
+        jout.value_row(&format!("matrix4_lane{w}_ticks"), lane.ticks as f64);
+        jout.value_row(&format!("matrix4_lane{w}_skips"), lane.skips as f64);
     }
     jout.write();
 }
@@ -246,8 +478,12 @@ fn main() {
             "BENCH_simperf.json"
         })
         .to_string();
+    let history_path = args
+        .value("--history")
+        .unwrap_or(history::DEFAULT_PATH)
+        .to_string();
     if par {
-        run_par_study(quick, &out_path);
+        run_par_study(quick, &out_path, &history_path);
         return;
     }
     let txns = args.wave(400, 2_000);
@@ -303,6 +539,25 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write results file");
     println!("wrote {out_path}");
+
+    if !quick {
+        let t = history::now_unix();
+        for (bench, cps) in [
+            ("simperf-strict", strict.cycles_per_sec()),
+            ("simperf-fast", fast.cycles_per_sec()),
+        ] {
+            history::append(
+                history_path.as_ref(),
+                &Entry {
+                    bench: bench.to_string(),
+                    cycles_per_sec: cps,
+                    unix_secs: t,
+                },
+            )
+            .expect("append bench history");
+        }
+        println!("appended 2 entries to {history_path}");
+    }
 
     // Shared `--json` dump (same flag as every other bench bin).
     let mut jout = JsonOut::from_env("simperf");

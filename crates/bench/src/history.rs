@@ -1,0 +1,234 @@
+//! Append-only benchmark history and the regression gate built on it.
+//!
+//! Every `simperf` run appends one JSONL line per tracked metric to
+//! `results/bench_history.jsonl` (path overridable). The `benchdiff` bin
+//! reads the file back, groups entries by bench key, takes the *oldest*
+//! entry per key as the recorded baseline (the first run bootstraps it)
+//! and fails when the newest entry regresses by more than the tolerance
+//! in cycles per second. The format is a rigid single-line JSON object —
+//! written and parsed here, no serde — so the file stays greppable,
+//! appendable from concurrent runs (one `write` per line), and diffable
+//! in review.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Where history lines land by default, relative to the repo root.
+pub const DEFAULT_PATH: &str = "results/bench_history.jsonl";
+
+/// Default allowed regression: 10% below baseline fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Stable bench key, e.g. `simperf-fast` or `parsim-matrix`.
+    pub bench: String,
+    /// The tracked metric: simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Wall-clock timestamp (Unix seconds) of the run.
+    pub unix_secs: u64,
+}
+
+impl Entry {
+    /// Render the rigid single-line JSON form `parse_line` reads back.
+    pub fn render(&self) -> String {
+        debug_assert!(
+            !self.bench.contains('"'),
+            "bench keys must not contain quotes"
+        );
+        format!(
+            "{{\"bench\":\"{}\",\"cycles_per_sec\":{:.3},\"unix_secs\":{}}}",
+            self.bench, self.cycles_per_sec, self.unix_secs
+        )
+    }
+}
+
+/// Wall clock now, Unix seconds (0 if the clock is before the epoch).
+pub fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Append one entry to the history file, creating parent directories and
+/// the file itself as needed. One write per line keeps concurrent
+/// appenders from interleaving mid-record.
+pub fn append(path: &Path, entry: &Entry) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(format!("{}\n", entry.render()).as_bytes())
+}
+
+/// Parse one history line; `None` for blanks or lines that do not carry
+/// all three fields (forward compatibility: unknown lines are skipped,
+/// not fatal).
+pub fn parse_line(line: &str) -> Option<Entry> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let bench = field(line, "\"bench\":\"")?;
+    let bench = &bench[..bench.rfind('"')?];
+    let cycles_per_sec: f64 = field(line, "\"cycles_per_sec\":")?.parse().ok()?;
+    let unix_secs: u64 = field(line, "\"unix_secs\":")?.parse().ok()?;
+    Some(Entry {
+        bench: bench.to_string(),
+        cycles_per_sec,
+        unix_secs,
+    })
+}
+
+/// Parse a whole history file's text, skipping unparseable lines.
+pub fn parse(text: &str) -> Vec<Entry> {
+    text.lines().filter_map(parse_line).collect()
+}
+
+/// The comparison `benchdiff` prints for one bench key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The bench key this verdict covers.
+    pub bench: String,
+    /// The recorded baseline: the oldest entry's metric.
+    pub baseline: f64,
+    /// The newest entry's metric.
+    pub latest: f64,
+    /// `latest / baseline` (1.0 when the baseline is zero).
+    pub ratio: f64,
+    /// True when `latest < baseline * (1 - tolerance)`.
+    pub regressed: bool,
+}
+
+/// Compare the newest entry per bench key against its recorded baseline
+/// (the oldest entry for that key — the first run bootstraps the
+/// baseline, so a fresh history always passes). Entries are taken in file
+/// order, which `append` keeps chronological.
+pub fn check(entries: &[Entry], tolerance: f64) -> Vec<Verdict> {
+    let mut keys: Vec<&str> = Vec::new();
+    for e in entries {
+        if !keys.contains(&e.bench.as_str()) {
+            keys.push(&e.bench);
+        }
+    }
+    keys.iter()
+        .map(|&key| {
+            let mut of_key = entries.iter().filter(|e| e.bench == key);
+            let baseline = of_key.next().expect("key came from entries").cycles_per_sec;
+            let latest = entries
+                .iter()
+                .rev()
+                .find(|e| e.bench == key)
+                .expect("key came from entries")
+                .cycles_per_sec;
+            let ratio = if baseline == 0.0 { 1.0 } else { latest / baseline };
+            Verdict {
+                bench: key.to_string(),
+                baseline,
+                latest,
+                ratio,
+                regressed: latest < baseline * (1.0 - tolerance),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &str, cps: f64, t: u64) -> Entry {
+        Entry {
+            bench: bench.to_string(),
+            cycles_per_sec: cps,
+            unix_secs: t,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let e = entry("parsim-matrix", 123456.789, 1_754_000_000);
+        let parsed = parse_line(&e.render()).expect("parses");
+        assert_eq!(parsed.bench, "parsim-matrix");
+        assert!((parsed.cycles_per_sec - 123456.789).abs() < 1e-3);
+        assert_eq!(parsed.unix_secs, 1_754_000_000);
+    }
+
+    #[test]
+    fn junk_lines_are_skipped_not_fatal() {
+        let text = "\n// not json\n{\"bench\":\"a\",\"cycles_per_sec\":10.000,\"unix_secs\":1}\n{\"other\":1}\n";
+        let entries = parse(text);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].bench, "a");
+    }
+
+    #[test]
+    fn fresh_baseline_passes() {
+        // A single entry per key is its own baseline: never a regression.
+        let entries = vec![entry("a", 100.0, 1), entry("b", 5.0, 2)];
+        let verdicts = check(&entries, DEFAULT_TOLERANCE);
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| !v.regressed));
+        assert!(verdicts.iter().all(|v| (v.ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn injected_regression_fails() {
+        // Synthetic regression: the latest run is 50% below baseline.
+        let entries = vec![
+            entry("parsim-matrix", 100.0, 1),
+            entry("parsim-matrix", 98.0, 2),
+            entry("parsim-matrix", 50.0, 3),
+        ];
+        let verdicts = check(&entries, DEFAULT_TOLERANCE);
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].regressed, "50% drop must regress: {verdicts:?}");
+        assert_eq!(verdicts[0].baseline, 100.0);
+        assert_eq!(verdicts[0].latest, 50.0);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_keys_are_independent() {
+        let entries = vec![
+            entry("a", 100.0, 1),
+            entry("b", 100.0, 2),
+            entry("a", 95.0, 3),  // -5%: inside 10% tolerance
+            entry("b", 80.0, 4),  // -20%: regression
+        ];
+        let verdicts = check(&entries, DEFAULT_TOLERANCE);
+        let a = verdicts.iter().find(|v| v.bench == "a").unwrap();
+        let b = verdicts.iter().find(|v| v.bench == "b").unwrap();
+        assert!(!a.regressed, "{a:?}");
+        assert!(b.regressed, "{b:?}");
+    }
+
+    #[test]
+    fn append_creates_dirs_and_appends() {
+        let dir = std::env::temp_dir().join(format!(
+            "bionicdb-history-test-{}-{}",
+            std::process::id(),
+            now_unix()
+        ));
+        let path = dir.join("nested").join("h.jsonl");
+        append(&path, &entry("x", 1.0, 1)).expect("first append");
+        append(&path, &entry("x", 2.0, 2)).expect("second append");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let entries = parse(&text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].cycles_per_sec, 2.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

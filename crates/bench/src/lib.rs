@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod history;
 pub mod json;
 
 use bionicdb::{BionicConfig, ExecMode};

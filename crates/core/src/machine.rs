@@ -120,7 +120,7 @@ impl SystemBuilder {
             ));
             banks.push(bank);
         }
-        let lane_activity = vec![(0, 0); workers.len()];
+        let lane_activity = (0..workers.len()).map(|_| LaneActivity::new()).collect();
         Machine {
             cfg,
             dram,
@@ -134,6 +134,8 @@ impl SystemBuilder {
             sim_threads: 1,
             ticks_executed: 0,
             lane_activity,
+            epoch_rounds: 0,
+            lookahead_mode: LookaheadMode::default(),
             fault_plan: FaultPlan::none(),
             crashed: false,
             crash_hook: None,
@@ -219,6 +221,58 @@ impl RetryOutcome {
     }
 }
 
+/// How the epoch-parallel scheduler derives its synchronization horizons
+/// (see `machine/par.rs` and DESIGN.md §11). Both modes are bit-exact with
+/// serial ticking; they differ only in how far each lane may run between
+/// barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookaheadMode {
+    /// One horizon for every lane, derived from the global minimum pair
+    /// latency (`Noc::min_hop_latency`) — the PR-4 scheduler's behavior,
+    /// kept as the baseline the matrix scheduler is diffed against.
+    Global,
+    /// Per-lane horizons from the per-pair lookahead matrix
+    /// (`Noc::min_latency(src, dst)`): a lane only synchronizes tightly
+    /// with lanes that can actually reach it soon.
+    #[default]
+    Matrix,
+}
+
+/// Per-lane instrumentation from the epoch-parallel scheduler. Simulator
+/// measurements, not machine state: excluded from [`MachineStats`] and
+/// [`Machine::report`], surfaced only by tooling (`simperf --par`).
+#[derive(Debug, Clone, Copy)]
+pub struct LaneActivity {
+    /// Component ticks this lane executed across all epoch rounds.
+    pub ticks: u64,
+    /// Cycles this lane fast-forwarded over instead of ticking.
+    pub skips: u64,
+    /// Epoch rounds in which this lane was scheduled (had work below its
+    /// horizon). Unscheduled rounds cost the lane nothing — the work-
+    /// stealing scheduler never locks an idle lane.
+    pub rounds: u64,
+    /// Wall-clock nanoseconds between this lane finishing its round and
+    /// the round's barrier releasing — the skew the work-stealing
+    /// scheduler exists to shrink. Wall-clock, hence nondeterministic;
+    /// everything the machine observes stays bit-exact regardless.
+    pub barrier_idle_ns: u64,
+    /// Distribution of this lane's epoch lengths (cycles between its
+    /// round-entry position and the horizon it was released to).
+    pub epoch_len: bionicdb_fpga::obs::LatencyHistogram,
+}
+
+impl LaneActivity {
+    pub(crate) fn new() -> Self {
+        LaneActivity {
+            ticks: 0,
+            skips: 0,
+            rounds: 0,
+            barrier_idle_ns: 0,
+            epoch_len: bionicdb_fpga::obs::LatencyHistogram::new(),
+        }
+    }
+}
+
 /// A fully assembled BionicDB machine.
 pub struct Machine {
     cfg: BionicConfig,
@@ -247,7 +301,14 @@ pub struct Machine {
     /// measures the simulator, not the machine — it stays out of
     /// [`MachineStats`] and the report, and is only surfaced by tooling
     /// (`simperf --par`).
-    lane_activity: Vec<(u64, u64)>,
+    lane_activity: Vec<LaneActivity>,
+    /// Epoch-round barriers executed by `run_epochs` (across all calls) —
+    /// the denominator of the lookahead study: fewer rounds for the same
+    /// simulated span means longer epochs and less synchronization.
+    /// Simulator instrumentation, like `ticks_executed`.
+    epoch_rounds: u64,
+    /// Horizon derivation for the epoch-parallel scheduler.
+    lookahead_mode: LookaheadMode,
     /// The installed fault schedule (its NoC/DRAM parts are distributed to
     /// those components at install time; the crash/log parts live here).
     fault_plan: FaultPlan,
@@ -620,14 +681,39 @@ impl Machine {
         self.ticks_executed
     }
 
-    /// Per-lane `(ticks_executed, cycles_skipped)` totals from the
-    /// epoch-parallel scheduler, indexed by worker. All zeros until an
-    /// epoch-parallel phase has run (serial and strict schedules do not
-    /// maintain it). Simulator instrumentation, not machine state: it is
-    /// excluded from [`MachineStats`] and [`Machine::report`] and consumed
-    /// only by tooling (`simperf --par`).
-    pub fn lane_activity(&self) -> &[(u64, u64)] {
+    /// Per-lane [`LaneActivity`] totals from the epoch-parallel scheduler,
+    /// indexed by worker. All zeros until an epoch-parallel phase has run
+    /// (serial and strict schedules do not maintain it). Simulator
+    /// instrumentation, not machine state: it is excluded from
+    /// [`MachineStats`] and [`Machine::report`] and consumed only by
+    /// tooling (`simperf --par`).
+    pub fn lane_activity(&self) -> &[LaneActivity] {
         &self.lane_activity
+    }
+
+    /// Epoch-round barriers executed by the epoch-parallel scheduler so
+    /// far. Simulator instrumentation, not machine state.
+    pub fn epoch_rounds(&self) -> u64 {
+        self.epoch_rounds
+    }
+
+    /// Posted-write acknowledgements the DRAM banks cancelled at
+    /// completion instead of delivering (summed over every bank plus the
+    /// host view). Simulator instrumentation, not machine state.
+    pub fn cancelled_write_acks(&self) -> u64 {
+        self.dram.cancelled_acks() + self.banks.iter().map(Dram::cancelled_acks).sum::<u64>()
+    }
+
+    /// Select how the epoch-parallel scheduler derives its horizons. Both
+    /// modes are bit-exact with serial ticking (enforced by `parcheck`);
+    /// [`LookaheadMode::Matrix`] is the default.
+    pub fn set_lookahead_mode(&mut self, mode: LookaheadMode) {
+        self.lookahead_mode = mode;
+    }
+
+    /// The configured horizon derivation.
+    pub fn lookahead_mode(&self) -> LookaheadMode {
+        self.lookahead_mode
     }
 
     /// Simulated seconds elapsed.

@@ -7,30 +7,50 @@
 //! argument Porobic et al. make for "hardware islands"): a worker's
 //! softcore, coprocessor, DRAM bank, and partition tables are touched by
 //! that worker alone. The *only* inter-worker coupling is the NoC, and
-//! every NoC path has a minimum latency `L = noc.min_hop_latency()` — the
-//! classic **lookahead** of conservative PDES. A message sent at cycle `c`
-//! is delivered no earlier than `c + L`, so a *round* covering cycles
-//! `(H_prev, H]` with `H - T < L` (where `T` is the earliest pending
-//! action) can execute every worker to `H` with **no** communication: any
-//! send inside the round lands strictly beyond `H`.
+//! every NoC path `(src, dst)` has a minimum latency
+//! `L(src, dst) = noc.min_latency(src, dst)` — the classic **lookahead**
+//! of conservative PDES, here kept as a full per-pair matrix rather than
+//! a single global minimum. A message sent at cycle `c` is delivered no
+//! earlier than `c + L(src, dst)`, so a lane whose potential senders are
+//! all *far away* can safely run far ahead of a lane whose senders are
+//! near.
 //!
-//! # The schedule
+//! # The schedule (GVT + per-pair horizons)
 //!
-//! Each round:
+//! Each worker *lane* (worker + bank + tables + detached [`EpochLink`])
+//! is a work item. Per round:
 //!
-//! 1. the coordinator computes `T` (the earliest next action anywhere) and
-//!    sets the horizon `H = min(T + L - 1, cap)`;
-//! 2. every worker *lane* (worker + bank + tables + detached
-//!    [`EpochLink`]) runs independently — on its own thread — using the
-//!    per-worker fast-forward (`next_event`/`skip`) to jump idle spans,
-//!    executing every cycle `<= H` at which it has an event;
-//! 3. at the barrier, the coordinator replays the staged NoC sends in the
-//!    exact serial order (cycle, then worker id), routes the resulting
-//!    deliveries (all `> H` — asserted), merges traces in serial sink
-//!    order, and computes the next `T` from the lanes' exit hints.
+//! 1. The coordinator computes each lane's **base** `base_j` — a lower
+//!    bound on the next cycle lane `j` can act at: its exit hint, the
+//!    arrival of its earliest undelivered routed packet, and the arrival
+//!    floor of any still-uncommitted staged send addressed to it.
+//! 2. `GVT = min_j base_j`. The [`EpochMerger`] **commits** every staged
+//!    send with cycle `< GVT` in exact serial `(cycle, src)` order —
+//!    replaying fault ordinals, the per-source issue ledger, latency
+//!    stats, and queue-high-water marks bit-identically — and routes the
+//!    resulting deliveries. Commits can raise bases (a drop fault removes
+//!    an arrival floor), so this loops to a fixpoint.
+//! 3. Earliest-action bounds are relaxed to a fixpoint:
+//!    `A_j = min(base_j, min_{k != j}(A_k + L(k, j)))` — the Bellman-Ford
+//!    step that catches *chains* (k wakes j cheaply, j wakes i cheaply,
+//!    even though k → i directly is expensive).
+//! 4. Per-lane horizon `H_i = min(floor_i, min_{j != i}(A_j + L(j, i))) - 1`
+//!    (capped): no send any lane can still make, and no send already
+//!    staged, can arrive at `i` at or before `H_i`. In
+//!    [`LookaheadMode::Global`] the horizon is instead the uniform
+//!    `GVT + Lmin - 1` — the PR-4 baseline, kept for `parcheck` diffing.
+//! 5. Every lane whose next action is `<= H_i` becomes a work item on a
+//!    shared schedule; threads (the coordinator included) **claim lanes
+//!    dynamically** with an atomic cursor, so skewed workloads no longer
+//!    idle threads behind a static chunking. Each finished lane deposits
+//!    its round traffic and trace into a **combining tree** whose nodes
+//!    merge pairwise, in parallel, with order-preserving merges — the
+//!    root is deterministic regardless of thread interleaving.
 //!
-//! When no action remains at or below `cap`, every lane is topped up
-//! (`skip`) to a common cycle and control returns to the serial loop in
+//! Trace events drain to the sink only below the GVT (their serial order
+//! is then final); the remainder drains at epoch end. When the GVT passes
+//! the cap (or nothing remains), every lane is topped up (`skip`) to a
+//! common cycle and control returns to the serial loop in
 //! [`Machine::run_to_quiescence_limit`], which owns the uniform exit
 //! conditions (quiescence, crash, limit panic).
 //!
@@ -39,10 +59,15 @@
 //! * A lane ticks exactly the set of cycles at which serial ticking would
 //!   have given its components an event; ticking an event-free cycle is
 //!   `skip(1)` per the PR-1 fast-forward contract, so per-worker state is
-//!   bit-identical.
-//! * NoC effects are replayed at the barrier in (cycle, worker-id) order —
-//!   the serial send order — so fault ordinals, issue-width ledgers,
-//!   stats, and queue high-water marks are bit-identical.
+//!   bit-identical. An unscheduled lane is equivalent to a scheduled lane
+//!   with nothing to do (zero ticks, unchanged hint), so dynamic
+//!   scheduling is bit-inert.
+//! * NoC effects are committed strictly below the GVT in (cycle, worker)
+//!   order — the serial send order — and no lane can ever stage a send
+//!   below the GVT afterwards (every future action of lane `j` is
+//!   `>= base_j >= GVT`), so fault ordinals, issue-width ledgers, stats,
+//!   and queue high-water marks are bit-identical. See DESIGN.md §11 for
+//!   the full argument.
 //! * Traces are merged by (cycle, worker-id) — the serial drain order.
 //! * A scheduled crash caps the epoch phase at `crash_at - 1`; the crash
 //!   cycle itself is *ticked* by the serial loop, so the crash-instant
@@ -53,21 +78,19 @@
 //! oversubscribed hosts — including single-core CI boxes — degrade
 //! gracefully instead of burning timeslices.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
 
 use bionicdb_coproc::layout::TableState;
+use bionicdb_fpga::obs::LatencyHistogram;
 use bionicdb_fpga::{Dram, TxnEvent};
-use bionicdb_noc::{EpochLink, EpochTraffic, Packet};
+use bionicdb_noc::{EpochLink, EpochMerger, Packet, StagedBatch};
 use bionicdb_softcore::catalogue::Catalogue;
+use bionicdb_softcore::PartitionId;
 
-use super::Machine;
+use super::{LookaheadMode, Machine};
 use crate::worker::PartitionWorker;
-
-/// What a spawned worker thread leaves behind when it finishes: the index
-/// of its first lane (for reassembling global link order) and its links.
-/// Per-lane tick/skip counters stay on the [`Lane`]s themselves, which the
-/// coordinator owns and harvests after the scope joins.
-type ThreadFinal = (usize, Vec<EpochLink>);
 
 /// One worker's slice of the machine, self-contained for a round.
 struct Lane<'a> {
@@ -82,28 +105,180 @@ struct Lane<'a> {
     /// Cycles this lane fast-forwarded over instead of ticking
     /// (simulator instrumentation).
     skips: u64,
+    /// Rounds this lane was scheduled for (simulator instrumentation).
+    rounds: u64,
+    /// Distribution of granted epoch spans (horizon minus entry position;
+    /// simulator instrumentation).
+    epoch_len: LatencyHistogram,
     /// Trace events buffered this round, stamped with their cycle.
     trace: Vec<(u64, TxnEvent)>,
 }
 
-/// What a lane reports at the round barrier.
+/// The scalars a lane reports at the round barrier (its traffic and trace
+/// travel through the combining tree instead).
 struct LaneOut {
-    traffic: EpochTraffic,
     /// The lane's next self-known action (`> horizon`), or `None` when the
     /// worker, bank, and queued deliveries are all exhausted.
     hint: Option<u64>,
     pos: u64,
     quiescent: bool,
-    trace: Vec<(u64, TxnEvent)>,
+    /// Whether the lane's delivery queue was empty at harvest.
+    drained: bool,
+}
+
+/// A lane plus everything a claiming thread needs to run it for a round.
+struct LaneCell<'a> {
+    lane: Lane<'a>,
+    link: EpochLink,
+    /// Deliveries routed since the lane last ran, handed to
+    /// [`EpochLink::begin_round`] when the lane is next scheduled.
+    pending: Vec<(u64, Packet)>,
+    /// The horizon granted for the current round.
+    horizon: u64,
+    out: Option<LaneOut>,
+    /// When the claiming thread finished this lane — the coordinator turns
+    /// it into per-lane barrier idle time.
+    done_at: Option<Instant>,
+}
+
+/// One leaf (or merged subtree) of the round's combining tree.
+struct RoundNode {
+    batch: StagedBatch,
+    /// Trace events `(cycle, lane, event)`, sorted by `(cycle, lane)`.
+    trace: Vec<(u64, u32, TxnEvent)>,
+}
+
+impl RoundNode {
+    fn empty() -> Self {
+        RoundNode {
+            batch: StagedBatch::empty(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Deterministic pairwise combine: order-preserving merges keyed the
+    /// way a serial pass would have ordered the concatenation.
+    fn merge(a: Self, b: Self) -> Self {
+        RoundNode {
+            batch: StagedBatch::merge(a.batch, b.batch),
+            trace: merge_traces(a.trace, b.trace),
+        }
+    }
+}
+
+/// Order-preserving two-pointer merge of `(cycle, lane)`-sorted traces;
+/// `<=` keeps the left operand first on ties, matching a stable sort of
+/// the concatenation.
+fn merge_traces(
+    a: Vec<(u64, u32, TxnEvent)>,
+    b: Vec<(u64, u32, TxnEvent)>,
+) -> Vec<(u64, u32, TxnEvent)> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(&(ca, la, _)), Some(&(cb, lb, _))) => {
+                if (ca, la) <= (cb, lb) {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(ia.next().expect("peeked")),
+            (None, Some(_)) => out.push(ib.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// The hierarchical merge: a heap-indexed binary combining tree. Leaves
+/// live at `[m, 2m)`, internal nodes at `[1, m)`, the root at 1. A thread
+/// deposits its finished lane's [`RoundNode`] at its claimed leaf and
+/// climbs: the *second* arrival at each parent merges the two children and
+/// continues up, so merge work is spread across whichever threads finish
+/// last on each subtree — not serialized under the barrier.
+struct MergeTree {
+    nodes: Vec<Mutex<Option<RoundNode>>>,
+    /// Per-internal-node arrival counters (index-aligned with `nodes`).
+    arrivals: Vec<AtomicUsize>,
+    /// Leaf count (power of two).
+    m: usize,
+}
+
+impl MergeTree {
+    fn new(leaves: usize) -> Self {
+        let m = leaves.next_power_of_two().max(1);
+        MergeTree {
+            nodes: (0..2 * m).map(|_| Mutex::new(None)).collect(),
+            arrivals: (0..m).map(|_| AtomicUsize::new(0)).collect(),
+            m,
+        }
+    }
+
+    fn leaves(&self) -> usize {
+        self.m
+    }
+
+    /// Coordinator-only, between rounds: rearm the arrival counters.
+    fn reset(&self) {
+        for a in &self.arrivals {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Place `node` at leaf `k` and climb, merging at each parent where
+    /// this thread arrives second. Mutexes order the node writes against
+    /// the counter increments.
+    fn deposit(&self, k: usize, node: RoundNode) {
+        let mut i = self.m + k;
+        *self.nodes[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(node);
+        while i > 1 {
+            let p = i >> 1;
+            if self.arrivals[p].fetch_add(1, Ordering::AcqRel) == 0 {
+                return; // first at this parent: the sibling's thread merges
+            }
+            let l = self.nodes[2 * p]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("left child deposited");
+            let r = self.nodes[2 * p + 1]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("right child deposited");
+            *self.nodes[p].lock().unwrap_or_else(PoisonError::into_inner) =
+                Some(RoundNode::merge(l, r));
+            i = p;
+        }
+    }
+
+    /// Coordinator-only, after the barrier: harvest the fully merged root.
+    fn take_root(&self) -> RoundNode {
+        self.nodes[1]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("combining tree root deposited")
+    }
 }
 
 /// Coordinator commands, published before the round barrier.
 #[derive(Clone, Copy)]
 enum Cmd {
-    /// Run every lane up to and including `horizon`.
-    Run { horizon: u64 },
-    /// Top every lane up to cycle `to` and exit. `expect_idle` asserts the
-    /// machine is quiescent (the audit for the serial loop's exit).
+    /// Claim lanes off the shared schedule and run each to its granted
+    /// per-lane horizon.
+    Run,
+    /// Claim lanes, top each up to cycle `to`, and exit. `expect_idle`
+    /// asserts the machine is quiescent (the audit for the serial loop's
+    /// exit).
     Finish { to: u64, expect_idle: bool },
 }
 
@@ -136,9 +311,7 @@ impl Gate {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn wait(&self) {
@@ -156,10 +329,7 @@ impl Gate {
         }
         let generation = g.generation;
         while g.generation == generation && !g.poisoned {
-            g = self
-                .cv
-                .wait(g)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
         let poisoned = g.poisoned;
         drop(g);
@@ -199,6 +369,8 @@ impl Drop for PanicGuard<'_> {
 /// drain them would over-account idle cycles past the serial exit cycle.
 /// Delivering and draining an orphan is stat-neutral, so *when* it
 /// happens (here: only while the lane is otherwise active) is invisible.
+/// (Posted-write acknowledgements no longer reach this path at all: the
+/// banks cancel them at completion.)
 fn lane_next(lane: &Lane<'_>, link: &EpochLink) -> Option<u64> {
     let link_next = link.next_ready(lane.pos);
     if link_next.is_none() && lane.worker.is_quiescent() {
@@ -219,15 +391,16 @@ fn lane_next(lane: &Lane<'_>, link: &EpochLink) -> Option<u64> {
 }
 
 /// Run one lane through one round: fast-forward from event to event,
-/// ticking every cycle `<= horizon` at which the lane could act.
+/// ticking every cycle `<= horizon` at which the lane could act. Returns
+/// the lane's exit hint.
 fn run_round(
     lane: &mut Lane<'_>,
     link: &mut EpochLink,
     horizon: u64,
     cat: &Catalogue,
     tracing: bool,
-) -> LaneOut {
-    let hint = loop {
+) -> Option<u64> {
+    loop {
         match lane_next(lane, link) {
             Some(t) if t <= horizon => {
                 let k = t - lane.pos - 1;
@@ -247,13 +420,6 @@ fn run_round(
             }
             other => break other,
         }
-    };
-    LaneOut {
-        hint,
-        pos: lane.pos,
-        quiescent: lane.worker.is_quiescent(),
-        trace: std::mem::take(&mut lane.trace),
-        traffic: link.harvest(),
     }
 }
 
@@ -283,38 +449,108 @@ fn finish_lane(lane: &mut Lane<'_>, link: &EpochLink, to: u64, expect_idle: bool
     }
 }
 
-/// The loop a spawned worker thread runs: wait for a command, execute it
-/// over this thread's chunk of lanes, repeat until `Finish`.
+/// The work-stealing loop every thread (coordinator included) runs during
+/// a round: claim the next scheduled lane off the shared cursor, run it to
+/// its granted horizon, and deposit its traffic/trace into the combining
+/// tree at the claimed slot.
+fn run_claimed(
+    cells: &[Mutex<LaneCell<'_>>],
+    sched: &Mutex<Vec<usize>>,
+    cursor: &AtomicUsize,
+    tree: &MergeTree,
+    cat: &Catalogue,
+    tracing: bool,
+) {
+    loop {
+        let k = cursor.fetch_add(1, Ordering::SeqCst);
+        let idx = {
+            let sch = sched.lock().unwrap_or_else(PoisonError::into_inner);
+            match sch.get(k) {
+                Some(&i) => i,
+                None => break,
+            }
+        };
+        let mut guard = cells[idx].lock().unwrap_or_else(PoisonError::into_inner);
+        let cell = &mut *guard;
+        let pending = std::mem::take(&mut cell.pending);
+        cell.link.begin_round(pending);
+        let horizon = cell.horizon;
+        cell.lane.rounds += 1;
+        cell.lane.epoch_len.record(horizon - cell.lane.pos);
+        let hint = run_round(&mut cell.lane, &mut cell.link, horizon, cat, tracing);
+        let traffic = cell.link.harvest();
+        let drained = traffic.queue_drained();
+        let lane_id = cell.lane.idx as u32;
+        let trace: Vec<(u64, u32, TxnEvent)> = cell
+            .lane
+            .trace
+            .drain(..)
+            .map(|(c, ev)| (c, lane_id, ev))
+            .collect();
+        cell.out = Some(LaneOut {
+            hint,
+            pos: cell.lane.pos,
+            quiescent: cell.lane.worker.is_quiescent(),
+            drained,
+        });
+        cell.done_at = Some(Instant::now());
+        drop(guard);
+        tree.deposit(
+            k,
+            RoundNode {
+                batch: StagedBatch::from_traffic(traffic),
+                trace,
+            },
+        );
+    }
+}
+
+/// The claim loop for the exit command: top every lane up to `to`.
+fn finish_claimed(
+    cells: &[Mutex<LaneCell<'_>>],
+    sched: &Mutex<Vec<usize>>,
+    cursor: &AtomicUsize,
+    to: u64,
+    expect_idle: bool,
+) {
+    loop {
+        let k = cursor.fetch_add(1, Ordering::SeqCst);
+        let idx = {
+            let sch = sched.lock().unwrap_or_else(PoisonError::into_inner);
+            match sch.get(k) {
+                Some(&i) => i,
+                None => break,
+            }
+        };
+        let mut guard = cells[idx].lock().unwrap_or_else(PoisonError::into_inner);
+        let cell = &mut *guard;
+        finish_lane(&mut cell.lane, &cell.link, to, expect_idle);
+    }
+}
+
+/// The loop a spawned worker thread runs: wait for a command, claim work,
+/// repeat until `Finish`.
 #[allow(clippy::too_many_arguments)]
 fn participant(
-    lanes: &mut [Lane<'_>],
-    links: &mut [EpochLink],
+    cells: &[Mutex<LaneCell<'_>>],
+    sched: &Mutex<Vec<usize>>,
+    cursor: &AtomicUsize,
+    tree: &MergeTree,
     gate: &Gate,
     cmd: &Mutex<Cmd>,
-    delivery_slots: &[Mutex<Vec<(u64, Packet)>>],
-    out_slots: &[Mutex<Option<LaneOut>>],
     cat: &Catalogue,
     tracing: bool,
 ) {
     loop {
         gate.wait();
-        let c = *cmd.lock().expect("cmd lock");
+        let c = *cmd.lock().unwrap_or_else(PoisonError::into_inner);
         match c {
-            Cmd::Run { horizon } => {
-                for (lane, link) in lanes.iter_mut().zip(links.iter_mut()) {
-                    let d = std::mem::take(
-                        &mut *delivery_slots[lane.idx].lock().expect("delivery lock"),
-                    );
-                    link.begin_round(d);
-                    let out = run_round(lane, link, horizon, cat, tracing);
-                    *out_slots[lane.idx].lock().expect("out lock") = Some(out);
-                }
+            Cmd::Run => {
+                run_claimed(cells, sched, cursor, tree, cat, tracing);
                 gate.wait();
             }
             Cmd::Finish { to, expect_idle } => {
-                for (lane, link) in lanes.iter_mut().zip(links.iter()) {
-                    finish_lane(lane, link, to, expect_idle);
-                }
+                finish_claimed(cells, sched, cursor, to, expect_idle);
                 return;
             }
         }
@@ -325,13 +561,13 @@ impl Machine {
     /// The epoch-parallel phase of [`Machine::run_to_quiescence_limit`]:
     /// advance the machine as far as the lookahead allows on
     /// `sim_threads` real threads, bit-exactly, then return so the serial
-    /// loop can apply its uniform exit conditions. See the module docs for
-    /// the argument.
+    /// loop can apply its uniform exit conditions. See the module docs and
+    /// DESIGN.md §11 for the argument.
     pub(crate) fn run_epochs(&mut self, start: u64, limit: u64) {
         if limit == 0 || self.is_quiescent() {
             return;
         }
-        let lookahead = self.noc.min_hop_latency();
+        let mode = self.lookahead_mode;
         // Never run at or past the crash cycle: the crash cycle must be
         // *ticked* (by the serial loop) so the crash-instant state and the
         // hook's durable snapshot are bit-identical to a serial run.
@@ -352,8 +588,8 @@ impl Machine {
             return;
         }
 
-        let nworkers = self.workers.len();
-        let threads = self.sim_threads.min(nworkers);
+        let n = self.workers.len();
+        let threads = self.sim_threads.min(n);
         let tracing = self.trace_sink.enabled();
         let now0 = self.now;
         // Split the machine into disjoint per-worker lanes. The host DRAM
@@ -361,179 +597,300 @@ impl Machine {
         let cat = &self.cat;
         let noc = &mut self.noc;
         let sink = &mut self.trace_sink;
-        let mut links: Vec<EpochLink> = noc.begin_epoch();
-        let mut lanes: Vec<Lane<'_>> = self
+        let lmin = noc.min_hop_latency();
+        // The merger's depth mirror must be captured before `begin_epoch`
+        // detaches the delivery queues.
+        let mut merger = EpochMerger::new(noc);
+        let links: Vec<EpochLink> = noc.begin_epoch();
+
+        // Coordinator-side per-lane state, refreshed from LaneOut at each
+        // barrier (stale-safe for unscheduled lanes: nothing they own
+        // changes while they sit out).
+        let mut hint: Vec<Option<u64>> = Vec::with_capacity(n);
+        let mut pos: Vec<u64> = vec![now0; n];
+        let mut drained: Vec<bool> = Vec::with_capacity(n);
+        let mut quiescent: Vec<bool> = Vec::with_capacity(n);
+        let mut idle_ns: Vec<u64> = vec![0; n];
+        // Deliveries routed but not yet handed to a scheduled lane.
+        let mut slots: Vec<Vec<(u64, Packet)>> = (0..n).map(|_| Vec::new()).collect();
+
+        let cells: Vec<Mutex<LaneCell<'_>>> = self
             .workers
             .iter_mut()
             .zip(self.banks.iter_mut())
             .zip(self.partitions.iter_mut())
+            .zip(links)
             .enumerate()
-            .map(|(idx, ((worker, bank), part))| Lane {
-                idx,
-                worker,
-                bank,
-                tables: &mut part.tables,
-                pos: now0,
-                ticks: 0,
-                skips: 0,
-                trace: Vec::new(),
+            .map(|(idx, (((worker, bank), part), link))| {
+                let lane = Lane {
+                    idx,
+                    worker,
+                    bank,
+                    tables: &mut part.tables,
+                    pos: now0,
+                    ticks: 0,
+                    skips: 0,
+                    rounds: 0,
+                    epoch_len: LatencyHistogram::new(),
+                    trace: Vec::new(),
+                };
+                hint.push(lane_next(&lane, &link));
+                drained.push(link.next_ready(now0).is_none());
+                quiescent.push(lane.worker.is_quiescent());
+                Mutex::new(LaneCell {
+                    lane,
+                    link,
+                    pending: Vec::new(),
+                    horizon: now0,
+                    out: None,
+                    done_at: None,
+                })
             })
             .collect();
 
-        let chunk_size = nworkers.div_ceil(threads);
-        let mut lane_chunks: Vec<&mut [Lane<'_>]> = lanes.chunks_mut(chunk_size).collect();
-        let my_lanes = lane_chunks.remove(0);
-        let mut link_chunks: Vec<Vec<EpochLink>> = Vec::with_capacity(lane_chunks.len());
-        let mut my_links: Vec<EpochLink> = links.drain(..my_lanes.len()).collect();
-        for chunk in &lane_chunks {
-            link_chunks.push(links.drain(..chunk.len()).collect());
-        }
-        debug_assert!(links.is_empty());
+        let gate = Gate::new(threads);
+        let cmd_slot: Mutex<Cmd> = Mutex::new(Cmd::Run);
+        let sched: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let cursor = AtomicUsize::new(0);
+        let tree = MergeTree::new(n);
+        let mut rounds_done = 0u64;
+        let mut trace_buf: Vec<(u64, u32, TxnEvent)> = Vec::new();
+        let pid = |i: usize| PartitionId(i as u16);
 
-        let gate = Gate::new(lane_chunks.len() + 1);
-        let cmd_slot: Mutex<Cmd> = Mutex::new(Cmd::Run { horizon: 0 });
-        let delivery_slots: Vec<Mutex<Vec<(u64, Packet)>>> =
-            (0..nworkers).map(|_| Mutex::new(Vec::new())).collect();
-        let out_slots: Vec<Mutex<Option<LaneOut>>> =
-            (0..nworkers).map(|_| Mutex::new(None)).collect();
-        // Per spawned thread: (first worker idx, links).
-        let final_slots: Vec<Mutex<Option<ThreadFinal>>> =
-            (0..lane_chunks.len()).map(|_| Mutex::new(None)).collect();
-
-        let (pending, to, my_links) = std::thread::scope(|s| {
-            for (ti, (chunk, mut lnks)) in
-                lane_chunks.into_iter().zip(link_chunks).enumerate()
-            {
-                let gate = &gate;
-                let cmd_slot = &cmd_slot;
-                let delivery_slots = &delivery_slots[..];
-                let out_slots = &out_slots[..];
-                let final_slots = &final_slots[..];
+        let (slots, to) = std::thread::scope(|s| {
+            for _ in 1..threads {
+                let (cells, sched, cursor, tree, gate, cmd_slot) =
+                    (&cells, &sched, &cursor, &tree, &gate, &cmd_slot);
                 s.spawn(move || {
                     let _guard = PanicGuard(gate);
-                    let first_idx = chunk[0].idx;
-                    participant(
-                        chunk,
-                        &mut lnks,
-                        gate,
-                        cmd_slot,
-                        delivery_slots,
-                        out_slots,
-                        cat,
-                        tracing,
-                    );
-                    *final_slots[ti].lock().expect("final slot") = Some((first_idx, lnks));
+                    participant(cells, sched, cursor, tree, gate, cmd_slot, cat, tracing);
                 });
             }
 
             let _guard = PanicGuard(&gate);
-            let mut horizon = t0.saturating_add(lookahead - 1).min(cap);
+            let mut base: Vec<Option<u64>> = vec![None; n];
+            let mut floors: Vec<Option<u64>> = vec![None; n];
+            let mut prev_gvt: Option<u64> = None;
             loop {
-                *cmd_slot.lock().expect("cmd lock") = Cmd::Run { horizon };
-                gate.wait(); // release the round
-                for (lane, link) in my_lanes.iter_mut().zip(my_links.iter_mut()) {
-                    let d = std::mem::take(
-                        &mut *delivery_slots[lane.idx].lock().expect("delivery lock"),
-                    );
-                    link.begin_round(d);
-                    let out = run_round(lane, link, horizon, cat, tracing);
-                    *out_slots[lane.idx].lock().expect("out lock") = Some(out);
-                }
-                gate.wait(); // all results in
+                // ---- GVT fixpoint: commit staged sends below the bound
+                // until no commit can raise it further ----
+                let gvt = loop {
+                    let floors_now = merger.arrival_floors(noc);
+                    let mut g: Option<u64> = None;
+                    for i in 0..n {
+                        let mut b = hint[i];
+                        if drained[i] {
+                            if let Some(&(arr, _)) = slots[i].first() {
+                                let w = arr.max(pos[i] + 1);
+                                b = Some(b.map_or(w, |x| x.min(w)));
+                            }
+                        }
+                        if let Some(f) = floors_now[i] {
+                            let w = f.max(pos[i] + 1);
+                            b = Some(b.map_or(w, |x| x.min(w)));
+                        }
+                        base[i] = b;
+                        if let Some(t) = b {
+                            g = Some(g.map_or(t, |x| x.min(t)));
+                        }
+                    }
+                    floors = floors_now;
+                    let Some(g) = g else { break None };
+                    let (deliv, committed) = merger.commit(noc, Some(g));
+                    for (w, d) in deliv.into_iter().enumerate() {
+                        for (arr, pkt) in d {
+                            debug_assert!(
+                                arr > pos[w],
+                                "delivery at {arr} behind lane {w} at {}",
+                                pos[w]
+                            );
+                            slots[w].push((arr, pkt));
+                        }
+                    }
+                    if committed == 0 {
+                        break Some(g);
+                    }
+                };
+                debug_assert!(
+                    prev_gvt.is_none_or(|p| gvt.is_none_or(|g| g > p)),
+                    "GVT must strictly increase across rounds"
+                );
+                prev_gvt = gvt;
 
-                let outs: Vec<LaneOut> = out_slots
-                    .iter()
-                    .map(|s| s.lock().expect("out lock").take().expect("lane reported"))
-                    .collect();
-                let mut all_quiescent = true;
-                let mut to = now0;
-                let mut hints = Vec::with_capacity(nworkers);
-                let mut traffics = Vec::with_capacity(nworkers);
-                let mut events: Vec<(u64, TxnEvent)> = Vec::new();
-                for mut o in outs {
-                    all_quiescent &= o.quiescent;
-                    to = to.max(o.pos);
-                    hints.push((o.hint, o.traffic.queue_drained()));
-                    traffics.push(o.traffic);
-                    events.append(&mut o.trace); // worker order
-                }
+                // Trace events below the GVT are final in serial order.
                 if tracing {
-                    // Serial sink order is (cycle, worker id); the concat
-                    // above is worker-ordered, so a stable sort by cycle
-                    // reproduces it exactly.
-                    events.sort_by_key(|&(c, _)| c);
-                    for (_, ev) in &events {
-                        sink.txn(ev);
+                    if let Some(g) = gvt {
+                        let cut = trace_buf.partition_point(|&(c, _, _)| c < g);
+                        for (_, _, ev) in trace_buf.drain(..cut) {
+                            sink.txn(&ev);
+                        }
                     }
                 }
-                let deliveries = noc.merge_epoch(horizon, traffics);
 
-                // The machine's next action: each lane's exit hint, plus —
-                // for lanes whose queue ran dry — its earliest fresh
-                // delivery (a non-drained queue head-of-line blocks fresh
-                // deliveries, and the hint already covers its front).
-                let mut next: Option<u64> = None;
-                for (w, &(hint, drained)) in hints.iter().enumerate() {
-                    let mut na = hint;
-                    if drained {
-                        if let Some(&(d, _)) = deliveries[w].first() {
-                            na = Some(na.map_or(d, |h| h.min(d)));
+                let Some(gvt) = gvt.filter(|&g| g <= cap) else {
+                    // ---- exit: flush the merger, drain traces, top all
+                    // lanes up to a common cycle ----
+                    let (extra, _) = merger.commit(noc, None);
+                    debug_assert!(
+                        extra.iter().all(Vec::is_empty),
+                        "staged sends survived past the cap"
+                    );
+                    debug_assert!(merger.is_drained(), "merger left unreconciled state");
+                    if tracing {
+                        for (_, _, ev) in trace_buf.drain(..) {
+                            sink.txn(&ev);
+                        }
+                    }
+                    let to = pos.iter().copied().max().unwrap_or(now0);
+                    let expect_idle = quiescent.iter().all(|&q| q) && prev_gvt.is_none();
+                    if expect_idle {
+                        debug_assert!(
+                            slots.iter().all(Vec::is_empty),
+                            "quiescent exit with undelivered NoC traffic"
+                        );
+                    }
+                    {
+                        let mut sch = sched.lock().unwrap_or_else(PoisonError::into_inner);
+                        sch.clear();
+                        sch.extend(0..n);
+                    }
+                    cursor.store(0, Ordering::SeqCst);
+                    *cmd_slot.lock().unwrap_or_else(PoisonError::into_inner) =
+                        Cmd::Finish { to, expect_idle };
+                    gate.wait(); // release peers into Finish
+                    finish_claimed(&cells, &sched, &cursor, to, expect_idle);
+                    break (std::mem::take(&mut slots), to);
+                };
+
+                // ---- earliest-action fixpoint (Bellman-Ford over the
+                // lookahead matrix): A_j bounds the earliest cycle lane j
+                // can still act — and therefore send — at, including being
+                // woken through a chain of nearer lanes ----
+                let mut act = base.clone();
+                if mode == LookaheadMode::Matrix {
+                    loop {
+                        let mut changed = false;
+                        for j in 0..n {
+                            for k in 0..n {
+                                if k == j {
+                                    continue;
+                                }
+                                if let Some(ak) = act[k] {
+                                    let via = ak.saturating_add(noc.min_latency(pid(k), pid(j)));
+                                    if act[j].is_none_or(|aj| via < aj) {
+                                        act[j] = Some(via);
+                                        changed = true;
+                                    }
+                                }
+                            }
+                        }
+                        if !changed {
+                            break;
+                        }
+                    }
+                }
+
+                // ---- grant horizons, schedule lanes with work ----
+                let mut round_lanes: Vec<usize> = Vec::new();
+                for i in 0..n {
+                    let h = match mode {
+                        LookaheadMode::Global => gvt.saturating_add(lmin - 1),
+                        LookaheadMode::Matrix => {
+                            // No send any lane can still make, and no send
+                            // already staged, arrives at i by H_i.
+                            let mut bound = floors[i];
+                            for (j, aj) in act.iter().enumerate() {
+                                if j == i {
+                                    continue;
+                                }
+                                if let Some(aj) = aj {
+                                    let arr = aj.saturating_add(noc.min_latency(pid(j), pid(i)));
+                                    bound = Some(bound.map_or(arr, |b| b.min(arr)));
+                                }
+                            }
+                            bound.map_or(cap, |b| b.saturating_sub(1))
+                        }
+                    }
+                    .min(cap);
+                    debug_assert!(h >= gvt, "horizon below the GVT stalls the round");
+                    // The lane's next *performable* action (arrival floors
+                    // are not performable until delivered).
+                    let mut na = hint[i];
+                    if drained[i] {
+                        if let Some(&(arr, _)) = slots[i].first() {
+                            let w = arr.max(pos[i] + 1);
+                            na = Some(na.map_or(w, |x| x.min(w)));
                         }
                     }
                     if let Some(t) = na {
-                        next = Some(next.map_or(t, |b| b.min(t)));
+                        if t <= h {
+                            round_lanes.push(i);
+                            let mut cell =
+                                cells[i].lock().unwrap_or_else(PoisonError::into_inner);
+                            cell.horizon = h;
+                            cell.pending = std::mem::take(&mut slots[i]);
+                        }
                     }
                 }
-                match next {
-                    Some(t) if t <= cap => {
-                        for (w, d) in deliveries.into_iter().enumerate() {
-                            *delivery_slots[w].lock().expect("delivery lock") = d;
-                        }
-                        debug_assert!(t > horizon, "rounds must advance");
-                        horizon = t.saturating_add(lookahead - 1).min(cap);
-                    }
-                    _ => {
-                        let expect_idle = all_quiescent && next.is_none();
-                        if expect_idle {
-                            debug_assert!(
-                                deliveries.iter().all(Vec::is_empty),
-                                "quiescent exit with undelivered NoC traffic"
-                            );
-                        }
-                        *cmd_slot.lock().expect("cmd lock") = Cmd::Finish { to, expect_idle };
-                        gate.wait(); // release peers into Finish
-                        for (lane, link) in my_lanes.iter_mut().zip(my_links.iter()) {
-                            finish_lane(lane, link, to, expect_idle);
-                        }
-                        break (deliveries, to, my_links);
+                debug_assert!(
+                    !round_lanes.is_empty(),
+                    "GVT <= cap must schedule at least the GVT lane"
+                );
+                {
+                    let mut sch = sched.lock().unwrap_or_else(PoisonError::into_inner);
+                    sch.clear();
+                    sch.extend_from_slice(&round_lanes);
+                }
+                cursor.store(0, Ordering::SeqCst);
+                tree.reset();
+                for leaf in round_lanes.len()..tree.leaves() {
+                    tree.deposit(leaf, RoundNode::empty());
+                }
+                *cmd_slot.lock().unwrap_or_else(PoisonError::into_inner) = Cmd::Run;
+                gate.wait(); // release the round
+                run_claimed(&cells, &sched, &cursor, &tree, cat, tracing);
+                gate.wait(); // all results in
+                rounds_done += 1;
+
+                let barrier_end = Instant::now();
+                for &i in &round_lanes {
+                    let mut cell = cells[i].lock().unwrap_or_else(PoisonError::into_inner);
+                    let out = cell.out.take().expect("scheduled lane reported");
+                    hint[i] = out.hint;
+                    pos[i] = out.pos;
+                    drained[i] = out.drained;
+                    quiescent[i] = out.quiescent;
+                    if let Some(done) = cell.done_at.take() {
+                        idle_ns[i] += barrier_end.duration_since(done).as_nanos() as u64;
                     }
                 }
+                let root = tree.take_root();
+                merger.absorb(noc, root.batch);
+                trace_buf = merge_traces(std::mem::take(&mut trace_buf), root.trace);
             }
         });
 
         let mut total_ticks = 0u64;
-        for lane in &lanes {
-            total_ticks += lane.ticks;
-            self.lane_activity[lane.idx].0 += lane.ticks;
-            self.lane_activity[lane.idx].1 += lane.skips;
+        let mut links: Vec<EpochLink> = Vec::with_capacity(n);
+        for (i, cell) in cells.into_iter().enumerate() {
+            let cell = cell.into_inner().unwrap_or_else(PoisonError::into_inner);
+            total_ticks += cell.lane.ticks;
+            let la = &mut self.lane_activity[i];
+            la.ticks += cell.lane.ticks;
+            la.skips += cell.lane.skips;
+            la.rounds += cell.lane.rounds;
+            la.barrier_idle_ns += idle_ns[i];
+            la.epoch_len.merge(&cell.lane.epoch_len);
+            debug_assert!(cell.pending.is_empty(), "undelivered pending at exit");
+            links.push(cell.link);
         }
-        drop(lanes);
-        let mut link_groups: Vec<(usize, Vec<EpochLink>)> = vec![(0, my_links)];
-        for slot in final_slots {
-            let (first_idx, lnks) = slot
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("worker thread reported");
-            link_groups.push((first_idx, lnks));
-        }
-        link_groups.sort_by_key(|&(first, _)| first);
-        let links_flat: Vec<EpochLink> = link_groups.into_iter().flat_map(|(_, v)| v).collect();
-        noc.absorb_epoch(links_flat, pending);
+        noc.absorb_epoch(links, slots);
         self.now = to;
         // In parallel mode a "tick" is one *component* tick (a single
         // worker at a single cycle) rather than one whole-machine cycle —
         // like strict-vs-fast, the unit deliberately measures the
         // simulator, not the machine.
         self.ticks_executed += total_ticks;
+        self.epoch_rounds += rounds_done;
     }
 }

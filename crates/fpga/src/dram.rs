@@ -293,14 +293,20 @@ pub struct MemBusy;
 
 #[derive(Debug, Default)]
 struct Controller {
-    /// Requests in flight: `(ready_cycle, port, response)`. Completion
-    /// times are monotone per controller (issue order + uniform latency +
-    /// serialized bursts), so this stays sorted by construction. An
-    /// injected transient fault may push one entry's ready time past its
+    /// Requests in flight: `(ready_cycle, port, response, is_posted_ack)`.
+    /// Completion times are monotone per controller (issue order + uniform
+    /// latency + serialized bursts), so this stays sorted by construction.
+    /// An injected transient fault may push one entry's ready time past its
     /// successors'; delivery then head-of-line blocks on it (the retrying
     /// controller stalls its queue), which `tick`/`next_event` model by
-    /// only ever examining the front.
-    inflight: VecDeque<(Cycle, PortId, MemResponse)>,
+    /// only ever examining the front. Entries flagged as posted-write
+    /// acknowledgements are **cancelled** at completion instead of
+    /// buffered: every consumer in the machine discards them unread, all
+    /// statistics are charged at issue time, and back-pressure
+    /// (`busy_until`, queue depth) is checked only at issue — so dropping
+    /// the dead response is invisible to machine state while sparing the
+    /// fast-forward and epoch schedulers a wake-up per posted write.
+    inflight: VecDeque<(Cycle, PortId, MemResponse, bool)>,
     /// The controller's data bus is occupied until this cycle (bursts).
     busy_until: Cycle,
 }
@@ -357,6 +363,12 @@ pub struct Dram {
     /// Accepted read requests so far — the ordinal the fault schedule
     /// matches against.
     reads_seen: u64,
+    /// Posted-write acknowledgements cancelled at completion instead of
+    /// delivered (see [`Controller::inflight`]). Simulator instrumentation,
+    /// deliberately **not** part of [`DramStats`]: the machine never
+    /// observes these responses, so the report schema stays byte-identical
+    /// with and without cancellation.
+    cancelled_acks: u64,
 }
 
 impl Dram {
@@ -376,6 +388,7 @@ impl Dram {
             stats: DramStats::default(),
             faults: DramFaults::default(),
             reads_seen: 0,
+            cancelled_acks: 0,
         }
     }
 
@@ -396,6 +409,7 @@ impl Dram {
             stats: DramStats::default(),
             faults: DramFaults::default(),
             reads_seen: 0,
+            cancelled_acks: 0,
         }
     }
 
@@ -527,22 +541,34 @@ impl Dram {
             ps.bytes += len;
             ps.occupancy_cycles += occupy;
         }
-        self.controllers[cidx]
-            .inflight
-            .push_back((now + latency + occupy - 1 + fault_extra, port, resp));
+        self.controllers[cidx].inflight.push_back((
+            now + latency + occupy - 1 + fault_extra,
+            port,
+            resp,
+            !is_read,
+        ));
         Ok(())
     }
 
     /// Advance the DRAM to cycle `now`, delivering any responses whose
     /// latency has elapsed into their issuing port's response queue.
+    /// Posted-write acknowledgements are cancelled here instead of
+    /// delivered (see [`Controller::inflight`]): they leave the in-flight
+    /// queue at exactly the cycle they always did — so issue-time
+    /// back-pressure is unchanged — but no consumer ever has to wake up
+    /// just to discard them.
     pub fn tick(&mut self, now: Cycle) {
         for ctl in &mut self.controllers {
-            while let Some((ready, _, _)) = ctl.inflight.front() {
+            while let Some((ready, _, _, _)) = ctl.inflight.front() {
                 if *ready > now {
                     break;
                 }
-                let (_, port, resp) = ctl.inflight.pop_front().expect("front checked");
-                self.responses[port.0 as usize].push_back(resp);
+                let (_, port, resp, is_ack) = ctl.inflight.pop_front().expect("front checked");
+                if is_ack {
+                    self.cancelled_acks += 1;
+                } else {
+                    self.responses[port.0 as usize].push_back(resp);
+                }
             }
         }
     }
@@ -562,15 +588,35 @@ impl Dram {
         self.controllers.iter().map(|c| c.inflight.len()).sum()
     }
 
-    /// The earliest future cycle at which an in-flight request completes, or
-    /// `None` when nothing is in flight. Each controller's queue is sorted by
-    /// completion time (see [`Controller::inflight`]), so only queue fronts
-    /// need examining. After `tick(now)` every remaining entry is `> now`.
+    /// The earliest future cycle at which an in-flight request completes
+    /// *observably* — i.e. buffers a response some consumer will read — or
+    /// `None` when nothing observable is in flight. Each controller's queue
+    /// is sorted by completion time (see [`Controller::inflight`]) except
+    /// for injected read-fault extras, and delivery is in queue order, so
+    /// the first non-ack entry bounds when its controller next buffers a
+    /// response. Leading posted-write acknowledgements are skipped: they
+    /// cancel silently at completion, so waking a scheduler for them would
+    /// be a dead (though harmless) tick — this is what stops abort-heavy
+    /// runs from dragging dead bank events across epoch rounds.
     pub fn next_event(&self) -> Option<Cycle> {
         self.controllers
             .iter()
-            .filter_map(|c| c.inflight.front().map(|(ready, _, _)| *ready))
+            .filter_map(|c| {
+                c.inflight.iter().find_map(|&(ready, _, _, is_ack)| {
+                    if is_ack {
+                        None
+                    } else {
+                        Some(ready)
+                    }
+                })
+            })
             .min()
+    }
+
+    /// Posted-write acknowledgements cancelled at completion. Simulator
+    /// instrumentation, not machine state (never part of [`DramStats`]).
+    pub fn cancelled_acks(&self) -> u64 {
+        self.cancelled_acks
     }
 
     /// True when any port has a delivered-but-unconsumed response. While this

@@ -169,6 +169,15 @@ pub struct Noc {
     /// Accepted sends so far — the ordinal the fault schedule matches
     /// against.
     sends_seen: u64,
+    /// Cached per-pair latency matrix (`[src * n + dst]`), built once at
+    /// construction: the **per-pair lookahead** of the epoch-parallel
+    /// scheduler. `latency()` recomputes from the topology; hot scheduler
+    /// paths index this cache instead.
+    pair_latency: Vec<u64>,
+    /// Cached per-destination minimum incoming latency
+    /// (`min over src != dst of pair_latency[src][dst]`); the one-worker
+    /// degenerate case falls back to `hop_latency`.
+    min_incoming: Vec<u64>,
 }
 
 impl Noc {
@@ -176,9 +185,41 @@ impl Noc {
     /// (paper Table 3: 3 cycles = 24 ns at 125 MHz).
     pub fn new(topology: Topology, n: usize, hop_latency: u64) -> Self {
         assert!(n >= 1);
+        let hop_latency = hop_latency.max(1);
+        let hops = |a: usize, b: usize| -> u64 {
+            match topology {
+                Topology::Crossbar => 1,
+                Topology::Ring => {
+                    let d = a.abs_diff(b);
+                    d.min(n - d).max(1) as u64
+                }
+                Topology::MultiChip {
+                    workers_per_node,
+                    inter_node_hops,
+                } => {
+                    if a / workers_per_node == b / workers_per_node {
+                        1
+                    } else {
+                        inter_node_hops.max(1)
+                    }
+                }
+            }
+        };
+        let pair_latency: Vec<u64> = (0..n)
+            .flat_map(|a| (0..n).map(move |b| hops(a, b) * hop_latency))
+            .collect();
+        let min_incoming: Vec<u64> = (0..n)
+            .map(|dst| {
+                (0..n)
+                    .filter(|&src| src != dst)
+                    .map(|src| pair_latency[src * n + dst])
+                    .min()
+                    .unwrap_or(hop_latency)
+            })
+            .collect();
         Noc {
             topology,
-            hop_latency: hop_latency.max(1),
+            hop_latency,
             n,
             inbound: (0..n).map(|_| VecDeque::new()).collect(),
             last_send: vec![(u64::MAX, 0); n],
@@ -187,6 +228,8 @@ impl Noc {
             link_stats: vec![LinkStats::default(); n],
             faults: NocFaults::default(),
             sends_seen: 0,
+            pair_latency,
+            min_incoming,
         }
     }
 
@@ -225,6 +268,30 @@ impl Noc {
     /// Latency in cycles for a message from `a` to `b`.
     pub fn latency(&self, a: PartitionId, b: PartitionId) -> u64 {
         self.hops(a, b) * self.hop_latency
+    }
+
+    /// Cached minimum latency from `src` to `dst` — the **per-pair
+    /// lookahead** (paper's hardware islands intuition: communication
+    /// topology, not core count, bounds how tightly two partitions must
+    /// synchronize). For the provided deterministic topologies this equals
+    /// [`Noc::latency`], but it is read from the matrix built at
+    /// construction so the epoch scheduler's per-barrier O(n²) horizon
+    /// computation never re-derives topology math.
+    pub fn min_latency(&self, src: PartitionId, dst: PartitionId) -> u64 {
+        self.pair_latency[src.0 as usize * self.n + dst.0 as usize]
+    }
+
+    /// Cached minimum latency of any message *into* `dst` from another
+    /// worker (the per-destination row minimum of the lookahead matrix).
+    /// Single-worker degenerate case: no sources exist; the one-hop
+    /// latency is returned as a floor, mirroring [`Noc::min_hop_latency`].
+    pub fn min_incoming_latency(&self, dst: PartitionId) -> u64 {
+        self.min_incoming[dst.0 as usize]
+    }
+
+    /// Number of workers attached to the interconnect.
+    pub fn workers(&self) -> usize {
+        self.n
     }
 
     /// Inject a packet at cycle `now`. A link accepts [`issue_width`]
@@ -344,23 +411,15 @@ impl Noc {
     /// be delivered before `c + min_hop_latency()`, so an epoch of that many
     /// cycles can run every worker independently without missing a delivery.
     ///
-    /// Brute force over all ordered pairs; topologies here are symmetric but
-    /// nothing requires it. With a single worker there are no pairs and any
-    /// epoch length is safe; the one-hop latency is returned as a floor.
+    /// The matrix minimum over all ordered pairs; topologies here are
+    /// symmetric but nothing requires it. With a single worker there are no
+    /// pairs and any epoch length is safe; the one-hop latency is the floor.
     pub fn min_hop_latency(&self) -> u64 {
-        let mut best = u64::MAX;
-        for a in 0..self.n {
-            for b in 0..self.n {
-                if a != b {
-                    best = best.min(self.latency(PartitionId(a as u16), PartitionId(b as u16)));
-                }
-            }
-        }
-        if best == u64::MAX {
-            self.hop_latency
-        } else {
-            best
-        }
+        self.min_incoming
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(self.hop_latency)
     }
 
     /// Detach every worker's view of the interconnect into an [`EpochLink`]
@@ -593,6 +652,15 @@ impl Link for EpochLink {
             "packet for unknown worker"
         );
         debug_assert_eq!(src, self.id, "epoch link sent from another worker");
+        // The per-pair horizon computation excludes `src == dst` arrival
+        // bounds on the strength of this invariant: a worker's local
+        // requests and results never transit the NoC (the worker glue
+        // routes them directly), so nothing a lane sends can wake the lane
+        // itself.
+        debug_assert_ne!(
+            pkt.dst.0 as usize, self.id,
+            "workers never send to themselves over the NoC"
+        );
         let (cycle, count) = &mut self.last_send;
         if *cycle == now && *count >= self.issue_width {
             self.rejected += 1;
@@ -628,6 +696,279 @@ impl EpochTraffic {
     /// already accounts for that front).
     pub fn queue_drained(&self) -> bool {
         self.depth_end == 0
+    }
+}
+
+/// One subtree's worth of epoch-round traffic, shaped for the parallel
+/// **hierarchical merge**: every field is kept in the exact serial replay
+/// order, and [`StagedBatch::merge`] combines two batches with an
+/// order-preserving two-pointer merge — so the content of the combining
+/// tree's root is deterministic no matter which thread performs which
+/// merge, and equals what a serial pass over the lanes would have built.
+#[derive(Debug)]
+pub struct StagedBatch {
+    /// Accepted sends `(cycle, src, packet)`, sorted by `(cycle, src)` —
+    /// the serial send order (workers tick in id order within a cycle).
+    sends: Vec<(u64, u32, Packet)>,
+    /// Delivery consumptions `(cycle, dst)`, sorted by `(cycle, dst)` —
+    /// the queue-depth *pop* events for high-water replay.
+    polls: Vec<(u64, u32)>,
+    /// Back-pressure rejections (an order-free sum).
+    rejected: u64,
+}
+
+impl StagedBatch {
+    /// The identity element of [`StagedBatch::merge`] (used to pad the
+    /// combining tree to a power-of-two leaf count).
+    pub fn empty() -> Self {
+        StagedBatch {
+            sends: Vec::new(),
+            polls: Vec::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Convert one lane's round traffic into a single-leaf batch. The
+    /// lane's stage list is chronologically ordered with a constant source,
+    /// so it is already `(cycle, src)`-sorted; likewise its polls.
+    pub fn from_traffic(t: EpochTraffic) -> Self {
+        let src = t.src as u32;
+        StagedBatch {
+            sends: t.staged.into_iter().map(|(c, p)| (c, src, p)).collect(),
+            polls: t.polls.into_iter().map(|c| (c, src)).collect(),
+            rejected: t.rejected,
+        }
+    }
+
+    /// Deterministic pairwise combine: order-preserving merges of the two
+    /// sorted sequences. Called concurrently from whichever thread
+    /// completes a combining-tree node second; associativity of sorted
+    /// merge makes the root independent of execution interleaving.
+    pub fn merge(a: Self, b: Self) -> Self {
+        fn merge_by<T, K: Ord>(a: Vec<T>, b: Vec<T>, key: impl Fn(&T) -> K) -> Vec<T> {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+            loop {
+                match (ia.peek(), ib.peek()) {
+                    (Some(x), Some(y)) => {
+                        // `<=` keeps the left subtree first on ties — the
+                        // stable order a serial concat-then-sort would give.
+                        if key(x) <= key(y) {
+                            out.push(ia.next().expect("peeked"));
+                        } else {
+                            out.push(ib.next().expect("peeked"));
+                        }
+                    }
+                    (Some(_), None) => out.push(ia.next().expect("peeked")),
+                    (None, Some(_)) => out.push(ib.next().expect("peeked")),
+                    (None, None) => break,
+                }
+            }
+            out
+        }
+        StagedBatch {
+            sends: merge_by(a.sends, b.sends, |&(c, s, _)| (c, s)),
+            polls: merge_by(a.polls, b.polls, |&(c, d)| (c, d)),
+            rejected: a.rejected + b.rejected,
+        }
+    }
+
+    /// True when the batch carries no traffic at all.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.polls.is_empty() && self.rejected == 0
+    }
+}
+
+/// Cross-round reconciliation state for the per-pair-lookahead scheduler.
+///
+/// With one global horizon every round's sends can be replayed at its own
+/// barrier: the next round starts strictly beyond the horizon, so no later
+/// send can precede them in serial order. Per-lane horizons break that — a
+/// lane with a short horizon may, in a *later* round, stage sends that
+/// serially precede sends a far-ahead lane staged *earlier*. The merger
+/// therefore buffers staged sends across rounds and only **commits** the
+/// prefix strictly below a caller-supplied bound (the GVT — a proven lower
+/// bound on every cycle any lane can still act at), in `(cycle, src)`
+/// order. That keeps the three order-sensitive artefacts exact:
+/// fault-injection ordinals (`sends_seen`), the per-source issue ledger,
+/// and per-destination `queue_high_water` replay. Order-free sums
+/// (delivered/rejected counts) are applied as traffic arrives.
+#[derive(Debug)]
+pub struct EpochMerger {
+    n: usize,
+    /// Uncommitted sends, globally `(cycle, src)`-sorted.
+    staged: Vec<(u64, u32, Packet)>,
+    /// Per-destination queue-depth events `(cycle, actor, ±1)` not yet
+    /// applied to the persistent depth below.
+    events: Vec<Vec<(u64, u32, i64)>>,
+    /// Mirror of the serial `inbound` queue depth at the committed
+    /// frontier, per destination.
+    depth: Vec<i64>,
+    /// Exclusive upper bound of cycles already committed — commits must be
+    /// monotone (asserted) for the ordinal replay to be exact.
+    committed_below: u64,
+}
+
+impl EpochMerger {
+    /// Capture the reconciliation baseline. Must be called **before**
+    /// [`Noc::begin_epoch`] detaches the queues: the persistent depth
+    /// mirror starts from the live per-destination queue lengths.
+    pub fn new(noc: &Noc) -> Self {
+        EpochMerger {
+            n: noc.n,
+            staged: Vec::new(),
+            events: (0..noc.n).map(|_| Vec::new()).collect(),
+            depth: noc.inbound.iter().map(|q| q.len() as i64).collect(),
+            committed_below: 0,
+        }
+    }
+
+    /// Fold one round's combined traffic in: apply the order-free sums to
+    /// the shared stats immediately, buffer the depth pop events, and merge
+    /// the staged sends into the uncommitted buffer (two sorted sequences —
+    /// rounds may interleave in cycle order under per-lane horizons).
+    pub fn absorb(&mut self, noc: &mut Noc, batch: StagedBatch) {
+        noc.stats.rejected += batch.rejected;
+        for &(c, dst) in &batch.polls {
+            noc.stats.delivered += 1;
+            noc.link_stats[dst as usize].delivered += 1;
+            self.events[dst as usize].push((c, dst, -1));
+        }
+        if self.staged.is_empty() {
+            self.staged = batch.sends;
+        } else if !batch.sends.is_empty() {
+            let old = std::mem::take(&mut self.staged);
+            self.staged = StagedBatch {
+                sends: old,
+                polls: Vec::new(),
+                rejected: 0,
+            }
+            .merge_sends(batch.sends);
+        }
+    }
+
+    /// Earliest cycle at which an uncommitted staged send could reach each
+    /// destination (`send cycle + min pair latency`) — a conservative floor
+    /// for the per-lane horizon computation. Injected drops make a send
+    /// never arrive and delays make it arrive later; both directions are
+    /// safe for a lower bound.
+    pub fn arrival_floors(&self, noc: &Noc) -> Vec<Option<u64>> {
+        let mut floors: Vec<Option<u64>> = vec![None; self.n];
+        for &(c, src, ref pkt) in &self.staged {
+            let dst = pkt.dst.0 as usize;
+            let arrive = c + noc.min_latency(PartitionId(src as u16), pkt.dst);
+            floors[dst] = Some(floors[dst].map_or(arrive, |f: u64| f.min(arrive)));
+        }
+        floors
+    }
+
+    /// Commit every staged send with `cycle < bound` (`None` commits all —
+    /// the end-of-epoch flush) in `(cycle, src)` order, replaying the exact
+    /// serial bookkeeping minus the issue-width gate (the lane's own ledger
+    /// already enforced it): shared per-source ledger, `sends_seen` fault
+    /// ordinals, drop/delay faults, latency stats, and per-destination
+    /// queue-depth/high-water replay. Returns the resulting deliveries per
+    /// destination (each `(deliver_at, packet)`, in send order — the FIFO
+    /// order of the serial channel) and the number of sends committed.
+    pub fn commit(
+        &mut self,
+        noc: &mut Noc,
+        bound: Option<u64>,
+    ) -> (Vec<Vec<(u64, Packet)>>, usize) {
+        if let Some(b) = bound {
+            debug_assert!(
+                b >= self.committed_below,
+                "commit bound moved backwards: {b} < {}",
+                self.committed_below
+            );
+        }
+        let cut = match bound {
+            Some(b) => self.staged.partition_point(|&(c, _, _)| c < b),
+            None => self.staged.len(),
+        };
+        let mut out: Vec<Vec<(u64, Packet)>> = (0..self.n).map(|_| Vec::new()).collect();
+        for (c, src, pkt) in self.staged.drain(..cut) {
+            debug_assert!(
+                c >= self.committed_below,
+                "staged send at {c} precedes the committed frontier {}",
+                self.committed_below
+            );
+            let src = src as usize;
+            let (cycle, count) = &mut noc.last_send[src];
+            if *cycle != c {
+                *cycle = c;
+                *count = 0;
+            }
+            *count += 1;
+            noc.stats.sent += 1;
+            noc.link_stats[pkt.dst.0 as usize].sent += 1;
+            let nth = noc.sends_seen;
+            noc.sends_seen += 1;
+            if noc.faults.drop_for(nth) {
+                noc.stats.dropped += 1;
+                continue;
+            }
+            let mut lat = noc.latency(pkt.src, pkt.dst);
+            if let Some(extra) = noc.faults.delay_for(nth) {
+                lat += extra;
+                noc.stats.delayed += 1;
+            }
+            noc.stats.total_latency += lat;
+            let dst = pkt.dst.0 as usize;
+            self.events[dst].push((c, src as u32, 1));
+            out[dst].push((c + lat, pkt));
+        }
+        let committed = cut;
+        // Apply the depth events now safely ordered: every event below the
+        // bound is in the buffer (all pops at executed cycles were
+        // reported; all pushes below the bound were committed above), and
+        // no future event can land below it.
+        for (dst, buf) in self.events.iter_mut().enumerate() {
+            let taken = std::mem::take(buf);
+            let (mut apply, keep): (Vec<_>, Vec<_>) = taken
+                .into_iter()
+                .partition(|&(c, _, _)| bound.is_none_or(|b| c < b));
+            *buf = keep;
+            if apply.is_empty() {
+                continue;
+            }
+            // Serial order within a cycle is worker-id order: dst pops
+            // during its own tick, sources push during theirs.
+            apply.sort_by_key(|&(c, actor, _)| (c, actor));
+            let depth = &mut self.depth[dst];
+            let ls = &mut noc.link_stats[dst];
+            for (_, _, delta) in apply {
+                *depth += delta;
+                debug_assert!(*depth >= 0, "queue depth replay went negative");
+                if delta > 0 {
+                    ls.queue_high_water = ls.queue_high_water.max(*depth as u64);
+                }
+            }
+        }
+        if let Some(b) = bound {
+            self.committed_below = b;
+        }
+        (out, committed)
+    }
+
+    /// True when nothing is left to reconcile — the end-of-epoch audit.
+    pub fn is_drained(&self) -> bool {
+        self.staged.is_empty() && self.events.iter().all(Vec::is_empty)
+    }
+}
+
+impl StagedBatch {
+    /// Internal helper: merge another sorted send list into this batch's.
+    fn merge_sends(self, other: Vec<(u64, u32, Packet)>) -> Vec<(u64, u32, Packet)> {
+        StagedBatch::merge(
+            self,
+            StagedBatch {
+                sends: other,
+                polls: Vec::new(),
+                rejected: 0,
+            },
+        )
+        .sends
     }
 }
 

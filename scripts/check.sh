@@ -23,10 +23,14 @@ cargo run --release --locked -p bionicdb-bench --bin chaos -- --smoke
 echo "== stats smoke (fixed-seed YCSB: determinism, schema, trace inertness) =="
 cargo run --release --locked -p bionicdb-bench --bin statscheck -- --json target/stats_smoke.json
 
-echo "== parcheck (serial vs epoch-parallel at 1/2/4 sim threads: byte-identical reports) =="
+echo "== parcheck (serial vs global/matrix lookahead at 1/2/4 sim threads: byte-identical reports) =="
 cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --quick --out target/parsim_smoke.json
 
 echo "== workloadcheck (driver bit-identity vs pre-refactor goldens + SmallBank ABI smoke) =="
 cargo run --release --locked -p bionicdb-bench --bin workloadcheck
+
+echo "== benchdiff (full par study -> append results/bench_history.jsonl, gate vs baseline) =="
+cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --out BENCH_parsim.json
+cargo run --release --locked -p bionicdb-bench --bin benchdiff
 
 echo "All checks passed."

@@ -15,7 +15,7 @@
 //! and compares whole-machine snapshots plus raw report JSON bytes.
 
 use bionicdb::worker::WorkerStats;
-use bionicdb::{BionicConfig, FaultPlan, Machine, MachineReport, Topology};
+use bionicdb::{BionicConfig, FaultPlan, LookaheadMode, Machine, MachineReport, Topology};
 use bionicdb_coproc::CoprocStats;
 use bionicdb_fpga::dram::DramStats;
 use bionicdb_noc::NocStats;
@@ -31,8 +31,12 @@ enum Mode {
     Strict,
     /// Serial fast-forward (PR 1 scheduler).
     Fast,
-    /// Epoch-parallel with this many worker threads.
+    /// Epoch-parallel with this many worker threads, per-pair (matrix)
+    /// lookahead — the default scheduler.
     Par(usize),
+    /// Epoch-parallel with this many worker threads, global-minimum
+    /// lookahead — the PR-4 baseline `parcheck` diffs against.
+    ParGlobal(usize),
 }
 
 fn apply(m: &mut Machine, mode: Mode) {
@@ -42,6 +46,12 @@ fn apply(m: &mut Machine, mode: Mode) {
         Mode::Par(n) => {
             m.set_fast_forward(true);
             m.set_sim_threads(n);
+            m.set_lookahead_mode(LookaheadMode::Matrix);
+        }
+        Mode::ParGlobal(n) => {
+            m.set_fast_forward(true);
+            m.set_sim_threads(n);
+            m.set_lookahead_mode(LookaheadMode::Global);
         }
     }
 }
@@ -424,22 +434,190 @@ fn std_workloads_parallel_equivalence() {
     }
 }
 
+/// Every workload × Ring and MultiChip topologies × matrix and global
+/// lookahead × 1/2/4 threads — all byte-identical to strict serial. This
+/// is the sweep the per-pair lookahead matrix must survive: Ring gives
+/// every pair a different latency, MultiChip makes near and far pairs
+/// differ by 25×.
+#[test]
+fn std_workloads_topology_lookahead_sweep() {
+    let topologies = [
+        Topology::Ring,
+        Topology::MultiChip {
+            workers_per_node: 2,
+            inter_node_hops: 25,
+        },
+    ];
+    for topo in topologies {
+        for w in StdWorkload::ALL {
+            let cfg = BionicConfig {
+                topology: topo,
+                ..BionicConfig::small(4)
+            };
+            let run = |mode: Mode| -> Snapshot {
+                let mut wl = w.build(cfg.clone());
+                apply(wl.machine(), mode);
+                bionicdb_bench::drive(&mut *wl, 5);
+                snapshot(wl.machine_ref())
+            };
+            let strict = run(Mode::Strict);
+            assert!(strict.machine.committed > 0, "{w:?}: workload must commit");
+            for mode in [
+                Mode::Par(1),
+                Mode::Par(2),
+                Mode::Par(4),
+                Mode::ParGlobal(2),
+                Mode::ParGlobal(4),
+            ] {
+                assert_identical(&strict, &run(mode), &format!("{w:?} {topo:?} [{mode:?}]"));
+            }
+        }
+    }
+}
+
+/// Lane activity (rounds, epoch-length histograms, barrier idle) is
+/// populated by parallel runs yet *bit-inert*: the machine snapshot and
+/// report JSON stay byte-identical to strict serial, which never touches
+/// it.
+#[test]
+fn lane_activity_populated_and_bit_inert() {
+    let cfg = BionicConfig {
+        topology: Topology::MultiChip {
+            workers_per_node: 2,
+            inter_node_hops: 8,
+        },
+        ..BionicConfig::small(4)
+    };
+    let spec = YcsbSpec {
+        remote_fraction: 0.5,
+        ..YcsbSpec::tiny()
+    };
+    let run = |mode: Mode| -> (Snapshot, u64, u64, u64) {
+        let mut y = YcsbBionic::build(cfg.clone(), spec.clone(), 4);
+        apply(&mut y.machine, mode);
+        let size = y.block_size(YcsbKind::ReadHomed);
+        let mut pools: Vec<BlockPool> = (0..4)
+            .map(|w| BlockPool::new(&mut y.machine, w, 12, size))
+            .collect();
+        let mut rng = YcsbBionic::rng(0x1A7E);
+        for (w, pool) in pools.iter_mut().enumerate() {
+            for _ in 0..12 {
+                let blk = pool.take();
+                y.submit_txn(w, blk, YcsbKind::ReadHomed, &mut rng);
+            }
+        }
+        y.machine.run_to_quiescence();
+        let rounds = y.machine.epoch_rounds();
+        let lane_rounds: u64 = y.machine.lane_activity().iter().map(|l| l.rounds).sum();
+        let spans: u64 = y
+            .machine
+            .lane_activity()
+            .iter()
+            .map(|l| l.epoch_len.count())
+            .sum();
+        (snapshot(&y.machine), rounds, lane_rounds, spans)
+    };
+    let (strict, s_rounds, s_lane_rounds, s_spans) = run(Mode::Strict);
+    assert_eq!(
+        (s_rounds, s_lane_rounds, s_spans),
+        (0, 0, 0),
+        "serial runs never touch lane activity"
+    );
+    let (par, p_rounds, p_lane_rounds, p_spans) = run(Mode::Par(2));
+    assert!(
+        p_rounds > 0 && p_lane_rounds > 0 && p_spans > 0,
+        "parallel run populates lane activity (rounds={p_rounds}, lane_rounds={p_lane_rounds}, spans={p_spans})"
+    );
+    assert_identical(&strict, &par, "lane-activity bit-inertness");
+}
+
+/// The point of the lookahead matrix: five workers on three chips
+/// ({0,1}, {2,3}, {4}), with worker 4 alone on its chip grinding a long
+/// local-only backlog while the four peers retire two local reads each
+/// and go idle. The global horizon is the cheapest pair anywhere — the
+/// 3-cycle same-chip links on the full chips — so it barrier-steps the
+/// hot lane every `Lmin` cycles forever. The per-pair matrix knows the
+/// only way worker 4 can be affected is its own traffic bouncing off a
+/// remote chip (a 150-cycle round trip), so its epochs run ~50× longer:
+/// same bytes out, at least 5× fewer rounds.
+#[test]
+fn matrix_lookahead_reduces_rounds_on_multichip() {
+    let cfg = BionicConfig {
+        topology: Topology::MultiChip {
+            workers_per_node: 2,
+            inter_node_hops: 25,
+        },
+        ..BionicConfig::small(5)
+    };
+    let spec = YcsbSpec::tiny();
+    let run = |mode: Mode| -> (Snapshot, u64) {
+        let mut y = YcsbBionic::build(cfg.clone(), spec.clone(), 4);
+        apply(&mut y.machine, mode);
+        let size = y
+            .block_size(YcsbKind::UpdateLocal)
+            .max(y.block_size(YcsbKind::ReadLocal));
+        let mut pools: Vec<BlockPool> = (0..5)
+            .map(|w| BlockPool::new(&mut y.machine, w, 40, size))
+            .collect();
+        let mut rng = YcsbBionic::rng(0x5EED);
+        // Worker 4 grinds through a long local-only backlog; the rest
+        // retire a couple of local reads and go idle (local, so their
+        // lanes genuinely quiesce instead of waiting on the hot worker).
+        for _ in 0..40 {
+            let blk = pools[4].take();
+            y.submit_txn(4, blk, YcsbKind::UpdateLocal, &mut rng);
+        }
+        for (w, pool) in pools.iter_mut().enumerate().take(4) {
+            for _ in 0..2 {
+                let blk = pool.take();
+                y.submit_txn(w, blk, YcsbKind::ReadLocal, &mut rng);
+            }
+        }
+        y.machine.run_to_quiescence();
+        (snapshot(&y.machine), y.machine.epoch_rounds())
+    };
+    let (matrix, matrix_rounds) = run(Mode::Par(2));
+    let (global, global_rounds) = run(Mode::ParGlobal(2));
+    assert_identical(&matrix, &global, "matrix vs global lookahead");
+    assert!(
+        matrix_rounds * 5 <= global_rounds,
+        "per-pair lookahead should cut the barrier count at least 5x \
+         (matrix={matrix_rounds}, global={global_rounds})"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Any workload family, any per-worker wave size: serial and
-    /// epoch-parallel runs through the generic driver stay byte-identical.
+    /// Any workload family, any topology, any per-worker wave size, either
+    /// lookahead mode: serial and epoch-parallel runs through the generic
+    /// driver stay byte-identical.
     #[test]
     fn arbitrary_std_workload_waves_byte_identical(
         which in 0usize..StdWorkload::ALL.len(),
+        topo in 0usize..3,
         txns in 1usize..10,
-        threads in 2usize..5,
+        threads in 1usize..5,
+        global in any::<bool>(),
     ) {
         let w = StdWorkload::ALL[which];
-        let serial = std_workload_run(w, txns, Mode::Fast);
-        let par = std_workload_run(w, txns, Mode::Par(threads));
-        prop_assert_eq!(&serial.now, &par.now, "cycle counts diverge [{:?}]", w);
-        prop_assert_eq!(&serial.json, &par.json, "report JSON diverges [{:?}]", w);
+        let topology = [
+            Topology::Crossbar,
+            Topology::Ring,
+            Topology::MultiChip { workers_per_node: 2, inter_node_hops: 25 },
+        ][topo];
+        let cfg = BionicConfig { topology, ..BionicConfig::small(4) };
+        let run = |mode: Mode| -> Snapshot {
+            let mut wl = w.build(cfg.clone());
+            apply(wl.machine(), mode);
+            bionicdb_bench::drive(&mut *wl, txns);
+            snapshot(wl.machine_ref())
+        };
+        let serial = run(Mode::Fast);
+        let mode = if global { Mode::ParGlobal(threads) } else { Mode::Par(threads) };
+        let par = run(mode);
+        prop_assert_eq!(&serial.now, &par.now, "cycle counts diverge [{:?} {:?}]", w, mode);
+        prop_assert_eq!(&serial.json, &par.json, "report JSON diverges [{:?} {:?}]", w, mode);
         prop_assert_eq!(&serial, &par);
     }
 
