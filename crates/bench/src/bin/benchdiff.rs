@@ -37,20 +37,27 @@ fn main() {
 
     let verdicts = history::check(&entries, tolerance);
     println!(
-        "{:>16} {:>16} {:>16} {:>8}  verdict",
-        "bench", "baseline c/s", "latest c/s", "ratio"
+        "{:>20} {:>14} {:>14} {:>8} {:>12} {:>12}  verdict",
+        "bench", "baseline c/s", "latest c/s", "ratio", "base p99", "latest p99"
     );
     let mut failed = false;
     for v in &verdicts {
+        let p99 = |x: Option<f64>| x.map_or("-".to_string(), |p| format!("{p:.0}ns"));
         println!(
-            "{:>16} {:>16.0} {:>16.0} {:>7.2}x  {}",
+            "{:>20} {:>14.0} {:>14.0} {:>7.2}x {:>12} {:>12}  {}",
             v.bench,
             v.baseline,
             v.latest,
             v.ratio,
-            if v.regressed { "REGRESSED" } else { "ok" }
+            p99(v.baseline_p99),
+            p99(v.latest_p99),
+            match (v.regressed, v.p99_regressed) {
+                (true, _) => "REGRESSED",
+                (false, true) => "P99-REGRESSED",
+                (false, false) => "ok",
+            }
         );
-        failed |= v.regressed;
+        failed |= v.regressed || v.p99_regressed;
     }
     if failed {
         eprintln!(

@@ -1,0 +1,181 @@
+//! Static benchmark dashboard generator.
+//!
+//! Reads the append-only history (`results/bench_history.jsonl`, or
+//! `--history PATH`) and writes one self-contained HTML file
+//! (`results/dashboard.html`, or `--out PATH`): no external scripts, no
+//! CSS frameworks, no network — the history is embedded as
+//! `window.BENCHMARK_DATA` and a small inline script draws one SVG chart
+//! per bench key (cycles/sec trend, plus a dashed p99 tail-latency trend
+//! for keys that record one). The file can be opened from disk or served
+//! from static hosting as-is.
+//!
+//! Usage: `dashboard [--history PATH] [--out PATH]`
+
+use bionicdb_bench::history;
+use bionicdb_bench::BenchArgs;
+use bionicdb_fpga::obs::json_escape;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let history_path = args
+        .value("--history")
+        .unwrap_or(history::DEFAULT_PATH)
+        .to_string();
+    let out_path = args.value("--out").unwrap_or("results/dashboard.html");
+
+    let text = match std::fs::read_to_string(&history_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dashboard: cannot read {history_path}: {e}");
+            eprintln!("dashboard: run `simperf` or `saturate` (full, not --quick) first");
+            std::process::exit(2);
+        }
+    };
+    let entries = history::parse(&text);
+    if entries.is_empty() {
+        eprintln!("dashboard: no parseable entries in {history_path}");
+        std::process::exit(2);
+    }
+
+    // Embed the history as a JS literal, one object per entry in file
+    // (chronological) order. Optional fields become null, not absent, so
+    // the renderer never branches on key presence.
+    let mut data = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            data.push(',');
+        }
+        data.push_str(&format!(
+            "{{\"bench\":\"{}\",\"cycles_per_sec\":{:.3},\"unix_secs\":{},\"p99_ns\":{},\"committed_cycles\":{}}}",
+            json_escape(&e.bench),
+            e.cycles_per_sec,
+            e.unix_secs,
+            e.p99_ns.map_or("null".to_string(), |p| format!("{p:.1}")),
+            e.committed_cycles.map_or("null".to_string(), |c| c.to_string()),
+        ));
+    }
+    data.push(']');
+
+    let html = TEMPLATE.replace("__BENCHMARK_DATA__", &data);
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(out_path, html).expect("write dashboard");
+    println!(
+        "dashboard: {} entries, {} bench keys -> {out_path}",
+        entries.len(),
+        {
+            let mut keys: Vec<&str> = entries.iter().map(|e| e.bench.as_str()).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys.len()
+        }
+    );
+}
+
+const TEMPLATE: &str = r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>BionicDB benchmark dashboard</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 980px;
+         color: #1a1a2e; background: #fafafa; padding: 0 1rem; }
+  h1 { font-size: 1.4rem; }
+  .meta { color: #666; margin-bottom: 1.5rem; }
+  .chart { background: #fff; border: 1px solid #ddd; border-radius: 8px;
+           padding: 1rem; margin-bottom: 1.2rem; }
+  .chart h2 { font-size: 1rem; margin: 0 0 .4rem; }
+  .chart .latest { color: #666; font-size: .85rem; }
+  svg { width: 100%; height: 160px; }
+  .cps { stroke: #2563eb; stroke-width: 2; fill: none; }
+  .p99 { stroke: #dc2626; stroke-width: 1.5; fill: none; stroke-dasharray: 5 4; }
+  .dot { fill: #2563eb; }
+  .axis { stroke: #ccc; stroke-width: 1; }
+  .legend span { display: inline-block; margin-right: 1rem; font-size: .8rem; color: #444; }
+  .swatch { display: inline-block; width: 14px; height: 3px; vertical-align: middle;
+            margin-right: 4px; }
+</style>
+</head>
+<body>
+<h1>BionicDB benchmark dashboard</h1>
+<div class="meta" id="meta"></div>
+<div class="legend">
+  <span><i class="swatch" style="background:#2563eb"></i>cycles/sec (higher is better)</span>
+  <span><i class="swatch" style="background:#dc2626"></i>p99 sojourn ns (lower is better, own scale)</span>
+</div>
+<div id="charts"></div>
+<script>
+window.BENCHMARK_DATA = __BENCHMARK_DATA__;
+(function () {
+  "use strict";
+  var data = window.BENCHMARK_DATA;
+  var byKey = {};
+  var order = [];
+  data.forEach(function (e) {
+    if (!byKey[e.bench]) { byKey[e.bench] = []; order.push(e.bench); }
+    byKey[e.bench].push(e);
+  });
+  var last = data.reduce(function (m, e) { return Math.max(m, e.unix_secs); }, 0);
+  document.getElementById("meta").textContent =
+    data.length + " entries, " + order.length + " bench keys, latest run " +
+    (last ? new Date(last * 1000).toISOString() : "n/a");
+
+  var W = 940, H = 160, PAD = 28;
+  function path(vals, lo, hi, cls) {
+    if (vals.length === 0) return "";
+    var span = (hi - lo) || 1;
+    var step = vals.length > 1 ? (W - 2 * PAD) / (vals.length - 1) : 0;
+    var d = vals.map(function (v, i) {
+      var x = PAD + i * step;
+      var y = H - PAD - ((v - lo) / span) * (H - 2 * PAD);
+      return (i ? "L" : "M") + x.toFixed(1) + " " + y.toFixed(1);
+    }).join(" ");
+    return '<path class="' + cls + '" d="' + d + '"/>';
+  }
+  function fmt(v) {
+    if (v >= 1e9) return (v / 1e9).toFixed(2) + "G";
+    if (v >= 1e6) return (v / 1e6).toFixed(2) + "M";
+    if (v >= 1e3) return (v / 1e3).toFixed(1) + "k";
+    return v.toFixed(0);
+  }
+
+  var root = document.getElementById("charts");
+  order.forEach(function (key) {
+    var es = byKey[key];
+    var cps = es.map(function (e) { return e.cycles_per_sec; });
+    var p99 = es.filter(function (e) { return e.p99_ns !== null; })
+                .map(function (e) { return e.p99_ns; });
+    var lo = Math.min.apply(null, cps), hi = Math.max.apply(null, cps);
+    var svg = '<svg viewBox="0 0 ' + W + ' ' + H + '">' +
+      '<line class="axis" x1="' + PAD + '" y1="' + (H - PAD) + '" x2="' + (W - PAD) +
+        '" y2="' + (H - PAD) + '"/>' +
+      path(cps, lo, hi, "cps");
+    if (p99.length > 1) {
+      svg += path(p99, Math.min.apply(null, p99), Math.max.apply(null, p99), "p99");
+    }
+    var lastE = es[es.length - 1];
+    var lx = PAD + (cps.length > 1 ? (W - 2 * PAD) : 0);
+    var ly = H - PAD - ((cps[cps.length - 1] - lo) / ((hi - lo) || 1)) * (H - 2 * PAD);
+    svg += '<circle class="dot" cx="' + lx.toFixed(1) + '" cy="' + ly.toFixed(1) + '" r="3"/>';
+    svg += "</svg>";
+
+    var div = document.createElement("div");
+    div.className = "chart";
+    var latest = "latest " + fmt(lastE.cycles_per_sec) + " c/s";
+    if (lastE.p99_ns !== null) latest += ", p99 " + fmt(lastE.p99_ns) + " ns";
+    if (es.length > 1) {
+      var first = es[0].cycles_per_sec || 1;
+      latest += " (" + ((lastE.cycles_per_sec / first - 1) * 100).toFixed(1) + "% vs baseline)";
+    }
+    div.innerHTML = "<h2>" + key + "</h2><div class='latest'>" + es.length +
+      " runs, " + latest + "</div>" + svg;
+    root.appendChild(div);
+  });
+})();
+</script>
+</body>
+</html>
+"#;

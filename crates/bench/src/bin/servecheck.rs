@@ -1,0 +1,155 @@
+//! Serving gate: proves the virtual-time serving engine is deterministic
+//! and pins its behaviour to a committed golden.
+//!
+//! Two halves, mirroring `workloadcheck`:
+//!
+//! 1. **Golden bit-identity** — a fixed scenario matrix (every serving
+//!    workload under the controlled config at 1.5x capacity, plus one
+//!    scenario per shedding policy and the no-control baseline on
+//!    SmallBank) runs through the virtual-time engine and each summary's
+//!    deterministic JSON row is compared byte-for-byte against
+//!    `crates/bench/golden/serve_golden.json`. `--capture` regenerates
+//!    the file; only do that deliberately.
+//! 2. **Determinism smoke** — the entire matrix runs twice; the two
+//!    documents must be byte-identical. Virtual time, fixed seeds, and
+//!    deterministic record/index addresses make this exact, on any host.
+//!
+//! `scripts/check.sh` runs this bin as the `servecheck` step.
+
+use bionicdb_bench::serve::sim::{probe_service_ns, simulate};
+use bionicdb_bench::serve::{ArrivalProcess, RetryMode, ServeConfig, ShedPolicy};
+use bionicdb_bench::BenchArgs;
+use bionicdb_workloads::{ServeKind, ServeMix};
+
+/// Where the golden rows live, relative to the bench crate.
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/serve_golden.json")
+}
+
+/// Run the fixed scenario matrix and render one JSON row per run. The
+/// exact scenario list, seeds, and sizes are part of the golden contract —
+/// do not reorder.
+fn golden_rows() -> Vec<String> {
+    let mut rows = Vec::new();
+    let servers = 2;
+    let requests = 300;
+
+    // Every workload under the controlled server at 1.5x capacity: the
+    // queue works, deadlines fire, retries happen, and the numbers pin
+    // the engine + core model end to end.
+    for kind in ServeKind::ALL {
+        let svc = probe_service_ns(&ServeMix::build(kind, 1), kind.seed(), 200);
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_sec: 1.5 * servers as f64 * 1e9 / svc,
+        };
+        let cfg = ServeConfig::controlled(
+            arrivals,
+            requests,
+            (svc * 25.0) as u64,
+            servers,
+            kind.seed(),
+        );
+        let sum = simulate(&ServeMix::build(kind, 1), &cfg);
+        rows.push(sum.render_json(&format!("controlled/{}", kind.name())));
+    }
+
+    // One SmallBank scenario per policy corner: the baseline's unbounded
+    // FIFO, fail-fast, LIFO-slack under an MMPP burst, and a no-retry
+    // deadline-drop run.
+    let kind = ServeKind::SmallBank;
+    let svc = probe_service_ns(&ServeMix::build(kind, 1), kind.seed(), 200);
+    let cap = servers as f64 * 1e9 / svc;
+    let deadline = (svc * 25.0) as u64;
+
+    let base = ServeConfig::baseline(
+        ArrivalProcess::Poisson { rate_per_sec: 1.5 * cap },
+        requests,
+        deadline,
+        servers,
+        kind.seed(),
+    );
+    rows.push(simulate(&ServeMix::build(kind, 1), &base).render_json("baseline/smallbank"));
+
+    let mut ff = ServeConfig::controlled(
+        ArrivalProcess::Poisson { rate_per_sec: 2.0 * cap },
+        requests,
+        deadline,
+        servers,
+        kind.seed(),
+    );
+    ff.policy = ShedPolicy::FailFast;
+    rows.push(simulate(&ServeMix::build(kind, 1), &ff).render_json("fail_fast/smallbank"));
+
+    let mut ls = ServeConfig::controlled(
+        ArrivalProcess::Mmpp {
+            base_rate: 0.5 * cap,
+            burst_rate: 3.0 * cap,
+            mean_base_ns: (svc * 200.0) as u64,
+            mean_burst_ns: (svc * 100.0) as u64,
+        },
+        requests,
+        deadline,
+        servers,
+        kind.seed(),
+    );
+    ls.policy = ShedPolicy::LifoSlack;
+    rows.push(simulate(&ServeMix::build(kind, 1), &ls).render_json("lifo_slack_mmpp/smallbank"));
+
+    let mut nr = ServeConfig::controlled(
+        ArrivalProcess::Poisson { rate_per_sec: 2.0 * cap },
+        requests,
+        deadline,
+        servers,
+        kind.seed(),
+    );
+    nr.retry = RetryMode::None;
+    rows.push(simulate(&ServeMix::build(kind, 1), &nr).render_json("no_retry/smallbank"));
+
+    rows
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let capture = args.flag("--capture");
+
+    let rows = golden_rows();
+    let doc: String = rows.join("\n") + "\n";
+
+    // Determinism smoke: the whole matrix again, byte-for-byte.
+    let again: String = golden_rows().join("\n") + "\n";
+    assert_eq!(doc, again, "servecheck: rerun is not byte-identical");
+    println!("servecheck: {} rows byte-identical across reruns", rows.len());
+
+    for row in &rows {
+        bionicdb_bench::json::validate(row).expect("serve rows are well-formed JSON");
+    }
+
+    if capture {
+        std::fs::create_dir_all(golden_path().parent().unwrap()).expect("mkdir golden/");
+        std::fs::write(golden_path(), &doc).expect("write goldens");
+        println!(
+            "captured {} golden rows to {}",
+            rows.len(),
+            golden_path().display()
+        );
+        return;
+    }
+
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file present (regenerate deliberately with --capture)");
+    if doc != golden {
+        for (i, (got, want)) in doc.lines().zip(golden.lines()).enumerate() {
+            if got != want {
+                eprintln!("row {i} differs:\n  want: {want}\n  got:  {got}");
+            }
+        }
+        assert_eq!(
+            doc.lines().count(),
+            golden.lines().count(),
+            "golden row count drifted"
+        );
+        panic!("serving engine output drifted from the committed goldens");
+    }
+    println!("servecheck: {} golden rows bit-identical", rows.len());
+    println!("servecheck: all checks passed");
+}

@@ -430,20 +430,14 @@ fn run_par_study(quick: bool, out_path: &str, history_path: &str) {
     // waves are too small to be comparable and stay out of it.
     if !quick {
         let t = history::now_unix();
-        for (bench, cps) in [
-            ("parsim-serial", serial.m.cycles_per_sec()),
-            ("parsim-global", global4.m.cycles_per_sec()),
-            ("parsim-matrix", matrix4.m.cycles_per_sec()),
+        for (bench, cps, cycles) in [
+            ("parsim-serial", serial.m.cycles_per_sec(), serial.m.cycles),
+            ("parsim-global", global4.m.cycles_per_sec(), global4.m.cycles),
+            ("parsim-matrix", matrix4.m.cycles_per_sec(), matrix4.m.cycles),
         ] {
-            history::append(
-                history_path.as_ref(),
-                &Entry {
-                    bench: bench.to_string(),
-                    cycles_per_sec: cps,
-                    unix_secs: t,
-                },
-            )
-            .expect("append bench history");
+            let mut e = Entry::basic(bench, cps, t);
+            e.committed_cycles = Some(cycles);
+            history::append(history_path.as_ref(), &e).expect("append bench history");
         }
         println!("appended 3 entries to {history_path}");
     }
@@ -542,19 +536,13 @@ fn main() {
 
     if !quick {
         let t = history::now_unix();
-        for (bench, cps) in [
-            ("simperf-strict", strict.cycles_per_sec()),
-            ("simperf-fast", fast.cycles_per_sec()),
+        for (bench, cps, cycles) in [
+            ("simperf-strict", strict.cycles_per_sec(), strict.cycles),
+            ("simperf-fast", fast.cycles_per_sec(), fast.cycles),
         ] {
-            history::append(
-                history_path.as_ref(),
-                &Entry {
-                    bench: bench.to_string(),
-                    cycles_per_sec: cps,
-                    unix_secs: t,
-                },
-            )
-            .expect("append bench history");
+            let mut e = Entry::basic(bench, cps, t);
+            e.committed_cycles = Some(cycles);
+            history::append(history_path.as_ref(), &e).expect("append bench history");
         }
         println!("appended 2 entries to {history_path}");
     }

@@ -28,19 +28,46 @@ pub struct Entry {
     pub cycles_per_sec: f64,
     /// Wall-clock timestamp (Unix seconds) of the run.
     pub unix_secs: u64,
+    /// Optional tail-latency metric, nanoseconds (serve benches). Gated
+    /// upward: a *higher* p99 than baseline is the regression.
+    pub p99_ns: Option<f64>,
+    /// Optional work-done metric: simulated cycles the run spent on
+    /// committed work, for cross-run sanity (recorded, not gated).
+    pub committed_cycles: Option<u64>,
 }
 
 impl Entry {
+    /// An entry carrying only the required fields.
+    pub fn basic(bench: &str, cycles_per_sec: f64, unix_secs: u64) -> Entry {
+        Entry {
+            bench: bench.to_string(),
+            cycles_per_sec,
+            unix_secs,
+            p99_ns: None,
+            committed_cycles: None,
+        }
+    }
+
     /// Render the rigid single-line JSON form `parse_line` reads back.
+    /// Optional fields are appended only when present, keeping old lines
+    /// and new parsers (and vice versa) compatible.
     pub fn render(&self) -> String {
         debug_assert!(
             !self.bench.contains('"'),
             "bench keys must not contain quotes"
         );
-        format!(
-            "{{\"bench\":\"{}\",\"cycles_per_sec\":{:.3},\"unix_secs\":{}}}",
+        let mut s = format!(
+            "{{\"bench\":\"{}\",\"cycles_per_sec\":{:.3},\"unix_secs\":{}",
             self.bench, self.cycles_per_sec, self.unix_secs
-        )
+        );
+        if let Some(p99) = self.p99_ns {
+            s.push_str(&format!(",\"p99_ns\":{p99:.1}"));
+        }
+        if let Some(cc) = self.committed_cycles {
+            s.push_str(&format!(",\"committed_cycles\":{cc}"));
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -86,10 +113,14 @@ pub fn parse_line(line: &str) -> Option<Entry> {
     let bench = &bench[..bench.rfind('"')?];
     let cycles_per_sec: f64 = field(line, "\"cycles_per_sec\":")?.parse().ok()?;
     let unix_secs: u64 = field(line, "\"unix_secs\":")?.parse().ok()?;
+    let p99_ns = field(line, "\"p99_ns\":").and_then(|v| v.parse().ok());
+    let committed_cycles = field(line, "\"committed_cycles\":").and_then(|v| v.parse().ok());
     Some(Entry {
         bench: bench.to_string(),
         cycles_per_sec,
         unix_secs,
+        p99_ns,
+        committed_cycles,
     })
 }
 
@@ -111,6 +142,13 @@ pub struct Verdict {
     pub ratio: f64,
     /// True when `latest < baseline * (1 - tolerance)`.
     pub regressed: bool,
+    /// Baseline p99 (oldest entry for the key carrying one), nanoseconds.
+    pub baseline_p99: Option<f64>,
+    /// Latest p99 (newest entry for the key carrying one), nanoseconds.
+    pub latest_p99: Option<f64>,
+    /// True when `latest_p99 > baseline_p99 * (1 + tolerance)` — tail
+    /// latency regresses *upward*.
+    pub p99_regressed: bool,
 }
 
 /// Compare the newest entry per bench key against its recorded baseline
@@ -135,12 +173,30 @@ pub fn check(entries: &[Entry], tolerance: f64) -> Vec<Verdict> {
                 .expect("key came from entries")
                 .cycles_per_sec;
             let ratio = if baseline == 0.0 { 1.0 } else { latest / baseline };
+            // p99 gate: oldest vs newest entry *carrying* a p99 for the
+            // key, so pre-schema lines neither gate nor get gated.
+            let baseline_p99 = entries
+                .iter()
+                .filter(|e| e.bench == key)
+                .find_map(|e| e.p99_ns);
+            let latest_p99 = entries
+                .iter()
+                .rev()
+                .filter(|e| e.bench == key)
+                .find_map(|e| e.p99_ns);
+            let p99_regressed = match (baseline_p99, latest_p99) {
+                (Some(b), Some(l)) => b > 0.0 && l > b * (1.0 + tolerance),
+                _ => false,
+            };
             Verdict {
                 bench: key.to_string(),
                 baseline,
                 latest,
                 ratio,
                 regressed: latest < baseline * (1.0 - tolerance),
+                baseline_p99,
+                latest_p99,
+                p99_regressed,
             }
         })
         .collect()
@@ -151,11 +207,7 @@ mod tests {
     use super::*;
 
     fn entry(bench: &str, cps: f64, t: u64) -> Entry {
-        Entry {
-            bench: bench.to_string(),
-            cycles_per_sec: cps,
-            unix_secs: t,
-        }
+        Entry::basic(bench, cps, t)
     }
 
     #[test]
@@ -213,6 +265,47 @@ mod tests {
         let b = verdicts.iter().find(|v| v.bench == "b").unwrap();
         assert!(!a.regressed, "{a:?}");
         assert!(b.regressed, "{b:?}");
+    }
+
+    #[test]
+    fn optional_fields_roundtrip_and_old_lines_still_parse() {
+        let mut e = entry("serve-smallbank", 42.0, 7);
+        e.p99_ns = Some(1234.5);
+        e.committed_cycles = Some(999_888);
+        let parsed = parse_line(&e.render()).expect("parses");
+        assert_eq!(parsed.p99_ns, Some(1234.5));
+        assert_eq!(parsed.committed_cycles, Some(999_888));
+        // Pre-schema line: optional fields absent, still parses.
+        let old = "{\"bench\":\"a\",\"cycles_per_sec\":10.000,\"unix_secs\":1}";
+        let parsed = parse_line(old).expect("old format parses");
+        assert_eq!(parsed.p99_ns, None);
+        assert_eq!(parsed.committed_cycles, None);
+    }
+
+    #[test]
+    fn p99_gate_fires_upward_only() {
+        let with_p99 = |b: &str, cps: f64, t: u64, p99: f64| {
+            let mut e = entry(b, cps, t);
+            e.p99_ns = Some(p99);
+            e
+        };
+        // Throughput steady; p99 doubles → p99 regression, not cps.
+        let entries = vec![
+            with_p99("s", 100.0, 1, 1000.0),
+            with_p99("s", 100.0, 2, 2000.0),
+        ];
+        let v = &check(&entries, DEFAULT_TOLERANCE)[0];
+        assert!(!v.regressed);
+        assert!(v.p99_regressed, "{v:?}");
+        // p99 *improves*: no regression.
+        let entries = vec![
+            with_p99("s", 100.0, 1, 2000.0),
+            with_p99("s", 100.0, 2, 900.0),
+        ];
+        assert!(!check(&entries, DEFAULT_TOLERANCE)[0].p99_regressed);
+        // Keys without p99 never p99-regress.
+        let entries = vec![entry("s", 100.0, 1), entry("s", 100.0, 2)];
+        assert!(!check(&entries, DEFAULT_TOLERANCE)[0].p99_regressed);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod chaos;
 pub mod history;
 pub mod json;
+pub mod serve;
 
 use bionicdb::{BionicConfig, ExecMode};
 use bionicdb_cpu_model::{CoreModel, CpuConfig};

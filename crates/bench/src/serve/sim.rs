@@ -1,0 +1,336 @@
+//! Deterministic virtual-time serving: a discrete-event simulation whose
+//! service times come from the calibrated Xeon core model.
+//!
+//! Events (arrivals, retries, completions) live on a binary heap keyed by
+//! `(time_ns, sequence)` — the sequence number breaks ties in insertion
+//! order, so the event schedule is a total order and the whole run is a
+//! pure function of [`ServeConfig`]. A fixed seed therefore produces a
+//! **byte-identical** [`ServeSummary::render_json`] on any host, which is
+//! what the `servecheck` CI gate pins (same idea as `workloadcheck`).
+//!
+//! ## What is modelled
+//!
+//! * `servers` identical lanes drain the admission queue; each dispatched
+//!   transaction runs against the *real* [`SiloDb`](bionicdb_silo::SiloDb)
+//!   under one persistent [`CoreModel`] (warm caches), and its service
+//!   time is the model's cycle delta converted at the configured clock.
+//! * Deadline enforcement at dispatch: an expired ticket is skipped for
+//!   free. Enforcement at the commit point: when a transaction's
+//!   completion lands past its deadline, the commit is treated as
+//!   cancelled — the server time is still spent (the body ran), but
+//!   nothing installs. This mirrors what
+//!   [`CancelToken`](bionicdb_silo::CancelToken) does on real threads
+//!   (exercised by the wall-clock engine); virtual time cannot use the
+//!   token itself because it reads the wall clock.
+//! * Client retry per [`RetryMode`], with backoff delays in virtual time.
+//!
+//! Transactions execute one at a time (virtual servers overlap in virtual
+//! time, not on host threads), so OCC conflicts cannot arise here — abort
+//! retry paths get their coverage from the wall-clock engine and unit
+//! tests. Queueing, shedding, deadline and retry dynamics — the things
+//! this subsystem exists to measure — are exact.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bionicdb_cpu_model::{CoreModel, CpuConfig};
+use bionicdb_workloads::ServeMix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::arrival::ArrivalGen;
+use super::queue::{AdmissionQueue, Shed, Ticket};
+use super::{RetryBucket, RetryMode, ServeConfig, ServeSummary};
+
+/// Epoch advance period (executions), matching `silo::runner`.
+const EPOCH_PERIOD: u64 = 4096;
+
+/// Warm-up transactions before the measured run (cache warming only; the
+/// virtual clock starts after).
+const WARMUP: usize = 32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A fresh request or a scheduled retry reaches the admission queue.
+    Arrival(Ticket),
+    /// A server finishes its current transaction.
+    Done,
+}
+
+/// Mean service time of `mix` under the core model, nanoseconds — the
+/// capacity probe `saturate` scales offered load against. Deterministic
+/// for a fixed seed.
+pub fn probe_service_ns(mix: &ServeMix, seed: u64, txns: usize) -> f64 {
+    let cfg = CpuConfig::default();
+    let mut model = CoreModel::new(cfg.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..WARMUP {
+        mix.run_once(&mut model, &mut rng, i, None);
+    }
+    let c0 = model.cycles();
+    for i in 0..txns.max(1) {
+        mix.run_once(&mut model, &mut rng, WARMUP + i, None);
+    }
+    cycles_to_ns(model.cycles() - c0, &cfg) as f64 / txns.max(1) as f64
+}
+
+fn cycles_to_ns(cycles: u64, cfg: &CpuConfig) -> u64 {
+    // cycles ≪ 2^34 per transaction: the product fits u64.
+    cycles * 1_000_000_000 / cfg.clock_hz
+}
+
+fn push(heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, seq: &mut u64, t: u64, ev: Ev) {
+    *seq += 1;
+    heap.push(Reverse((t, *seq, ev)));
+}
+
+/// Client-side failure handling: retry per policy or settle the terminal
+/// outcome. `shed` distinguishes admission sheds from OCC aborts.
+#[allow(clippy::too_many_arguments)]
+fn fail(
+    cfg: &ServeConfig,
+    sum: &mut ServeSummary,
+    bucket: &mut Option<RetryBucket>,
+    heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: &mut u64,
+    tk: Ticket,
+    now: u64,
+    shed: bool,
+) {
+    let next_attempt = tk.attempt + 1;
+    let retry_at = match cfg.retry {
+        RetryMode::None => None,
+        RetryMode::Immediate { max_attempts } => (next_attempt < max_attempts).then_some(now + 1),
+        RetryMode::Budgeted(p) => {
+            let at = now + p.backoff_ns(next_attempt);
+            (next_attempt < p.max_attempts
+                && at < tk.deadline_ns
+                && bucket.as_mut().expect("budgeted bucket").try_take())
+            .then_some(at)
+        }
+    };
+    match retry_at {
+        Some(at) => {
+            sum.retries += 1;
+            push(
+                heap,
+                seq,
+                at,
+                Ev::Arrival(Ticket {
+                    attempt: next_attempt,
+                    ..tk
+                }),
+            );
+        }
+        None if shed => sum.shed += 1,
+        None => sum.aborted += 1,
+    }
+}
+
+/// Run one virtual-time serving scenario to completion.
+pub fn simulate(mix: &ServeMix, cfg: &ServeConfig) -> ServeSummary {
+    let cpu = CpuConfig::default();
+    let mut model = CoreModel::new(cpu.clone());
+    // Decorrelated streams: arrival gaps vs transaction parameter draws.
+    let mut rng_arr = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng_txn = SmallRng::seed_from_u64(cfg.seed ^ 0x5E7E_5E7E_5E7E_5E7E);
+    for i in 0..WARMUP {
+        mix.run_once(&mut model, &mut rng_txn, i, None);
+    }
+
+    let mut gen = ArrivalGen::new(cfg.arrivals);
+    let mut queue = AdmissionQueue::new(cfg.policy, cfg.queue_capacity);
+    let mut bucket = match cfg.retry {
+        RetryMode::Budgeted(p) => Some(RetryBucket::new(&p)),
+        _ => None,
+    };
+    let mut sum = ServeSummary::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut free = cfg.servers.max(1);
+    let mut born = 0u64;
+
+    // First fresh arrival; each fresh arrival schedules the next until
+    // `requests` have been born.
+    if cfg.requests > 0 {
+        let t0 = gen.next_gap_ns(&mut rng_arr);
+        push(
+            &mut heap,
+            &mut seq,
+            t0,
+            Ev::Arrival(Ticket {
+                id: 0,
+                born_ns: t0,
+                deadline_ns: t0.saturating_add(cfg.deadline_ns),
+                txn_index: 0,
+                attempt: 0,
+            }),
+        );
+        born = 1;
+        sum.fresh = 1;
+    }
+
+    while let Some(Reverse((now, _, ev))) = heap.pop() {
+        sum.horizon_ns = sum.horizon_ns.max(now);
+        match ev {
+            Ev::Arrival(tk) => {
+                if tk.attempt == 0 {
+                    if let Some(b) = bucket.as_mut() {
+                        b.on_fresh();
+                    }
+                    if (born as usize) < cfg.requests {
+                        let t = now + gen.next_gap_ns(&mut rng_arr);
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            t,
+                            Ev::Arrival(Ticket {
+                                id: born,
+                                born_ns: t,
+                                deadline_ns: t.saturating_add(cfg.deadline_ns),
+                                txn_index: born as usize,
+                                attempt: 0,
+                            }),
+                        );
+                        born += 1;
+                        sum.fresh += 1;
+                    }
+                }
+                match queue.offer(tk, now) {
+                    Ok(()) => {}
+                    Err(Shed::Rejected) => {
+                        fail(cfg, &mut sum, &mut bucket, &mut heap, &mut seq, tk, now, true)
+                    }
+                    Err(Shed::Evicted(victim)) => fail(
+                        cfg, &mut sum, &mut bucket, &mut heap, &mut seq, victim, now, true,
+                    ),
+                }
+            }
+            Ev::Done => free += 1,
+        }
+
+        // Dispatch idle servers.
+        while free > 0 {
+            let Some(tk) = queue.take(now) else { break };
+            if cfg.enforce_deadline && now >= tk.deadline_ns {
+                sum.timed_out += 1;
+                continue;
+            }
+            let c0 = model.cycles();
+            let committed = mix.run_once(&mut model, &mut rng_txn, tk.txn_index, None);
+            let svc_ns = cycles_to_ns(model.cycles() - c0, &cpu).max(1);
+            let done = now + svc_ns;
+            sum.executed += 1;
+            sum.busy_ns += svc_ns;
+            if sum.executed.is_multiple_of(EPOCH_PERIOD) {
+                mix.advance_epoch();
+            }
+            free -= 1;
+            push(&mut heap, &mut seq, done, Ev::Done);
+            if cfg.enforce_deadline && done > tk.deadline_ns {
+                // The commit point falls past the deadline: the engine's
+                // cancel token would fire and the commit aborts. The
+                // body's service time is still spent.
+                sum.timed_out += 1;
+            } else if committed && done <= tk.deadline_ns {
+                sum.good += 1;
+                sum.good_busy_ns += svc_ns;
+                sum.sojourn.record(done - tk.born_ns);
+                sum.horizon_ns = sum.horizon_ns.max(done);
+            } else if committed {
+                sum.late += 1;
+                sum.horizon_ns = sum.horizon_ns.max(done);
+            } else {
+                fail(cfg, &mut sum, &mut bucket, &mut heap, &mut seq, tk, done, false);
+            }
+        }
+    }
+
+    // Expired entries purged inside the queue never re-emerged: they are
+    // terminal timeouts. Copy the queue's shed ledger out.
+    sum.timed_out += queue.dropped_expired;
+    sum.rejected = queue.rejected;
+    sum.dropped_expired = queue.dropped_expired;
+    sum.evicted = queue.evicted;
+    sum.queue_high_water = queue.high_water as u64;
+    sum.assert_conserved();
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionicdb_workloads::ServeKind;
+
+    use crate::serve::ArrivalProcess;
+
+    #[test]
+    fn light_load_all_good_and_deterministic() {
+        // The probe must run on its own build: service times depend on
+        // database state, and byte-stability is defined over identically
+        // prepared systems (records get deterministic virtual addresses,
+        // so two fresh builds time identically).
+        let svc = probe_service_ns(&ServeMix::build(ServeKind::SmallBank, 1), 1, 50);
+        let cfg = ServeConfig::controlled(
+            ArrivalProcess::Poisson {
+                rate_per_sec: 0.25 * 1e9 / svc,
+            },
+            120,
+            (svc * 50.0) as u64,
+            2,
+            42,
+        );
+        let a = simulate(&ServeMix::build(ServeKind::SmallBank, 1), &cfg);
+        let b = simulate(&ServeMix::build(ServeKind::SmallBank, 1), &cfg);
+        assert_eq!(
+            a.render_json("t"),
+            b.render_json("t"),
+            "fixed seed must be byte-stable"
+        );
+        assert_eq!(a.fresh, 120);
+        assert!(
+            a.good >= 115,
+            "at 25% load nearly everything is good: {a:?}"
+        );
+        assert_eq!(a.sojourn.count(), a.good);
+    }
+
+    #[test]
+    fn overload_baseline_collapses_controlled_degrades_gracefully() {
+        let mix = ServeMix::build(ServeKind::YcsbC, 1);
+        let svc = probe_service_ns(&mix, 1, 50);
+        let servers = 2;
+        let deadline = (svc * 25.0) as u64;
+        // 2x saturation for 400 fresh requests.
+        let arrivals = ArrivalProcess::Poisson {
+            rate_per_sec: 2.0 * servers as f64 * 1e9 / svc,
+        };
+        let base = simulate(
+            &mix,
+            &ServeConfig::baseline(arrivals, 400, deadline, servers, 7),
+        );
+        let ctrl = simulate(
+            &mix,
+            &ServeConfig::controlled(arrivals, 400, deadline, servers, 7),
+        );
+        // The baseline queue grows without bound: most completions land
+        // past the deadline, goodput collapses.
+        assert!(
+            base.late > base.good,
+            "unbounded FIFO at 2x must mostly miss deadlines: {base:?}"
+        );
+        // The controlled server sheds instead of queueing: what it admits
+        // it commits in time, so goodput stays near capacity.
+        assert!(
+            ctrl.good > 2 * base.good.max(1),
+            "controlled goodput {} vs baseline {}",
+            ctrl.good,
+            base.good
+        );
+        assert!(ctrl.rejected + ctrl.dropped_expired > 0, "overload sheds");
+        assert!(
+            ctrl.queue_high_water <= ctrl.fresh,
+            "bounded queue stayed bounded"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Wall-clock serving: real threads, real sleeps, real deadline aborts.
+//!
+//! The virtual-time engine ([`super::sim`]) is the deterministic,
+//! CI-gated instrument; this engine is the honest one. A generator thread
+//! plays the open-loop client — sleeping out arrival gaps, offering
+//! tickets, scheduling backoff retries — while `servers` worker threads
+//! drain the shared [`AdmissionQueue`] and run transactions against the
+//! Silo database under [`NullTracer`]. Deadline enforcement uses the
+//! engine's own [`CancelToken::deadline`]: the token is armed with the
+//! request's absolute deadline and the commit protocol aborts the
+//! transaction if it fires — a doomed transaction gives its worker back
+//! at the commit point instead of installing work nobody is waiting for.
+//!
+//! Results are wall-clock honest and therefore *not* byte-stable; use
+//! `saturate --wall` to produce them, and the virtual-time mode for
+//! anything that must reproduce.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bionicdb_cpu_model::NullTracer;
+use bionicdb_silo::CancelToken;
+use bionicdb_workloads::ServeMix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::arrival::ArrivalGen;
+use super::queue::{AdmissionQueue, Shed, Ticket};
+use super::{RetryBucket, RetryMode, ServeConfig, ServeSummary};
+
+/// Epoch advance period (executions), matching `silo::runner`.
+const EPOCH_PERIOD: u64 = 4096;
+
+/// State shared between the generator and the workers.
+struct Shared {
+    queue: AdmissionQueue,
+    /// Retries waiting out their backoff, min-heap by due time
+    /// (`Reverse` tuple: due_ns first). The generator drains it.
+    retry_heap: BinaryHeap<std::cmp::Reverse<(u64, Ticket)>>,
+    bucket: Option<RetryBucket>,
+    sum: ServeSummary,
+    /// Requests born but not yet terminal.
+    outstanding: u64,
+    /// All fresh arrivals have been offered.
+    arrivals_done: bool,
+    /// Queue-purged expirations already settled into `sum`/`outstanding`.
+    settled_drops: u64,
+}
+
+impl Shared {
+    /// The queue purges expired entries silently (`DeadlineDrop`); each
+    /// purge is a terminal timeout, so settle the delta into the ledger —
+    /// termination depends on `outstanding` reaching zero *during* the
+    /// run. Call after any queue operation, with the lock held.
+    fn settle_drops(&mut self) {
+        let d = self.queue.dropped_expired - self.settled_drops;
+        if d > 0 {
+            self.settled_drops += d;
+            self.sum.timed_out += d;
+            self.outstanding -= d;
+        }
+    }
+
+    /// Settle a failed attempt: queue a retry or record the terminal
+    /// outcome. Mirrors `sim::fail` with wall-clock `now_ns`.
+    fn fail(&mut self, cfg: &ServeConfig, tk: Ticket, now_ns: u64, shed: bool) {
+        let next_attempt = tk.attempt + 1;
+        let retry_at = match cfg.retry {
+            RetryMode::None => None,
+            RetryMode::Immediate { max_attempts } => {
+                (next_attempt < max_attempts).then_some(now_ns)
+            }
+            RetryMode::Budgeted(p) => {
+                let at = now_ns + p.backoff_ns(next_attempt);
+                (next_attempt < p.max_attempts
+                    && at < tk.deadline_ns
+                    && self.bucket.as_mut().expect("budgeted bucket").try_take())
+                .then_some(at)
+            }
+        };
+        match retry_at {
+            Some(at) => {
+                self.sum.retries += 1;
+                self.retry_heap.push(std::cmp::Reverse((
+                    at,
+                    Ticket {
+                        attempt: next_attempt,
+                        ..tk
+                    },
+                )));
+            }
+            None if shed => {
+                self.sum.shed += 1;
+                self.outstanding -= 1;
+            }
+            None => {
+                self.sum.aborted += 1;
+                self.outstanding -= 1;
+            }
+        }
+    }
+
+    /// Offer a ticket, settling any shed decision.
+    fn offer(&mut self, cfg: &ServeConfig, tk: Ticket, now_ns: u64) {
+        let r = self.queue.offer(tk, now_ns);
+        self.settle_drops();
+        match r {
+            Ok(()) => {}
+            Err(Shed::Rejected) => self.fail(cfg, tk, now_ns, true),
+            Err(Shed::Evicted(victim)) => self.fail(cfg, victim, now_ns, true),
+        }
+    }
+}
+
+/// Mean *wall-clock* service time of `mix`, nanoseconds — the capacity
+/// probe for wall-clock sweeps. The virtual-time probe measures model
+/// cycles; real execution has different constants (and scheduling
+/// jitter), so deadlines derived from the model probe would be
+/// meaninglessly tight here.
+pub fn probe_wall_service_ns(mix: &ServeMix, seed: u64, txns: usize) -> f64 {
+    let mut tracer = NullTracer;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..32 {
+        mix.run_once(&mut tracer, &mut rng, i, None);
+    }
+    let t0 = Instant::now();
+    for i in 0..txns.max(1) {
+        mix.run_once(&mut tracer, &mut rng, 32 + i, None);
+    }
+    t0.elapsed().as_nanos() as f64 / txns.max(1) as f64
+}
+
+/// Run one wall-clock serving scenario to completion and return its
+/// summary (plus the wall seconds the run took).
+pub fn serve_wall(mix: &ServeMix, cfg: &ServeConfig) -> ServeSummary {
+    let start = Instant::now();
+    let now_ns = move || start.elapsed().as_nanos() as u64;
+    let shared = Mutex::new(Shared {
+        queue: AdmissionQueue::new(cfg.policy, cfg.queue_capacity),
+        retry_heap: BinaryHeap::new(),
+        bucket: match cfg.retry {
+            RetryMode::Budgeted(p) => Some(RetryBucket::new(&p)),
+            _ => None,
+        },
+        sum: ServeSummary::new(),
+        outstanding: 0,
+        arrivals_done: cfg.requests == 0,
+        settled_drops: 0,
+    });
+    let work_ready = Condvar::new();
+
+    std::thread::scope(|scope| {
+        // Workers.
+        for _ in 0..cfg.servers.max(1) {
+            scope.spawn(|| {
+                let mut tracer = NullTracer;
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5E7E_5E7E_5E7E_5E7E);
+                loop {
+                    let tk = {
+                        let mut sh = shared.lock().expect("serve state");
+                        loop {
+                            let t = now_ns();
+                            let taken = sh.queue.take(t);
+                            sh.settle_drops();
+                            if let Some(tk) = taken {
+                                break tk;
+                            }
+                            if sh.arrivals_done && sh.retry_heap.is_empty() && sh.outstanding == 0
+                            {
+                                work_ready.notify_all();
+                                return;
+                            }
+                            sh = work_ready
+                                .wait_timeout(sh, Duration::from_millis(1))
+                                .expect("serve state")
+                                .0;
+                        }
+                    };
+                    let t_dispatch = now_ns();
+                    if cfg.enforce_deadline && t_dispatch >= tk.deadline_ns {
+                        let mut sh = shared.lock().expect("serve state");
+                        sh.sum.timed_out += 1;
+                        sh.outstanding -= 1;
+                        continue;
+                    }
+                    // Arm the engine-level deadline: the commit protocol
+                    // checks the token before acquiring any lock.
+                    let cancel = if cfg.enforce_deadline && tk.deadline_ns != u64::MAX {
+                        Some(CancelToken::deadline(
+                            start + Duration::from_nanos(tk.deadline_ns),
+                        ))
+                    } else {
+                        None
+                    };
+                    let committed =
+                        mix.run_once(&mut tracer, &mut rng, tk.txn_index, cancel.as_ref());
+                    let done = now_ns();
+                    let svc = done.saturating_sub(t_dispatch).max(1);
+                    let mut sh = shared.lock().expect("serve state");
+                    sh.sum.executed += 1;
+                    sh.sum.busy_ns += svc;
+                    if sh.sum.executed.is_multiple_of(EPOCH_PERIOD) {
+                        mix.advance_epoch();
+                    }
+                    if committed && done <= tk.deadline_ns {
+                        sh.sum.good += 1;
+                        sh.sum.good_busy_ns += svc;
+                        let sojourn = done.saturating_sub(tk.born_ns).max(1);
+                        sh.sum.sojourn.record(sojourn);
+                        sh.outstanding -= 1;
+                    } else if committed {
+                        sh.sum.late += 1;
+                        sh.outstanding -= 1;
+                    } else if done >= tk.deadline_ns {
+                        // The cancel token fired (or the clock ran out
+                        // mid-body): a timeout, not a contention abort.
+                        sh.sum.timed_out += 1;
+                        sh.outstanding -= 1;
+                    } else {
+                        sh.fail(cfg, tk, done, false);
+                    }
+                    work_ready.notify_all();
+                }
+            });
+        }
+
+        // Generator: fresh arrivals on their own clock, plus due retries.
+        let mut gen = ArrivalGen::new(cfg.arrivals);
+        let mut rng_arr = SmallRng::seed_from_u64(cfg.seed);
+        let mut next_arrival = now_ns() + gen.next_gap_ns(&mut rng_arr);
+        let mut born = 0u64;
+        loop {
+            let t = now_ns();
+            // Offer everything that is due.
+            let mut sh = shared.lock().expect("serve state");
+            while born < cfg.requests as u64 && next_arrival <= t {
+                let tk = Ticket {
+                    id: born,
+                    born_ns: next_arrival,
+                    deadline_ns: next_arrival.saturating_add(cfg.deadline_ns),
+                    txn_index: born as usize,
+                    attempt: 0,
+                };
+                born += 1;
+                sh.sum.fresh += 1;
+                sh.outstanding += 1;
+                if let Some(b) = sh.bucket.as_mut() {
+                    b.on_fresh();
+                }
+                sh.offer(cfg, tk, t);
+                next_arrival += gen.next_gap_ns(&mut rng_arr);
+            }
+            while let Some(&std::cmp::Reverse((due, _))) = sh.retry_heap.peek() {
+                if due > t {
+                    break;
+                }
+                let std::cmp::Reverse((_, tk)) = sh.retry_heap.pop().expect("peeked");
+                sh.offer(cfg, tk, t);
+            }
+            if born == cfg.requests as u64 {
+                sh.arrivals_done = true;
+            }
+            let finished = sh.arrivals_done && sh.retry_heap.is_empty() && sh.outstanding == 0;
+            work_ready.notify_all();
+            drop(sh);
+            if finished {
+                break;
+            }
+            // Sleep until the next fresh arrival or retry is due (capped
+            // so retries queued after this check still get seen).
+            let wake = if born < cfg.requests as u64 {
+                next_arrival.saturating_sub(now_ns()).min(1_000_000)
+            } else {
+                200_000
+            };
+            std::thread::sleep(Duration::from_nanos(wake.max(1)));
+        }
+    });
+
+    let mut sh = shared.into_inner().expect("serve state");
+    sh.settle_drops();
+    sh.sum.rejected = sh.queue.rejected;
+    sh.sum.dropped_expired = sh.queue.dropped_expired;
+    sh.sum.evicted = sh.queue.evicted;
+    sh.sum.queue_high_water = sh.queue.high_water as u64;
+    sh.sum.horizon_ns = now_ns();
+    sh.sum.assert_conserved();
+    sh.sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::ArrivalProcess;
+    use bionicdb_workloads::ServeKind;
+
+    #[test]
+    fn wall_clock_light_load_mostly_good() {
+        let mix = ServeMix::build(ServeKind::SmallBank, 1);
+        // Light load, generous deadline: everything should commit in
+        // time even on a loaded CI host.
+        let cfg = ServeConfig::controlled(
+            ArrivalProcess::Poisson { rate_per_sec: 2_000.0 },
+            60,
+            200_000_000, // 200 ms
+            2,
+            9,
+        );
+        let sum = serve_wall(&mix, &cfg);
+        assert_eq!(sum.fresh, 60);
+        assert!(
+            sum.good + sum.late + sum.timed_out + sum.shed + sum.aborted == 60,
+            "ledger: {sum:?}"
+        );
+        assert!(sum.good >= 55, "light load mostly good: {sum:?}");
+        assert_eq!(sum.sojourn.count(), sum.good);
+    }
+
+    #[test]
+    fn wall_clock_deadline_zero_times_everything_out() {
+        let mix = ServeMix::build(ServeKind::YcsbC, 1);
+        let mut cfg = ServeConfig::controlled(
+            ArrivalProcess::Poisson { rate_per_sec: 5_000.0 },
+            40,
+            1, // 1 ns: every request is doomed at dispatch
+            2,
+            11,
+        );
+        cfg.retry = RetryMode::None;
+        let sum = serve_wall(&mix, &cfg);
+        assert_eq!(sum.good, 0, "nothing can make a 1 ns deadline: {sum:?}");
+        assert_eq!(sum.fresh, 40);
+        assert!(sum.timed_out + sum.shed > 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Integration and property tests for the serving subsystem.
+//!
+//! The unit tests inside `serve::{queue,arrival,sim,wall}` pin each piece;
+//! these tests exercise the whole stack — workload mix, admission queue,
+//! virtual-time engine, JSON rendering — together, plus two fixed-seed
+//! properties over randomly drawn serving configurations:
+//!
+//! * **conservation** — every fresh request ends in exactly one terminal
+//!   bucket, whatever the policy/retry/load combination draws;
+//! * **saturation monotonicity** — past saturation, pushing the
+//!   no-control baseline harder never *raises* its goodput (the collapse
+//!   only deepens with overload).
+
+use bionicdb_bench::json;
+use bionicdb_bench::serve::sim::{probe_service_ns, simulate};
+use bionicdb_bench::serve::{ArrivalProcess, RetryMode, ServeConfig, ShedPolicy};
+use bionicdb_workloads::{ServeKind, ServeMix};
+use proptest::prelude::*;
+
+/// Mean service time for SmallBank at scale 1 — probed once per process;
+/// service times are deterministic, so sharing the probe is sound.
+fn smallbank_svc_ns() -> f64 {
+    probe_service_ns(&ServeMix::build(ServeKind::SmallBank, 1), 1, 50)
+}
+
+#[test]
+fn every_kind_serves_and_renders_valid_json() {
+    for kind in ServeKind::ALL {
+        let svc = probe_service_ns(&ServeMix::build(kind, 1), kind.seed(), 30);
+        let cfg = ServeConfig::controlled(
+            ArrivalProcess::Poisson {
+                rate_per_sec: 0.8 * 2.0 * 1e9 / svc,
+            },
+            60,
+            (svc * 30.0) as u64,
+            2,
+            kind.seed(),
+        );
+        let sum = simulate(&ServeMix::build(kind, 1), &cfg);
+        assert_eq!(sum.fresh, 60, "{}: all requests born", kind.name());
+        assert!(sum.good > 0, "{}: something commits in time", kind.name());
+        let row = sum.render_json(kind.name());
+        json::validate(&row).unwrap_or_else(|e| {
+            panic!("{}: serve row must be valid JSON: {e}\n{row}", kind.name())
+        });
+    }
+}
+
+#[test]
+fn burst_arrivals_shed_more_than_steady_at_equal_mean_rate() {
+    // An MMPP with the same mean rate as a Poisson process concentrates
+    // arrivals into bursts; the bounded queue must shed strictly more.
+    let svc = smallbank_svc_ns();
+    let cap = 2.0 * 1e9 / svc;
+    let deadline = (svc * 20.0) as u64;
+    let steady = simulate(
+        &ServeMix::build(ServeKind::SmallBank, 1),
+        &ServeConfig::controlled(
+            ArrivalProcess::Poisson { rate_per_sec: cap },
+            400,
+            deadline,
+            2,
+            3,
+        ),
+    );
+    // Burst phase at 4x capacity, base at ~0.57x: mean ~= 1x capacity.
+    let bursty = simulate(
+        &ServeMix::build(ServeKind::SmallBank, 1),
+        &ServeConfig::controlled(
+            ArrivalProcess::Mmpp {
+                base_rate: 0.57 * cap,
+                burst_rate: 4.0 * cap,
+                mean_base_ns: (svc * 700.0) as u64,
+                mean_burst_ns: (svc * 100.0) as u64,
+            },
+            400,
+            deadline,
+            2,
+            3,
+        ),
+    );
+    let lost = |s: &bionicdb_bench::serve::ServeSummary| s.shed + s.timed_out;
+    assert!(
+        lost(&bursty) > lost(&steady),
+        "bursts must stress the queue harder: bursty {:?} vs steady {:?}",
+        lost(&bursty),
+        lost(&steady)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ledger_conserved_for_arbitrary_configs(
+        policy_ix in 0usize..4,
+        retry_ix in 0usize..3,
+        mult_tenths in 3u64..30,
+        capacity in 1usize..12,
+        deadline_mults in 4u64..40,
+        seed in 0u64..1000,
+    ) {
+        let policy = [
+            ShedPolicy::None,
+            ShedPolicy::FailFast,
+            ShedPolicy::LifoSlack,
+            ShedPolicy::DeadlineDrop,
+        ][policy_ix];
+        let svc = smallbank_svc_ns();
+        let mut cfg = ServeConfig::controlled(
+            ArrivalProcess::Poisson {
+                rate_per_sec: mult_tenths as f64 / 10.0 * 2.0 * 1e9 / svc,
+            },
+            80,
+            (svc * deadline_mults as f64) as u64,
+            2,
+            seed,
+        );
+        cfg.policy = policy;
+        cfg.queue_capacity = capacity;
+        cfg.retry = [
+            RetryMode::None,
+            RetryMode::Immediate { max_attempts: 3 },
+            cfg.retry, // the controlled default: budgeted backoff
+        ][retry_ix];
+        // `simulate` calls `assert_conserved()` before returning; the
+        // property is that no drawn configuration can violate it.
+        let sum = simulate(&ServeMix::build(ServeKind::SmallBank, 1), &cfg);
+        prop_assert_eq!(sum.fresh, 80);
+        prop_assert_eq!(sum.sojourn.count(), sum.good);
+        prop_assert!(sum.good_busy_ns <= sum.busy_ns);
+    }
+
+    #[test]
+    fn baseline_goodput_never_rises_past_saturation(
+        lo_tenths in 13u64..25,
+        extra_tenths in 5u64..20,
+        seed in 0u64..100,
+    ) {
+        // Two overload points for the no-control baseline, the second
+        // strictly deeper into overload. The server is saturated at both,
+        // so its goodput can only erode further (small tolerance for the
+        // discreteness of a finite run).
+        let svc = smallbank_svc_ns();
+        let cap = 2.0 * 1e9 / svc;
+        let deadline = (svc * 25.0) as u64;
+        let run = |mult: f64| {
+            simulate(
+                &ServeMix::build(ServeKind::SmallBank, 1),
+                &ServeConfig::baseline(
+                    ArrivalProcess::Poisson { rate_per_sec: mult * cap },
+                    500,
+                    deadline,
+                    2,
+                    seed,
+                ),
+            )
+        };
+        let lo = run(lo_tenths as f64 / 10.0);
+        let hi = run((lo_tenths + extra_tenths) as f64 / 10.0);
+        prop_assert!(
+            hi.goodput_per_sec() <= lo.goodput_per_sec() * 1.05,
+            "deeper overload must not raise baseline goodput: {} -> {}",
+            lo.goodput_per_sec(),
+            hi.goodput_per_sec()
+        );
+    }
+}

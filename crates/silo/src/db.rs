@@ -86,12 +86,24 @@ impl TableSw {
     }
 }
 
+/// Arena stride per database: 2^40 bytes, power-of-two aligned so every
+/// database's records land on the same cache-set offsets.
+const DB_ARENA_BYTES: u64 = 1 << 40;
+
+/// Next database arena base (starts above every index `vbase` range).
+static NEXT_DB_ARENA: AtomicU64 = AtomicU64::new(1 << 44);
+
 /// The Silo-style database.
 #[derive(Debug)]
 pub struct SiloDb {
     defs: Vec<TableDef>,
     tables: Vec<TableSw>,
     epoch: AtomicU64,
+    /// Bump allocator for record virtual addresses (timing model). Each
+    /// database claims a giant power-of-two-aligned arena, so identically
+    /// built databases see identical cache-set mappings regardless of how
+    /// many came before — model timings depend only on build/run order.
+    vaddr_next: AtomicU64,
     /// Greatest commit TID handed out so far. Full Silo keeps this
     /// per-worker; a global fetch-max keeps the invariant (commit TIDs are
     /// monotone) with one atomic per commit, which is fine for a baseline.
@@ -114,7 +126,15 @@ impl SiloDb {
             tables,
             epoch: AtomicU64::new(1),
             last_tid: AtomicU64::new(0),
+            vaddr_next: AtomicU64::new(NEXT_DB_ARENA.fetch_add(DB_ARENA_BYTES, Ordering::Relaxed)),
         }
+    }
+
+    /// Claim a virtual record slot: one cache line for the TID word plus
+    /// the payload rounded up to a line (see `record::PAYLOAD_OFFSET`).
+    pub(crate) fn alloc_vaddr(&self, payload_len: usize) -> u64 {
+        let slot = crate::record::PAYLOAD_OFFSET + (payload_len as u64).next_multiple_of(64);
+        self.vaddr_next.fetch_add(slot, Ordering::Relaxed)
     }
 
     /// Current global epoch.
@@ -141,7 +161,8 @@ impl SiloDb {
     /// Bulk-load a committed record (pre-benchmark population).
     pub fn load(&self, table: usize, key: u64, data: Vec<u8>) {
         assert_eq!(data.len(), self.defs[table].payload_len, "payload length");
-        let rec = Record::new(self.epoch(), data);
+        let vaddr = self.alloc_vaddr(data.len());
+        let rec = Record::new(self.epoch(), data, vaddr);
         let ok = self.tables[table].insert(&mut bionicdb_cpu_model::NullTracer, key, rec);
         assert!(ok, "duplicate key {key} during load of table {table}");
     }

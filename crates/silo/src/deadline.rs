@@ -1,0 +1,98 @@
+//! Request deadlines and cooperative transaction cancellation.
+//!
+//! A serving layer that admits more work than the engine can finish needs a
+//! way to stop a doomed transaction from occupying a worker: once the
+//! client's deadline has passed, committing is pure waste (the client has
+//! already given up), and under overload that waste compounds into the
+//! classic goodput collapse. A [`CancelToken`] is the engine-side half of
+//! that contract: the serving layer attaches one to a [`crate::Txn`]
+//! (`Txn::set_cancel`) and the commit protocol refuses to run — before
+//! taking a single write lock — when the token reports cancelled.
+//!
+//! Two flavours:
+//!
+//! * [`CancelToken::manual`] — an explicit flag another thread flips
+//!   (administrative kill, client disconnect);
+//! * [`CancelToken::deadline`] — self-expiring at a wall-clock [`Instant`];
+//!   no watchdog thread is needed, the transaction checks its own clock at
+//!   the commit boundary.
+//!
+//! The check sits at commit entry rather than inside every read on purpose:
+//! reads are the hot path and return domain answers (`found`/absent) that
+//! must not be conflated with cancellation, while commit is where locks are
+//! taken and the expensive install happens. Long transaction bodies can
+//! poll [`Txn::cancelled`](crate::Txn::cancelled) between operations to bail
+//! out earlier.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug)]
+enum Inner {
+    /// Explicitly flipped by the owner.
+    Flag(AtomicBool),
+    /// Expires on its own when the wall clock passes `at`.
+    Deadline { at: Instant },
+}
+
+/// A shared cancellation token observed by in-flight transactions.
+///
+/// Cheap to clone (one `Arc`); cancellation is one-way — once cancelled (or
+/// expired) a token never reverts.
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<Inner>);
+
+impl CancelToken {
+    /// A token that stays live until [`cancel`](CancelToken::cancel) is
+    /// called.
+    pub fn manual() -> CancelToken {
+        CancelToken(Arc::new(Inner::Flag(AtomicBool::new(false))))
+    }
+
+    /// A token that expires when the wall clock reaches `at`.
+    pub fn deadline(at: Instant) -> CancelToken {
+        CancelToken(Arc::new(Inner::Deadline { at }))
+    }
+
+    /// Cancel a manual token (no-op on deadline tokens: their clock is the
+    /// sole authority, which keeps expiry race-free).
+    pub fn cancel(&self) {
+        if let Inner::Flag(f) = &*self.0 {
+            f.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has been cancelled / has expired.
+    pub fn is_cancelled(&self) -> bool {
+        match &*self.0 {
+            Inner::Flag(f) => f.load(Ordering::Acquire),
+            Inner::Deadline { at } => Instant::now() >= *at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn manual_token_flips_once() {
+        let t = CancelToken::manual();
+        assert!(!t.is_cancelled());
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn deadline_token_expires() {
+        let t = CancelToken::deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled(), "an hour away: live");
+        let past = CancelToken::deadline(Instant::now() - Duration::from_millis(1));
+        assert!(past.is_cancelled(), "already past: expired");
+        past.cancel(); // no-op, must not panic
+        assert!(past.is_cancelled());
+    }
+}

@@ -40,6 +40,10 @@ fn fresh_vbase() -> u64 {
 struct HashNode {
     key: u64,
     rec: Arc<Record>,
+    /// Stable virtual address for the timing model (insertion-order slot
+    /// in the index's address space — never a real heap pointer, so
+    /// identically built tables trace identical cache behaviour).
+    vaddr: u64,
     next: Option<Box<HashNode>>,
 }
 
@@ -51,6 +55,10 @@ const HASH_NODE_BYTES: u64 = 32;
 pub struct HashIndex {
     buckets: Vec<RwLock<Option<Box<HashNode>>>>,
     mask: u64,
+    /// Base of this table's virtual address space: bucket headers live at
+    /// `vbase + b * 64`, chain nodes above `vbase + (1 << 30)`.
+    vbase: u64,
+    next_slot: AtomicU64,
 }
 
 impl HashIndex {
@@ -61,6 +69,8 @@ impl HashIndex {
         HashIndex {
             buckets: (0..n).map(|_| RwLock::new(None)).collect(),
             mask: n as u64 - 1,
+            vbase: fresh_vbase(),
+            next_slot: AtomicU64::new(0),
         }
     }
 
@@ -69,14 +79,18 @@ impl HashIndex {
         ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) & self.mask) as usize
     }
 
+    fn bucket_addr(&self, b: usize) -> u64 {
+        self.vbase + b as u64 * 64
+    }
+
     /// Point lookup.
     pub fn get<T: Tracer>(&self, tr: &mut T, key: u64) -> Option<Arc<Record>> {
         let b = self.bucket(key);
         let guard = self.buckets[b].read();
-        tr.read(std::ptr::from_ref(&self.buckets[b]) as u64, 8);
+        tr.read(self.bucket_addr(b), 8);
         let mut cur = guard.as_deref();
         while let Some(node) = cur {
-            tr.read(std::ptr::from_ref(node) as u64, HASH_NODE_BYTES);
+            tr.read(node.vaddr, HASH_NODE_BYTES);
             if node.key == key {
                 return Some(Arc::clone(&node.rec));
             }
@@ -89,21 +103,25 @@ impl HashIndex {
     pub fn insert<T: Tracer>(&self, tr: &mut T, key: u64, rec: Arc<Record>) -> bool {
         let b = self.bucket(key);
         let mut guard = self.buckets[b].write();
-        tr.read(std::ptr::from_ref(&self.buckets[b]) as u64, 8);
+        tr.read(self.bucket_addr(b), 8);
         let mut cur = guard.as_deref();
         while let Some(node) = cur {
-            tr.read(std::ptr::from_ref(node) as u64, HASH_NODE_BYTES);
+            tr.read(node.vaddr, HASH_NODE_BYTES);
             if node.key == key {
                 return false;
             }
             cur = node.next.as_deref();
         }
+        let vaddr = self.vbase
+            + (1 << 30)
+            + self.next_slot.fetch_add(1, Ordering::Relaxed) * 64;
         let node = Box::new(HashNode {
             key,
             rec,
+            vaddr,
             next: guard.take(),
         });
-        tr.write(std::ptr::from_ref(&*node) as u64, HASH_NODE_BYTES);
+        tr.write(vaddr, HASH_NODE_BYTES);
         *guard = Some(node);
         true
     }
@@ -493,7 +511,7 @@ mod tests {
     use bionicdb_cpu_model::NullTracer;
 
     fn rec(v: u8) -> Arc<Record> {
-        Record::new(1, vec![v; 8])
+        Record::new(1, vec![v; 8], 0x1_0000 + (v as u64) * 128)
     }
 
     #[test]
@@ -560,7 +578,7 @@ mod tests {
         let mt = Masstree::new();
         let mut tr = NullTracer;
         for k in [9u64, 3, 7, 1, 5, 8, 2, 6, 4, 0] {
-            mt.insert(&mut tr, k, Record::new(1, k.to_le_bytes().to_vec()));
+            mt.insert(&mut tr, k, Record::new(1, k.to_le_bytes().to_vec(), 0x2_0000 + k * 128));
         }
         let mut out = Vec::new();
         mt.scan(&mut tr, 3, 4, &mut out);

@@ -18,22 +18,41 @@ use crate::tid;
 #[derive(Debug)]
 pub struct Record {
     tid: AtomicU64,
+    /// Deterministic virtual address for the timing model (see
+    /// [`Record::addr`]). The TID word lives at `vaddr`, the payload at
+    /// `vaddr + PAYLOAD_OFFSET`.
+    vaddr: u64,
     data: RwLock<Box<[u8]>>,
 }
 
+/// Payload bytes start one cache line past the TID word in the record's
+/// virtual slot.
+pub const PAYLOAD_OFFSET: u64 = 64;
+
 impl Record {
     /// Create a committed record with `data` and the initial TID for
-    /// `epoch`.
-    pub fn new(epoch: u64, data: Vec<u8>) -> Arc<Record> {
+    /// `epoch`, at virtual address `vaddr` (from
+    /// [`SiloDb::alloc_vaddr`](crate::db::SiloDb)'s per-database arena).
+    pub fn new(epoch: u64, data: Vec<u8>, vaddr: u64) -> Arc<Record> {
         Arc::new(Record {
             tid: AtomicU64::new(tid::epoch_base(epoch) + 8),
+            vaddr,
             data: RwLock::new(data.into_boxed_slice()),
         })
     }
 
-    /// A pseudo-address for the timing model: the record's heap location.
-    pub fn addr(self: &Arc<Self>) -> u64 {
-        Arc::as_ptr(self) as u64
+    /// The record's address as seen by the timing model — a *virtual*
+    /// slot assigned deterministically at creation, not the host heap
+    /// location, so model timings are identical across runs and hosts
+    /// (the `servecheck` golden depends on this). Also the global lock
+    /// order for the commit protocol.
+    pub fn addr(&self) -> u64 {
+        self.vaddr
+    }
+
+    /// Virtual address of the payload bytes.
+    fn payload_addr(&self) -> u64 {
+        self.vaddr + PAYLOAD_OFFSET
     }
 
     /// Current TID word.
@@ -65,7 +84,7 @@ impl Record {
                 let data = self.data.read();
                 buf.clear();
                 buf.extend_from_slice(&data);
-                tr.read(data.as_ptr() as u64, data.len() as u64);
+                tr.read(self.payload_addr(), data.len() as u64);
             }
             let t2 = self.tid();
             if t1 == t2 {
@@ -107,10 +126,10 @@ impl Record {
             let mut data = self.data.write();
             let n = new_data.len().min(data.len());
             data[..n].copy_from_slice(&new_data[..n]);
-            tr.write(data.as_ptr() as u64, n as u64);
+            tr.write(self.payload_addr(), n as u64);
         }
         self.tid.store(tid::version(commit_tid), Ordering::Release);
-        tr.write(std::ptr::from_ref(self) as u64, 8);
+        tr.write(self.addr(), 8);
     }
 
     /// Mark the record absent (logical delete) and release the lock.
@@ -133,7 +152,7 @@ mod tests {
 
     #[test]
     fn stable_read_returns_data_and_tid() {
-        let r = Record::new(1, vec![7; 16]);
+        let r = Record::new(1, vec![7; 16], 0x1000);
         let mut buf = Vec::new();
         let t = r.stable_read(&mut NullTracer, &mut buf);
         assert_eq!(buf, vec![7; 16]);
@@ -143,7 +162,7 @@ mod tests {
 
     #[test]
     fn lock_install_bumps_version() {
-        let r = Record::new(1, vec![0; 8]);
+        let r = Record::new(1, vec![0; 8], 0x2000);
         let before = r.tid();
         r.lock();
         assert!(!r.try_lock(), "double lock fails");
@@ -158,7 +177,7 @@ mod tests {
 
     #[test]
     fn unlock_preserves_version() {
-        let r = Record::new(2, vec![0; 4]);
+        let r = Record::new(2, vec![0; 4], 0x3000);
         let before = r.tid();
         r.lock();
         r.unlock();
@@ -167,7 +186,7 @@ mod tests {
 
     #[test]
     fn absent_flag() {
-        let r = Record::new(1, vec![1]);
+        let r = Record::new(1, vec![1], 0x4000);
         r.lock();
         r.mark_absent(tid::next_commit_tid(r.tid(), 0, 1));
         assert!(r.is_absent());

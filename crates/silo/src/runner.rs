@@ -1,9 +1,11 @@
 //! Multi-threaded wall-clock runner for the Silo baseline.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use bionicdb_cpu_model::NullTracer;
+use bionicdb_fpga::obs::LatencyHistogram;
 
 use crate::db::SiloDb;
 use crate::txn::Txn;
@@ -17,6 +19,11 @@ pub struct RunStats {
     pub aborted: u64,
     /// Wall-clock seconds.
     pub secs: f64,
+    /// Per-transaction wall latency in nanoseconds (body + commit, both
+    /// outcomes). Per-thread histograms are merged exactly, so the
+    /// percentiles equal those of one histogram recording every
+    /// transaction.
+    pub latency: LatencyHistogram,
 }
 
 impl RunStats {
@@ -28,6 +35,21 @@ impl RunStats {
             self.committed as f64 / self.secs
         }
     }
+
+    /// Median per-transaction latency, nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.latency.p50()
+    }
+
+    /// 95th-percentile per-transaction latency, nanoseconds.
+    pub fn p95_ns(&self) -> f64 {
+        self.latency.p95()
+    }
+
+    /// 99th-percentile per-transaction latency, nanoseconds.
+    pub fn p99_ns(&self) -> f64 {
+        self.latency.p99()
+    }
 }
 
 /// Epoch advance period, in commits per thread (plays Silo's epoch thread).
@@ -38,36 +60,43 @@ const EPOCH_PERIOD: u64 = 4096;
 /// `body` receives `(thread_id, txn_index, &mut Txn, &mut NullTracer)` and
 /// populates the transaction's operations; the runner commits it and counts
 /// the outcome. Aborted transactions are not retried (the benchmark
-/// workloads have negligible contention, like the paper's).
+/// workloads have negligible contention, like the paper's). Every
+/// transaction's wall latency lands in [`RunStats::latency`].
 pub fn run_parallel<F>(db: &SiloDb, threads: usize, txns_per_thread: u64, body: F) -> RunStats
 where
     F: Fn(usize, u64, &mut Txn<'_>, &mut NullTracer) + Sync,
 {
     let committed = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
+    let latency = Mutex::new(LatencyHistogram::new());
     let start = Instant::now();
     std::thread::scope(|scope| {
         for tid in 0..threads {
             let body = &body;
             let committed = &committed;
             let aborted = &aborted;
+            let latency = &latency;
             scope.spawn(move || {
                 let mut tracer = NullTracer;
                 let mut ok = 0u64;
                 let mut bad = 0u64;
+                let mut lat = LatencyHistogram::new();
                 for i in 0..txns_per_thread {
+                    let t0 = Instant::now();
                     let mut txn = db.txn();
                     body(tid, i, &mut txn, &mut tracer);
                     match txn.commit(&mut tracer) {
                         Ok(_) => ok += 1,
                         Err(_) => bad += 1,
                     }
+                    lat.record(t0.elapsed().as_nanos() as u64);
                     if ok.is_multiple_of(EPOCH_PERIOD) && tid == 0 {
                         db.advance_epoch();
                     }
                 }
                 committed.fetch_add(ok, Ordering::Relaxed);
                 aborted.fetch_add(bad, Ordering::Relaxed);
+                latency.lock().expect("latency histogram").merge(&lat);
             });
         }
     });
@@ -75,6 +104,7 @@ where
         committed: committed.load(Ordering::Relaxed),
         aborted: aborted.load(Ordering::Relaxed),
         secs: start.elapsed().as_secs_f64(),
+        latency: latency.into_inner().expect("latency histogram"),
     }
 }
 
@@ -101,6 +131,11 @@ mod tests {
         assert_eq!(stats.committed, 4000);
         assert_eq!(stats.aborted, 0);
         assert!(stats.throughput() > 0.0);
+        // Every transaction was timed, and the percentiles are ordered.
+        assert_eq!(stats.latency.count(), 4000);
+        assert!(stats.p50_ns() > 0.0);
+        assert!(stats.p50_ns() <= stats.p95_ns());
+        assert!(stats.p95_ns() <= stats.p99_ns());
     }
 
     #[test]
@@ -126,5 +161,6 @@ mod tests {
         let v = u64::from_le_bytes(buf.try_into().unwrap());
         assert_eq!(v, stats.committed, "counter equals commit count");
         assert_eq!(stats.committed + stats.aborted, 8000);
+        assert_eq!(stats.latency.count(), 8000, "aborts are timed too");
     }
 }

@@ -28,7 +28,7 @@ fn payload(v: u8) -> Vec<u8> {
 }
 
 fn rec(v: u8) -> Arc<Record> {
-    Record::new(1, payload(v))
+    Record::new(1, payload(v), 0x1_0000 + (v as u64) * 128)
 }
 
 fn read_tag(r: &Arc<Record>) -> u8 {

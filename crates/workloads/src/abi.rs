@@ -393,7 +393,7 @@ impl SiloWorkload for YcsbSiloRead<'_> {
     }
 
     fn run(&self, model: &mut CoreModel, rng: &mut SmallRng, _i: usize) -> bool {
-        self.0.run_read_txn(model, rng)
+        self.0.run_read_txn(model, rng, None)
     }
 }
 
@@ -411,7 +411,7 @@ impl SiloWorkload for YcsbSiloScan<'_> {
     }
 
     fn run(&self, model: &mut CoreModel, rng: &mut SmallRng, _i: usize) -> bool {
-        self.sys.run_scan_txn(model, rng, self.index)
+        self.sys.run_scan_txn(model, rng, self.index, None)
     }
 }
 
@@ -431,9 +431,9 @@ impl SiloWorkload for TpccSiloMix<'_> {
 
     fn run(&self, model: &mut CoreModel, rng: &mut SmallRng, i: usize) -> bool {
         if self.mix.neworder_at(i) {
-            self.sys.run_neworder(model, rng)
+            self.sys.run_neworder(model, rng, None)
         } else {
-            self.sys.run_payment(model, rng)
+            self.sys.run_payment(model, rng, None)
         }
     }
 }

@@ -40,6 +40,7 @@
 #![deny(unsafe_code)]
 
 pub mod abi;
+pub mod serve;
 pub mod smallbank;
 pub mod spec;
 pub mod tpcc;
@@ -47,6 +48,7 @@ pub mod ycsb;
 pub mod zipf;
 
 pub use abi::{SiloWorkload, StdWorkload, Workload};
+pub use serve::{ServeKind, ServeMix};
 pub use smallbank::{SmallBankSpec, SbOp};
 pub use spec::{KvSpec, TpccSpec, YcsbSpec};
 pub use tpcc::TpccMix;

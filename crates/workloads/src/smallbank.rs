@@ -665,10 +665,14 @@ impl SmallBankSilo {
         tr: &mut T,
         rng: &mut SmallRng,
         i: usize,
+        cancel: Option<&bionicdb_silo::CancelToken>,
     ) -> bool {
         use silo_tables::{CHECKING, SAVINGS};
         let src = self.draw_account(rng);
         let mut txn = self.db.txn();
+        if let Some(c) = cancel {
+            txn.set_cancel(c.clone());
+        }
         match SbOp::at(i) {
             SbOp::Balance => {
                 let mut buf = Vec::new();
@@ -748,7 +752,7 @@ impl SiloWorkload for SmallBankSilo {
     }
 
     fn run(&self, model: &mut bionicdb_cpu_model::CoreModel, rng: &mut SmallRng, i: usize) -> bool {
-        self.run_txn(model, rng, i)
+        self.run_txn(model, rng, i, None)
     }
 }
 
@@ -864,7 +868,7 @@ mod tests {
         let mut model = bionicdb_cpu_model::CoreModel::new(bionicdb_cpu_model::CpuConfig::default());
         let mut rng = SmallRng::seed_from_u64(29);
         for i in 0..12 {
-            assert!(silo.run_txn(&mut model, &mut rng, i), "txn {i} committed");
+            assert!(silo.run_txn(&mut model, &mut rng, i, None), "txn {i} committed");
         }
         // Single-threaded: the books must balance exactly. Sum via reads.
         let mut total = 0u64;
@@ -887,7 +891,7 @@ mod tests {
             // Re-run against a fresh db purely to consume the RNG the same
             // way; track deltas by op kind.
             let before = rng.clone();
-            assert!(probe.run_txn(&mut model2, &mut rng, i));
+            assert!(probe.run_txn(&mut model2, &mut rng, i, None));
             let mut r = before;
             let _src = probe.draw_account(&mut r);
             match SbOp::at(i) {

@@ -29,8 +29,17 @@ cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --quick --
 echo "== workloadcheck (driver bit-identity vs pre-refactor goldens + SmallBank ABI smoke) =="
 cargo run --release --locked -p bionicdb-bench --bin workloadcheck
 
+echo "== servecheck (virtual-time serving engine vs committed goldens, byte-for-byte) =="
+cargo run --release --locked -p bionicdb-bench --bin servecheck
+
+echo "== saturate (graceful-degradation claim: controlled >= 85% of peak at 2x, baseline < 50%) =="
+cargo run --release --locked -p bionicdb-bench --bin saturate -- --quick --json BENCH_serve.json
+
 echo "== benchdiff (full par study -> append results/bench_history.jsonl, gate vs baseline) =="
 cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --out BENCH_parsim.json
 cargo run --release --locked -p bionicdb-bench --bin benchdiff
+
+echo "== dashboard (static HTML from the bench history) =="
+cargo run --release --locked -p bionicdb-bench --bin dashboard
 
 echo "All checks passed."
