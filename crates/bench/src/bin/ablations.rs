@@ -21,7 +21,7 @@ use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec::shared("ablations"));
     let wave = args.wave(60, 200);
     let mut json = JsonOut::from_env("ablations");
 

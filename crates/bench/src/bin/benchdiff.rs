@@ -11,10 +11,16 @@
 //! Usage: `benchdiff [--history PATH] [--tolerance F]`
 
 use bionicdb_bench::history;
-use bionicdb_bench::BenchArgs;
+use bionicdb_bench::{ArgSpec, BenchArgs};
+
+const SPEC: ArgSpec = ArgSpec {
+    bin: "benchdiff",
+    flags: &[],
+    options: &["--history", "--tolerance"],
+};
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&SPEC);
     let path = args
         .value("--history")
         .unwrap_or(history::DEFAULT_PATH)
@@ -29,7 +35,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let entries = history::parse(&text);
+    let parsed = history::parse_salvage(&text);
+    if let Some(tail) = &parsed.torn_tail {
+        eprintln!(
+            "benchdiff: warning: {path} ends in a torn append, skipping trailing line {tail:?}"
+        );
+    }
+    let entries = parsed.entries;
     if entries.is_empty() {
         eprintln!("benchdiff: no parseable entries in {path}");
         std::process::exit(2);

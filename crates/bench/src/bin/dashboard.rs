@@ -12,11 +12,17 @@
 //! Usage: `dashboard [--history PATH] [--out PATH]`
 
 use bionicdb_bench::history;
-use bionicdb_bench::BenchArgs;
+use bionicdb_bench::{ArgSpec, BenchArgs};
 use bionicdb_fpga::obs::json_escape;
 
+const SPEC: ArgSpec = ArgSpec {
+    bin: "dashboard",
+    flags: &[],
+    options: &["--history", "--out"],
+};
+
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&SPEC);
     let history_path = args
         .value("--history")
         .unwrap_or(history::DEFAULT_PATH)
@@ -31,7 +37,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let entries = history::parse(&text);
+    let parsed = history::parse_salvage(&text);
+    if let Some(tail) = &parsed.torn_tail {
+        eprintln!(
+            "dashboard: warning: {history_path} ends in a torn append, \
+             skipping trailing line {tail:?}"
+        );
+    }
+    let entries = parsed.entries;
     if entries.is_empty() {
         eprintln!("dashboard: no parseable entries in {history_path}");
         std::process::exit(2);

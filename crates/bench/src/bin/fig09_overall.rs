@@ -14,7 +14,7 @@ use bionicdb_workloads::tpcc::TpccSilo;
 use bionicdb_workloads::ycsb::{YcsbKind, YcsbSilo};
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec::shared("fig09_overall"));
     let mut json = JsonOut::from_env("fig09_overall");
     let (wave, silo_txns) = if args.quick() {
         (120, 400)

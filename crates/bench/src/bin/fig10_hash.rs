@@ -19,7 +19,7 @@ use bionicdb_workloads::ycsb::YcsbKind;
 const INFLIGHT: [usize; 7] = [1, 4, 8, 12, 16, 20, 24];
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec::shared("fig10_hash"));
     let wave = args.wave(60, 200);
     let mut json = JsonOut::from_env("fig10_hash");
 

@@ -28,7 +28,11 @@ fn build(scanners: usize) -> YcsbBionic {
 }
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec {
+        bin: "fig11_skiplist",
+        flags: &[],
+        options: &["--scanners"],
+    });
     let wave = args.wave(40, 150);
     let scanners: usize = args.parsed("--scanners", 1);
     let mut json = JsonOut::from_env("fig11_skiplist");

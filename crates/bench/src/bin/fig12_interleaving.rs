@@ -29,7 +29,7 @@ fn build_with_footprint(ops: usize, mode: ExecMode) -> YcsbBionic {
 }
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec::shared("fig12_interleaving"));
     let wave = args.wave(150, 400);
     let mut json = JsonOut::from_env("fig12_interleaving");
 

@@ -29,7 +29,7 @@ fn build(remote_fraction: f64, topology: Topology) -> YcsbBionic {
 }
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec::shared("fig13_multisite"));
     let wave = args.wave(150, 400);
     let mut json = JsonOut::from_env("fig13_multisite");
 

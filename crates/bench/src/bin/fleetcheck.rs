@@ -1,0 +1,151 @@
+//! Byte-identity gate for the fleet engine (`scripts/check.sh`).
+//!
+//! The multi-process epoch engine's asserted contract is that splitting a
+//! machine across chip processes changes *nothing* observable: for a
+//! fixed-seed run, the full [`bionicdb::report::MachineReport`] JSON must
+//! be byte-for-byte identical to the in-process engine's. This bin runs
+//! two workloads (multisite YCSB-C and SmallBank) on 4 workers three ways
+//! each — in-process epoch-parallel, a 2-chip fleet over shared-memory
+//! rings, and a 2-chip fleet over the socket fallback transport — and
+//! diffs the dumps.
+//!
+//! The fleet forks, so this bin stays single-threaded around every fleet
+//! build/run (no `par_map`); the in-process runs' scoped threads are
+//! joined before any fork happens.
+
+use bionicdb::{BionicConfig, ExecMode};
+use bionicdb_bench::{drive, ArgSpec, BenchArgs};
+use bionicdb_workloads::abi::YcsbWorkload;
+use bionicdb_workloads::smallbank::{SmallBankBionic, SmallBankWorkload};
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
+use bionicdb_workloads::{SmallBankSpec, YcsbSpec};
+
+const WORKERS: usize = 4;
+const CHIPS: usize = 2;
+const WAVE: usize = 24;
+
+/// How one run executes the epoch engine.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    /// In-process, 2 epoch-parallel lanes per thread group.
+    InProcess,
+    /// 2 chip processes over shared-memory rings.
+    FleetShm,
+    /// 2 chip processes over the Unix-socket fallback transport.
+    FleetSocket,
+}
+
+impl Engine {
+    fn label(self) -> &'static str {
+        match self {
+            Engine::InProcess => "in-process",
+            Engine::FleetShm => "fleet/shm",
+            Engine::FleetSocket => "fleet/socket",
+        }
+    }
+
+    /// Arm a freshly built machine for this engine. The transport choice
+    /// rides on `BIONICDB_FLEET_TRANSPORT`, read at spawn time.
+    fn arm(self, m: &mut bionicdb::Machine) {
+        match self {
+            Engine::InProcess => {
+                std::env::remove_var("BIONICDB_FLEET_TRANSPORT");
+                m.set_sim_threads(2);
+            }
+            Engine::FleetShm => {
+                std::env::set_var("BIONICDB_FLEET_TRANSPORT", "shm");
+                m.set_fleet_chips(CHIPS);
+            }
+            Engine::FleetSocket => {
+                std::env::set_var("BIONICDB_FLEET_TRANSPORT", "socket");
+                m.set_fleet_chips(CHIPS);
+            }
+        }
+    }
+}
+
+/// One fixed-seed multisite YCSB-C run; returns the full report JSON.
+fn ycsb_report(engine: Engine) -> String {
+    let cfg = BionicConfig {
+        mode: ExecMode::Interleaved,
+        ..BionicConfig::small(WORKERS)
+    };
+    let spec = YcsbSpec {
+        records_per_partition: 1_024,
+        payload_len: 64,
+        remote_fraction: 0.5,
+        ..YcsbSpec::default()
+    };
+    let mut y = YcsbBionic::build(cfg, spec, 8);
+    engine.arm(&mut y.machine);
+    drive(
+        &mut YcsbWorkload {
+            sys: &mut y,
+            kind: YcsbKind::ReadHomed,
+        },
+        WAVE,
+    );
+    y.machine.report().to_json()
+}
+
+/// One fixed-seed SmallBank run; returns the full report JSON.
+fn smallbank_report(engine: Engine) -> String {
+    let cfg = BionicConfig {
+        mode: ExecMode::Interleaved,
+        max_batch: 2,
+        ..BionicConfig::small(WORKERS)
+    };
+    let spec = SmallBankSpec {
+        accounts_per_partition: 256,
+        ..SmallBankSpec::tiny()
+    };
+    let mut sb = SmallBankBionic::build(cfg, spec);
+    engine.arm(&mut sb.machine);
+    drive(&mut SmallBankWorkload { sys: &mut sb }, WAVE);
+    sb.machine.report().to_json()
+}
+
+/// Point at the first differing byte with a little context, then die.
+fn diff_or_die(workload: &str, reference: &str, engine: Engine, got: &str) {
+    if reference == got {
+        println!(
+            "fleetcheck: {workload:<10} {:<12} matches in-process byte-for-byte ({} B)",
+            engine.label(),
+            got.len()
+        );
+        return;
+    }
+    let at = reference
+        .bytes()
+        .zip(got.bytes())
+        .position(|(a, b)| a != b)
+        .unwrap_or(reference.len().min(got.len()));
+    let ctx = |s: &str| {
+        let lo = at.saturating_sub(40);
+        let hi = (at + 40).min(s.len());
+        s[lo..hi].to_string()
+    };
+    eprintln!(
+        "fleetcheck: FAIL: {workload} report diverges on {} at byte {at}\n  in-process: …{}…\n  {:>10}: …{}…",
+        engine.label(),
+        ctx(reference),
+        engine.label(),
+        ctx(got)
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let _ = BenchArgs::from_env(&ArgSpec::shared("fleetcheck"));
+
+    type Workload = (&'static str, fn(Engine) -> String);
+    let runs: [Workload; 2] = [("ycsb", ycsb_report), ("smallbank", smallbank_report)];
+    for (name, run) in runs {
+        let reference = run(Engine::InProcess);
+        for engine in [Engine::FleetShm, Engine::FleetSocket] {
+            let got = run(engine);
+            diff_or_die(name, &reference, engine, &got);
+        }
+    }
+    println!("fleetcheck: all engines byte-identical");
+}

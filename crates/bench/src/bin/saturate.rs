@@ -30,8 +30,14 @@ use bionicdb_bench::history::{self, Entry};
 use bionicdb_bench::serve::sim::{probe_service_ns, simulate};
 use bionicdb_bench::serve::wall::{probe_wall_service_ns, serve_wall};
 use bionicdb_bench::serve::{ArrivalProcess, ServeConfig, ServeSummary};
-use bionicdb_bench::{json::JsonOut, print_table, BenchArgs};
+use bionicdb_bench::{json::JsonOut, print_table, ArgSpec, BenchArgs};
 use bionicdb_workloads::{ServeKind, ServeMix};
+
+const SPEC: ArgSpec = ArgSpec {
+    bin: "saturate",
+    flags: &["--wall"],
+    options: &["--servers", "--kind", "--history"],
+};
 
 /// One sweep point's results, kept for the degradation verdict.
 struct Point {
@@ -42,7 +48,7 @@ struct Point {
 }
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&SPEC);
     let quick = args.quick();
     let wall = args.flag("--wall");
     let servers: usize = args.parsed("--servers", 4);

@@ -6,12 +6,28 @@
 //! YCSB-C with a remote-fraction sweep shows where inter-node latency
 //! starts to bite — the quantitative answer to the paper's "possible
 //! future direction" of scaling out.
+//!
+//! `--chips N` switches to the *fleet* study: a 64–256-worker sweep where
+//! each simulated machine is split across N chip processes (the
+//! multi-process epoch engine, `Machine::set_fleet_chips`). Results go to
+//! `BENCH_scaleout.json` (override with `--out`), and full (non-`--quick`)
+//! runs append one row per sweep point to `results/bench_history.jsonl`
+//! so `benchdiff` tracks the scaling curve over time.
+
+use std::time::Instant;
 
 use bionicdb::{BionicConfig, ExecMode, Topology};
+use bionicdb_bench::history::{self, Entry};
 use bionicdb_bench::json::JsonOut;
 use bionicdb_bench::*;
 use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
+
+const SPEC: ArgSpec = ArgSpec {
+    bin: "scaleout",
+    flags: &[],
+    options: &["--chips", "--out", "--history"],
+};
 
 fn build(topology: Topology, remote_fraction: f64) -> YcsbBionic {
     let cfg = BionicConfig {
@@ -30,8 +46,113 @@ fn build(topology: Topology, remote_fraction: f64) -> YcsbBionic {
     y
 }
 
+/// Build one fleet sweep point: `workers` partitions split across `chips`
+/// simulated chips. The per-partition scale is shrunk far below the
+/// paper-figure spec (2 K records, 64 B payloads) so a 256-worker machine
+/// stays in the hundreds of megabytes, not the paper's tens of gigabytes.
+fn build_fleet(workers: usize, chips: usize) -> YcsbBionic {
+    assert!(
+        workers.is_multiple_of(chips),
+        "worker count {workers} must divide evenly over {chips} chips"
+    );
+    let cfg = BionicConfig {
+        workers,
+        topology: Topology::MultiChip {
+            workers_per_node: workers / chips,
+            inter_node_hops: 25,
+        },
+        mode: ExecMode::Interleaved,
+        // 4 MB per worker (vs the paper-figure 192 MB): 2 K records at
+        // 64 B need well under 1 MB of heap, and the sweep's short waves
+        // need only a few KB of block arena. The DRAM span leaves slack
+        // beyond workers × 4 MB for the builder's index carves.
+        dram_bytes: 2 << 30,
+        block_arena_bytes: 2 << 20,
+        partition_bytes: 2 << 20,
+        ..BionicConfig::default()
+    };
+    let spec = YcsbSpec {
+        records_per_partition: 2_048,
+        payload_len: 64,
+        remote_fraction: 0.25,
+        ..YcsbSpec::default()
+    };
+    let mut y = YcsbBionic::build(cfg, spec, 60);
+    y.machine.set_fleet_chips(chips);
+    y
+}
+
+/// The `--chips N` fleet study: 64/128/256 workers across N chip
+/// processes, one machine per point, wall-clock and simulated-throughput
+/// rows to `out_path`, history rows (full runs only) for `benchdiff`.
+fn run_fleet_study(args: &BenchArgs, chips: usize) {
+    let wave = args.wave(4, 12);
+    let out_path = args.value("--out").unwrap_or("BENCH_scaleout.json").to_string();
+    let history_path = args
+        .value("--history")
+        .unwrap_or(history::DEFAULT_PATH)
+        .to_string();
+    let quick = args.quick();
+
+    let mut json = format!("{{\n  \"bin\": \"scaleout-fleet\",\n  \"chips\": {chips},\n");
+    let mut table = Vec::new();
+    let mut points = Vec::new();
+    for workers in [64usize, 128, 256] {
+        let mut y = build_fleet(workers, chips);
+        let wall = Instant::now();
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave);
+        let wall_secs = wall.elapsed().as_secs_f64();
+        let cycles = y.machine.now();
+        let cps = cycles as f64 / wall_secs;
+        json.push_str(&format!(
+            "  \"{workers}w\": {{ \"workers\": {workers}, \"chips\": {chips}, \
+             \"committed\": {}, \"aborted\": {}, \"tput_per_sec\": {:.0}, \
+             \"wall_secs\": {wall_secs:.6}, \"cycles\": {cycles}, \
+             \"cycles_per_sec\": {cps:.0}, \"epoch_rounds\": {} }},\n",
+            t.committed,
+            t.aborted,
+            t.per_sec,
+            y.machine.epoch_rounds()
+        ));
+        table.push(vec![
+            format!("{workers} x {chips} chips"),
+            format!("{:.1}", t.per_sec / 1e3),
+            format!("{:.2}", wall_secs),
+            format!("{:.0}", cps),
+        ]);
+        points.push((workers, cps, cycles));
+    }
+    json.push_str(&format!("  \"wave\": {wave}\n}}\n"));
+    std::fs::write(&out_path, json).expect("write BENCH_scaleout.json");
+    println!("wrote {out_path}");
+    print_table(
+        &format!("Fleet scale-out: YCSB-C across {chips} chip processes"),
+        &["deployment", "kTps (sim)", "wall s", "sim cycles/s"],
+        &table,
+    );
+
+    // Full runs feed the regression history `benchdiff` gates on; quick
+    // waves are too small to be comparable and stay out of it (same rule
+    // as `simperf`).
+    if !quick {
+        let now = history::now_unix();
+        for (workers, cps, cycles) in points {
+            let mut e = Entry::basic(&format!("scaleout-fleet-{workers}w{chips}c"), cps, now);
+            e.committed_cycles = Some(cycles);
+            history::append(history_path.as_ref(), &e).expect("append bench history");
+        }
+        println!("appended 3 entries to {history_path}");
+    }
+}
+
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&SPEC);
+    if let Some(chips) = args.value("--chips") {
+        let chips: usize = chips.parse().expect("--chips takes a chip count");
+        assert!(chips > 1, "--chips needs at least 2 chips");
+        run_fleet_study(&args, chips);
+        return;
+    }
     let wave = args.wave(100, 300);
 
     let topologies: [(&str, Topology); 4] = [

@@ -18,7 +18,7 @@
 
 use bionicdb_bench::serve::sim::{probe_service_ns, simulate};
 use bionicdb_bench::serve::{ArrivalProcess, RetryMode, ServeConfig, ShedPolicy};
-use bionicdb_bench::BenchArgs;
+use bionicdb_bench::{ArgSpec, BenchArgs};
 use bionicdb_workloads::{ServeKind, ServeMix};
 
 /// Where the golden rows live, relative to the bench crate.
@@ -109,7 +109,11 @@ fn golden_rows() -> Vec<String> {
 }
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec {
+        bin: "servecheck",
+        flags: &["--capture"],
+        options: &[],
+    });
     let capture = args.flag("--capture");
 
     let rows = golden_rows();

@@ -32,7 +32,7 @@ use std::time::Instant;
 use bionicdb::{BionicConfig, ExecMode, LaneActivity, LookaheadMode, Topology};
 use bionicdb_bench::history::{self, Entry};
 use bionicdb_bench::json::JsonOut;
-use bionicdb_bench::{rng, BenchArgs};
+use bionicdb_bench::{rng, ArgSpec, BenchArgs};
 use bionicdb_workloads::ycsb::{BlockPool, YcsbBionic, YcsbKind};
 use bionicdb_workloads::YcsbSpec;
 
@@ -461,7 +461,11 @@ fn run_par_study(quick: bool, out_path: &str, history_path: &str) {
 }
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec {
+        bin: "simperf",
+        flags: &["--par"],
+        options: &["--out", "--history"],
+    });
     let quick = args.quick();
     let par = args.flag("--par");
     let out_path = args

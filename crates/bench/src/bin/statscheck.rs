@@ -18,7 +18,7 @@
 
 use bionicdb::ExecMode;
 use bionicdb_bench::json::{render_machine_row, validate, JsonOut};
-use bionicdb_bench::{bionic_ycsb_tput, build_ycsb, BenchArgs};
+use bionicdb_bench::{bionic_ycsb_tput, build_ycsb, ArgSpec, BenchArgs};
 use bionicdb_fpga::ChromeTraceSink;
 use bionicdb_workloads::ycsb::YcsbKind;
 
@@ -40,6 +40,8 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
+    let args = BenchArgs::from_env(&ArgSpec::shared("statscheck"));
+
     // 1. Determinism: identical fixed-seed runs → byte-identical dumps.
     let (row_a, trace_a) = run_once(true);
     let (row_b, trace_b) = run_once(true);
@@ -103,10 +105,7 @@ fn main() {
     // 4. Round-trip through the file when --json was given.
     json.write();
     if active {
-        let path = BenchArgs::from_env()
-            .json_path()
-            .expect("--json path")
-            .to_string();
+        let path = args.json_path().expect("--json path").to_string();
         let readback = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read back {path}: {e}")));
         if readback != doc {

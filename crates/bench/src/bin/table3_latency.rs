@@ -90,6 +90,9 @@ fn measure_onchip_pair(fpga: &FpgaConfig) -> OnchipPair {
 }
 
 fn main() {
+    let _ = bionicdb_bench::BenchArgs::from_env(&bionicdb_bench::ArgSpec::shared(
+        "table3_latency",
+    ));
     let fpga = FpgaConfig::default();
     let cpu = CpuConfig::default();
     let mut json = JsonOut::from_env("table3_latency");

@@ -114,7 +114,11 @@ fn smallbank_smoke() {
 }
 
 fn main() {
-    let args = BenchArgs::from_env();
+    let args = BenchArgs::from_env(&ArgSpec {
+        bin: "workloadcheck",
+        flags: &["--capture"],
+        options: &[],
+    });
     let capture = args.flag("--capture");
     let rows = golden_rows();
     let doc: String = rows.join("\n") + "\n";

@@ -374,6 +374,34 @@ pub fn run_crash(
     torn: bool,
     seed: u64,
 ) -> ChaosReport {
+    run_crash_inner(workload, frac_permille, torn, seed, 1)
+}
+
+/// Like [`run_crash`], but the crash run executes on the *fleet* engine
+/// (`fleet_chips` chip processes over shared-memory rings), so the power
+/// loss lands inside a fleet barrier round. The clean twin stays on the
+/// in-process engine: every cross-run assertion (commit subset, salvaged
+/// prefix, recovered image) then doubles as a bit-identity check across
+/// the process boundary, and recovery itself replays on ordinary serial
+/// machines — a crashed fleet leaves nothing behind that recovery needs.
+pub fn run_fleet_crash(
+    workload: ChaosWorkload,
+    frac_permille: u64,
+    torn: bool,
+    seed: u64,
+    fleet_chips: usize,
+) -> ChaosReport {
+    assert!(fleet_chips > 1, "a fleet needs at least two chips");
+    run_crash_inner(workload, frac_permille, torn, seed, fleet_chips)
+}
+
+fn run_crash_inner(
+    workload: ChaosWorkload,
+    frac_permille: u64,
+    torn: bool,
+    seed: u64,
+    fleet_chips: usize,
+) -> ChaosReport {
     let frac = frac_permille.min(999);
 
     // 1. Clean twin: learn t_end and the full committed log (the oracle).
@@ -392,6 +420,9 @@ pub fn run_crash(
     // (tearing the tail append when asked) plus the load-time checkpoint.
     let crash_cycle = (t_end * frac / 1000).max(1);
     let mut crashed = Sys::build(workload, None);
+    if fleet_chips > 1 {
+        crashed.machine().set_fleet_chips(fleet_chips);
+    }
     let ckpt_bytes = Checkpoint::dump(crashed.machine()).to_bytes();
     let truth: Rc<RefCell<Option<CommandLog>>> = Rc::new(RefCell::new(None));
     {
@@ -427,6 +458,15 @@ pub fn run_crash(
     assert_eq!(resub, blocks, "identical build generates an identical batch");
     drive_to_completion(&mut crashed, &blocks);
     assert!(crashed.machine().is_crashed(), "the crash fired");
+    if fleet_chips > 1 {
+        // The fleet engine ran at least one coordinator/chip exchange
+        // before the power loss — the crash really did land inside a
+        // barrier round, not before the fleet ever engaged.
+        assert!(
+            crashed.machine().epoch_rounds() > 0,
+            "crash landed inside a fleet barrier round"
+        );
+    }
     let image = crashed
         .machine()
         .take_crash_image()

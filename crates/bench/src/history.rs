@@ -98,6 +98,12 @@ pub fn append(path: &Path, entry: &Entry) -> std::io::Result<()> {
 /// Parse one history line; `None` for blanks or lines that do not carry
 /// all three fields (forward compatibility: unknown lines are skipped,
 /// not fatal).
+///
+/// A line only counts when it is *complete* — it must end with the `}`
+/// that [`Entry::render`] always emits last. The field scan below is
+/// substring-based, so without this check a line torn mid-append (power
+/// loss under `append`'s single write) could still yield every key and
+/// parse into an entry with a silently truncated final number.
 pub fn parse_line(line: &str) -> Option<Entry> {
     fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
         let start = line.find(key)? + key.len();
@@ -106,7 +112,7 @@ pub fn parse_line(line: &str) -> Option<Entry> {
         Some(rest[..end].trim())
     }
     let line = line.trim();
-    if line.is_empty() {
+    if line.is_empty() || !line.ends_with('}') {
         return None;
     }
     let bench = field(line, "\"bench\":\"")?;
@@ -127,6 +133,40 @@ pub fn parse_line(line: &str) -> Option<Entry> {
 /// Parse a whole history file's text, skipping unparseable lines.
 pub fn parse(text: &str) -> Vec<Entry> {
     text.lines().filter_map(parse_line).collect()
+}
+
+/// A parsed history file: the salvageable entries plus the torn trailing
+/// line, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parsed {
+    /// Every complete, recognizable entry, in file order.
+    pub entries: Vec<Entry>,
+    /// The incomplete trailing line, when the file ends mid-append — a
+    /// crash or power loss cut `append`'s single `line\n` write short.
+    /// `None` when the file ends cleanly.
+    pub torn_tail: Option<String>,
+}
+
+/// Parse a history file that may end in a torn append: all complete
+/// entries are salvaged and the torn trailing line (a final line with no
+/// terminating newline, cut before its closing `}`) is reported so
+/// callers can warn instead of silently reading a shortened history.
+/// Complete lines that merely fail to parse stay silently skipped, as in
+/// [`parse`] (forward compatibility) — only the tail can be torn,
+/// because every append is one atomic `line\n` write.
+pub fn parse_salvage(text: &str) -> Parsed {
+    let tail = if text.ends_with('\n') {
+        None
+    } else {
+        text.lines().last()
+    };
+    Parsed {
+        entries: parse(text),
+        torn_tail: tail
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.ends_with('}'))
+            .map(str::to_string),
+    }
 }
 
 /// The comparison `benchdiff` prints for one bench key.
@@ -306,6 +346,57 @@ mod tests {
         // Keys without p99 never p99-regress.
         let entries = vec![entry("s", 100.0, 1), entry("s", 100.0, 2)];
         assert!(!check(&entries, DEFAULT_TOLERANCE)[0].p99_regressed);
+    }
+
+    #[test]
+    fn truncating_the_tail_at_every_byte_offset_salvages_the_prefix() {
+        // Two full-schema rows; the second gets torn at every possible
+        // byte offset. At no offset may the torn tail mis-parse into an
+        // entry (the substring field scan would otherwise accept a line
+        // cut mid-number and report a truncated metric), and the intact
+        // first row must always survive.
+        let mut e1 = entry("parsim-matrix", 123456.789, 1_754_000_000);
+        e1.p99_ns = Some(1234.5);
+        e1.committed_cycles = Some(111_222);
+        let mut e2 = entry("serve-smallbank", 98765.432, 1_754_000_100);
+        e2.p99_ns = Some(6789.1);
+        e2.committed_cycles = Some(999_888);
+        let full = format!("{}\n{}\n", e1.render(), e2.render());
+        let keep = e1.render().len() + 1;
+        let last = e2.render();
+
+        for cut in 0..last.len() {
+            let text = &full[..keep + cut];
+            let p = parse_salvage(text);
+            assert_eq!(
+                p.entries.len(),
+                1,
+                "cut at byte {cut} of {:?} must not mis-parse: {:?}",
+                &last[..cut],
+                p.entries
+            );
+            assert_eq!(p.entries[0], e1, "first row survives a cut at {cut}");
+            if cut == 0 {
+                // Clean EOF right after the first row: nothing torn.
+                assert_eq!(p.torn_tail, None);
+            } else {
+                assert_eq!(
+                    p.torn_tail.as_deref(),
+                    Some(&last[..cut]),
+                    "the torn tail is reported verbatim (cut at {cut})"
+                );
+            }
+        }
+
+        // Untruncated file: both rows, no warning.
+        let p = parse_salvage(&full);
+        assert_eq!(p.entries, vec![e1, e2]);
+        assert_eq!(p.torn_tail, None);
+        // A complete-but-unknown trailing line is forward-compatible junk,
+        // not a torn tail — silently skipped, exactly as `parse` does.
+        let p = parse_salvage("{\"bench\":\"a\",\"cycles_per_sec\":10.000,\"unix_secs\":1}\n{\"other\":1}");
+        assert_eq!(p.entries.len(), 1);
+        assert_eq!(p.torn_tail, None);
     }
 
     #[test]

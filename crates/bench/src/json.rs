@@ -28,7 +28,7 @@ impl JsonOut {
     pub fn from_env(bin: &str) -> JsonOut {
         JsonOut {
             bin: bin.to_string(),
-            path: crate::BenchArgs::from_env()
+            path: crate::BenchArgs::raw_env()
                 .json_path()
                 .map(str::to_string),
             rows: Vec::new(),

@@ -369,31 +369,125 @@ pub fn build_tpcc_local(workers: usize, mode: ExecMode) -> TpccBionic {
 // Shared command-line handling for the bench bins
 // ---------------------------------------------------------------------------
 
+/// Bare flags every bench bin accepts (the shared vocabulary).
+pub const SHARED_FLAGS: &[&str] = &["--quick"];
+
+/// Valued options every bench bin accepts (the shared vocabulary).
+pub const SHARED_OPTIONS: &[&str] = &["--json", "--sim-threads"];
+
+/// The command-line surface of one bench bin: its bare flags and valued
+/// options *beyond* the shared vocabulary ([`SHARED_FLAGS`],
+/// [`SHARED_OPTIONS`]) that every bin accepts. [`BenchArgs::from_env`]
+/// validates the process arguments against this, so a typo'd flag fails
+/// loudly instead of silently running the bin with defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Binary name, used in the usage message.
+    pub bin: &'static str,
+    /// Bin-specific bare flags (e.g. `"--smoke"`).
+    pub flags: &'static [&'static str],
+    /// Bin-specific valued options (e.g. `"--history"`). Each consumes
+    /// the following argument as its value.
+    pub options: &'static [&'static str],
+}
+
+impl ArgSpec {
+    /// A spec with no bin-specific arguments (shared vocabulary only).
+    pub const fn shared(bin: &'static str) -> ArgSpec {
+        ArgSpec {
+            bin,
+            flags: &[],
+            options: &[],
+        }
+    }
+
+    /// The one-line usage message for this bin.
+    pub fn usage(&self) -> String {
+        use std::fmt::Write as _;
+        let mut u = format!("usage: {}", self.bin);
+        for f in SHARED_FLAGS.iter().chain(self.flags) {
+            let _ = write!(u, " [{f}]");
+        }
+        for o in SHARED_OPTIONS.iter().chain(self.options) {
+            let _ = write!(u, " [{o} <value>]");
+        }
+        u
+    }
+}
+
 /// The command-line arguments every bench bin shares, parsed once.
 ///
 /// All bins accept the same vocabulary: `--quick` (smaller waves for CI),
 /// `--json <path>` (machine-readable dump, see [`json::JsonOut`]),
 /// `--sim-threads <n>` (epoch-parallel lanes for each built machine), plus
-/// bin-specific flags and valued options read through [`BenchArgs::flag`]
-/// and [`BenchArgs::value`]. Environment fallbacks (`BIONICDB_SIM_THREADS`,
-/// `BIONICDB_THREADS`) are folded in here so no bin re-implements the
-/// precedence order.
+/// bin-specific flags and valued options declared in an [`ArgSpec`] and
+/// read through [`BenchArgs::flag`] and [`BenchArgs::value`]. Environment
+/// fallbacks (`BIONICDB_SIM_THREADS`, `BIONICDB_THREADS`) are folded in
+/// here so no bin re-implements the precedence order.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     argv: Vec<String>,
 }
 
 impl BenchArgs {
-    /// Parse the process arguments.
-    pub fn from_env() -> BenchArgs {
-        BenchArgs {
-            argv: std::env::args().skip(1).collect(),
+    /// Parse the process arguments and validate them against `spec`.
+    /// Unknown arguments are fatal: the usage line goes to stderr and the
+    /// process exits with status 2. (They used to be silently ignored — a
+    /// typo'd `--historys` ran the bin with defaults and nobody noticed.)
+    pub fn from_env(spec: &ArgSpec) -> BenchArgs {
+        match Self::try_parse(std::env::args().skip(1).collect(), spec) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
         }
     }
 
-    /// Build from an explicit argument list (tests).
+    /// Validate `argv` against `spec` — the testable core of
+    /// [`BenchArgs::from_env`]. Option tokens consume the following
+    /// argument as their value; anything that is neither a known flag nor
+    /// a known option (shared or bin-specific) is an error.
+    pub fn try_parse(argv: Vec<String>, spec: &ArgSpec) -> Result<BenchArgs, String> {
+        let known_flag = |a: &str| SHARED_FLAGS.contains(&a) || spec.flags.contains(&a);
+        let known_opt = |a: &str| SHARED_OPTIONS.contains(&a) || spec.options.contains(&a);
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if known_flag(a) {
+                continue;
+            }
+            if known_opt(a) {
+                if it.next().is_none() {
+                    return Err(format!(
+                        "{}: option {a} needs a value\n{}",
+                        spec.bin,
+                        spec.usage()
+                    ));
+                }
+                continue;
+            }
+            return Err(format!(
+                "{}: unknown argument {a:?}\n{}",
+                spec.bin,
+                spec.usage()
+            ));
+        }
+        Ok(BenchArgs { argv })
+    }
+
+    /// Build from an explicit argument list without validation (tests).
     pub fn from_vec(argv: Vec<String>) -> BenchArgs {
         BenchArgs { argv }
+    }
+
+    /// The raw process arguments without validation — for crate-internal
+    /// re-parses ([`sim_threads`], [`json::JsonOut::from_env`]) that only
+    /// extract one value after the owning bin has already validated the
+    /// full argument list through [`BenchArgs::from_env`].
+    pub(crate) fn raw_env() -> BenchArgs {
+        BenchArgs {
+            argv: std::env::args().skip(1).collect(),
+        }
     }
 
     /// True when the bare flag `name` (e.g. `"--quick"`) is present.
@@ -466,7 +560,7 @@ impl BenchArgs {
 /// [`BenchArgs::sim_threads`]. Every bench bin that builds a machine
 /// through this crate honours it.
 pub fn sim_threads() -> usize {
-    BenchArgs::from_env().sim_threads()
+    BenchArgs::raw_env().sim_threads()
 }
 
 /// Worker-thread count for [`par_map`]: `BIONICDB_THREADS` if set, else the
@@ -533,4 +627,61 @@ pub fn rng(seed: u64) -> SmallRng {
 /// Draw a uniform value below `n` (helper for ad-hoc harness code).
 pub fn uniform(rng: &mut SmallRng, n: u64) -> u64 {
     rng.gen_range(0..n)
+}
+
+#[cfg(test)]
+mod arg_tests {
+    use super::{ArgSpec, BenchArgs};
+
+    const SPEC: ArgSpec = ArgSpec {
+        bin: "testbin",
+        flags: &["--par"],
+        options: &["--out"],
+    };
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_argument_is_fatal_with_usage() {
+        let err = BenchArgs::try_parse(v(&["--historys", "x"]), &SPEC).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+        assert!(err.contains("--historys"), "{err}");
+        assert!(err.contains("usage: testbin"), "{err}");
+        // The usage line advertises the full vocabulary, shared + specific.
+        for tok in ["--quick", "--json", "--sim-threads", "--par", "--out"] {
+            assert!(err.contains(tok), "usage lists {tok}: {err}");
+        }
+        // A stray positional is just as fatal as a typo'd flag.
+        let err = BenchArgs::try_parse(v(&["results.json"]), &SPEC).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+
+    #[test]
+    fn known_vocabulary_parses_and_reads_back() {
+        let args = BenchArgs::try_parse(
+            v(&["--quick", "--par", "--out", "x.json", "--sim-threads", "3"]),
+            &SPEC,
+        )
+        .expect("all tokens are known");
+        assert!(args.quick());
+        assert!(args.flag("--par"));
+        assert_eq!(args.value("--out"), Some("x.json"));
+        assert_eq!(args.sim_threads(), 3);
+        // A shared-only spec accepts the shared vocabulary and nothing else.
+        let shared = ArgSpec::shared("plainbin");
+        assert!(BenchArgs::try_parse(v(&["--quick"]), &shared).is_ok());
+        assert!(BenchArgs::try_parse(v(&["--par"]), &shared).is_err());
+    }
+
+    #[test]
+    fn option_at_end_without_value_is_rejected() {
+        let err = BenchArgs::try_parse(v(&["--out"]), &SPEC).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        // ...and an option consumes whatever follows, even if it looks
+        // like a flag — documented single-pass semantics.
+        let args = BenchArgs::try_parse(v(&["--out", "--quick"]), &SPEC).unwrap();
+        assert_eq!(args.value("--out"), Some("--quick"));
+    }
 }

@@ -27,6 +27,7 @@ use crate::report::MachineReport;
 use crate::storage::{Loader, Partition};
 use crate::worker::PartitionWorker;
 
+mod fleet;
 mod par;
 
 /// The crash hook: called exactly once, at the crash cycle, with the
@@ -142,6 +143,8 @@ impl SystemBuilder {
             crash_image: None,
             resubmits: 0,
             trace_sink: Box::new(NullSink),
+            fleet_chips: 0,
+            fleet: None,
         }
     }
 }
@@ -325,6 +328,11 @@ pub struct Machine {
     /// run is bit-identical to one with a real sink installed (the sink is
     /// host-side instrumentation — nothing in the machine reads it).
     trace_sink: Box<dyn TraceSink>,
+    /// Chip processes requested for fleet-mode simulation (0 or 1 = off).
+    /// See `machine/fleet.rs`.
+    fleet_chips: usize,
+    /// The spawned fleet, once the first fleet run has forked the chips.
+    fleet: Option<fleet::Fleet>,
 }
 
 impl Machine {
@@ -375,6 +383,13 @@ impl Machine {
     /// current cycle as the block's submission time so queue-wait latency
     /// is measured from here.
     pub fn submit(&mut self, worker: usize, blk: TxnBlock) {
+        if let Some(f) = &mut self.fleet {
+            // The live worker lives in a chip process: queue the submit for
+            // relay with the next run's Sync, stamped with *this* cycle so
+            // queue-wait latency is unchanged.
+            f.pending_submits.push((worker, blk.addr(), self.now));
+            return;
+        }
         self.workers[worker].softcore.submit_at(blk.addr(), self.now);
     }
 
@@ -450,6 +465,11 @@ impl Machine {
         &mut self,
         bytes: &[u8],
     ) -> Result<ProcId, bionicdb_softcore::catalogue::CatalogueError> {
+        assert!(
+            self.fleet.is_none(),
+            "procedure uploads must precede the fleet spawn (the catalogue \
+             is inherited at fork, not relayed)"
+        );
         self.cat.register_proc_bytes(bytes)
     }
 
@@ -466,6 +486,11 @@ impl Machine {
         if self.crashed {
             return;
         }
+        assert!(
+            self.fleet.is_none(),
+            "strict ticking is unavailable once a fleet is spawned (worker \
+             state lives in the chip processes); use run_to_quiescence"
+        );
         self.ticks_executed += 1;
         self.now += 1;
         // Ordering invariants the epoch-parallel scheduler must (and does)
@@ -536,6 +561,17 @@ impl Machine {
     /// Run until quiescent, panicking after `limit` additional cycles.
     /// Returns early (without quiescing) if the machine crashes.
     pub fn run_to_quiescence_limit(&mut self, limit: u64) -> u64 {
+        // Fleet mode: with chip processes requested (or already spawned),
+        // the whole run is one coordinator/chip message exchange —
+        // bit-exact with the engines below (see `machine/fleet.rs`). A
+        // crashed fleet machine falls through: the serial loop breaks
+        // immediately without ticking.
+        if (self.fleet_chips > 1 || self.fleet.is_some())
+            && self.workers.len() > 1
+            && !self.crashed
+        {
+            return self.run_fleet_to_quiescence(limit);
+        }
         let start = self.now;
         // Epoch-parallel phase: with more than one sim thread configured,
         // run the bulk of the work on real threads (bit-exact with the
@@ -621,6 +657,13 @@ impl Machine {
 
     /// True when no work remains anywhere in the machine.
     pub fn is_quiescent(&self) -> bool {
+        if let Some(f) = &self.fleet {
+            // The live workers are in the chip processes; consult the
+            // slices from the last phase plus anything queued since.
+            return self.noc.is_idle()
+                && f.pending_submits.is_empty()
+                && f.slices.iter().all(|s| s.quiescent);
+        }
         self.noc.is_idle() && self.workers.iter().all(PartitionWorker::is_quiescent)
     }
 
@@ -632,6 +675,11 @@ impl Machine {
     /// [`FaultPlan::none()`] is exactly the default: a none-plan run is
     /// bit-identical to a run with no plan installed at all.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            self.fleet.is_none(),
+            "fault plans must be installed before the fleet spawns \
+             (chips inherit them at fork)"
+        );
         self.noc.set_faults(plan.noc.clone());
         // Every bank gets the schedule: DRAM fault ordinals are per-bank
         // ("the nth read *on this worker's memory channel*"), which keeps
@@ -701,7 +749,11 @@ impl Machine {
     /// completion instead of delivering (summed over every bank plus the
     /// host view). Simulator instrumentation, not machine state.
     pub fn cancelled_write_acks(&self) -> u64 {
-        self.dram.cancelled_acks() + self.banks.iter().map(Dram::cancelled_acks).sum::<u64>()
+        let banks: u64 = match &self.fleet {
+            Some(f) => f.slices.iter().map(|s| s.cancelled_acks).sum(),
+            None => self.banks.iter().map(Dram::cancelled_acks).sum(),
+        };
+        self.dram.cancelled_acks() + banks
     }
 
     /// Select how the epoch-parallel scheduler derives its horizons. Both
@@ -745,13 +797,18 @@ impl Machine {
     /// host view, which never carries simulated traffic).
     pub fn dram_stats(&self) -> bionicdb_fpga::DramStats {
         let mut s = self.dram.stats();
-        for bank in &self.banks {
-            let b = bank.stats();
+        let fold = |s: &mut bionicdb_fpga::DramStats, b: bionicdb_fpga::DramStats| {
             s.reads += b.reads;
             s.writes += b.writes;
             s.bytes += b.bytes;
             s.rejections += b.rejections;
             s.transient_faults += b.transient_faults;
+        };
+        match &self.fleet {
+            // The live banks are in the chip processes: fold their last
+            // reported slices over the coordinator's host-view counters.
+            Some(f) => f.slices.iter().for_each(|sl| fold(&mut s, sl.bank)),
+            None => self.banks.iter().for_each(|b| fold(&mut s, b.stats())),
         }
         s
     }
@@ -759,6 +816,13 @@ impl Machine {
     /// Per-port DRAM accounting concatenated in bank (= worker) order —
     /// the same global port order the single shared DRAM used to expose.
     pub fn dram_ports(&self) -> Vec<bionicdb_fpga::PortStats> {
+        if let Some(f) = &self.fleet {
+            return f
+                .slices
+                .iter()
+                .flat_map(|s| s.ports.iter().copied())
+                .collect();
+        }
         self.banks
             .iter()
             .flat_map(|b| b.port_stats().iter().copied())
@@ -786,6 +850,26 @@ impl Machine {
     /// The configured sim-thread count.
     pub fn sim_threads(&self) -> usize {
         self.sim_threads
+    }
+
+    /// Request fleet-mode simulation: `run_to_quiescence` forks `n` chip
+    /// processes (lazily, at its first call) and coordinates them over the
+    /// fleet transport — bit-for-bit identical to the in-process engines
+    /// (enforced by `fleetcheck`). `0` or `1` disables fleet mode. Must be
+    /// called from a single-threaded process (forking), and before the
+    /// first fleet run; machine configuration (fault plans, trace sinks,
+    /// procedure uploads) must be complete before that run spawns.
+    pub fn set_fleet_chips(&mut self, n: usize) {
+        assert!(
+            self.fleet.is_none(),
+            "fleet already spawned; chip count is fixed"
+        );
+        self.fleet_chips = n;
+    }
+
+    /// The requested fleet chip count (0 or 1 = fleet mode off).
+    pub fn fleet_chips(&self) -> usize {
+        self.fleet_chips
     }
 
     /// The interconnect.
@@ -816,6 +900,10 @@ impl Machine {
     /// Set the in-flight DB instruction bound on every coprocessor
     /// (the Fig. 10/11 sweep knob).
     pub fn set_max_inflight(&mut self, n: usize) {
+        assert!(
+            self.fleet.is_none(),
+            "coprocessor knobs must be set before the fleet spawns"
+        );
         for w in &mut self.workers {
             w.coproc.set_max_inflight(n);
         }
@@ -864,17 +952,47 @@ impl Machine {
             resubmits: self.resubmits,
             ..MachineStats::default()
         };
-        for w in &self.workers {
-            let sc = w.softcore.stats();
+        for w in 0..self.workers.len() {
+            let (sc, glue) = match &self.fleet {
+                Some(f) => (f.slices[w].softcore, f.slices[w].glue),
+                None => (self.workers[w].softcore.stats(), self.workers[w].stats()),
+            };
             s.committed += sc.committed;
             s.aborted += sc.aborted;
             s.batches += sc.batches;
             s.db_insts += sc.db_insts;
             s.cpu_insts += sc.cpu_insts;
-            s.fault_aborts += w.stats().retry_exhausted;
-            s.abort_reasons.merge(&w.softcore.obs().abort_reasons);
+            s.fault_aborts += glue.retry_exhausted;
+            match &self.fleet {
+                Some(f) => s.abort_reasons.merge(&f.slices[w].obs.abort_reasons),
+                None => s
+                    .abort_reasons
+                    .merge(&self.workers[w].softcore.obs().abort_reasons),
+            }
         }
         s
+    }
+
+    /// One worker's full report slice, fleet-aware: live counters in
+    /// in-process modes, the last `PhaseEnd` snapshot in fleet mode.
+    /// [`MachineReport::collect`] reads workers exclusively through this.
+    pub fn worker_report(&self, w: usize) -> crate::report::WorkerReport {
+        if let Some(f) = &self.fleet {
+            let s = &f.slices[w];
+            return crate::report::WorkerReport {
+                softcore: s.softcore,
+                obs: s.obs.clone(),
+                glue: s.glue,
+                stages: s.stages.clone(),
+            };
+        }
+        let worker = &self.workers[w];
+        crate::report::WorkerReport {
+            softcore: worker.softcore.stats(),
+            obs: worker.softcore.obs().clone(),
+            glue: worker.stats(),
+            stages: worker.coproc.stage_report(),
+        }
     }
 
     /// Install a trace sink. When the sink reports itself enabled, every
@@ -882,6 +1000,11 @@ impl Machine {
     /// which the machine drains into the sink at the end of each tick.
     /// Installing a [`NullSink`] (the default) turns tracing back off.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        assert!(
+            self.fleet.is_none(),
+            "trace sinks must be installed before the fleet spawns \
+             (chips inherit the tracing flag at fork)"
+        );
         let on = sink.enabled();
         for w in &mut self.workers {
             w.softcore.set_tracing(on);

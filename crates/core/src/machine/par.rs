@@ -85,45 +85,47 @@ use std::time::Instant;
 use bionicdb_coproc::layout::TableState;
 use bionicdb_fpga::obs::LatencyHistogram;
 use bionicdb_fpga::{Dram, TxnEvent};
-use bionicdb_noc::{EpochLink, EpochMerger, Packet, StagedBatch};
+use bionicdb_noc::{EpochLink, EpochMerger, Noc, Packet, StagedBatch};
 use bionicdb_softcore::catalogue::Catalogue;
 use bionicdb_softcore::PartitionId;
 
 use super::{LookaheadMode, Machine};
 use crate::worker::PartitionWorker;
 
-/// One worker's slice of the machine, self-contained for a round.
-struct Lane<'a> {
-    idx: usize,
-    worker: &'a mut PartitionWorker,
-    bank: &'a mut Dram,
-    tables: &'a mut [TableState],
+/// One worker's slice of the machine, self-contained for a round. Shared
+/// with the fleet engine (`machine/fleet.rs`), where a chip process builds
+/// one per owned worker each phase.
+pub(crate) struct Lane<'a> {
+    pub(crate) idx: usize,
+    pub(crate) worker: &'a mut PartitionWorker,
+    pub(crate) bank: &'a mut Dram,
+    pub(crate) tables: &'a mut [TableState],
     /// This lane's clock: the last cycle it ticked or skipped to.
-    pos: u64,
+    pub(crate) pos: u64,
     /// Component ticks executed by this lane (simulator instrumentation).
-    ticks: u64,
+    pub(crate) ticks: u64,
     /// Cycles this lane fast-forwarded over instead of ticking
     /// (simulator instrumentation).
-    skips: u64,
+    pub(crate) skips: u64,
     /// Rounds this lane was scheduled for (simulator instrumentation).
-    rounds: u64,
+    pub(crate) rounds: u64,
     /// Distribution of granted epoch spans (horizon minus entry position;
     /// simulator instrumentation).
-    epoch_len: LatencyHistogram,
+    pub(crate) epoch_len: LatencyHistogram,
     /// Trace events buffered this round, stamped with their cycle.
-    trace: Vec<(u64, TxnEvent)>,
+    pub(crate) trace: Vec<(u64, TxnEvent)>,
 }
 
 /// The scalars a lane reports at the round barrier (its traffic and trace
 /// travel through the combining tree instead).
-struct LaneOut {
+pub(crate) struct LaneOut {
     /// The lane's next self-known action (`> horizon`), or `None` when the
     /// worker, bank, and queued deliveries are all exhausted.
-    hint: Option<u64>,
-    pos: u64,
-    quiescent: bool,
+    pub(crate) hint: Option<u64>,
+    pub(crate) pos: u64,
+    pub(crate) quiescent: bool,
     /// Whether the lane's delivery queue was empty at harvest.
-    drained: bool,
+    pub(crate) drained: bool,
 }
 
 /// A lane plus everything a claiming thread needs to run it for a round.
@@ -169,7 +171,7 @@ impl RoundNode {
 /// Order-preserving two-pointer merge of `(cycle, lane)`-sorted traces;
 /// `<=` keeps the left operand first on ties, matching a stable sort of
 /// the concatenation.
-fn merge_traces(
+pub(crate) fn merge_traces(
     a: Vec<(u64, u32, TxnEvent)>,
     b: Vec<(u64, u32, TxnEvent)>,
 ) -> Vec<(u64, u32, TxnEvent)> {
@@ -371,7 +373,7 @@ impl Drop for PanicGuard<'_> {
 /// happens (here: only while the lane is otherwise active) is invisible.
 /// (Posted-write acknowledgements no longer reach this path at all: the
 /// banks cancel them at completion.)
-fn lane_next(lane: &Lane<'_>, link: &EpochLink) -> Option<u64> {
+pub(crate) fn lane_next(lane: &Lane<'_>, link: &EpochLink) -> Option<u64> {
     let link_next = link.next_ready(lane.pos);
     if link_next.is_none() && lane.worker.is_quiescent() {
         return None;
@@ -393,7 +395,7 @@ fn lane_next(lane: &Lane<'_>, link: &EpochLink) -> Option<u64> {
 /// Run one lane through one round: fast-forward from event to event,
 /// ticking every cycle `<= horizon` at which the lane could act. Returns
 /// the lane's exit hint.
-fn run_round(
+pub(crate) fn run_round(
     lane: &mut Lane<'_>,
     link: &mut EpochLink,
     horizon: u64,
@@ -427,7 +429,7 @@ fn run_round(
 /// coordinator determined the machine is quiescent) this also audits that
 /// nothing was left behind — the parallel counterpart of the serial
 /// loop's `is_quiescent` exit check.
-fn finish_lane(lane: &mut Lane<'_>, link: &EpochLink, to: u64, expect_idle: bool) {
+pub(crate) fn finish_lane(lane: &mut Lane<'_>, link: &EpochLink, to: u64, expect_idle: bool) {
     debug_assert!(to >= lane.pos, "finish target behind lane position");
     if to > lane.pos {
         lane.worker.skip(to - lane.pos);
@@ -557,6 +559,257 @@ fn participant(
     }
 }
 
+/// One scheduled lane in a barrier round:
+/// `(lane index, granted horizon, deliveries routed since it last ran)`.
+pub(crate) type RoundEntry = (usize, u64, Vec<(u64, Packet)>);
+
+/// What the coordinator decided for the next barrier round.
+pub(crate) enum Step {
+    /// Run the listed lanes, each to its granted horizon, delivering the
+    /// attached pending packets first. `gvt` is the round's commit bound:
+    /// buffered trace events below it are final in serial order.
+    Round { lanes: Vec<RoundEntry>, gvt: u64 },
+    /// The epoch phase is over: top every lane up to `to` and hand control
+    /// back to the serial loop. `gvt` is the exit bound — `None` means the
+    /// machine ran dry, `Some(g)` (necessarily `> cap`) means the cap ended
+    /// the phase; the fleet engine uses that to place a crash cycle.
+    Finish {
+        to: u64,
+        expect_idle: bool,
+        gvt: Option<u64>,
+    },
+}
+
+/// The coordinator-side scheduling brain of one epoch phase — GVT
+/// fixpoint, staged-send commits, Bellman-Ford earliest-action relaxation,
+/// per-lane horizon grants — with *no* opinion about how lanes actually
+/// execute. [`Machine::run_epochs`] drives it with scoped threads over
+/// in-process lanes; the fleet engine (`machine/fleet.rs`) drives the very
+/// same object over chip processes, which is what makes the two engines
+/// bit-identical by construction rather than by parallel maintenance.
+pub(crate) struct EpochCoordinator {
+    n: usize,
+    mode: LookaheadMode,
+    pub(crate) cap: u64,
+    /// Global minimum lookahead (for [`LookaheadMode::Global`]).
+    lmin: u64,
+    now0: u64,
+    /// Per-lane exit hints, refreshed from [`LaneOut`] at each barrier.
+    hint: Vec<Option<u64>>,
+    pub(crate) pos: Vec<u64>,
+    drained: Vec<bool>,
+    quiescent: Vec<bool>,
+    /// Deliveries routed but not yet handed to a scheduled lane.
+    slots: Vec<Vec<(u64, Packet)>>,
+    base: Vec<Option<u64>>,
+    floors: Vec<Option<u64>>,
+    /// The last round's GVT (strict-increase audit + exit reporting). The
+    /// fleet engine resets it when it extends the cap for the post-cap
+    /// mop-up round, since that round legitimately re-derives the same
+    /// bound the capped exit reported.
+    pub(crate) prev_gvt: Option<u64>,
+}
+
+impl EpochCoordinator {
+    /// Build from the phase-entry snapshot: one `(hint, drained,
+    /// quiescent)` triple per lane, captured right after
+    /// [`Noc::begin_epoch`] detached the links.
+    pub(crate) fn new(
+        mode: LookaheadMode,
+        cap: u64,
+        lmin: u64,
+        now0: u64,
+        init: Vec<(Option<u64>, bool, bool)>,
+    ) -> Self {
+        let n = init.len();
+        let mut hint = Vec::with_capacity(n);
+        let mut drained = Vec::with_capacity(n);
+        let mut quiescent = Vec::with_capacity(n);
+        for (h, d, q) in init {
+            hint.push(h);
+            drained.push(d);
+            quiescent.push(q);
+        }
+        EpochCoordinator {
+            n,
+            mode,
+            cap,
+            lmin,
+            now0,
+            hint,
+            pos: vec![now0; n],
+            drained,
+            quiescent,
+            slots: (0..n).map(|_| Vec::new()).collect(),
+            base: vec![None; n],
+            floors: vec![None; n],
+            prev_gvt: None,
+        }
+    }
+
+    /// Absorb one scheduled lane's barrier report.
+    pub(crate) fn note_out(&mut self, i: usize, out: &LaneOut) {
+        self.hint[i] = out.hint;
+        self.pos[i] = out.pos;
+        self.drained[i] = out.drained;
+        self.quiescent[i] = out.quiescent;
+    }
+
+    /// The undelivered routed packets, surrendered at phase exit for
+    /// [`Noc::absorb_epoch`].
+    pub(crate) fn take_slots(&mut self) -> Vec<Vec<(u64, Packet)>> {
+        std::mem::take(&mut self.slots)
+    }
+
+    /// Decide the next round: run the GVT fixpoint (committing staged
+    /// sends below the bound until no commit can raise it), then either
+    /// grant horizons and schedule every lane with work, or declare the
+    /// phase over. See the module docs for the full argument.
+    pub(crate) fn next_step(&mut self, merger: &mut EpochMerger, noc: &mut Noc) -> Step {
+        let n = self.n;
+        let pid = |i: usize| PartitionId(i as u16);
+        // ---- GVT fixpoint: commit staged sends below the bound until no
+        // commit can raise it further ----
+        let gvt = loop {
+            let floors_now = merger.arrival_floors(noc);
+            let mut g: Option<u64> = None;
+            for (i, &floor) in floors_now.iter().enumerate() {
+                let mut b = self.hint[i];
+                if self.drained[i] {
+                    if let Some(&(arr, _)) = self.slots[i].first() {
+                        let w = arr.max(self.pos[i] + 1);
+                        b = Some(b.map_or(w, |x| x.min(w)));
+                    }
+                }
+                if let Some(f) = floor {
+                    let w = f.max(self.pos[i] + 1);
+                    b = Some(b.map_or(w, |x| x.min(w)));
+                }
+                self.base[i] = b;
+                if let Some(t) = b {
+                    g = Some(g.map_or(t, |x| x.min(t)));
+                }
+            }
+            self.floors = floors_now;
+            let Some(g) = g else { break None };
+            let (deliv, committed) = merger.commit(noc, Some(g));
+            for (w, d) in deliv.into_iter().enumerate() {
+                for (arr, pkt) in d {
+                    debug_assert!(
+                        arr > self.pos[w],
+                        "delivery at {arr} behind lane {w} at {}",
+                        self.pos[w]
+                    );
+                    self.slots[w].push((arr, pkt));
+                }
+            }
+            if committed == 0 {
+                break Some(g);
+            }
+        };
+        debug_assert!(
+            self.prev_gvt.is_none_or(|p| gvt.is_none_or(|g| g > p)),
+            "GVT must strictly increase across rounds"
+        );
+        self.prev_gvt = gvt;
+
+        let Some(gvt) = gvt.filter(|&g| g <= self.cap) else {
+            // ---- exit: flush the merger, pick the common top-up cycle ----
+            let (extra, _) = merger.commit(noc, None);
+            debug_assert!(
+                extra.iter().all(Vec::is_empty),
+                "staged sends survived past the cap"
+            );
+            debug_assert!(merger.is_drained(), "merger left unreconciled state");
+            let to = self.pos.iter().copied().max().unwrap_or(self.now0);
+            let expect_idle = self.quiescent.iter().all(|&q| q) && self.prev_gvt.is_none();
+            if expect_idle {
+                debug_assert!(
+                    self.slots.iter().all(Vec::is_empty),
+                    "quiescent exit with undelivered NoC traffic"
+                );
+            }
+            return Step::Finish {
+                to,
+                expect_idle,
+                gvt: self.prev_gvt,
+            };
+        };
+
+        // ---- earliest-action fixpoint (Bellman-Ford over the lookahead
+        // matrix): A_j bounds the earliest cycle lane j can still act —
+        // and therefore send — at, including being woken through a chain
+        // of nearer lanes ----
+        let mut act = self.base.clone();
+        if self.mode == LookaheadMode::Matrix {
+            loop {
+                let mut changed = false;
+                for j in 0..n {
+                    for k in 0..n {
+                        if k == j {
+                            continue;
+                        }
+                        if let Some(ak) = act[k] {
+                            let via = ak.saturating_add(noc.min_latency(pid(k), pid(j)));
+                            if act[j].is_none_or(|aj| via < aj) {
+                                act[j] = Some(via);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // ---- grant horizons, schedule lanes with work ----
+        let mut lanes: Vec<RoundEntry> = Vec::new();
+        for i in 0..n {
+            let h = match self.mode {
+                LookaheadMode::Global => gvt.saturating_add(self.lmin - 1),
+                LookaheadMode::Matrix => {
+                    // No send any lane can still make, and no send already
+                    // staged, arrives at i by H_i.
+                    let mut bound = self.floors[i];
+                    for (j, aj) in act.iter().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        if let Some(aj) = aj {
+                            let arr = aj.saturating_add(noc.min_latency(pid(j), pid(i)));
+                            bound = Some(bound.map_or(arr, |b| b.min(arr)));
+                        }
+                    }
+                    bound.map_or(self.cap, |b| b.saturating_sub(1))
+                }
+            }
+            .min(self.cap);
+            debug_assert!(h >= gvt, "horizon below the GVT stalls the round");
+            // The lane's next *performable* action (arrival floors are not
+            // performable until delivered).
+            let mut na = self.hint[i];
+            if self.drained[i] {
+                if let Some(&(arr, _)) = self.slots[i].first() {
+                    let w = arr.max(self.pos[i] + 1);
+                    na = Some(na.map_or(w, |x| x.min(w)));
+                }
+            }
+            if let Some(t) = na {
+                if t <= h {
+                    lanes.push((i, h, std::mem::take(&mut self.slots[i])));
+                }
+            }
+        }
+        debug_assert!(
+            !lanes.is_empty(),
+            "GVT <= cap must schedule at least the GVT lane"
+        );
+        Step::Round { lanes, gvt }
+    }
+}
+
 impl Machine {
     /// The epoch-parallel phase of [`Machine::run_to_quiescence_limit`]:
     /// advance the machine as far as the lookahead allows on
@@ -603,16 +856,11 @@ impl Machine {
         let mut merger = EpochMerger::new(noc);
         let links: Vec<EpochLink> = noc.begin_epoch();
 
-        // Coordinator-side per-lane state, refreshed from LaneOut at each
-        // barrier (stale-safe for unscheduled lanes: nothing they own
-        // changes while they sit out).
-        let mut hint: Vec<Option<u64>> = Vec::with_capacity(n);
-        let mut pos: Vec<u64> = vec![now0; n];
-        let mut drained: Vec<bool> = Vec::with_capacity(n);
-        let mut quiescent: Vec<bool> = Vec::with_capacity(n);
+        // Coordinator-side per-lane state lives in the EpochCoordinator,
+        // refreshed from LaneOut at each barrier (stale-safe for
+        // unscheduled lanes: nothing they own changes while they sit out).
+        let mut init: Vec<(Option<u64>, bool, bool)> = Vec::with_capacity(n);
         let mut idle_ns: Vec<u64> = vec![0; n];
-        // Deliveries routed but not yet handed to a scheduled lane.
-        let mut slots: Vec<Vec<(u64, Packet)>> = (0..n).map(|_| Vec::new()).collect();
 
         let cells: Vec<Mutex<LaneCell<'_>>> = self
             .workers
@@ -634,9 +882,11 @@ impl Machine {
                     epoch_len: LatencyHistogram::new(),
                     trace: Vec::new(),
                 };
-                hint.push(lane_next(&lane, &link));
-                drained.push(link.next_ready(now0).is_none());
-                quiescent.push(lane.worker.is_quiescent());
+                init.push((
+                    lane_next(&lane, &link),
+                    link.next_ready(now0).is_none(),
+                    lane.worker.is_quiescent(),
+                ));
                 Mutex::new(LaneCell {
                     lane,
                     link,
@@ -647,6 +897,7 @@ impl Machine {
                 })
             })
             .collect();
+        let mut coord = EpochCoordinator::new(mode, cap, lmin, now0, init);
 
         let gate = Gate::new(threads);
         let cmd_slot: Mutex<Cmd> = Mutex::new(Cmd::Run);
@@ -655,7 +906,6 @@ impl Machine {
         let tree = MergeTree::new(n);
         let mut rounds_done = 0u64;
         let mut trace_buf: Vec<(u64, u32, TxnEvent)> = Vec::new();
-        let pid = |i: usize| PartitionId(i as u16);
 
         let (slots, to) = std::thread::scope(|s| {
             for _ in 1..threads {
@@ -668,205 +918,77 @@ impl Machine {
             }
 
             let _guard = PanicGuard(&gate);
-            let mut base: Vec<Option<u64>> = vec![None; n];
-            let mut floors: Vec<Option<u64>> = vec![None; n];
-            let mut prev_gvt: Option<u64> = None;
             loop {
-                // ---- GVT fixpoint: commit staged sends below the bound
-                // until no commit can raise it further ----
-                let gvt = loop {
-                    let floors_now = merger.arrival_floors(noc);
-                    let mut g: Option<u64> = None;
-                    for i in 0..n {
-                        let mut b = hint[i];
-                        if drained[i] {
-                            if let Some(&(arr, _)) = slots[i].first() {
-                                let w = arr.max(pos[i] + 1);
-                                b = Some(b.map_or(w, |x| x.min(w)));
+                match coord.next_step(&mut merger, noc) {
+                    Step::Finish {
+                        to, expect_idle, ..
+                    } => {
+                        // ---- exit: drain traces, top all lanes up to the
+                        // common cycle ----
+                        if tracing {
+                            for (_, _, ev) in trace_buf.drain(..) {
+                                sink.txn(&ev);
                             }
                         }
-                        if let Some(f) = floors_now[i] {
-                            let w = f.max(pos[i] + 1);
-                            b = Some(b.map_or(w, |x| x.min(w)));
+                        {
+                            let mut sch = sched.lock().unwrap_or_else(PoisonError::into_inner);
+                            sch.clear();
+                            sch.extend(0..n);
                         }
-                        base[i] = b;
-                        if let Some(t) = b {
-                            g = Some(g.map_or(t, |x| x.min(t)));
-                        }
+                        cursor.store(0, Ordering::SeqCst);
+                        *cmd_slot.lock().unwrap_or_else(PoisonError::into_inner) =
+                            Cmd::Finish { to, expect_idle };
+                        gate.wait(); // release peers into Finish
+                        finish_claimed(&cells, &sched, &cursor, to, expect_idle);
+                        break (coord.take_slots(), to);
                     }
-                    floors = floors_now;
-                    let Some(g) = g else { break None };
-                    let (deliv, committed) = merger.commit(noc, Some(g));
-                    for (w, d) in deliv.into_iter().enumerate() {
-                        for (arr, pkt) in d {
-                            debug_assert!(
-                                arr > pos[w],
-                                "delivery at {arr} behind lane {w} at {}",
-                                pos[w]
-                            );
-                            slots[w].push((arr, pkt));
-                        }
-                    }
-                    if committed == 0 {
-                        break Some(g);
-                    }
-                };
-                debug_assert!(
-                    prev_gvt.is_none_or(|p| gvt.is_none_or(|g| g > p)),
-                    "GVT must strictly increase across rounds"
-                );
-                prev_gvt = gvt;
-
-                // Trace events below the GVT are final in serial order.
-                if tracing {
-                    if let Some(g) = gvt {
-                        let cut = trace_buf.partition_point(|&(c, _, _)| c < g);
-                        for (_, _, ev) in trace_buf.drain(..cut) {
-                            sink.txn(&ev);
-                        }
-                    }
-                }
-
-                let Some(gvt) = gvt.filter(|&g| g <= cap) else {
-                    // ---- exit: flush the merger, drain traces, top all
-                    // lanes up to a common cycle ----
-                    let (extra, _) = merger.commit(noc, None);
-                    debug_assert!(
-                        extra.iter().all(Vec::is_empty),
-                        "staged sends survived past the cap"
-                    );
-                    debug_assert!(merger.is_drained(), "merger left unreconciled state");
-                    if tracing {
-                        for (_, _, ev) in trace_buf.drain(..) {
-                            sink.txn(&ev);
-                        }
-                    }
-                    let to = pos.iter().copied().max().unwrap_or(now0);
-                    let expect_idle = quiescent.iter().all(|&q| q) && prev_gvt.is_none();
-                    if expect_idle {
-                        debug_assert!(
-                            slots.iter().all(Vec::is_empty),
-                            "quiescent exit with undelivered NoC traffic"
-                        );
-                    }
-                    {
-                        let mut sch = sched.lock().unwrap_or_else(PoisonError::into_inner);
-                        sch.clear();
-                        sch.extend(0..n);
-                    }
-                    cursor.store(0, Ordering::SeqCst);
-                    *cmd_slot.lock().unwrap_or_else(PoisonError::into_inner) =
-                        Cmd::Finish { to, expect_idle };
-                    gate.wait(); // release peers into Finish
-                    finish_claimed(&cells, &sched, &cursor, to, expect_idle);
-                    break (std::mem::take(&mut slots), to);
-                };
-
-                // ---- earliest-action fixpoint (Bellman-Ford over the
-                // lookahead matrix): A_j bounds the earliest cycle lane j
-                // can still act — and therefore send — at, including being
-                // woken through a chain of nearer lanes ----
-                let mut act = base.clone();
-                if mode == LookaheadMode::Matrix {
-                    loop {
-                        let mut changed = false;
-                        for j in 0..n {
-                            for k in 0..n {
-                                if k == j {
-                                    continue;
-                                }
-                                if let Some(ak) = act[k] {
-                                    let via = ak.saturating_add(noc.min_latency(pid(k), pid(j)));
-                                    if act[j].is_none_or(|aj| via < aj) {
-                                        act[j] = Some(via);
-                                        changed = true;
-                                    }
-                                }
+                    Step::Round { lanes, gvt } => {
+                        // Trace events below the GVT are final in serial
+                        // order.
+                        if tracing {
+                            let cut = trace_buf.partition_point(|&(c, _, _)| c < gvt);
+                            for (_, _, ev) in trace_buf.drain(..cut) {
+                                sink.txn(&ev);
                             }
                         }
-                        if !changed {
-                            break;
-                        }
-                    }
-                }
-
-                // ---- grant horizons, schedule lanes with work ----
-                let mut round_lanes: Vec<usize> = Vec::new();
-                for i in 0..n {
-                    let h = match mode {
-                        LookaheadMode::Global => gvt.saturating_add(lmin - 1),
-                        LookaheadMode::Matrix => {
-                            // No send any lane can still make, and no send
-                            // already staged, arrives at i by H_i.
-                            let mut bound = floors[i];
-                            for (j, aj) in act.iter().enumerate() {
-                                if j == i {
-                                    continue;
-                                }
-                                if let Some(aj) = aj {
-                                    let arr = aj.saturating_add(noc.min_latency(pid(j), pid(i)));
-                                    bound = Some(bound.map_or(arr, |b| b.min(arr)));
-                                }
-                            }
-                            bound.map_or(cap, |b| b.saturating_sub(1))
-                        }
-                    }
-                    .min(cap);
-                    debug_assert!(h >= gvt, "horizon below the GVT stalls the round");
-                    // The lane's next *performable* action (arrival floors
-                    // are not performable until delivered).
-                    let mut na = hint[i];
-                    if drained[i] {
-                        if let Some(&(arr, _)) = slots[i].first() {
-                            let w = arr.max(pos[i] + 1);
-                            na = Some(na.map_or(w, |x| x.min(w)));
-                        }
-                    }
-                    if let Some(t) = na {
-                        if t <= h {
-                            round_lanes.push(i);
+                        let round_lanes: Vec<usize> = lanes.iter().map(|&(i, _, _)| i).collect();
+                        for (i, horizon, pending) in lanes {
                             let mut cell =
                                 cells[i].lock().unwrap_or_else(PoisonError::into_inner);
-                            cell.horizon = h;
-                            cell.pending = std::mem::take(&mut slots[i]);
+                            cell.horizon = horizon;
+                            cell.pending = pending;
                         }
-                    }
-                }
-                debug_assert!(
-                    !round_lanes.is_empty(),
-                    "GVT <= cap must schedule at least the GVT lane"
-                );
-                {
-                    let mut sch = sched.lock().unwrap_or_else(PoisonError::into_inner);
-                    sch.clear();
-                    sch.extend_from_slice(&round_lanes);
-                }
-                cursor.store(0, Ordering::SeqCst);
-                tree.reset();
-                for leaf in round_lanes.len()..tree.leaves() {
-                    tree.deposit(leaf, RoundNode::empty());
-                }
-                *cmd_slot.lock().unwrap_or_else(PoisonError::into_inner) = Cmd::Run;
-                gate.wait(); // release the round
-                run_claimed(&cells, &sched, &cursor, &tree, cat, tracing);
-                gate.wait(); // all results in
-                rounds_done += 1;
+                        {
+                            let mut sch = sched.lock().unwrap_or_else(PoisonError::into_inner);
+                            sch.clear();
+                            sch.extend_from_slice(&round_lanes);
+                        }
+                        cursor.store(0, Ordering::SeqCst);
+                        tree.reset();
+                        for leaf in round_lanes.len()..tree.leaves() {
+                            tree.deposit(leaf, RoundNode::empty());
+                        }
+                        *cmd_slot.lock().unwrap_or_else(PoisonError::into_inner) = Cmd::Run;
+                        gate.wait(); // release the round
+                        run_claimed(&cells, &sched, &cursor, &tree, cat, tracing);
+                        gate.wait(); // all results in
+                        rounds_done += 1;
 
-                let barrier_end = Instant::now();
-                for &i in &round_lanes {
-                    let mut cell = cells[i].lock().unwrap_or_else(PoisonError::into_inner);
-                    let out = cell.out.take().expect("scheduled lane reported");
-                    hint[i] = out.hint;
-                    pos[i] = out.pos;
-                    drained[i] = out.drained;
-                    quiescent[i] = out.quiescent;
-                    if let Some(done) = cell.done_at.take() {
-                        idle_ns[i] += barrier_end.duration_since(done).as_nanos() as u64;
+                        let barrier_end = Instant::now();
+                        for &i in &round_lanes {
+                            let mut cell =
+                                cells[i].lock().unwrap_or_else(PoisonError::into_inner);
+                            let out = cell.out.take().expect("scheduled lane reported");
+                            coord.note_out(i, &out);
+                            if let Some(done) = cell.done_at.take() {
+                                idle_ns[i] += barrier_end.duration_since(done).as_nanos() as u64;
+                            }
+                        }
+                        let root = tree.take_root();
+                        merger.absorb(noc, root.batch);
+                        trace_buf = merge_traces(std::mem::take(&mut trace_buf), root.trace);
                     }
                 }
-                let root = tree.take_root();
-                merger.absorb(noc, root.batch);
-                trace_buf = merge_traces(std::mem::take(&mut trace_buf), root.trace);
             }
         });
 

@@ -326,6 +326,25 @@ pub struct DramStats {
     pub transient_faults: u64,
 }
 
+impl crate::wire::Wire for DramStats {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.reads.put(out);
+        self.writes.put(out);
+        self.bytes.put(out);
+        self.rejections.put(out);
+        self.transient_faults.put(out);
+    }
+    fn get(r: &mut crate::wire::Reader<'_>) -> Self {
+        DramStats {
+            reads: r.get(),
+            writes: r.get(),
+            bytes: r.get(),
+            rejections: r.get(),
+            transient_faults: r.get(),
+        }
+    }
+}
+
 /// Per-port DRAM accounting: who is generating the memory traffic. All
 /// counters are updated at issue time, so they are identical under strict
 /// stepping and fast-forward.
@@ -341,6 +360,28 @@ pub struct PortStats {
     /// share of each transfer; the paper's bandwidth-occupancy proxy).
     pub occupancy_cycles: Cycle,
 }
+
+impl crate::wire::Wire for PortStats {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.reads.put(out);
+        self.writes.put(out);
+        self.bytes.put(out);
+        self.occupancy_cycles.put(out);
+    }
+    fn get(r: &mut crate::wire::Reader<'_>) -> Self {
+        PortStats {
+            reads: r.get(),
+            writes: r.get(),
+            bytes: r.get(),
+            occupancy_cycles: r.get(),
+        }
+    }
+}
+
+/// One journaled functional write: `(address, bytes)`. The fleet simulator
+/// replays these on remote copies of the page store to keep the functional
+/// memory image coherent across process boundaries.
+pub type WriteJournal = Vec<(u64, Vec<u8>)>;
 
 /// The simulated FPGA-side DRAM: functional byte store plus timing model.
 ///
@@ -369,6 +410,12 @@ pub struct Dram {
     /// observes these responses, so the report schema stays byte-identical
     /// with and without cancellation.
     cancelled_acks: u64,
+    /// When armed, every functional write through this view is also
+    /// recorded here (all timed writes funnel through [`Dram::host_write`]
+    /// at issue time, so this captures the complete mutation stream). The
+    /// fleet simulator arms it per-process and ships the journal at epoch
+    /// barriers; `None` (the default) is bit-inert.
+    journal: Option<WriteJournal>,
 }
 
 impl Dram {
@@ -389,6 +436,7 @@ impl Dram {
             faults: DramFaults::default(),
             reads_seen: 0,
             cancelled_acks: 0,
+            journal: None,
         }
     }
 
@@ -410,6 +458,7 @@ impl Dram {
             faults: DramFaults::default(),
             reads_seen: 0,
             cancelled_acks: 0,
+            journal: None,
         }
     }
 
@@ -636,8 +685,40 @@ impl Dram {
     }
 
     /// Untimed write, modelling host/PCIe population of memory.
+    ///
+    /// Every functional mutation of the byte image funnels through here —
+    /// timed writes apply their bytes at issue time via this method — so an
+    /// armed write journal (see [`Dram::set_write_journal`]) captures the
+    /// complete mutation stream of this view.
     pub fn host_write(&mut self, addr: u64, data: &[u8]) {
+        if let Some(j) = self.journal.as_mut() {
+            j.push((addr, data.to_vec()));
+        }
         self.store.write(addr, data);
+    }
+
+    /// Arm (or disarm) the write journal on this view. Journaling is pure
+    /// host-side bookkeeping: no cycle, statistic, or functional byte
+    /// depends on whether it is armed.
+    pub fn set_write_journal(&mut self, on: bool) {
+        self.journal = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drain the armed journal (empty when disarmed).
+    pub fn take_write_journal(&mut self) -> WriteJournal {
+        match self.journal.as_mut() {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    /// Replay a journal captured on another view of (a copy of) this image.
+    /// Applies directly to the page store, bypassing this view's own
+    /// journal — a relayed write must not echo back into the next journal.
+    pub fn apply_write_journal(&mut self, entries: &[(u64, Vec<u8>)]) {
+        for (addr, data) in entries {
+            self.store.write(*addr, data);
+        }
     }
 
     /// Read `out.len()` bytes starting at `addr` into a caller-provided

@@ -43,6 +43,7 @@ pub mod obs;
 pub mod region;
 pub mod stats;
 pub mod timing;
+pub mod wire;
 
 pub use dram::{Dram, DramStats, MemData, MemKind, MemRequest, MemResponse, PortId, PortStats, Tag};
 pub use obs::{

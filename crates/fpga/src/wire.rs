@@ -1,0 +1,212 @@
+//! Minimal little-endian wire codec for the fleet transport.
+//!
+//! The multi-process fleet simulator (`bionicdb::machine` fleet mode) ships
+//! statistics, NoC traffic, and DRAM write journals between a coordinator
+//! and its chip processes. Everything that crosses that boundary implements
+//! [`Wire`]: a fixed, self-describing-enough little-endian layout with no
+//! serde dependency, mirroring how the durable formats (`CommandLog`,
+//! `Checkpoint`) are hand-framed.
+//!
+//! The transport is trusted — both ends are the same binary forked from the
+//! same process image — so decoding panics on malformed input instead of
+//! threading `Result`s through the scheduler hot path: a framing bug must
+//! fail loudly, never limp along as divergent state.
+
+/// A cursor over a received message body.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Decode the next value.
+    pub fn get<T: Wire>(&mut self) -> T {
+        T::get(self)
+    }
+
+    /// Assert the whole message was consumed (framing check).
+    pub fn finish(self) {
+        assert_eq!(self.pos, self.buf.len(), "trailing bytes in wire message");
+    }
+}
+
+/// A value with a fixed little-endian wire form.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decode one value from the cursor.
+    fn get(r: &mut Reader<'_>) -> Self;
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn get(r: &mut Reader<'_>) -> Self {
+                <$t>::from_le_bytes(r.bytes(std::mem::size_of::<$t>()).try_into().expect("sized"))
+            }
+        }
+    )*};
+}
+wire_int!(u8, u16, u32, u64, i64);
+
+impl Wire for usize {
+    fn put(&self, out: &mut Vec<u8>) {
+        (*self as u64).put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        u64::get(r) as usize
+    }
+}
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        match u8::get(r) {
+            0 => false,
+            1 => true,
+            b => panic!("bad bool byte {b}"),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => false.put(out),
+            Some(v) => {
+                true.put(out);
+                v.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        if bool::get(r) {
+            Some(T::get(r))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        for v in self {
+            v.put(out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        let n = u64::get(r) as usize;
+        (0..n).map(|_| T::get(r)).collect()
+    }
+}
+
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        let n = u64::get(r) as usize;
+        String::from_utf8(r.bytes(n).to_vec()).expect("utf8 string on the wire")
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        let a = A::get(r);
+        let b = B::get(r);
+        (a, b)
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        let a = A::get(r);
+        let b = B::get(r);
+        let c = C::get(r);
+        (a, b, c)
+    }
+}
+
+/// Encode one value into a fresh buffer.
+pub fn encode<T: Wire>(v: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    v.put(&mut out);
+    out
+}
+
+/// Decode one value from a whole buffer, asserting full consumption.
+pub fn decode<T: Wire>(buf: &[u8]) -> T {
+    let mut r = Reader::new(buf);
+    let v = T::get(&mut r);
+    r.finish();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut out = Vec::new();
+        42u8.put(&mut out);
+        7u16.put(&mut out);
+        9u32.put(&mut out);
+        u64::MAX.put(&mut out);
+        (-3i64).put(&mut out);
+        true.put(&mut out);
+        let mut r = Reader::new(&out);
+        assert_eq!(u8::get(&mut r), 42);
+        assert_eq!(u16::get(&mut r), 7);
+        assert_eq!(u32::get(&mut r), 9);
+        assert_eq!(u64::get(&mut r), u64::MAX);
+        assert_eq!(i64::get(&mut r), -3);
+        assert!(bool::get(&mut r));
+        r.finish();
+    }
+
+    #[test]
+    fn composite_roundtrip() {
+        let v: Vec<(u64, Option<String>)> = vec![
+            (1, Some("abc".to_string())),
+            (2, None),
+            (u64::MAX, Some(String::new())),
+        ];
+        assert_eq!(decode::<Vec<(u64, Option<String>)>>(&encode(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn trailing_bytes_panic() {
+        decode::<u8>(&[1, 2]);
+    }
+}

@@ -57,6 +57,60 @@ pub enum Topology {
         /// 3-cycle hops, 25 hops ≈ 600 ns — an aggressive serial link).
         inter_node_hops: u64,
     },
+    /// A fleet of chips arranged in a chip-level ring — the generalization
+    /// of [`Topology::MultiChip`] the multi-process fleet simulator models:
+    /// intra-chip messages ride the local crossbar (one hop), inter-chip
+    /// messages pay `neighbor_hops` per chip-ring step between the two
+    /// chips (shortest way around). With two chips this is exactly
+    /// `MultiChip { inter_node_hops: neighbor_hops }`; beyond that, distance
+    /// between chips matters, the way cabling between boards makes it.
+    Fleet {
+        /// Workers per chip.
+        workers_per_chip: usize,
+        /// Cost of one chip-ring step, in units of the one-hop latency.
+        neighbor_hops: u64,
+    },
+}
+
+impl Topology {
+    /// Hop count between workers `a` and `b` of an `n`-worker interconnect
+    /// under this topology — the single source of topology math, used both
+    /// to build the cached lookahead matrix and to answer live
+    /// [`Noc::hops`] queries (the two can therefore never diverge).
+    pub fn hops_between(&self, n: usize, a: usize, b: usize) -> u64 {
+        match *self {
+            Topology::Crossbar => 1,
+            Topology::Ring => {
+                let (a, b) = (a % n, b % n);
+                let d = a.abs_diff(b);
+                d.min(n - d).max(1) as u64
+            }
+            Topology::MultiChip {
+                workers_per_node,
+                inter_node_hops,
+            } => {
+                if a / workers_per_node == b / workers_per_node {
+                    1
+                } else {
+                    inter_node_hops.max(1)
+                }
+            }
+            Topology::Fleet {
+                workers_per_chip,
+                neighbor_hops,
+            } => {
+                let (ca, cb) = (a / workers_per_chip, b / workers_per_chip);
+                if ca == cb {
+                    1
+                } else {
+                    let chips = n.div_ceil(workers_per_chip);
+                    let d = ca.abs_diff(cb);
+                    let steps = d.min(chips - d).max(1) as u64;
+                    steps * neighbor_hops.max(1)
+                }
+            }
+        }
+    }
 }
 
 /// What travels over a channel.
@@ -186,27 +240,8 @@ impl Noc {
     pub fn new(topology: Topology, n: usize, hop_latency: u64) -> Self {
         assert!(n >= 1);
         let hop_latency = hop_latency.max(1);
-        let hops = |a: usize, b: usize| -> u64 {
-            match topology {
-                Topology::Crossbar => 1,
-                Topology::Ring => {
-                    let d = a.abs_diff(b);
-                    d.min(n - d).max(1) as u64
-                }
-                Topology::MultiChip {
-                    workers_per_node,
-                    inter_node_hops,
-                } => {
-                    if a / workers_per_node == b / workers_per_node {
-                        1
-                    } else {
-                        inter_node_hops.max(1)
-                    }
-                }
-            }
-        };
         let pair_latency: Vec<u64> = (0..n)
-            .flat_map(|a| (0..n).map(move |b| hops(a, b) * hop_latency))
+            .flat_map(|a| (0..n).map(move |b| topology.hops_between(n, a, b) * hop_latency))
             .collect();
         let min_incoming: Vec<u64> = (0..n)
             .map(|dst| {
@@ -241,28 +276,8 @@ impl Noc {
 
     /// Number of hops between two workers under the current topology.
     pub fn hops(&self, a: PartitionId, b: PartitionId) -> u64 {
-        match self.topology {
-            Topology::Crossbar => 1,
-            Topology::Ring => {
-                let (a, b) = (a.0 as usize % self.n, b.0 as usize % self.n);
-                let d = a.abs_diff(b);
-                d.min(self.n - d).max(1) as u64
-            }
-            Topology::MultiChip {
-                workers_per_node,
-                inter_node_hops,
-            } => {
-                let (na, nb) = (
-                    a.0 as usize / workers_per_node,
-                    b.0 as usize / workers_per_node,
-                );
-                if na == nb {
-                    1
-                } else {
-                    inter_node_hops.max(1)
-                }
-            }
-        }
+        self.topology
+            .hops_between(self.n, a.0 as usize, b.0 as usize)
     }
 
     /// Latency in cycles for a message from `a` to `b`.
@@ -282,9 +297,17 @@ impl Noc {
     }
 
     /// Cached minimum latency of any message *into* `dst` from another
-    /// worker (the per-destination row minimum of the lookahead matrix).
-    /// Single-worker degenerate case: no sources exist; the one-hop
-    /// latency is returned as a floor, mirroring [`Noc::min_hop_latency`].
+    /// worker — **defined** as the per-destination row minimum of the
+    /// lookahead matrix, `min over src != dst of min_latency(src, dst)`.
+    /// That row minimum is what the epoch (and fleet) barrier inherits as
+    /// its horizon, so this value is never smaller than any real arrival
+    /// latency into `dst`. Only a *single-worker interconnect* has no
+    /// sources at all; the row minimum is then vacuous and the base one-hop
+    /// latency is returned — safe because no message can ever arrive (any
+    /// horizon is correct), and consistent with [`Noc::min_hop_latency`]'s
+    /// same degenerate fallback. (Note this is **not** a claim that some
+    /// pair is one hop apart: under `MultiChip { workers_per_node: 1, .. }`
+    /// every row minimum is the full inter-node latency.)
     pub fn min_incoming_latency(&self, dst: PartitionId) -> u64 {
         self.min_incoming[dst.0 as usize]
     }
@@ -576,7 +599,7 @@ impl Link for Noc {
 /// sends locally, with zero shared state — which is what lets every worker
 /// run on its own thread. Created by [`Noc::begin_epoch`]; traffic is
 /// reconciled by [`Noc::merge_epoch`] at the barrier.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct EpochLink {
     id: usize,
     n: usize,
@@ -705,7 +728,7 @@ impl EpochTraffic {
 /// order-preserving two-pointer merge — so the content of the combining
 /// tree's root is deterministic no matter which thread performs which
 /// merge, and equals what a serial pass over the lanes would have built.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct StagedBatch {
     /// Accepted sends `(cycle, src, packet)`, sorted by `(cycle, src)` —
     /// the serial send order (workers tick in id order within a cycle).
@@ -969,6 +992,106 @@ impl StagedBatch {
             },
         )
         .sends
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs (fleet transport)
+// ---------------------------------------------------------------------------
+//
+// The multi-process fleet simulator ships interconnect state between the
+// coordinator and its chip processes: detached `EpochLink`s travel to the
+// chip owning the lane and back at phase boundaries, and each round's
+// `StagedBatch` rides the chip's reply. The codecs live here because the
+// fields are deliberately private — process boundaries don't get to widen
+// the API the in-process scheduler sees.
+
+use bionicdb_fpga::wire::{Reader, Wire};
+
+impl Wire for Payload {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::Request(rq) => {
+                0u8.put(out);
+                rq.put(out);
+            }
+            Payload::Response(rs) => {
+                1u8.put(out);
+                rs.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        match u8::get(r) {
+            0 => Payload::Request(r.get()),
+            1 => Payload::Response(r.get()),
+            t => panic!("bad Payload tag {t}"),
+        }
+    }
+}
+
+impl Wire for Packet {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.src.put(out);
+        self.dst.put(out);
+        self.seq.put(out);
+        self.payload.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        Packet {
+            src: r.get(),
+            dst: r.get(),
+            seq: r.get(),
+            payload: r.get(),
+        }
+    }
+}
+
+impl Wire for EpochLink {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.id.put(out);
+        self.n.put(out);
+        self.issue_width.put(out);
+        (self.queue.len() as u64).put(out);
+        for e in &self.queue {
+            e.put(out);
+        }
+        self.staged.put(out);
+        self.polls.put(out);
+        self.depth_start.put(out);
+        self.last_send.put(out);
+        self.rejected.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        EpochLink {
+            id: r.get(),
+            n: r.get(),
+            issue_width: r.get(),
+            queue: {
+                let n = u64::get(r) as usize;
+                (0..n).map(|_| r.get()).collect()
+            },
+            staged: r.get(),
+            polls: r.get(),
+            depth_start: r.get(),
+            last_send: r.get(),
+            rejected: r.get(),
+        }
+    }
+}
+
+impl Wire for StagedBatch {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.sends.put(out);
+        self.polls.put(out);
+        self.rejected.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Self {
+        StagedBatch {
+            sends: r.get(),
+            polls: r.get(),
+            rejected: r.get(),
+        }
     }
 }
 
@@ -1237,5 +1360,109 @@ mod tests {
         assert_eq!(serial.0, epoch.0, "NocStats diverged");
         assert_eq!(serial.1, epoch.1, "LinkStats diverged");
         assert_eq!(serial.2, epoch.2, "delivered packets diverged");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The lookahead caches (`pair_latency` matrix, `min_incoming` row
+        /// minima, `min_hop_latency` global minimum) are built once at
+        /// construction and then trusted by the epoch scheduler's horizon
+        /// math. Pin them to freshly recomputed topology math across random
+        /// configurations of every topology family, so the cache and the
+        /// definition can never drift apart again (the `min_incoming`
+        /// doc/definition mismatch this closes was exactly such a drift).
+        #[test]
+        fn lookahead_caches_match_recomputed_topology_math(
+            which in 0usize..4,
+            n in 1usize..12,
+            raw_hop in 0u64..8,
+            per in 1usize..5,
+            inter in 0u64..60,
+        ) {
+            let topology = match which {
+                0 => Topology::Crossbar,
+                1 => Topology::Ring,
+                2 => Topology::MultiChip {
+                    workers_per_node: per,
+                    inter_node_hops: inter,
+                },
+                _ => Topology::Fleet {
+                    workers_per_chip: per,
+                    neighbor_hops: inter,
+                },
+            };
+            let noc = Noc::new(topology, n, raw_hop);
+            // `Noc::new` clamps a zero hop latency to one cycle.
+            let hop = raw_hop.max(1);
+            let mut global_min = u64::MAX;
+            for dst in 0..n {
+                let mut row_min = u64::MAX;
+                for src in 0..n {
+                    let (s, d) = (PartitionId(src as u16), PartitionId(dst as u16));
+                    let fresh = topology.hops_between(n, src, dst) * hop;
+                    prop_assert_eq!(noc.latency(s, d), fresh, "latency {:?}", topology);
+                    prop_assert_eq!(noc.min_latency(s, d), fresh, "cache {:?}", topology);
+                    if src != dst {
+                        row_min = row_min.min(fresh);
+                    }
+                }
+                // A single-worker interconnect has no incoming pairs at
+                // all; the documented fallback is the one-hop latency.
+                let expect = if n == 1 { hop } else { row_min };
+                prop_assert_eq!(
+                    noc.min_incoming_latency(PartitionId(dst as u16)),
+                    expect,
+                    "min_incoming {:?}",
+                    topology
+                );
+                global_min = global_min.min(expect);
+            }
+            prop_assert_eq!(noc.min_hop_latency(), global_min, "global {:?}", topology);
+        }
+    }
+
+    /// Fleet wire codecs round-trip the exact structures the chip processes
+    /// exchange: packets, detached epoch links (with queued deliveries,
+    /// staged sends, polls and issue-ledger state), and merged batches.
+    #[test]
+    fn wire_codecs_round_trip_epoch_state() {
+        use bionicdb_fpga::wire::{decode, encode};
+
+        let pkt = req_pkt(1, 2);
+        assert_eq!(decode::<Packet>(&encode(&pkt)), pkt);
+        let resp = Packet {
+            src: PartitionId(2),
+            dst: PartitionId(1),
+            seq: 7,
+            payload: Payload::Response(DbResponse {
+                cp: CpSlot {
+                    worker: PartitionId(1),
+                    index: 3,
+                },
+                value: -9,
+            }),
+        };
+        assert_eq!(decode::<Packet>(&encode(&resp)), resp);
+
+        // Populate links with real traffic so queues, staged sends, polls
+        // and the issue ledger are all non-trivial.
+        let mut noc = Noc::new(Topology::Ring, 3, 3);
+        noc.send(1, req_pkt(2, 0)).unwrap();
+        let mut links = noc.begin_epoch();
+        for l in &mut links {
+            l.begin_round(Vec::new());
+        }
+        Link::send(&mut links[0], 5, req_pkt(0, 2)).unwrap();
+        assert_eq!(Link::send(&mut links[0], 5, req_pkt(0, 1)), Err(NocBusy));
+        Link::poll(&mut links[1], 6, PartitionId(1));
+        for l in &links {
+            assert_eq!(&decode::<EpochLink>(&encode(l)), l);
+        }
+        let batch = links
+            .iter_mut()
+            .map(|l| StagedBatch::from_traffic(l.harvest()))
+            .fold(StagedBatch::empty(), StagedBatch::merge);
+        assert_eq!(decode::<StagedBatch>(&encode(&batch)), batch);
     }
 }

@@ -4,42 +4,77 @@
 # Uses --locked throughout: the committed Cargo.lock pins the vendored shim
 # versions and the build must work with no registry access (see
 # shims/README.md). Run from the repo root.
+#
+# Each gate is timed; a per-gate elapsed-time summary prints at the end
+# (and on failure, for the gates that ran), so slow gates are visible
+# instead of anecdotal.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release, locked) =="
-cargo build --workspace --release --locked
+GATE_NAMES=()
+GATE_SECS=()
 
-echo "== tests =="
-cargo test --workspace --locked --quiet
+summary() {
+    echo
+    echo "== per-gate elapsed time =="
+    local i total=0
+    for i in "${!GATE_NAMES[@]}"; do
+        printf '%8ss  %s\n' "${GATE_SECS[$i]}" "${GATE_NAMES[$i]}"
+        total=$((total + GATE_SECS[i]))
+    done
+    printf '%8ss  total\n' "$total"
+}
+trap summary EXIT
 
-echo "== clippy (deny warnings) =="
-cargo clippy --workspace --all-targets --locked -- -D warnings
+gate() {
+    local name="$1"
+    shift
+    echo "== $name =="
+    local t0=$SECONDS
+    "$@"
+    GATE_NAMES+=("$name")
+    GATE_SECS+=("$((SECONDS - t0))")
+}
 
-echo "== chaos smoke (fixed-seed fault matrix) =="
-cargo run --release --locked -p bionicdb-bench --bin chaos -- --smoke
+gate "build (release, locked)" \
+    cargo build --workspace --release --locked
 
-echo "== stats smoke (fixed-seed YCSB: determinism, schema, trace inertness) =="
-cargo run --release --locked -p bionicdb-bench --bin statscheck -- --json target/stats_smoke.json
+gate "tests" \
+    cargo test --workspace --locked --quiet
 
-echo "== parcheck (serial vs global/matrix lookahead at 1/2/4 sim threads: byte-identical reports) =="
-cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --quick --out target/parsim_smoke.json
+gate "clippy (deny warnings)" \
+    cargo clippy --workspace --all-targets --locked -- -D warnings
 
-echo "== workloadcheck (driver bit-identity vs pre-refactor goldens + SmallBank ABI smoke) =="
-cargo run --release --locked -p bionicdb-bench --bin workloadcheck
+gate "chaos smoke (fixed-seed fault matrix incl. fleet-barrier crash)" \
+    cargo run --release --locked -p bionicdb-bench --bin chaos -- --smoke
 
-echo "== servecheck (virtual-time serving engine vs committed goldens, byte-for-byte) =="
-cargo run --release --locked -p bionicdb-bench --bin servecheck
+gate "fleetcheck (2-chip fleet vs in-process: byte-identical reports, shm + socket)" \
+    cargo run --release --locked -p bionicdb-bench --bin fleetcheck
 
-echo "== saturate (graceful-degradation claim: controlled >= 85% of peak at 2x, baseline < 50%) =="
-cargo run --release --locked -p bionicdb-bench --bin saturate -- --quick --json BENCH_serve.json
+gate "stats smoke (fixed-seed YCSB: determinism, schema, trace inertness)" \
+    cargo run --release --locked -p bionicdb-bench --bin statscheck -- --json target/stats_smoke.json
 
-echo "== benchdiff (full par study -> append results/bench_history.jsonl, gate vs baseline) =="
-cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --out BENCH_parsim.json
-cargo run --release --locked -p bionicdb-bench --bin benchdiff
+gate "parcheck (serial vs global/matrix lookahead at 1/2/4 sim threads: byte-identical reports)" \
+    cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --quick --out target/parsim_smoke.json
 
-echo "== dashboard (static HTML from the bench history) =="
-cargo run --release --locked -p bionicdb-bench --bin dashboard
+gate "workloadcheck (driver bit-identity vs pre-refactor goldens + SmallBank ABI smoke)" \
+    cargo run --release --locked -p bionicdb-bench --bin workloadcheck
 
+gate "servecheck (virtual-time serving engine vs committed goldens, byte-for-byte)" \
+    cargo run --release --locked -p bionicdb-bench --bin servecheck
+
+gate "saturate (graceful-degradation claim: controlled >= 85% of peak at 2x, baseline < 50%)" \
+    cargo run --release --locked -p bionicdb-bench --bin saturate -- --quick --json BENCH_serve.json
+
+gate "parsim full study (append results/bench_history.jsonl)" \
+    cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --out BENCH_parsim.json
+
+gate "benchdiff (gate vs recorded baseline)" \
+    cargo run --release --locked -p bionicdb-bench --bin benchdiff
+
+gate "dashboard (static HTML from the bench history)" \
+    cargo run --release --locked -p bionicdb-bench --bin dashboard
+
+echo
 echo "All checks passed."
