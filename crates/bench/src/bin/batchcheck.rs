@@ -1,0 +1,114 @@
+//! Gate for the batched-traversal subsystem (DESIGN.md §16), in three
+//! parts:
+//!
+//! 1. **Mode-off bit-inertness** — with `batch_mode: Off` (the default)
+//!    the batch knobs must be invisible: a machine configured with any
+//!    `batch_width` produces a byte-identical `MachineReport` JSON to the
+//!    stock configuration on the same workload. This is the structural
+//!    guarantee the workload/serve/fleet goldens rely on.
+//! 2. **Batched end-to-end smoke** — the same workload with
+//!    `batch_mode: TxnLocal` must complete (softcore tagging → coprocessor
+//!    diversion → batch engine → CP write-back) and surface the MLP
+//!    histogram in the report.
+//! 3. **Sweep golden** — the fixed-seed `--quick` sweep of the coproc-level
+//!    harness must match `crates/bench/golden/batch_golden.json`
+//!    byte-for-byte. Regenerate deliberately with `--capture` after an
+//!    intended timing change.
+
+use bionicdb::{BatchMode, BionicConfig, ExecMode, MachineReport};
+use bionicdb_bench::batchbench::{sweep, to_json};
+use bionicdb_bench::{bionic_ycsb_tput, ArgSpec, BenchArgs};
+use bionicdb_workloads::ycsb::{YcsbBionic, YcsbKind};
+use bionicdb_workloads::YcsbSpec;
+
+const SPEC: ArgSpec = ArgSpec {
+    bin: "batchcheck",
+    flags: &["--capture"],
+    options: &[],
+};
+
+const GOLDEN: &str = "crates/bench/golden/batch_golden.json";
+
+/// Run a small fixed YCSB wave and return the machine report JSON.
+fn ycsb_report(batch_mode: BatchMode, batch_width: usize) -> (u64, String) {
+    let cfg = BionicConfig {
+        workers: 2,
+        mode: ExecMode::Interleaved,
+        dram_bytes: 256 << 20,
+        block_arena_bytes: 8 << 20,
+        partition_bytes: 32 << 20,
+        batch_mode,
+        batch_width,
+        ..BionicConfig::default()
+    };
+    let spec = YcsbSpec {
+        records_per_partition: 2_048,
+        payload_len: 64,
+        ..YcsbSpec::default()
+    };
+    let mut y = YcsbBionic::build(cfg, spec, 60);
+    let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, 40);
+    (t.committed, MachineReport::collect(&y.machine).to_json())
+}
+
+fn main() {
+    let args = BenchArgs::from_env(&SPEC);
+
+    // 1. Mode off is bit-inert, whatever the width knob says.
+    let (c_stock, stock) = ycsb_report(BatchMode::Off, 8);
+    let (_, wide) = ycsb_report(BatchMode::Off, 32);
+    assert!(c_stock > 0, "the check workload commits work");
+    assert_eq!(
+        stock, wide,
+        "batch_mode: Off must make batch_width invisible byte-for-byte"
+    );
+    assert!(
+        !stock.contains("\"mlp\""),
+        "mode-off reports carry no MLP histogram"
+    );
+    println!("mode-off inertness: OK ({} bytes of report, {c_stock} txns)", stock.len());
+
+    // 2. Batching on completes the same workload end to end and surfaces
+    // the MLP instrumentation. (Cycle counts legitimately differ — the
+    // equivalence contract is results, not timing — so nothing else about
+    // the two reports is compared.)
+    let (c_batched, batched) = ycsb_report(BatchMode::TxnLocal, 8);
+    assert!(c_batched > 0, "batched workload commits work");
+    assert!(
+        batched.contains("\"mlp\""),
+        "batched reports carry the MLP histogram"
+    );
+    assert!(
+        batched.contains("\"batch.hash\"") && batched.contains("\"batch.skip\""),
+        "batched reports carry the engine stage rows"
+    );
+    println!("batched end-to-end: OK ({c_batched} txns committed)");
+
+    // 3. The quick sweep matches the committed golden byte-for-byte.
+    let got = to_json(&sweep(true), true);
+    if args.flag("--capture") {
+        std::fs::write(GOLDEN, &got).expect("write golden");
+        println!("captured {GOLDEN} ({} bytes)", got.len());
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("read {GOLDEN}: {e}; run `batchcheck --capture` once"));
+    if got != want {
+        let diff = got
+            .lines()
+            .zip(want.lines())
+            .enumerate()
+            .find(|(_, (g, w))| g != w);
+        if let Some((n, (g, w))) = diff {
+            eprintln!("first differing line {}:\n  got:  {g}\n  want: {w}", n + 1);
+        }
+        panic!(
+            "quick sweep diverged from {GOLDEN} ({} vs {} bytes). If the \
+             timing change is intended, regenerate with `batchcheck --capture`.",
+            got.len(),
+            want.len()
+        );
+    }
+    println!("sweep golden: OK ({} bytes)", got.len());
+    println!("batchcheck passed.");
+}

@@ -59,12 +59,13 @@ fn main() {
             data.push(',');
         }
         data.push_str(&format!(
-            "{{\"bench\":\"{}\",\"cycles_per_sec\":{:.3},\"unix_secs\":{},\"p99_ns\":{},\"committed_cycles\":{}}}",
+            "{{\"bench\":\"{}\",\"cycles_per_sec\":{:.3},\"unix_secs\":{},\"p99_ns\":{},\"committed_cycles\":{},\"mlp_peak\":{}}}",
             json_escape(&e.bench),
             e.cycles_per_sec,
             e.unix_secs,
             e.p99_ns.map_or("null".to_string(), |p| format!("{p:.1}")),
             e.committed_cycles.map_or("null".to_string(), |c| c.to_string()),
+            e.mlp_peak.map_or("null".to_string(), |m| m.to_string()),
         ));
     }
     data.push(']');
@@ -105,6 +106,7 @@ const TEMPLATE: &str = r#"<!DOCTYPE html>
   svg { width: 100%; height: 160px; }
   .cps { stroke: #2563eb; stroke-width: 2; fill: none; }
   .p99 { stroke: #dc2626; stroke-width: 1.5; fill: none; stroke-dasharray: 5 4; }
+  .mlp { stroke: #059669; stroke-width: 1.5; fill: none; stroke-dasharray: 2 3; }
   .dot { fill: #2563eb; }
   .axis { stroke: #ccc; stroke-width: 1; }
   .legend span { display: inline-block; margin-right: 1rem; font-size: .8rem; color: #444; }
@@ -118,6 +120,7 @@ const TEMPLATE: &str = r#"<!DOCTYPE html>
 <div class="legend">
   <span><i class="swatch" style="background:#2563eb"></i>cycles/sec (higher is better)</span>
   <span><i class="swatch" style="background:#dc2626"></i>p99 sojourn ns (lower is better, own scale)</span>
+  <span><i class="swatch" style="background:#059669"></i>MLP peak (outstanding DRAM reads, own scale)</span>
 </div>
 <div id="charts"></div>
 <script>
@@ -161,6 +164,8 @@ window.BENCHMARK_DATA = __BENCHMARK_DATA__;
     var cps = es.map(function (e) { return e.cycles_per_sec; });
     var p99 = es.filter(function (e) { return e.p99_ns !== null; })
                 .map(function (e) { return e.p99_ns; });
+    var mlp = es.filter(function (e) { return e.mlp_peak !== null; })
+                .map(function (e) { return e.mlp_peak; });
     var lo = Math.min.apply(null, cps), hi = Math.max.apply(null, cps);
     var svg = '<svg viewBox="0 0 ' + W + ' ' + H + '">' +
       '<line class="axis" x1="' + PAD + '" y1="' + (H - PAD) + '" x2="' + (W - PAD) +
@@ -168,6 +173,9 @@ window.BENCHMARK_DATA = __BENCHMARK_DATA__;
       path(cps, lo, hi, "cps");
     if (p99.length > 1) {
       svg += path(p99, Math.min.apply(null, p99), Math.max.apply(null, p99), "p99");
+    }
+    if (mlp.length > 1) {
+      svg += path(mlp, 0, Math.max.apply(null, mlp), "mlp");
     }
     var lastE = es[es.length - 1];
     var lx = PAD + (cps.length > 1 ? (W - 2 * PAD) : 0);
@@ -179,6 +187,7 @@ window.BENCHMARK_DATA = __BENCHMARK_DATA__;
     div.className = "chart";
     var latest = "latest " + fmt(lastE.cycles_per_sec) + " c/s";
     if (lastE.p99_ns !== null) latest += ", p99 " + fmt(lastE.p99_ns) + " ns";
+    if (lastE.mlp_peak !== null) latest += ", MLP peak " + lastE.mlp_peak;
     if (es.length > 1) {
       var first = es[0].cycles_per_sec || 1;
       latest += " (" + ((lastE.cycles_per_sec / first - 1) * 100).toFixed(1) + "% vs baseline)";

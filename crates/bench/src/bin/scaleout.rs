@@ -50,7 +50,7 @@ fn build(topology: Topology, remote_fraction: f64) -> YcsbBionic {
 /// simulated chips. The per-partition scale is shrunk far below the
 /// paper-figure spec (2 K records, 64 B payloads) so a 256-worker machine
 /// stays in the hundreds of megabytes, not the paper's tens of gigabytes.
-fn build_fleet(workers: usize, chips: usize) -> YcsbBionic {
+fn build_fleet(workers: usize, chips: usize, hops: u64) -> YcsbBionic {
     assert!(
         workers.is_multiple_of(chips),
         "worker count {workers} must divide evenly over {chips} chips"
@@ -59,7 +59,7 @@ fn build_fleet(workers: usize, chips: usize) -> YcsbBionic {
         workers,
         topology: Topology::MultiChip {
             workers_per_node: workers / chips,
-            inter_node_hops: 25,
+            inter_node_hops: hops,
         },
         mode: ExecMode::Interleaved,
         // 4 MB per worker (vs the paper-figure 192 MB): 2 K records at
@@ -98,7 +98,7 @@ fn run_fleet_study(args: &BenchArgs, chips: usize) {
     let mut table = Vec::new();
     let mut points = Vec::new();
     for workers in [64usize, 128, 256] {
-        let mut y = build_fleet(workers, chips);
+        let mut y = build_fleet(workers, chips, 25);
         let wall = Instant::now();
         let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave);
         let wall_secs = wall.elapsed().as_secs_f64();
@@ -122,6 +122,36 @@ fn run_fleet_study(args: &BenchArgs, chips: usize) {
         ]);
         points.push((workers, cps, cycles));
     }
+
+    // Inter-chip link-latency axis: the single-chip study already sweeps
+    // hops for the in-process machine; this repeats it for the *fleet*
+    // engine (64 workers), where a slow serial link also stretches the
+    // epoch barrier, not just individual messages.
+    let mut hop_table = Vec::new();
+    let mut hop_points = Vec::new();
+    for hops in [8u64, 25, 100, 400] {
+        let mut y = build_fleet(64, chips, hops);
+        let wall = Instant::now();
+        let t = bionic_ycsb_tput(&mut y, YcsbKind::ReadHomed, wave);
+        let wall_secs = wall.elapsed().as_secs_f64();
+        let cycles = y.machine.now();
+        let cps = cycles as f64 / wall_secs;
+        let ns = 3.0 * hops as f64 * 8.0;
+        json.push_str(&format!(
+            "  \"hops{hops}\": {{ \"workers\": 64, \"chips\": {chips}, \
+             \"inter_node_hops\": {hops}, \"committed\": {}, \"aborted\": {}, \
+             \"tput_per_sec\": {:.0}, \"wall_secs\": {wall_secs:.6}, \
+             \"cycles\": {cycles}, \"cycles_per_sec\": {cps:.0} }},\n",
+            t.committed, t.aborted, t.per_sec,
+        ));
+        hop_table.push(vec![
+            format!("{hops} hops ({ns:.0} ns)"),
+            format!("{:.1}", t.per_sec / 1e3),
+            format!("{:.2}", wall_secs),
+        ]);
+        hop_points.push((hops, cps, cycles));
+    }
+
     json.push_str(&format!("  \"wave\": {wave}\n}}\n"));
     std::fs::write(&out_path, json).expect("write BENCH_scaleout.json");
     println!("wrote {out_path}");
@@ -130,18 +160,31 @@ fn run_fleet_study(args: &BenchArgs, chips: usize) {
         &["deployment", "kTps (sim)", "wall s", "sim cycles/s"],
         &table,
     );
+    print_table(
+        &format!("Fleet scale-out: inter-chip link latency (64 workers, {chips} chips)"),
+        &["link latency", "kTps (sim)", "wall s"],
+        &hop_table,
+    );
 
     // Full runs feed the regression history `benchdiff` gates on; quick
     // waves are too small to be comparable and stay out of it (same rule
     // as `simperf`).
     if !quick {
         let now = history::now_unix();
+        let mut appended = 0usize;
         for (workers, cps, cycles) in points {
             let mut e = Entry::basic(&format!("scaleout-fleet-{workers}w{chips}c"), cps, now);
             e.committed_cycles = Some(cycles);
             history::append(history_path.as_ref(), &e).expect("append bench history");
+            appended += 1;
         }
-        println!("appended 3 entries to {history_path}");
+        for (hops, cps, cycles) in hop_points {
+            let mut e = Entry::basic(&format!("scaleout-fleet-hops{hops}-64w{chips}c"), cps, now);
+            e.committed_cycles = Some(cycles);
+            history::append(history_path.as_ref(), &e).expect("append bench history");
+            appended += 1;
+        }
+        println!("appended {appended} entries to {history_path}");
     }
 }
 

@@ -49,6 +49,7 @@ fn measure_onchip_pair(fpga: &FpgaConfig) -> OnchipPair {
             index: 0,
         },
         home: PartitionId(1),
+        batch_group: 0,
     };
     // Real requests carry seq >= 1 (seq 0 is reserved for unsequenced
     // packets in the worker glue).

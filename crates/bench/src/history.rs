@@ -34,6 +34,9 @@ pub struct Entry {
     /// Optional work-done metric: simulated cycles the run spent on
     /// committed work, for cross-run sanity (recorded, not gated).
     pub committed_cycles: Option<u64>,
+    /// Optional memory-level-parallelism metric: peak outstanding DRAM
+    /// reads on the busiest port (batchsweep rows; recorded, not gated).
+    pub mlp_peak: Option<u64>,
 }
 
 impl Entry {
@@ -45,6 +48,7 @@ impl Entry {
             unix_secs,
             p99_ns: None,
             committed_cycles: None,
+            mlp_peak: None,
         }
     }
 
@@ -65,6 +69,9 @@ impl Entry {
         }
         if let Some(cc) = self.committed_cycles {
             s.push_str(&format!(",\"committed_cycles\":{cc}"));
+        }
+        if let Some(mlp) = self.mlp_peak {
+            s.push_str(&format!(",\"mlp_peak\":{mlp}"));
         }
         s.push('}');
         s
@@ -121,12 +128,14 @@ pub fn parse_line(line: &str) -> Option<Entry> {
     let unix_secs: u64 = field(line, "\"unix_secs\":")?.parse().ok()?;
     let p99_ns = field(line, "\"p99_ns\":").and_then(|v| v.parse().ok());
     let committed_cycles = field(line, "\"committed_cycles\":").and_then(|v| v.parse().ok());
+    let mlp_peak = field(line, "\"mlp_peak\":").and_then(|v| v.parse().ok());
     Some(Entry {
         bench: bench.to_string(),
         cycles_per_sec,
         unix_secs,
         p99_ns,
         committed_cycles,
+        mlp_peak,
     })
 }
 
@@ -312,9 +321,11 @@ mod tests {
         let mut e = entry("serve-smallbank", 42.0, 7);
         e.p99_ns = Some(1234.5);
         e.committed_cycles = Some(999_888);
+        e.mlp_peak = Some(31);
         let parsed = parse_line(&e.render()).expect("parses");
         assert_eq!(parsed.p99_ns, Some(1234.5));
         assert_eq!(parsed.committed_cycles, Some(999_888));
+        assert_eq!(parsed.mlp_peak, Some(31));
         // Pre-schema line: optional fields absent, still parses.
         let old = "{\"bench\":\"a\",\"cycles_per_sec\":10.000,\"unix_secs\":1}";
         let parsed = parse_line(old).expect("old format parses");

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batchbench;
 pub mod chaos;
 pub mod history;
 pub mod json;

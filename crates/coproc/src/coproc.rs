@@ -13,9 +13,10 @@
 
 use bionicdb_fpga::{Dram, Fifo, FpgaConfig};
 use bionicdb_softcore::catalogue::IndexKind;
-use bionicdb_softcore::request::{DbOp, DbRequest, DbResponse};
+use bionicdb_softcore::request::{BatchMode, DbOp, DbRequest, DbResponse};
 use bionicdb_softcore::{DbResult, DbStatus};
 
+use crate::batch::{BatchEngine, BatchStats};
 use crate::hash::{HashPipeline, HashStats};
 use crate::layout::TableState;
 use crate::skiplist::{SkipPipeline, SkipStats};
@@ -40,6 +41,12 @@ pub struct CoprocConfig {
     /// Enable the BRAM lock tables (paper's hazard prevention). Disabling
     /// them reproduces the anomalies of paper Figs. 6a and 7a.
     pub hazard_prevention: bool,
+    /// Maximum probes per level-wise traversal batch (see [`BatchEngine`]).
+    /// Ignored while `batch_mode` is `Off`.
+    pub batch_width: usize,
+    /// Probe-batching mode. `Off` (the default) is bit-inert: the batch
+    /// engines are not even constructed, so no extra DRAM ports exist.
+    pub batch_mode: BatchMode,
 }
 
 impl CoprocConfig {
@@ -54,6 +61,8 @@ impl CoprocConfig {
             max_level: cfg.skiplist_max_level,
             max_inflight: cfg.max_inflight_db,
             hazard_prevention: true,
+            batch_width: 8,
+            batch_mode: BatchMode::Off,
         }
     }
 }
@@ -91,6 +100,11 @@ pub struct IndexCoproc {
     pub input: Fifo<DbRequest>,
     hash: HashPipeline,
     skip: SkipPipeline,
+    /// Level-wise batched probe engines (hash, skiplist). `None` when
+    /// [`CoprocConfig::batch_mode`] is `Off` — construction would register
+    /// DRAM ports, which the bit-inert default must not do.
+    batch_hash: Option<BatchEngine>,
+    batch_skip: Option<BatchEngine>,
     inflight: usize,
     max_inflight: usize,
     /// Completed responses for the worker glue to route.
@@ -119,6 +133,10 @@ impl IndexCoproc {
                 cfg.max_level,
                 cfg.hazard_prevention,
             ),
+            batch_hash: (cfg.batch_mode != BatchMode::Off)
+                .then(|| BatchEngine::new(dram, IndexKind::Hash, cfg.batch_width)),
+            batch_skip: (cfg.batch_mode != BatchMode::Off)
+                .then(|| BatchEngine::new(dram, IndexKind::Skiplist, cfg.batch_width)),
             inflight: 0,
             max_inflight: cfg.max_inflight,
             out: Fifo::new(64),
@@ -151,6 +169,14 @@ impl IndexCoproc {
         self.skip.stats()
     }
 
+    /// Batch-engine counters when batching is enabled: `(hash, skiplist)`.
+    pub fn batch_stats(&self) -> Option<(BatchStats, BatchStats)> {
+        match (&self.batch_hash, &self.batch_skip) {
+            (Some(h), Some(s)) => Some((h.stats(), s.stats())),
+            _ => None,
+        }
+    }
+
     /// Every pipeline stage's utilization counters under one label each:
     /// the hash pipeline's fixed stages and Traverse stages, then the
     /// skiplist's traversal/bottom/scanner stages. This is the per-stage
@@ -168,6 +194,14 @@ impl IndexCoproc {
             v.push((format!("hash.traverse[{i}]"), t));
         }
         v.extend(self.skip.stage_stats());
+        // Only present when batching is on, keeping mode-off reports
+        // byte-identical.
+        if let Some(b) = &self.batch_hash {
+            v.push(("batch.hash".to_string(), b.stage_stats()));
+        }
+        if let Some(b) = &self.batch_skip {
+            v.push(("batch.skip".to_string(), b.stage_stats()));
+        }
         v
     }
 
@@ -177,6 +211,8 @@ impl IndexCoproc {
             && self.inflight == 0
             && self.hash.is_idle()
             && self.skip.is_idle()
+            && self.batch_hash.as_ref().is_none_or(BatchEngine::is_idle)
+            && self.batch_skip.as_ref().is_none_or(BatchEngine::is_idle)
             && self.out.is_empty()
     }
 
@@ -192,10 +228,15 @@ impl IndexCoproc {
         {
             return Some(now + 1);
         }
-        match (self.hash.next_event(now), self.skip.next_event(now)) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        [
+            self.hash.next_event(now),
+            self.skip.next_event(now),
+            self.batch_hash.as_ref().and_then(|b| b.next_event(now)),
+            self.batch_skip.as_ref().and_then(|b| b.next_event(now)),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Fast-forward support: account for `k` skipped cycles. The coproc
@@ -206,6 +247,12 @@ impl IndexCoproc {
         self.stats.inflight_integral += self.inflight as u64 * k;
         self.hash.skip(k);
         self.skip.skip(k);
+        if let Some(b) = &mut self.batch_hash {
+            b.skip(k);
+        }
+        if let Some(b) = &mut self.batch_skip {
+            b.skip(k);
+        }
     }
 
     /// Advance the coprocessor by one cycle.
@@ -213,9 +260,16 @@ impl IndexCoproc {
         self.stats.cycles += 1;
         self.stats.inflight_integral += self.inflight as u64;
 
-        // Collect completions from both pipelines.
+        // Collect completions from both pipelines and the batch engines.
         while self.out.has_space() {
-            let Some(resp) = self.hash.out.pop().or_else(|| self.skip.out.pop()) else {
+            let resp = self
+                .hash
+                .out
+                .pop()
+                .or_else(|| self.skip.out.pop())
+                .or_else(|| self.batch_hash.as_mut().and_then(BatchEngine::pop_out))
+                .or_else(|| self.batch_skip.as_mut().and_then(BatchEngine::pop_out));
+            let Some(resp) = resp else {
                 break;
             };
             self.out.push(resp).expect("space checked");
@@ -225,6 +279,12 @@ impl IndexCoproc {
 
         self.hash.tick(now, dram, tables);
         self.skip.tick(now, dram, tables);
+        if let Some(b) = &mut self.batch_hash {
+            b.tick(now, dram, tables, Some(&self.hash));
+        }
+        if let Some(b) = &mut self.batch_skip {
+            b.tick(now, dram, tables, None);
+        }
 
         // Admit new requests under the in-flight bound.
         while self.inflight < self.max_inflight {
@@ -232,6 +292,27 @@ impl IndexCoproc {
                 break;
             };
             let kind = tables[req.table.0 as usize].meta.kind;
+            // Tagged read-set probes divert to the level-wise batch engine
+            // of their index kind (inserts and scans keep the pipelines).
+            if req.batch_group != 0
+                && matches!(req.op, DbOp::Search | DbOp::Update | DbOp::Remove)
+            {
+                let engine = match kind {
+                    IndexKind::Hash => self.batch_hash.as_mut(),
+                    IndexKind::Skiplist => self.batch_skip.as_mut(),
+                };
+                if let Some(engine) = engine {
+                    if engine.offer(req, now) {
+                        self.input.pop();
+                        self.inflight += 1;
+                        self.stats.admitted += 1;
+                        continue;
+                    }
+                    break; // engine full: head-of-line block, like a pipeline
+                }
+                // Mode off: an externally tagged request falls through to
+                // the per-probe pipelines.
+            }
             let ok = match (kind, req.op) {
                 (IndexKind::Hash, DbOp::Scan) => {
                     // Scans require a skiplist; reject as malformed.
@@ -284,10 +365,22 @@ mod tests {
 
     impl Rig {
         pub fn new(hazard_prevention: bool) -> Self {
+            Self::with_batching(hazard_prevention, BatchMode::Off, 8)
+        }
+
+        /// Build a rig with the batch engines enabled (used by the batched
+        /// vs. per-probe equivalence tests).
+        pub fn with_batching(
+            hazard_prevention: bool,
+            batch_mode: BatchMode,
+            batch_width: usize,
+        ) -> Self {
             let fcfg = FpgaConfig::default();
             let mut dram = Dram::new(&fcfg, 64 << 20);
             let mut cfg = CoprocConfig::from_fpga(&fcfg);
             cfg.hazard_prevention = hazard_prevention;
+            cfg.batch_mode = batch_mode;
+            cfg.batch_width = batch_width;
             let coproc = IndexCoproc::new(&cfg, &mut dram);
             // Transaction blocks are staged below 8 MiB; table state above it.
             let mut region = Region::new(8 << 20, 48 << 20);
@@ -345,6 +438,7 @@ mod tests {
                     index: cp,
                 },
                 home: PartitionId(0),
+                batch_group: 0,
             }
         }
 

@@ -29,7 +29,7 @@
 //! [`crate::coproc::CoprocConfig::hazard_prevention`] to `false` disables
 //! the lock table; the crate tests use that to *demonstrate* the anomaly.
 
-use bionicdb_fpga::stats::StageStats;
+use bionicdb_fpga::stats::{StageStats, WaveState};
 use bionicdb_fpga::{Dram, Fifo, LockTable, MemData};
 use bionicdb_softcore::request::{DbOp, DbRequest, DbResponse};
 use bionicdb_softcore::{DbResult, DbStatus, IndexKey};
@@ -187,6 +187,14 @@ impl HashPipeline {
         self.traverse.iter().map(|t| t.stats).collect()
     }
 
+    /// True when hazard prevention currently holds the bucket lock for
+    /// `(table, bucket)`. Consulted by the batch engine so a batched head
+    /// wave honours the same head-of-line rule as the Hash stage: no probe
+    /// reads a bucket head while an in-flight insert owns that bucket.
+    pub(crate) fn bucket_locked(&self, table: u8, bucket: u64) -> bool {
+        self.hazard_prevention && self.lock.is_locked(&(table, bucket))
+    }
+
     /// True when no operation is anywhere in the pipeline.
     pub fn is_idle(&self) -> bool {
         self.input.is_empty()
@@ -241,7 +249,9 @@ impl HashPipeline {
     pub fn skip(&mut self, k: u64) {
         for t in &mut self.traverse {
             if t.busy && t.pending.is_none() && t.parked.is_none() && !t.reader.has_ready() {
-                t.stats.stalled += k;
+                // A held-but-unprogressable span is `Waiting` under the
+                // unified wave-accounting rule (`StageStats::wave_skip`).
+                t.stats.wave_skip(WaveState::Waiting, k);
             }
         }
     }

@@ -20,6 +20,12 @@
 //!   insert-insert hazards (Fig. 7) prevented by entry-point locks and
 //!   stall-free scans serialized at the bottom stage.
 //!
+//! When [`CoprocConfig::batch_mode`] is enabled, read-set probes tagged
+//! with a batch group divert to [`batch`] — a level-wise batched traversal
+//! engine that walks up to `batch_width` probes together, issuing each
+//! index level's fetches as one deduplicated wave of outstanding DRAM
+//! reads (DESIGN.md §16). The default (`Off`) is bit-inert.
+//!
 //! Concurrency control (basic single-version timestamp ordering, paper
 //! §4.7) is evaluated *inside* the pipelines: the visibility check runs
 //! where the tuple header has just been fetched ([`cc`]).
@@ -27,6 +33,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod batch;
 pub mod cc;
 pub mod coproc;
 pub mod hash;
@@ -35,6 +42,7 @@ pub mod mem;
 pub mod sdbm;
 pub mod skiplist;
 
+pub use batch::{BatchEngine, BatchStats};
 pub use coproc::{CoprocConfig, CoprocStats, IndexCoproc};
 pub use layout::{RecordHeader, TableState};
 pub use sdbm::sdbm_hash;

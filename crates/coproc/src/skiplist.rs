@@ -33,7 +33,7 @@
 //! the structure consistent but the paper's fig. 7 anomaly (towers lost
 //! from upper levels) is observable through the recorded path statistics.
 
-use bionicdb_fpga::stats::StageStats;
+use bionicdb_fpga::stats::{StageStats, WaveState};
 use bionicdb_fpga::{Dram, Fifo, LockTable};
 use bionicdb_softcore::request::{DbOp, DbRequest, DbResponse};
 use bionicdb_softcore::{DbResult, DbStatus, IndexKey};
@@ -92,8 +92,9 @@ impl SkipItem {
 }
 
 /// Address of `tower.next[level]`, with the head sentinel mapped onto the
-/// directory array.
-fn next_ptr_addr(table: &TableState, tower: u64, level: usize) -> u64 {
+/// directory array. Shared with the batch engine, whose level-wise walk
+/// reads the same pointer cells.
+pub(crate) fn next_ptr_addr(table: &TableState, tower: u64, level: usize) -> u64 {
     if tower == 0 {
         table.head_next_addr(level)
     } else {
@@ -424,17 +425,19 @@ impl SkipPipeline {
     /// nothing per cycle, and every other configuration reports `now + 1`
     /// from [`Self::next_event`] and is never skipped over.
     pub fn skip(&mut self, k: u64) {
+        // An empty span is `Empty` under the unified wave-accounting rule
+        // (`StageStats::wave_skip`), the same bucket the batch engine uses.
         for s in &mut self.stages {
             if s.op.is_none() && s.forwarding.is_none() && s.input.is_empty() {
-                s.stats.idle += k;
+                s.stats.wave_skip(WaveState::Empty, k);
             }
         }
         if self.bottom.op.is_none() && self.bottom.input.is_empty() {
-            self.bottom.stats.idle += k;
+            self.bottom.stats.wave_skip(WaveState::Empty, k);
         }
         for sc in &mut self.scanners {
             if sc.op.is_none() {
-                sc.stats.idle += k;
+                sc.stats.wave_skip(WaveState::Empty, k);
             }
         }
     }

@@ -80,6 +80,7 @@ impl Rig {
                         index: (submitted % 256) as u16,
                     },
                     home: PartitionId(0),
+                    batch_group: 0,
                 };
                 self.coproc.input.push(req).expect("space checked");
                 submitted += 1;

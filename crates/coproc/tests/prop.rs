@@ -90,6 +90,7 @@ impl Rig {
                 index: cp,
             },
             home: PartitionId(0),
+            batch_group: 0,
         };
         self.coproc.input.push(req).expect("space");
         let mut result = None;

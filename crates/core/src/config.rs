@@ -3,7 +3,7 @@
 use bionicdb_coproc::CoprocConfig;
 use bionicdb_fpga::FpgaConfig;
 use bionicdb_noc::Topology;
-use bionicdb_softcore::ExecMode;
+use bionicdb_softcore::{BatchMode, ExecMode};
 
 /// Remote-request retry policy for the worker glue (see
 /// `worker::PartitionWorker`). When enabled, every remote DB instruction
@@ -71,6 +71,14 @@ pub struct BionicConfig {
     /// drop NoC messages (otherwise a dropped message wedges its
     /// transaction forever).
     pub noc_retry: Option<NocRetryConfig>,
+    /// Batched level-wise index traversal (DESIGN.md §16). `Off` (the
+    /// default) is bit-inert: no batch engines are constructed, no extra
+    /// DRAM ports registered, and every report stays byte-identical to the
+    /// unbatched machine.
+    pub batch_mode: BatchMode,
+    /// Maximum probes walked together by one batch engine (clamped to
+    /// 1..=64). Only consulted when `batch_mode != Off`.
+    pub batch_width: usize,
 }
 
 impl Default for BionicConfig {
@@ -86,6 +94,8 @@ impl Default for BionicConfig {
             hazard_prevention: true,
             max_batch: 64,
             noc_retry: None,
+            batch_mode: BatchMode::Off,
+            batch_width: 8,
         }
     }
 }
@@ -107,6 +117,8 @@ impl BionicConfig {
     pub fn coproc(&self) -> CoprocConfig {
         let mut c = CoprocConfig::from_fpga(&self.fpga);
         c.hazard_prevention = self.hazard_prevention;
+        c.batch_mode = self.batch_mode;
+        c.batch_width = self.batch_width;
         c
     }
 
@@ -136,6 +148,8 @@ mod tests {
         assert_eq!(c.workers, 4);
         assert_eq!(c.topology, Topology::Crossbar);
         assert_eq!(c.mode, ExecMode::Interleaved);
+        assert_eq!(c.batch_mode, BatchMode::Off);
+        assert_eq!(c.batch_width, 8);
         c.validate();
     }
 

@@ -68,8 +68,8 @@ pub use bionicdb_fpga::{FaultBudget, FaultPlan, FpgaConfig};
 pub use bionicdb_noc::Topology;
 pub use bionicdb_softcore::txnblock::TxnStatus;
 pub use bionicdb_softcore::{
-    asm, builder::ProcBuilder, Catalogue, ExecMode, IndexKey, PartitionId, ProcId, TableId,
-    TableMeta, TxnBlock,
+    asm, builder::ProcBuilder, BatchMode, Catalogue, ExecMode, IndexKey, PartitionId, ProcId,
+    TableId, TableMeta, TxnBlock,
 };
 
 /// Convenience trait for asserting on block outcomes.

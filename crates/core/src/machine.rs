@@ -86,6 +86,7 @@ impl SystemBuilder {
         let coproc_cfg = cfg.coproc();
         let mut sc_params = SoftcoreParams::from_fpga(&cfg.fpga, cfg.mode);
         sc_params.max_batch = cfg.max_batch;
+        sc_params.batch_mode = cfg.batch_mode;
         let noc = Noc::new(cfg.topology, cfg.workers, cfg.fpga.noc_hop_latency);
 
         // DRAM map: [0, 64 KiB) reserved; then per-worker block arena +
@@ -112,6 +113,10 @@ impl SystemBuilder {
                 cfg.fpga.skiplist_max_level,
             ));
             let mut bank = dram.bank();
+            // MLP occupancy sampling is only worth its per-issue cost when
+            // the batch engines are in play; leaving it off also keeps the
+            // default machine's reports byte-identical to older builds.
+            bank.set_mlp_tracking(cfg.batch_mode != bionicdb_softcore::BatchMode::Off);
             workers.push(PartitionWorker::new(
                 id,
                 sc_params,

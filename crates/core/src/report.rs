@@ -144,9 +144,26 @@ impl MachineReport {
             }
             let _ = write!(
                 o,
-                "{{\"reads\":{},\"writes\":{},\"bytes\":{},\"occupancy_cycles\":{}}}",
+                "{{\"reads\":{},\"writes\":{},\"bytes\":{},\"occupancy_cycles\":{}",
                 p.reads, p.writes, p.bytes, p.occupancy_cycles
             );
+            // MLP occupancy is sampled only when the machine enables
+            // `Dram::set_mlp_tracking` (batch mode); emitting the histogram
+            // conditionally keeps default-config reports byte-identical to
+            // pre-batching builds.
+            if p.mlp_peak > 0 {
+                o.push_str(",\"mlp\":{\"peak\":");
+                let _ = write!(o, "{}", p.mlp_peak);
+                o.push_str(",\"hist\":[");
+                for (j, c) in p.mlp_hist.iter().enumerate() {
+                    if j > 0 {
+                        o.push(',');
+                    }
+                    let _ = write!(o, "{c}");
+                }
+                o.push_str("]}");
+            }
+            o.push('}');
         }
         o.push_str("]}");
 

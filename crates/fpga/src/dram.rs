@@ -345,9 +345,30 @@ impl crate::wire::Wire for DramStats {
     }
 }
 
+/// Number of buckets in the [`PortStats::mlp_hist`] occupancy histogram.
+pub const MLP_BUCKETS: usize = 8;
+
+/// Bucket index for an outstanding-read count `n ≥ 1`: 1, 2, 3–4, 5–8,
+/// 9–16, 17–32, 33–64, 65+.
+pub fn mlp_bucket(n: u64) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        33..=64 => 6,
+        _ => 7,
+    }
+}
+
 /// Per-port DRAM accounting: who is generating the memory traffic. All
 /// counters are updated at issue time, so they are identical under strict
-/// stepping and fast-forward.
+/// stepping and fast-forward. (The MLP fields sample the port's
+/// outstanding-read occupancy at issue time too; the live count they sample
+/// decrements at response delivery, which the fast-forward scheduler hits
+/// on exactly the same cycles as strict ticking.)
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PortStats {
     /// Accepted read requests issued by this port.
@@ -359,6 +380,15 @@ pub struct PortStats {
     /// Controller bus cycles this port's bursts occupied (per-controller
     /// share of each transfer; the paper's bandwidth-occupancy proxy).
     pub occupancy_cycles: Cycle,
+    /// Outstanding-read (memory-level-parallelism) occupancy histogram:
+    /// each accepted read samples how many of this port's reads are then
+    /// in flight (itself included) into [`mlp_bucket`]'s buckets. Only
+    /// populated when [`Dram::set_mlp_tracking`] armed the sampler — all
+    /// zeros otherwise, and the report layer omits all-zero histograms, so
+    /// the default is schema- and byte-inert.
+    pub mlp_hist: [u64; MLP_BUCKETS],
+    /// Peak simultaneous outstanding reads sampled on this port.
+    pub mlp_peak: u64,
 }
 
 impl crate::wire::Wire for PortStats {
@@ -367,13 +397,27 @@ impl crate::wire::Wire for PortStats {
         self.writes.put(out);
         self.bytes.put(out);
         self.occupancy_cycles.put(out);
+        for b in &self.mlp_hist {
+            b.put(out);
+        }
+        self.mlp_peak.put(out);
     }
     fn get(r: &mut crate::wire::Reader<'_>) -> Self {
+        let reads = r.get();
+        let writes = r.get();
+        let bytes = r.get();
+        let occupancy_cycles = r.get();
+        let mut mlp_hist = [0u64; MLP_BUCKETS];
+        for b in &mut mlp_hist {
+            *b = r.get();
+        }
         PortStats {
-            reads: r.get(),
-            writes: r.get(),
-            bytes: r.get(),
-            occupancy_cycles: r.get(),
+            reads,
+            writes,
+            bytes,
+            occupancy_cycles,
+            mlp_hist,
+            mlp_peak: r.get(),
         }
     }
 }
@@ -416,6 +460,14 @@ pub struct Dram {
     /// fleet simulator arms it per-process and ships the journal at epoch
     /// barriers; `None` (the default) is bit-inert.
     journal: Option<WriteJournal>,
+    /// When armed, accepted reads sample their port's outstanding-read
+    /// occupancy into [`PortStats::mlp_hist`]. Off (the default) leaves
+    /// every statistic untouched.
+    mlp_tracking: bool,
+    /// Live outstanding-read count per port (parallel to `port_stats`).
+    /// Kept outside [`PortStats`] so [`Dram::reset_stats`] can clear the
+    /// histogram without corrupting in-flight accounting.
+    mlp_live: Vec<u64>,
 }
 
 impl Dram {
@@ -437,6 +489,8 @@ impl Dram {
             reads_seen: 0,
             cancelled_acks: 0,
             journal: None,
+            mlp_tracking: false,
+            mlp_live: Vec::new(),
         }
     }
 
@@ -459,7 +513,16 @@ impl Dram {
             reads_seen: 0,
             cancelled_acks: 0,
             journal: None,
+            mlp_tracking: self.mlp_tracking,
+            mlp_live: Vec::new(),
         }
+    }
+
+    /// Arm (or disarm) outstanding-read occupancy sampling on this view
+    /// (see [`PortStats::mlp_hist`]). Off by default; arming it changes
+    /// statistics only, never functional bytes or timing.
+    pub fn set_mlp_tracking(&mut self, on: bool) {
+        self.mlp_tracking = on;
     }
 
     /// Install an injected fault schedule (see [`crate::fault`]). An empty
@@ -478,6 +541,7 @@ impl Dram {
         let id = PortId(self.responses.len() as u32);
         self.responses.push(VecDeque::new());
         self.port_stats.push(PortStats::default());
+        self.mlp_live.push(0);
         id
     }
 
@@ -589,6 +653,12 @@ impl Dram {
             }
             ps.bytes += len;
             ps.occupancy_cycles += occupy;
+            if self.mlp_tracking && is_read {
+                let live = &mut self.mlp_live[port.0 as usize];
+                *live += 1;
+                ps.mlp_hist[mlp_bucket(*live)] += 1;
+                ps.mlp_peak = ps.mlp_peak.max(*live);
+            }
         }
         self.controllers[cidx].inflight.push_back((
             now + latency + occupy - 1 + fault_extra,
@@ -616,6 +686,11 @@ impl Dram {
                 if is_ack {
                     self.cancelled_acks += 1;
                 } else {
+                    if self.mlp_tracking {
+                        if let Some(live) = self.mlp_live.get_mut(port.0 as usize) {
+                            *live = live.saturating_sub(1);
+                        }
+                    }
                     self.responses[port.0 as usize].push_back(resp);
                 }
             }

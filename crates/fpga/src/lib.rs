@@ -45,7 +45,10 @@ pub mod stats;
 pub mod timing;
 pub mod wire;
 
-pub use dram::{Dram, DramStats, MemData, MemKind, MemRequest, MemResponse, PortId, PortStats, Tag};
+pub use dram::{
+    mlp_bucket, Dram, DramStats, MemData, MemKind, MemRequest, MemResponse, PortId, PortStats,
+    Tag, MLP_BUCKETS,
+};
 pub use obs::{
     AbortReasons, ChromeTraceSink, LatencyHistogram, NullSink, TraceSink, TxnEvent,
 };

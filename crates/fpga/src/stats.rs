@@ -55,6 +55,36 @@ impl StageStats {
         self.idle += 1;
     }
 
+    /// Record one cycle of a stage that holds a multi-probe *wave* under
+    /// the unified accounting rule (DESIGN.md §16): a cycle in which the
+    /// wave made progress (issued reads, resolved responses, launched or
+    /// retired a batch) is `busy`; a cycle holding work that could not
+    /// progress (all reads outstanding, a lock blocking the wave) is
+    /// `stalled`; a cycle with nothing held is `idle`. `retired` counts
+    /// probes completed this cycle. The legacy per-probe pipelines keep
+    /// their historical counters bit-for-bit (goldens depend on them) but
+    /// route their fast-forward accounting through [`Self::wave_skip`] so
+    /// both code paths share one definition of each bucket.
+    pub fn wave_tick(&mut self, state: WaveState, retired: u64) {
+        self.items += retired;
+        match state {
+            WaveState::Progressing => self.busy += 1,
+            WaveState::Waiting => self.stalled += 1,
+            WaveState::Empty => self.idle += 1,
+        }
+    }
+
+    /// Bulk form of [`Self::wave_tick`] for fast-forwarded spans: account
+    /// `k` cycles spent in one unchanging wave state (no items retire
+    /// during a skipped span by construction — retiring work is an event).
+    pub fn wave_skip(&mut self, state: WaveState, k: Cycle) {
+        match state {
+            WaveState::Progressing => self.busy += k,
+            WaveState::Waiting => self.stalled += k,
+            WaveState::Empty => self.idle += k,
+        }
+    }
+
     /// Fraction of observed cycles that were busy.
     pub fn utilization(&self) -> f64 {
         let total = self.busy + self.stalled + self.idle;
@@ -64,6 +94,18 @@ impl StageStats {
             self.busy as f64 / total as f64
         }
     }
+}
+
+/// What a wave-holding stage did during one cycle (or one fast-forwarded
+/// span); see [`StageStats::wave_tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveState {
+    /// Nothing held: no pending probes, no active wave.
+    Empty,
+    /// Work held but no forward progress (memory or lock wait).
+    Waiting,
+    /// The wave progressed: reads issued/resolved, probes launched/retired.
+    Progressing,
 }
 
 /// A simple throughput accumulator: operations completed over a cycle span.
@@ -109,6 +151,16 @@ mod tests {
         assert_eq!(s.stalled, 0);
         assert_eq!(s.idle, 3);
         assert!((s.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave_accounting_maps_states_to_buckets() {
+        let mut s = StageStats::default();
+        s.wave_tick(WaveState::Progressing, 3);
+        s.wave_tick(WaveState::Waiting, 0);
+        s.wave_tick(WaveState::Empty, 0);
+        s.wave_skip(WaveState::Empty, 5);
+        assert_eq!((s.busy, s.stalled, s.idle, s.items), (1, 1, 6, 3));
     }
 
     #[test]

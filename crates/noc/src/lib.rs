@@ -1119,6 +1119,7 @@ mod tests {
                     index: 0,
                 },
                 home: PartitionId(dst),
+                batch_group: 0,
             }),
         }
     }

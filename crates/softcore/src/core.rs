@@ -31,7 +31,7 @@ use bionicdb_fpga::{
 
 use crate::catalogue::{Catalogue, ProcId};
 use crate::isa::{AluOp, Cond, Inst, MemBase, Operand};
-use crate::request::{CpSlot, DbOp, DbRequest, PartitionId};
+use crate::request::{BatchMode, CpSlot, DbOp, DbRequest, PartitionId};
 use crate::result::{DbResult, DbStatus};
 use crate::txnblock::{BLOCK_HEADER_SIZE, COMMIT_TS_OFFSET, STATUS_OFFSET};
 
@@ -72,6 +72,9 @@ pub struct SoftcoreParams {
     pub max_batch: usize,
     /// Interleaved or serial execution.
     pub mode: ExecMode,
+    /// How read-set probes are grouped for the coprocessor's batched
+    /// level-wise traversal engine (DESIGN.md §16). `Off` is bit-inert.
+    pub batch_mode: BatchMode,
 }
 
 impl SoftcoreParams {
@@ -84,6 +87,7 @@ impl SoftcoreParams {
             num_registers: cfg.num_registers,
             max_batch: 64,
             mode,
+            batch_mode: BatchMode::Off,
         }
     }
 }
@@ -1128,6 +1132,17 @@ impl Softcore {
             other => unreachable!("not a DB instruction: {other:?}"),
         };
         let req_cp_index = (ctx.cp_base + cp.0 as u16) as usize;
+        // Batch-group tag for the coprocessor's level-wise traversal engine
+        // (DESIGN.md §16). Only read-set probes batch; inserts and scans
+        // keep their dedicated pipeline paths. The top bit keeps every
+        // group id distinct from the 0 = unbatched sentinel.
+        let batch_group = match (self.params.batch_mode, op) {
+            (BatchMode::Off, _) | (_, DbOp::Insert | DbOp::Scan) => 0,
+            (BatchMode::TxnLocal, _) => (1 << 63) | ctx.ts,
+            (BatchMode::CrossTxn, _) => {
+                (1 << 63) | (self.stats.batches << 10) | (self.worker.0 as u64 & 0x3ff)
+            }
+        };
         let req = DbRequest {
             op,
             table,
@@ -1145,6 +1160,7 @@ impl Softcore {
                 index: ctx.cp_base + cp.0 as u16,
             },
             home: self.resolve_home(ctx, home),
+            batch_group,
         };
         match db_out.push(req) {
             Ok(()) => {

@@ -39,6 +39,6 @@ pub use catalogue::{Catalogue, IndexKind, ProcId, TableId, TableMeta};
 pub use core::{ExecMode, Softcore, SoftcoreObs, SoftcoreStats};
 pub use isa::{AluOp, Cond, Cp, Gp, Inst, MemBase, Operand, Procedure};
 pub use key::IndexKey;
-pub use request::{CpSlot, DbOp, DbRequest, PartitionId};
+pub use request::{BatchMode, CpSlot, DbOp, DbRequest, PartitionId};
 pub use result::{DbResult, DbStatus};
 pub use txnblock::{TxnBlock, BLOCK_HEADER_SIZE};

@@ -24,6 +24,25 @@ pub struct CpSlot {
     pub index: u16,
 }
 
+/// How the softcore groups read-set probes for the coprocessor's batched
+/// level-wise traversal engine (DESIGN.md §16).
+///
+/// Off (the default) is bit-inert: no request carries a batch group, the
+/// coprocessor never constructs the batch engine, and every golden gate
+/// stays byte-identical. The other two modes tag Search/Update/Remove
+/// requests with a nonzero `batch_group`; requests sharing a group id are
+/// traversed together, one wave of DRAM reads per index level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// No batching (bit-inert default).
+    #[default]
+    Off,
+    /// Group probes issued by the same transaction (same begin-ts).
+    TxnLocal,
+    /// Group probes across co-resident transactions of one softcore batch.
+    CrossTxn,
+}
+
 /// The index operation requested (paper Table 2's DB instructions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DbOp {
@@ -65,6 +84,10 @@ pub struct DbRequest {
     pub cp: CpSlot,
     /// Home partition that owns the accessed key.
     pub home: PartitionId,
+    /// Batch-traversal group id; 0 = unbatched (see [`BatchMode`]).
+    /// Nonzero ids always have the top bit set, so they can never collide
+    /// with the unbatched sentinel.
+    pub batch_group: u64,
 }
 
 impl DbRequest {
@@ -141,6 +164,7 @@ impl Wire for DbRequest {
         self.ts.put(out);
         self.cp.put(out);
         self.home.put(out);
+        self.batch_group.put(out);
     }
     fn get(r: &mut Reader<'_>) -> Self {
         DbRequest {
@@ -153,6 +177,7 @@ impl Wire for DbRequest {
             ts: r.get(),
             cp: r.get(),
             home: r.get(),
+            batch_group: r.get(),
         }
     }
 }
@@ -189,8 +214,14 @@ mod tests {
                 index: 0,
             },
             home: PartitionId(home),
+            batch_group: 0,
         };
         assert!(!mk(3, 3).is_remote());
         assert!(mk(2, 3).is_remote());
+    }
+
+    #[test]
+    fn batch_mode_defaults_off() {
+        assert_eq!(BatchMode::default(), BatchMode::Off);
     }
 }

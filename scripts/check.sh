@@ -64,11 +64,17 @@ gate "workloadcheck (driver bit-identity vs pre-refactor goldens + SmallBank ABI
 gate "servecheck (virtual-time serving engine vs committed goldens, byte-for-byte)" \
     cargo run --release --locked -p bionicdb-bench --bin servecheck
 
+gate "batchcheck (batch mode-off bit-inertness + end-to-end smoke + quick-sweep golden)" \
+    cargo run --release --locked -p bionicdb-bench --bin batchcheck
+
 gate "saturate (graceful-degradation claim: controlled >= 85% of peak at 2x, baseline < 50%)" \
     cargo run --release --locked -p bionicdb-bench --bin saturate -- --quick --json BENCH_serve.json
 
 gate "parsim full study (append results/bench_history.jsonl)" \
     cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --out BENCH_parsim.json
+
+gate "batchsweep full study (2x-at-width-8 assertion, append history)" \
+    cargo run --release --locked -p bionicdb-bench --bin batchsweep -- --out BENCH_batch.json
 
 gate "benchdiff (gate vs recorded baseline)" \
     cargo run --release --locked -p bionicdb-bench --bin benchdiff
