@@ -1,32 +1,49 @@
 //! Saturation sweep: offered load vs goodput across the five serving
 //! workloads, baseline vs controlled.
 //!
-//! For each workload the bin probes the engine's mean service time under
-//! the core model, derives the capacity of `--servers` workers, and
-//! sweeps offered load as multiples of that capacity. Each sweep point
-//! runs twice through the virtual-time engine: once as the *no-control
-//! baseline* (unbounded FIFO, no deadline enforcement, naive immediate
-//! retry) and once as the *controlled server* (bounded deadline-aware
-//! queue, commit-point deadline aborts, budgeted backoff retry). The
-//! output is the paper-style degradation curve: offered load, goodput,
-//! sojourn p50/p95/p99, shed rate, timeout rate.
+//! For each workload the bin probes the execution engine's capacity,
+//! derives per-request deadlines from it, and sweeps offered load as
+//! multiples of that capacity. Each sweep point runs twice: once as the
+//! *no-control baseline* (unbounded FIFO, no deadline enforcement, naive
+//! immediate retry) and once as the *controlled server* (bounded
+//! deadline-aware queue, commit-point deadline aborts, budgeted backoff
+//! retry). The output is the paper-style degradation curve: offered load,
+//! goodput, sojourn p50/p95/p99, shed rate, timeout rate.
+//!
+//! `--engine` selects what executes the transactions:
+//!
+//! * `sim` (default) — the Silo baseline under the calibrated core model
+//!   (virtual time, byte-stable);
+//! * `hw` — the cycle-accurate BionicDB machine: dispatches inject
+//!   transactions mid-run through `Machine::inject_txn`/`step_until`
+//!   (DESIGN.md §17), capacity comes from a closed preloaded wave, and
+//!   the sweep additionally compares *batched admission* (front-end
+//!   request groups feeding `BatchMode::CrossTxn` index waves) against
+//!   unbatched dispatch at the saturation point — batching must not lose
+//!   goodput, and on the index-bound YCSB mixes it must win;
+//! * `--wall` — the wall-clock Silo engine (honest, not stable, never
+//!   asserted or recorded).
 //!
 //! The headline claim is asserted, not just plotted: at 2x saturation the
 //! controlled server must keep >= 85% of its peak goodput while the
-//! baseline falls below 50% of its own peak. The bin exits non-zero when
-//! either side fails, so `scripts/check.sh` gates on graceful
-//! degradation the same way it gates on correctness.
+//! baseline falls below 50% of its own peak — for the model engine *and*
+//! the hardware engine. The bin exits non-zero when either side fails, so
+//! `scripts/check.sh` gates on graceful degradation the same way it gates
+//! on correctness.
 //!
-//! Everything is virtual-time and fixed-seed, so `--json` dumps are
-//! byte-stable. `--wall` reruns the sweep on the wall-clock engine
-//! (honest, not stable, never asserted or recorded). Full runs (no
-//! `--quick`) append per-workload goodput and p99 rows to
-//! `results/bench_history.jsonl` for `benchdiff`.
+//! Everything except `--wall` is virtual-time and fixed-seed, so `--json`
+//! dumps are byte-stable. Full runs (no `--quick`) append per-workload
+//! goodput and p99 rows to `results/bench_history.jsonl` for `benchdiff`
+//! (`serve-*` keys for the model engine, `serve-hw-*` for the hardware
+//! engine).
 //!
-//! Usage: `saturate [--quick] [--wall] [--kind NAME] [--servers N]
-//!                  [--json PATH] [--history PATH]`
+//! Usage: `saturate [--quick] [--wall] [--engine sim|hw] [--kind NAME]
+//!                  [--servers N] [--json PATH] [--history PATH]`
 
 use bionicdb_bench::history::{self, Entry};
+use bionicdb_bench::serve::hw::{
+    hw_config, hw_servers, probe_hw, probe_hw_variant, simulate_hw, simulate_hw_variant,
+};
 use bionicdb_bench::serve::sim::{probe_service_ns, simulate};
 use bionicdb_bench::serve::wall::{probe_wall_service_ns, serve_wall};
 use bionicdb_bench::serve::{ArrivalProcess, ServeConfig, ServeSummary};
@@ -36,8 +53,23 @@ use bionicdb_workloads::{ServeKind, ServeMix};
 const SPEC: ArgSpec = ArgSpec {
     bin: "saturate",
     flags: &["--wall"],
-    options: &["--servers", "--kind", "--history"],
+    options: &["--servers", "--kind", "--history", "--engine"],
 };
+
+/// Partition workers the hardware engine simulates (its server count is
+/// `workers × max_batch` context slots, workload-dependent).
+const HW_WORKERS: usize = 2;
+
+/// What executes dispatched transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Silo under the calibrated core model, virtual time.
+    Sim,
+    /// Silo on real threads, wall-clock time.
+    Wall,
+    /// The cycle-accurate BionicDB machine.
+    Hw,
+}
 
 /// One sweep point's results, kept for the degradation verdict.
 struct Point {
@@ -50,7 +82,19 @@ struct Point {
 fn main() {
     let args = BenchArgs::from_env(&SPEC);
     let quick = args.quick();
-    let wall = args.flag("--wall");
+    let engine = match (args.flag("--wall"), args.value("--engine").unwrap_or("sim")) {
+        (true, "sim") => Engine::Wall,
+        (true, other) => {
+            eprintln!("saturate: --wall cannot combine with --engine {other}");
+            std::process::exit(2);
+        }
+        (false, "sim") => Engine::Sim,
+        (false, "hw") => Engine::Hw,
+        (false, other) => {
+            eprintln!("saturate: unknown --engine {other} (want sim or hw)");
+            std::process::exit(2);
+        }
+    };
     let servers: usize = args.parsed("--servers", 4);
     let only = args.value("--kind").map(|s| {
         ServeKind::parse(s).unwrap_or_else(|| {
@@ -72,14 +116,26 @@ fn main() {
     // overestimates steady-state service time (worst for scans) and the
     // sweep never actually overloads the server.
     let probe_txns = if quick { 400 } else { 1000 };
+    // The hardware probe is a closed wave per worker; far fewer
+    // transactions saturate the pipelines.
+    let hw_probe_txns = if quick { 48 } else { 192 };
     // Long enough that the overloaded points reach steady state — with a
     // short run the pre-backlog transient dominates and the unbounded
-    // queue's collapse is invisible.
-    let requests = if quick { 1500 } else { 5000 };
-    // Relative deadline in mean service times: loose enough that an
-    // uncontended request commits with lots of slack, tight enough that a
-    // backlog of a few dozen requests is unservable.
-    let deadline_mults = 25.0;
+    // queue's collapse is invisible. The cycle-accurate engine pays real
+    // simulation work per request, so its sweeps are smaller.
+    let requests = match (engine, quick) {
+        (Engine::Hw, true) => 1000,
+        (Engine::Hw, false) => 2500,
+        (_, true) => 1500,
+        (_, false) => 5000,
+    };
+    // Relative deadline: loose enough that an uncontended request commits
+    // with lots of slack, tight enough that a backlog of a few dozen
+    // requests is unservable. The sim scale is *one* mean service time;
+    // the hw scale is the mean *in-system* time of a fully loaded machine
+    // (already `slots` service times deep), so its multiplier is smaller
+    // for the same relative tightness.
+    let deadline_mults = if engine == Engine::Hw { 8.0 } else { 25.0 };
 
     let kinds: Vec<ServeKind> = ServeKind::ALL
         .into_iter()
@@ -90,32 +146,50 @@ fn main() {
     let mut failed = false;
 
     for kind in kinds {
-        // Probe on a private build: service time depends on database
-        // state, and every sweep run below also gets a fresh build so the
-        // fixed seed is byte-stable. Wall-clock sweeps probe wall-clock
+        // Probe on a private build: capacity depends on database state,
+        // and every sweep run below also gets a fresh build so the fixed
+        // seed is byte-stable. Wall-clock sweeps probe wall-clock
         // execution instead — the model's constants don't describe it.
-        let svc_ns = if wall {
-            probe_wall_service_ns(&ServeMix::build(kind, 1), kind.seed(), probe_txns)
-        } else {
-            probe_service_ns(&ServeMix::build(kind, 1), kind.seed(), probe_txns)
+        let (capacity_per_sec, scale_ns, eff_servers) = match engine {
+            Engine::Sim => {
+                let svc = probe_service_ns(&ServeMix::build(kind, 1), kind.seed(), probe_txns);
+                (servers as f64 * 1e9 / svc, svc, servers)
+            }
+            Engine::Wall => {
+                let svc = probe_wall_service_ns(&ServeMix::build(kind, 1), kind.seed(), probe_txns);
+                (servers as f64 * 1e9 / svc, svc, servers)
+            }
+            Engine::Hw => {
+                let p = probe_hw(kind, HW_WORKERS, hw_probe_txns);
+                (
+                    p.capacity_per_sec,
+                    p.mean_latency_ns,
+                    hw_servers(kind, HW_WORKERS),
+                )
+            }
         };
-        let capacity_per_sec = servers as f64 * 1e9 / svc_ns;
         // Wall-clock deadlines are floored well above the engines' sleep
         // and condvar granularity (~1 ms), or scheduling jitter alone
         // would time out every request.
-        let deadline_ns = if wall {
-            ((svc_ns * deadline_mults) as u64).max(5_000_000)
+        let deadline_ns = if engine == Engine::Wall {
+            ((scale_ns * deadline_mults) as u64).max(5_000_000)
         } else {
-            (svc_ns * deadline_mults) as u64
+            (scale_ns * deadline_mults) as u64
         };
         println!(
-            "\n{}: mean service {:.0} ns, {} servers => capacity {:.0} req/s, deadline {:.1} us",
+            "\n{}: scale {:.0} ns, {} servers => capacity {:.0} req/s, deadline {:.1} us",
             kind.name(),
-            svc_ns,
-            servers,
+            scale_ns,
+            eff_servers,
             capacity_per_sec,
             deadline_ns as f64 / 1e3,
         );
+
+        let run = |cfg: &ServeConfig, cross_txn: Option<usize>| match engine {
+            Engine::Sim => simulate(&ServeMix::build(kind, 1), cfg),
+            Engine::Wall => serve_wall(&ServeMix::build(kind, 1), cfg),
+            Engine::Hw => simulate_hw(kind, HW_WORKERS, cross_txn, cfg),
+        };
 
         let mut points: Vec<Point> = Vec::new();
         for &mult in mults {
@@ -123,33 +197,22 @@ fn main() {
             let arrivals = ArrivalProcess::Poisson {
                 rate_per_sec: offered,
             };
-            let run = |cfg: &ServeConfig| {
-                let mix = ServeMix::build(kind, 1);
-                if wall {
-                    serve_wall(&mix, cfg)
-                } else {
-                    simulate(&mix, cfg)
-                }
-            };
-            let baseline = run(&ServeConfig::baseline(
-                arrivals,
-                requests,
-                deadline_ns,
-                servers,
-                kind.seed(),
-            ));
+            let baseline = run(
+                &ServeConfig::baseline(arrivals, requests, deadline_ns, eff_servers, kind.seed()),
+                None,
+            );
             let mut ctrl_cfg =
-                ServeConfig::controlled(arrivals, requests, deadline_ns, servers, kind.seed());
-            if wall {
+                ServeConfig::controlled(arrivals, requests, deadline_ns, eff_servers, kind.seed());
+            if engine == Engine::Wall {
                 // The wall generator wakes on ~1 ms granularity and
                 // offers arrivals in bursts; bound the queue by a
                 // deadline's worth of servable work instead of a handful
                 // of slots, or the burstiness of the *harness* (not the
                 // load) dominates the shed rate.
                 ctrl_cfg.queue_capacity =
-                    ((servers as f64 * deadline_ns as f64 / svc_ns) as usize).max(4 * servers);
+                    ((servers as f64 * deadline_ns as f64 / scale_ns) as usize).max(4 * servers);
             }
-            let controlled = run(&ctrl_cfg);
+            let controlled = run(&ctrl_cfg, None);
             points.push(Point {
                 mult,
                 offered_per_sec: offered,
@@ -185,24 +248,29 @@ fn main() {
             &rows,
         );
 
+        let engine_tag = match engine {
+            Engine::Sim => "sim",
+            Engine::Wall => "wall",
+            Engine::Hw => "hw",
+        };
         for p in &points {
             for (mode, s) in [("baseline", &p.baseline), ("controlled", &p.controlled)] {
-                let label = format!("{}/{}/x{:.2}", kind.name(), mode, p.mult);
+                let label = format!("{engine_tag}/{}/{}/x{:.2}", kind.name(), mode, p.mult);
                 jout.push_raw(format!(
-                    "{{\"kind\":\"{}\",\"mode\":\"{mode}\",\"mult\":{:.2},\
-                     \"offered_per_sec\":{:.3},\"svc_ns\":{:.1},\"sum\":{}}}",
+                    "{{\"kind\":\"{}\",\"engine\":\"{engine_tag}\",\"mode\":\"{mode}\",\
+                     \"mult\":{:.2},\"offered_per_sec\":{:.3},\"svc_ns\":{:.1},\"sum\":{}}}",
                     kind.name(),
                     p.mult,
                     p.offered_per_sec,
-                    svc_ns,
+                    scale_ns,
                     s.render_json(&label),
                 ));
             }
         }
 
-        // The degradation verdict (virtual-time only: wall-clock numbers
-        // are honest but noisy).
-        if !wall {
+        // The degradation verdict (never wall-clock: those numbers are
+        // honest but noisy).
+        if engine != Engine::Wall {
             // Peak = best goodput in the capacity region (load <= 1x);
             // degradation is measured against what the server could do
             // before saturation, not against its own overloaded transient.
@@ -229,21 +297,76 @@ fn main() {
             );
             failed |= !ok;
             jout.push_raw(format!(
-                "{{\"kind\":\"{}\",\"mode\":\"verdict\",\"ctrl_frac_of_peak\":{:.4},\
-                 \"base_frac_of_peak\":{:.4},\"pass\":{}}}",
+                "{{\"kind\":\"{}\",\"engine\":\"{engine_tag}\",\"mode\":\"verdict\",\
+                 \"ctrl_frac_of_peak\":{:.4},\"base_frac_of_peak\":{:.4},\"pass\":{}}}",
                 kind.name(),
                 ctrl_frac,
                 base_frac,
                 ok
             ));
 
+            // Hardware engine: batched admission at the saturation point,
+            // on the *chained-hash* YCSB-C variant (16-deep chains, the
+            // regime the batched level-wise traversal engines exist for —
+            // stock one-hop hash probes have nothing to wave). Front-end
+            // groups ([`ServeConfig::with_batch`]) feed
+            // `BatchMode::CrossTxn`, so flushed requests enter one
+            // softcore interleaving batch and their index probes share
+            // DRAM waves; the waves must beat unbatched dispatch on
+            // goodput outright.
+            if engine == Engine::Hw && kind == ServeKind::YcsbC {
+                let width = 4usize;
+                let p = probe_hw_variant(kind, HW_WORKERS, hw_probe_txns, true);
+                let chain_deadline = (p.mean_latency_ns * deadline_mults) as u64;
+                let mk = |seed| {
+                    ServeConfig::controlled(
+                        ArrivalProcess::Poisson {
+                            rate_per_sec: 2.0 * p.capacity_per_sec,
+                        },
+                        requests,
+                        chain_deadline,
+                        eff_servers,
+                        seed,
+                    )
+                };
+                let unbatched =
+                    simulate_hw_variant(kind, HW_WORKERS, None, true, &mk(kind.seed()));
+                let batched_cfg = mk(kind.seed()).with_batch(width, (chain_deadline / 8).max(1));
+                let batched =
+                    simulate_hw_variant(kind, HW_WORKERS, Some(width), true, &batched_cfg);
+                let (ug, bg) = (unbatched.goodput_per_sec(), batched.goodput_per_sec());
+                let ok = bg > ug;
+                println!(
+                    "  batched admission @2.0x on chained-hash ycsb_c (width {width}): \
+                     {bg:.0} good/s vs {ug:.0} unbatched ({:.2}x, must beat) => {}",
+                    bg / ug.max(1e-9),
+                    if ok { "ok" } else { "FAILED" }
+                );
+                failed |= !ok;
+                for (mode, s) in [("chained_unbatched", &unbatched), ("chained_batched", &batched)]
+                {
+                    jout.push_raw(format!(
+                        "{{\"kind\":\"ycsb_c_chained\",\"engine\":\"hw\",\"mode\":\"{mode}\",\
+                         \"mult\":2.00,\"width\":{width},\"sum\":{}}}",
+                        s.render_json(&format!("hw/ycsb_c_chained/{mode}/x2.00")),
+                    ));
+                }
+            }
+
             // Full virtual-time runs feed the regression history: goodput
             // under 2x overload is the gated throughput metric, the
             // overloaded sojourn p99 the gated tail metric.
             if !quick {
-                let clock_hz = bionicdb_cpu_model::CpuConfig::default().clock_hz;
+                let clock_hz = match engine {
+                    Engine::Hw => hw_config(kind, HW_WORKERS, None).fpga.clock_hz,
+                    _ => bionicdb_cpu_model::CpuConfig::default().clock_hz,
+                };
+                let key = match engine {
+                    Engine::Hw => format!("serve-hw-{}", kind.name()),
+                    _ => format!("serve-{}", kind.name()),
+                };
                 let mut e = Entry::basic(
-                    &format!("serve-{}", kind.name()),
+                    &key,
                     at_top.controlled.goodput_per_sec(),
                     history::now_unix(),
                 );
@@ -251,7 +374,7 @@ fn main() {
                 e.committed_cycles =
                     Some(at_top.controlled.good_busy_ns * clock_hz / 1_000_000_000);
                 history::append(history_path.as_ref(), &e).expect("append bench history");
-                println!("  appended serve-{} to {history_path}", kind.name());
+                println!("  appended {key} to {history_path}");
             }
         }
     }

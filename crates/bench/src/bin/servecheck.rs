@@ -1,29 +1,40 @@
-//! Serving gate: proves the virtual-time serving engine is deterministic
-//! and pins its behaviour to a committed golden.
+//! Serving gate: proves the serving engines are deterministic and pins
+//! their behaviour to committed goldens.
 //!
-//! Two halves, mirroring `workloadcheck`:
+//! Two halves, mirroring `workloadcheck`, each applied to two engines:
 //!
-//! 1. **Golden bit-identity** — a fixed scenario matrix (every serving
-//!    workload under the controlled config at 1.5x capacity, plus one
-//!    scenario per shedding policy and the no-control baseline on
-//!    SmallBank) runs through the virtual-time engine and each summary's
-//!    deterministic JSON row is compared byte-for-byte against
-//!    `crates/bench/golden/serve_golden.json`. `--capture` regenerates
-//!    the file; only do that deliberately.
-//! 2. **Determinism smoke** — the entire matrix runs twice; the two
-//!    documents must be byte-identical. Virtual time, fixed seeds, and
-//!    deterministic record/index addresses make this exact, on any host.
+//! 1. **Golden bit-identity** — a fixed scenario matrix runs and each
+//!    summary's deterministic JSON row is compared byte-for-byte against
+//!    a committed golden file. The *Silo* matrix (every serving workload
+//!    under the controlled config at 1.5x capacity, plus one scenario per
+//!    shedding policy and the no-control baseline on SmallBank) pins
+//!    `crates/bench/golden/serve_golden.json`; the *hardware* matrix
+//!    (controlled serving on the cycle-accurate machine for two kinds,
+//!    plus one batched-admission run feeding `BatchMode::CrossTxn`) pins
+//!    `crates/bench/golden/serve_hw_golden.json`. `--capture` regenerates
+//!    both files; only do that deliberately.
+//! 2. **Determinism smoke** — each matrix runs twice; the two documents
+//!    must be byte-identical. Virtual time, fixed seeds, deterministic
+//!    record/index addresses — and for the hardware engine, the
+//!    injection-equivalence contract of `Machine::step_until` — make
+//!    this exact, on any host.
 //!
 //! `scripts/check.sh` runs this bin as the `servecheck` step.
 
+use bionicdb_bench::serve::hw::{hw_servers, probe_hw, simulate_hw};
 use bionicdb_bench::serve::sim::{probe_service_ns, simulate};
 use bionicdb_bench::serve::{ArrivalProcess, RetryMode, ServeConfig, ShedPolicy};
 use bionicdb_bench::{ArgSpec, BenchArgs};
 use bionicdb_workloads::{ServeKind, ServeMix};
 
-/// Where the golden rows live, relative to the bench crate.
+/// Where the Silo-engine golden rows live, relative to the bench crate.
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/serve_golden.json")
+}
+
+/// Where the hardware-engine golden rows live.
+fn hw_golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/serve_hw_golden.json")
 }
 
 /// Run the fixed scenario matrix and render one JSON row per run. The
@@ -108,6 +119,103 @@ fn golden_rows() -> Vec<String> {
     rows
 }
 
+/// The hardware-engine scenario matrix: the full serving stack (open-loop
+/// arrivals, admission control, deadlines, budgeted retry) against the
+/// cycle-accurate machine, pinned byte-for-byte. Small on purpose — each
+/// request simulates real hardware cycles — but it covers the three paths
+/// that matter: a commit-dominated kind (SmallBank at depth-2
+/// interleaving, where OCC aborts feed retries too), the deep-interleave
+/// YCSB-C, and batched admission feeding `BatchMode::CrossTxn` waves.
+fn hw_golden_rows() -> Vec<String> {
+    let workers = 2;
+    let requests = 150;
+    let mut rows = Vec::new();
+
+    for kind in [ServeKind::SmallBank, ServeKind::YcsbC] {
+        let probe = probe_hw(kind, workers, 48);
+        let cfg = ServeConfig::controlled(
+            ArrivalProcess::Poisson {
+                rate_per_sec: 1.5 * probe.capacity_per_sec,
+            },
+            requests,
+            (probe.mean_latency_ns * 8.0) as u64,
+            hw_servers(kind, workers),
+            kind.seed(),
+        );
+        let sum = simulate_hw(kind, workers, None, &cfg);
+        sum.assert_conserved();
+        rows.push(sum.render_json(&format!("hw/controlled/{}", kind.name())));
+    }
+
+    // Batched admission: front-end groups of 4 entering CrossTxn index
+    // waves together.
+    let kind = ServeKind::YcsbC;
+    let probe = probe_hw(kind, workers, 48);
+    let width = 4;
+    let deadline = (probe.mean_latency_ns * 8.0) as u64;
+    let cfg = ServeConfig::controlled(
+        ArrivalProcess::Poisson {
+            rate_per_sec: 1.5 * probe.capacity_per_sec,
+        },
+        requests,
+        deadline,
+        hw_servers(kind, workers),
+        kind.seed(),
+    )
+    .with_batch(width, (deadline / 8).max(1));
+    let sum = simulate_hw(kind, workers, Some(width), &cfg);
+    sum.assert_conserved();
+    rows.push(sum.render_json("hw/batched/ycsb_c"));
+
+    rows
+}
+
+/// Gate one engine's matrix against its golden file: run twice for
+/// byte-identity, validate JSON, then capture or diff.
+fn gate_matrix(
+    what: &str,
+    rows: &[String],
+    again: &[String],
+    path: &std::path::Path,
+    capture: bool,
+) {
+    let doc: String = rows.join("\n") + "\n";
+    let again: String = again.join("\n") + "\n";
+    assert_eq!(doc, again, "servecheck: {what} rerun is not byte-identical");
+    println!(
+        "servecheck: {} {what} rows byte-identical across reruns",
+        rows.len()
+    );
+
+    for row in rows {
+        bionicdb_bench::json::validate(row).expect("serve rows are well-formed JSON");
+    }
+
+    if capture {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir golden/");
+        std::fs::write(path, &doc).expect("write goldens");
+        println!("captured {} {what} rows to {}", rows.len(), path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file present (regenerate deliberately with --capture)");
+    if doc != golden {
+        for (i, (got, want)) in doc.lines().zip(golden.lines()).enumerate() {
+            if got != want {
+                eprintln!("{what} row {i} differs:\n  want: {want}\n  got:  {got}");
+            }
+        }
+        assert_eq!(
+            doc.lines().count(),
+            golden.lines().count(),
+            "{what} golden row count drifted"
+        );
+        panic!("{what} serving output drifted from the committed goldens");
+    }
+    println!("servecheck: {} {what} golden rows bit-identical", rows.len());
+}
+
 fn main() {
     let args = BenchArgs::from_env(&ArgSpec {
         bin: "servecheck",
@@ -116,44 +224,13 @@ fn main() {
     });
     let capture = args.flag("--capture");
 
-    let rows = golden_rows();
-    let doc: String = rows.join("\n") + "\n";
-
-    // Determinism smoke: the whole matrix again, byte-for-byte.
-    let again: String = golden_rows().join("\n") + "\n";
-    assert_eq!(doc, again, "servecheck: rerun is not byte-identical");
-    println!("servecheck: {} rows byte-identical across reruns", rows.len());
-
-    for row in &rows {
-        bionicdb_bench::json::validate(row).expect("serve rows are well-formed JSON");
-    }
-
-    if capture {
-        std::fs::create_dir_all(golden_path().parent().unwrap()).expect("mkdir golden/");
-        std::fs::write(golden_path(), &doc).expect("write goldens");
-        println!(
-            "captured {} golden rows to {}",
-            rows.len(),
-            golden_path().display()
-        );
-        return;
-    }
-
-    let golden = std::fs::read_to_string(golden_path())
-        .expect("golden file present (regenerate deliberately with --capture)");
-    if doc != golden {
-        for (i, (got, want)) in doc.lines().zip(golden.lines()).enumerate() {
-            if got != want {
-                eprintln!("row {i} differs:\n  want: {want}\n  got:  {got}");
-            }
-        }
-        assert_eq!(
-            doc.lines().count(),
-            golden.lines().count(),
-            "golden row count drifted"
-        );
-        panic!("serving engine output drifted from the committed goldens");
-    }
-    println!("servecheck: {} golden rows bit-identical", rows.len());
+    gate_matrix("silo", &golden_rows(), &golden_rows(), &golden_path(), capture);
+    gate_matrix(
+        "hw",
+        &hw_golden_rows(),
+        &hw_golden_rows(),
+        &hw_golden_path(),
+        capture,
+    );
     println!("servecheck: all checks passed");
 }

@@ -360,6 +360,43 @@ mod tests {
     }
 
     #[test]
+    fn serve_hw_rows_gate_like_any_other_key() {
+        // The hardware-engine serving rows (`serve-hw-*`, appended by
+        // full `saturate --engine hw` runs) ride the same generic gates:
+        // a >10% goodput drop or a >10% p99 rise against the key's own
+        // baseline fails `benchdiff`, independently of the model-engine
+        // `serve-*` rows.
+        let with_p99 = |b: &str, cps: f64, t: u64, p99: f64| {
+            let mut e = entry(b, cps, t);
+            e.p99_ns = Some(p99);
+            e
+        };
+        let entries = vec![
+            with_p99("serve-smallbank", 100.0, 1, 1000.0),
+            with_p99("serve-hw-smallbank", 4000.0, 1, 800.0),
+            with_p99("serve-smallbank", 99.0, 2, 1010.0),
+            // hw goodput holds but its p99 rises 25%: only the hw key's
+            // tail gate fires.
+            with_p99("serve-hw-smallbank", 4010.0, 2, 1000.0),
+        ];
+        let verdicts = check(&entries, DEFAULT_TOLERANCE);
+        let sim = verdicts.iter().find(|v| v.bench == "serve-smallbank").unwrap();
+        let hw = verdicts
+            .iter()
+            .find(|v| v.bench == "serve-hw-smallbank")
+            .unwrap();
+        assert!(!sim.regressed && !sim.p99_regressed, "{sim:?}");
+        assert!(!hw.regressed, "goodput held: {hw:?}");
+        assert!(hw.p99_regressed, "25% tail rise must gate: {hw:?}");
+        // And a goodput collapse on the hw key alone gates too.
+        let entries = vec![
+            with_p99("serve-hw-ycsb_c", 5000.0, 1, 700.0),
+            with_p99("serve-hw-ycsb_c", 3000.0, 2, 700.0),
+        ];
+        assert!(check(&entries, DEFAULT_TOLERANCE)[0].regressed);
+    }
+
+    #[test]
     fn truncating_the_tail_at_every_byte_offset_salvages_the_prefix() {
         // Two full-schema rows; the second gets torn at every possible
         // byte offset. At no offset may the torn tail mis-parse into an

@@ -43,7 +43,102 @@ pub enum ArrivalProcess {
     },
 }
 
+/// Why a serving configuration was rejected. Degenerate parameters (zero
+/// or NaN rates, a zero-capacity admission queue) used to slip through
+/// and produce nonsense sweeps — infinite gaps, instant shedding of all
+/// traffic — that looked like measurements; constructors now refuse them
+/// up front with a typed error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeConfigError {
+    /// An arrival rate was zero, negative, NaN, or infinite. Carries the
+    /// parameter name and the offending value.
+    InvalidRate(&'static str, f64),
+    /// An MMPP phase dwell time was zero (the chain would flip phases
+    /// every nanosecond walked, emitting nothing).
+    ZeroDwell(&'static str),
+    /// A bounded shedding policy with a zero-capacity queue: every
+    /// request is shed on arrival and the sweep measures nothing.
+    ZeroQueueCapacity,
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::InvalidRate(name, v) => {
+                write!(f, "{name} must be positive and finite, got {v}")
+            }
+            ServeConfigError::ZeroDwell(name) => {
+                write!(f, "{name} must be nonzero (MMPP phases need dwell time)")
+            }
+            ServeConfigError::ZeroQueueCapacity => {
+                write!(f, "bounded admission queue needs capacity >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// `true` for a usable per-second rate: positive and finite.
+fn rate_ok(r: f64) -> bool {
+    r.is_finite() && r > 0.0
+}
+
 impl ArrivalProcess {
+    /// A validated Poisson process, rejecting zero/negative/NaN/infinite
+    /// rates with a typed error.
+    pub fn poisson(rate_per_sec: f64) -> Result<ArrivalProcess, ServeConfigError> {
+        if !rate_ok(rate_per_sec) {
+            return Err(ServeConfigError::InvalidRate("rate_per_sec", rate_per_sec));
+        }
+        Ok(ArrivalProcess::Poisson { rate_per_sec })
+    }
+
+    /// A validated 2-state MMPP, rejecting degenerate rates and zero
+    /// phase dwell times with a typed error.
+    pub fn mmpp(
+        base_rate: f64,
+        burst_rate: f64,
+        mean_base_ns: u64,
+        mean_burst_ns: u64,
+    ) -> Result<ArrivalProcess, ServeConfigError> {
+        if !rate_ok(base_rate) {
+            return Err(ServeConfigError::InvalidRate("base_rate", base_rate));
+        }
+        if !rate_ok(burst_rate) {
+            return Err(ServeConfigError::InvalidRate("burst_rate", burst_rate));
+        }
+        if mean_base_ns == 0 {
+            return Err(ServeConfigError::ZeroDwell("mean_base_ns"));
+        }
+        if mean_burst_ns == 0 {
+            return Err(ServeConfigError::ZeroDwell("mean_burst_ns"));
+        }
+        Ok(ArrivalProcess::Mmpp {
+            base_rate,
+            burst_rate,
+            mean_base_ns,
+            mean_burst_ns,
+        })
+    }
+
+    /// Check the process's parameters (the named constructors call this;
+    /// [`super::ServeConfig::validate`] re-checks literals built directly).
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                ArrivalProcess::poisson(rate_per_sec).map(|_| ())
+            }
+            ArrivalProcess::Mmpp {
+                base_rate,
+                burst_rate,
+                mean_base_ns,
+                mean_burst_ns,
+            } => ArrivalProcess::mmpp(base_rate, burst_rate, mean_base_ns, mean_burst_ns)
+                .map(|_| ()),
+        }
+    }
+
     /// The long-run mean rate (requests per second) — what a load
     /// multiplier scales against.
     pub fn mean_rate(&self) -> f64 {
@@ -172,6 +267,55 @@ mod tests {
             (rate - want).abs() / want < 0.15,
             "rate {rate}/s vs analytic {want}/s"
         );
+    }
+
+    #[test]
+    fn poisson_constructor_rejects_degenerate_rates() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ArrivalProcess::poisson(bad).unwrap_err();
+            assert!(
+                matches!(err, ServeConfigError::InvalidRate("rate_per_sec", _)),
+                "{bad}: {err}"
+            );
+        }
+        assert!(ArrivalProcess::poisson(1.0).is_ok());
+    }
+
+    #[test]
+    fn mmpp_constructor_rejects_each_degenerate_parameter() {
+        let ok = (1e5, 1e6, 1_000_000u64, 250_000u64);
+        assert!(ArrivalProcess::mmpp(ok.0, ok.1, ok.2, ok.3).is_ok());
+        assert_eq!(
+            ArrivalProcess::mmpp(0.0, ok.1, ok.2, ok.3).unwrap_err(),
+            ServeConfigError::InvalidRate("base_rate", 0.0)
+        );
+        assert!(matches!(
+            ArrivalProcess::mmpp(ok.0, f64::NAN, ok.2, ok.3).unwrap_err(),
+            ServeConfigError::InvalidRate("burst_rate", _)
+        ));
+        assert_eq!(
+            ArrivalProcess::mmpp(ok.0, ok.1, 0, ok.3).unwrap_err(),
+            ServeConfigError::ZeroDwell("mean_base_ns")
+        );
+        assert_eq!(
+            ArrivalProcess::mmpp(ok.0, ok.1, ok.2, 0).unwrap_err(),
+            ServeConfigError::ZeroDwell("mean_burst_ns")
+        );
+    }
+
+    #[test]
+    fn validate_catches_literals_built_directly() {
+        let bad = ArrivalProcess::Poisson {
+            rate_per_sec: f64::NAN,
+        };
+        assert!(bad.validate().is_err());
+        let good = ArrivalProcess::Mmpp {
+            base_rate: 1e5,
+            burst_rate: 1e6,
+            mean_base_ns: 1,
+            mean_burst_ns: 1,
+        };
+        assert!(good.validate().is_ok());
     }
 
     #[test]

@@ -18,24 +18,37 @@
 //! ## Layout
 //!
 //! * [`arrival`] — the open-loop arrival processes (Poisson, 2-state
-//!   MMPP);
+//!   MMPP), with typed validation errors for degenerate parameters;
 //! * [`queue`] — the bounded admission queue and shedding policies, a
-//!   pure data structure shared by both engines;
-//! * [`sim`] — the deterministic virtual-time engine: service times come
-//!   from the calibrated Xeon core model, events run on a discrete-event
-//!   heap, summaries are byte-stable (the `servecheck` CI gate);
+//!   pure data structure shared by every engine;
+//! * [`engine`] — the engine-agnostic front end: the [`ServeEngine`]
+//!   trait (admit → dispatch → completion events in virtual time), the
+//!   generic serving loop, and the [`BatchPolicy`] cross-transaction
+//!   batching dispatcher;
+//! * [`sim`] — the Silo virtual-time engine: service times come from the
+//!   calibrated Xeon core model, events run on a discrete-event heap,
+//!   summaries are byte-stable (the `servecheck` CI gate);
+//! * [`hw`] — the BionicDB hardware engine: dispatches inject
+//!   transactions into the cycle-accurate [`bionicdb::Machine`] mid-run
+//!   (`inject_txn`/`step_until`, DESIGN.md §17) and completions surface
+//!   at exact simulated-commit times;
 //! * [`wall`] — the wall-clock engine: real threads, real sleeps, real
 //!   [`bionicdb_silo::CancelToken`] deadline aborts at the commit point.
 //!
-//! The transaction mixes come from [`bionicdb_workloads::ServeMix`] — the
-//! same five Silo systems the closed-loop figures drive.
+//! The Silo transaction mixes come from [`bionicdb_workloads::ServeMix`]
+//! — the same five systems the closed-loop figures drive; the hardware
+//! engine maps each [`bionicdb_workloads::ServeKind`] onto the matching
+//! BionicDB workload through the `Workload` ABI.
 
 pub mod arrival;
+pub mod engine;
+pub mod hw;
 pub mod queue;
 pub mod sim;
 pub mod wall;
 
-pub use arrival::{ArrivalGen, ArrivalProcess};
+pub use arrival::{ArrivalGen, ArrivalProcess, ServeConfigError};
+pub use engine::{BatchPolicy, Completion, Dispatch, ServeEngine};
 pub use queue::{AdmissionQueue, Shed, ShedPolicy, Ticket};
 
 use bionicdb_fpga::obs::LatencyHistogram;
@@ -145,6 +158,12 @@ pub struct ServeConfig {
     /// RNG seed (arrival gaps and transaction parameter draws use
     /// decorrelated streams derived from it).
     pub seed: u64,
+    /// Cross-transaction batching at the dispatcher: admitted requests
+    /// stage into groups before entering the engine (see
+    /// [`engine::BatchPolicy`]). `None` — every stock configuration —
+    /// dispatches one at a time, byte-identical to the pre-batching
+    /// front end.
+    pub batch: Option<BatchPolicy>,
 }
 
 impl ServeConfig {
@@ -167,6 +186,7 @@ impl ServeConfig {
             arrivals,
             requests,
             seed,
+            batch: None,
         }
     }
 
@@ -195,7 +215,32 @@ impl ServeConfig {
             arrivals,
             requests,
             seed,
+            batch: None,
         }
+    }
+
+    /// Enable cross-transaction batched admission (builder style): stage
+    /// admitted requests into groups of `width`, flushing a non-full
+    /// group once its oldest member has waited `age_flush_ns`.
+    pub fn with_batch(mut self, width: usize, age_flush_ns: u64) -> ServeConfig {
+        self.batch = Some(BatchPolicy {
+            width,
+            age_flush_ns,
+        });
+        self
+    }
+
+    /// Reject degenerate parameters with a typed error: invalid arrival
+    /// rates (zero/negative/NaN/infinite), zero MMPP dwell times, and a
+    /// zero-capacity queue under a bounded shedding policy (which would
+    /// shed every request on arrival and measure nothing). The engines
+    /// call this before running.
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        self.arrivals.validate()?;
+        if self.policy != ShedPolicy::None && self.queue_capacity == 0 {
+            return Err(ServeConfigError::ZeroQueueCapacity);
+        }
+        Ok(())
     }
 }
 
@@ -409,6 +454,60 @@ mod tests {
         s.assert_conserved();
         assert_eq!(s.render_json("x"), s.render_json("x"));
         assert!(s.render_json("x").starts_with("{\"label\":\"x\",\"fresh\":10,"));
+    }
+
+    #[test]
+    fn config_validate_rejects_degenerate_setups() {
+        let good = ServeConfig::controlled(
+            ArrivalProcess::Poisson { rate_per_sec: 1e5 },
+            10,
+            1_000_000,
+            2,
+            1,
+        );
+        assert!(good.validate().is_ok());
+
+        let mut bad_rate = good;
+        bad_rate.arrivals = ArrivalProcess::Poisson {
+            rate_per_sec: f64::NAN,
+        };
+        assert!(matches!(
+            bad_rate.validate().unwrap_err(),
+            ServeConfigError::InvalidRate("rate_per_sec", _)
+        ));
+
+        let mut zero_cap = good;
+        zero_cap.queue_capacity = 0;
+        assert_eq!(
+            zero_cap.validate().unwrap_err(),
+            ServeConfigError::ZeroQueueCapacity
+        );
+
+        // An *unbounded* queue never consults its capacity: zero is fine.
+        let mut unbounded = good;
+        unbounded.policy = ShedPolicy::None;
+        unbounded.queue_capacity = 0;
+        assert!(unbounded.validate().is_ok());
+    }
+
+    #[test]
+    fn with_batch_sets_policy_and_stock_configs_have_none() {
+        let cfg = ServeConfig::baseline(
+            ArrivalProcess::Poisson { rate_per_sec: 1e5 },
+            10,
+            1_000_000,
+            2,
+            1,
+        );
+        assert_eq!(cfg.batch, None, "stock configs stay unbatched");
+        let batched = cfg.with_batch(8, 50_000);
+        assert_eq!(
+            batched.batch,
+            Some(BatchPolicy {
+                width: 8,
+                age_flush_ns: 50_000
+            })
+        );
     }
 
     #[test]

@@ -333,4 +333,39 @@ mod tests {
         assert_eq!(sum.fresh, 40);
         assert!(sum.timed_out + sum.shed > 0);
     }
+
+    #[test]
+    fn wall_clock_overload_conserves_ledger() {
+        // Regression for the ledger-conservation guarantee under the
+        // nastiest wall-clock regime: heavy overload on a tiny bounded
+        // queue with eager retries, where requests are simultaneously
+        // being rejected, evicted, expired in queue, skipped at dispatch,
+        // and cancelled at the commit point across racing threads.
+        // `serve_wall` itself calls `assert_conserved` before returning
+        // (same contract as the virtual-time engines); this pins that the
+        // call stays, and that the five terminal buckets really partition
+        // `fresh` under concurrency, not just in virtual time.
+        let mix = ServeMix::build(ServeKind::SmallBank, 1);
+        let mut cfg = ServeConfig::controlled(
+            ArrivalProcess::Mmpp {
+                base_rate: 20_000.0,
+                burst_rate: 200_000.0,
+                mean_base_ns: 2_000_000,
+                mean_burst_ns: 2_000_000,
+            },
+            250,
+            3_000_000, // 3 ms: tight enough that bursts overrun it
+            2,
+            17,
+        );
+        cfg.queue_capacity = 4;
+        let sum = serve_wall(&mix, &cfg);
+        assert_eq!(sum.fresh, 250);
+        sum.assert_conserved();
+        assert!(
+            sum.shed + sum.timed_out > 0,
+            "an overloaded bounded queue must shed or expire: {sum:?}"
+        );
+        assert_eq!(sum.sojourn.count(), sum.good, "one sojourn sample per good");
+    }
 }

@@ -1,0 +1,111 @@
+//! Injection-equivalence properties for the streaming machine API
+//! (DESIGN.md §17): entering a whole batch through `Machine::inject_txn`
+//! at cycle 0 and driving it with `Machine::step_until` is byte-identical
+//! — full `MachineReport::to_json()` — to the legacy preload path
+//! (`submit` everything, then `run_to_quiescence`), across the strict,
+//! fast-forward, and epoch-parallel schedules.
+//!
+//! The only degree of freedom `step_until` adds is *where the clock
+//! stops*: it lands on its target even when the machine quiesced earlier,
+//! charging idle accounting for the tail. Both paths therefore finish by
+//! stepping to the same chunk-aligned boundary, so the idle tails match
+//! and any byte difference is a real divergence in execution, not an
+//! artifact of when the report was taken.
+
+use bionicdb::BionicConfig;
+use bionicdb_workloads::{StdWorkload, Workload};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Schedules the equivalence must hold across. Epoch-parallel only
+/// engages under fast-forward with >1 worker, which the config below
+/// guarantees.
+const SCHEDULES: [(bool, usize); 3] = [(false, 1), (true, 1), (true, 2)];
+
+fn build(which: usize, workers: usize) -> Box<dyn Workload> {
+    let all = [
+        StdWorkload::Ycsb(bionicdb_workloads::ycsb::YcsbKind::ReadHomed),
+        StdWorkload::Tpcc(bionicdb_workloads::TpccMix::Mixed),
+        StdWorkload::SmallBank,
+    ];
+    all[which % all.len()].build(BionicConfig::small(workers))
+}
+
+/// Populate and enter `txns` blocks per worker at cycle 0 (worker-major,
+/// one RNG from the workload seed — the same order `bench::drive` uses),
+/// then drive to quiescence via `mode`, finishing at the first multiple
+/// of `chunk` at/after quiescence. Returns the full report JSON.
+fn run_path(
+    which: usize,
+    workers: usize,
+    txns: usize,
+    chunk: u64,
+    fast_forward: bool,
+    threads: usize,
+    inject: bool,
+) -> String {
+    let mut w = build(which, workers);
+    w.machine().set_fast_forward(fast_forward);
+    w.machine().set_sim_threads(threads);
+    let mut blocks = Vec::with_capacity(workers * txns);
+    for wk in 0..workers {
+        for i in 0..txns {
+            let size = w.block_size(wk, i);
+            let blk = w.machine().alloc_block(wk, size);
+            blocks.push((wk, i, blk));
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(w.seed());
+    // `Workload::submit` populates the block and enters it through
+    // `Machine::submit` — the exact call `Machine::inject_txn` aliases —
+    // so at cycle 0 both paths feed the machine identically; they differ
+    // only in the driver that advances the clock afterwards.
+    for &(wk, i, blk) in &blocks {
+        w.submit(wk, i, blk, &mut rng);
+    }
+    if inject {
+        let mut rounds = 0u32;
+        while !w.machine_ref().is_quiescent() {
+            let target = w.machine_ref().now() + chunk;
+            w.machine().step_until(target);
+            rounds += 1;
+            assert!(rounds < 1 << 16, "streamed run failed to quiesce");
+        }
+    } else {
+        w.machine().run_to_quiescence();
+        let now = w.machine_ref().now();
+        let aligned = now.div_ceil(chunk) * chunk;
+        w.machine().step_until(aligned);
+    }
+    assert!(w.machine_ref().is_quiescent());
+    w.validate();
+    w.machine_ref().report().to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whole-batch injection at cycle 0 reproduces the preloaded report
+    /// byte-for-byte under every schedule. The preload path under serial
+    /// fast-forward is the canonical reference; each schedule's streamed
+    /// run (and the strict preload run) must match it exactly.
+    #[test]
+    fn inject_at_cycle_zero_matches_preload(
+        which in 0usize..3,
+        txns in 1usize..4,
+        chunk in prop_oneof![Just(257u64), Just(1024u64), Just(4093u64)],
+    ) {
+        let workers = 2;
+        let canon = run_path(which, workers, txns, chunk, true, 1, false);
+        for (ff, threads) in SCHEDULES {
+            let streamed = run_path(which, workers, txns, chunk, ff, threads, true);
+            prop_assert_eq!(
+                &streamed, &canon,
+                "streamed (ff={}, threads={}) diverged from preload", ff, threads
+            );
+        }
+        let strict_preload = run_path(which, workers, txns, chunk, false, 1, false);
+        prop_assert_eq!(&strict_preload, &canon, "strict preload diverged");
+    }
+}

@@ -625,6 +625,100 @@ impl Machine {
         self.now - start
     }
 
+    /// Inject a populated transaction block into `worker`'s input queue at
+    /// the machine's *current* cycle — the streaming-arrival entry point
+    /// used by the serving front end (DESIGN.md §17). Identical to
+    /// [`Machine::submit`] except in intent: `submit` is the preload path
+    /// (fill every queue, then run to quiescence), while `inject_txn` is
+    /// called mid-run, interleaved with [`Machine::step_until`], so
+    /// transactions enter the machine at arbitrary simulated cycles. The
+    /// submission cycle stamped into the block is `self.now` either way,
+    /// which is what makes injection at cycle 0 byte-identical to a
+    /// preload (see the `inject_equivalence` proptest).
+    pub fn inject_txn(&mut self, worker: usize, blk: TxnBlock) {
+        self.submit(worker, blk);
+    }
+
+    /// Advance the machine to exactly cycle `target` (no-op if `target`
+    /// is in the past), regardless of quiescence: an idle machine still
+    /// walks its clock forward, charging idle accounting bit-identically
+    /// to strict ticking. This is the streaming counterpart of
+    /// [`Machine::run_to_quiescence`]: the serving front end alternates
+    /// `inject_txn` (arrivals) with `step_until` (the span until the next
+    /// arrival), and the machine executes work *and* absorbs new input at
+    /// arbitrary simulated cycles.
+    ///
+    /// Composes with both accelerated schedulers:
+    /// - **fast-forward** skips provably-idle spans exactly as in
+    ///   `run_to_quiescence_limit`, additionally clamping every skip to
+    ///   `target` so the clock lands on it precisely;
+    /// - **epoch-parallel** (`sim_threads > 1`) runs the bulk of the span
+    ///   via `run_epochs` with the event cap at `target - 1`, then the
+    ///   serial loop ticks the final stretch onto `target`. Byte-identity
+    ///   holds because injected input is only visible between calls — the
+    ///   event horizon within a call is fixed, the same closed-world
+    ///   assumption `run_to_quiescence` makes (DESIGN.md §17).
+    ///
+    /// A scheduled crash inside the span is honored: the crash cycle is
+    /// ticked (never skipped), the machine freezes there, and the call
+    /// returns early. Unavailable in fleet mode (the live workers are in
+    /// chip processes; streaming injection would need per-arrival IPC).
+    /// Returns the cycles actually advanced.
+    pub fn step_until(&mut self, target: u64) -> u64 {
+        assert!(
+            self.fleet_chips <= 1 && self.fleet.is_none(),
+            "step_until is unavailable in fleet mode (workers live in chip \
+             processes); stream into an in-process machine instead"
+        );
+        let start = self.now;
+        if target <= start {
+            return 0;
+        }
+        // Epoch-parallel phase: the event cap `start + limit - 1` lands on
+        // `target - 1`, so every event strictly before `target` runs on the
+        // worker threads and the serial loop below only walks the idle tail
+        // onto `target` itself (events *at* `target` belong to the tick
+        // that lands there, which stays serial).
+        if self.fast_forward && self.sim_threads > 1 && self.workers.len() > 1 && !self.crashed {
+            self.run_epochs(start, target - start);
+        }
+        while self.now < target {
+            if self.crashed {
+                break;
+            }
+            if self.fast_forward && !self.any_buffered_responses() {
+                // Unlike run_to_quiescence, a quiescent machine keeps
+                // advancing: with no component volunteering an event the
+                // span to `target` is provably idle, so skip straight to
+                // it (charging the same bulk idle accounting strict
+                // ticking would).
+                let bound = match self.next_event() {
+                    Some(t) => Some(t),
+                    None if self.is_quiescent() => Some(target),
+                    None => None,
+                };
+                if let Some(t) = bound {
+                    debug_assert!(t > self.now, "next_event returned a past cycle");
+                    let t = t.min(target);
+                    let t = match self.fault_plan.crash_at {
+                        Some(c) => t.min(c),
+                        None => t,
+                    };
+                    let t = t.max(self.now + 1);
+                    let k = t - self.now - 1;
+                    if k > 0 {
+                        self.now += k;
+                        for w in &mut self.workers {
+                            w.skip(k);
+                        }
+                    }
+                }
+            }
+            self.tick();
+        }
+        self.now - start
+    }
+
     /// The minimum over every component's next-event estimate: the earliest
     /// future cycle at which anything in the machine could make progress,
     /// attempt an issue, or mutate a statistic. Early-exits at `now + 1`
@@ -832,6 +926,15 @@ impl Machine {
             .iter()
             .flat_map(|b| b.port_stats().iter().copied())
             .collect()
+    }
+
+    /// Blocks waiting unstarted in `worker`'s softcore input queue. Lets
+    /// the serving front end observe how streamed injections distribute
+    /// across partitions (in-process modes only; fleet workers live in
+    /// chip processes, and streaming injection is unavailable there).
+    pub fn worker_input_backlog(&self, worker: usize) -> usize {
+        assert!(self.fleet.is_none(), "backlog lives in the chip processes");
+        self.workers[worker].input_backlog()
     }
 
     /// The earliest pending DRAM completion across every worker's bank

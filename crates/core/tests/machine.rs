@@ -410,3 +410,54 @@ fn runtime_procedure_upload_without_reconfiguration() {
     let v = u64::from_le_bytes(db.loader(0).payload(t, addr)[..8].try_into().unwrap());
     assert_eq!(v, 6, "new transaction ran against live data");
 }
+
+#[test]
+fn staggered_injection_is_schedule_invariant() {
+    // Streaming entry points (DESIGN.md §17): transactions injected at
+    // *arbitrary* cycles — not just a cycle-0 preload — must leave the
+    // machine byte-identical across strict ticking, fast-forward, and the
+    // epoch-parallel scheduler. Each run replays the same arrival plan:
+    // step the clock to the arrival cycle, inject, repeat, then step to a
+    // fixed horizon so idle accounting and the report's `now` align.
+    const ARRIVALS: [(u64, usize, u64); 6] =
+        [(0, 0, 1), (0, 1, 2), (700, 0, 1), (1500, 1, 2), (1501, 0, 1), (4200, 1, 2)];
+    const HORIZON: u64 = 1 << 16;
+    let run = |fast_forward: bool, threads: usize| {
+        let mut b = SystemBuilder::new(BionicConfig::small(2));
+        let t = b.table(TableMeta::hash("kv", 8, 8, 1 << 8));
+        let bump = b.proc(
+            assemble(
+                "proc bump\nlogic:\n    update 0, 0, c0\ncommit:\n    ret g0, c0\n    cmp g0, 0\n    blt abort\n    load g1, [g0+72]\n    add g1, 1\n    store g1, [g0+72]\n    getts g2\n    store g2, [g0+8]\n    mov g3, 0\n    store g3, [g0+24]\n    commit\nabort:\n    abort\n",
+            )
+            .unwrap(),
+        );
+        let mut db = b.build();
+        db.set_fast_forward(fast_forward);
+        db.set_sim_threads(threads);
+        for w in 0..2 {
+            db.loader(w)
+                .insert(t, &(w as u64 + 1).to_le_bytes(), &0u64.to_le_bytes());
+        }
+        let mut blocks = Vec::new();
+        for (cycle, worker, key) in ARRIVALS {
+            db.step_until(cycle);
+            assert_eq!(db.now(), cycle, "step_until lands exactly on target");
+            let blk = db.alloc_block(worker, 128);
+            db.init_block(blk, bump);
+            db.write_block_u64(blk, 0, key);
+            db.inject_txn(worker, blk);
+            blocks.push(blk);
+        }
+        db.step_until(HORIZON);
+        assert_eq!(db.now(), HORIZON);
+        assert!(db.is_quiescent(), "horizon generously exceeds all work");
+        for blk in blocks {
+            assert!(db.block_status(blk).is_committed());
+        }
+        db.report().to_json()
+    };
+    let strict = run(false, 1);
+    assert_eq!(strict, run(true, 1), "fast-forward diverged from strict");
+    assert_eq!(strict, run(true, 2), "epoch-parallel diverged from strict");
+    assert_eq!(strict, run(true, 4), "epoch-parallel(4) diverged from strict");
+}

@@ -61,7 +61,7 @@ gate "parcheck (serial vs global/matrix lookahead at 1/2/4 sim threads: byte-ide
 gate "workloadcheck (driver bit-identity vs pre-refactor goldens + SmallBank ABI smoke)" \
     cargo run --release --locked -p bionicdb-bench --bin workloadcheck
 
-gate "servecheck (virtual-time serving engine vs committed goldens, byte-for-byte)" \
+gate "servecheck (Silo + hardware serving engines vs committed goldens, byte-for-byte)" \
     cargo run --release --locked -p bionicdb-bench --bin servecheck
 
 gate "batchcheck (batch mode-off bit-inertness + end-to-end smoke + quick-sweep golden)" \
@@ -69,6 +69,9 @@ gate "batchcheck (batch mode-off bit-inertness + end-to-end smoke + quick-sweep 
 
 gate "saturate (graceful-degradation claim: controlled >= 85% of peak at 2x, baseline < 50%)" \
     cargo run --release --locked -p bionicdb-bench --bin saturate -- --quick --json BENCH_serve.json
+
+gate "saturate --engine hw (open-loop serving on the cycle-accurate machine: graceful degradation + batched admission beats unbatched on chained-hash ycsb_c)" \
+    cargo run --release --locked -p bionicdb-bench --bin saturate -- --quick --engine hw --json BENCH_serve_hw.json
 
 gate "parsim full study (append results/bench_history.jsonl)" \
     cargo run --release --locked -p bionicdb-bench --bin simperf -- --par --out BENCH_parsim.json
